@@ -1,0 +1,121 @@
+//! Criterion wrappers around the paper's experiments.
+//!
+//! Each bench runs a complete deterministic simulation per iteration; the
+//! wall-clock numbers measure the *harness* (simulator) cost, while the
+//! interesting simulated-time results are printed by the `fig4`,
+//! `detector_sweep`, `failover_latency`, `chain_scaling`, and
+//! `ackchan_loss` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hydranet_bench::ablations::{ackchan_loss, build_star, chain_scaling, detector_sweep};
+use hydranet_bench::fig4::{run_point, Fig4Config, Fig4Params};
+use hydranet_core::prelude::*;
+
+fn quick_fig4_params() -> Fig4Params {
+    Fig4Params {
+        total_bytes: 32 * 1024,
+        ..Fig4Params::default()
+    }
+}
+
+/// Figure 4: one measurement point per configuration at 512-byte writes.
+fn bench_fig4(c: &mut Criterion) {
+    let params = quick_fig4_params();
+    let mut group = c.benchmark_group("fig4_throughput");
+    group.sample_size(10);
+    for config in Fig4Config::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(config.label()),
+            &config,
+            |b, &config| {
+                b.iter(|| {
+                    let p = run_point(config, 512, &params, 42);
+                    assert!(p.completed);
+                    p.throughput_kbps
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A1: detection latency at the default threshold.
+fn bench_detector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector_threshold");
+    group.sample_size(10);
+    group.bench_function("threshold_5", |b| {
+        b.iter(|| detector_sweep(&[5], 11).pop().unwrap().detection_latency)
+    });
+    group.finish();
+}
+
+/// A2: a full primary fail-over under load.
+fn bench_failover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("failover");
+    group.sample_size(10);
+    group.bench_function("primary_crash_with_backup", |b| {
+        b.iter(|| {
+            let detector = DetectorParams::new(4, SimDuration::from_secs(60));
+            let mut star = build_star(2, detector, true, 5);
+            let payload: Vec<u8> = (0..100_000).map(|i| (i % 251) as u8).collect();
+            let state = shared(SenderState::default());
+            let app = StreamSenderApp::new(payload, false, state.clone());
+            star.system
+                .connect_client(star.client, hydranet_bench::ablations::service(), Box::new(app));
+            let at = star.system.sim.now().saturating_add(SimDuration::from_millis(50));
+            star.system.sim.schedule_crash(star.replicas[0], at);
+            let deadline = SimTime::from_secs(60);
+            let mut step = star.system.sim.now();
+            while star.system.sim.now() < deadline {
+                if state.borrow().replies.data.len() >= 100_000 {
+                    break;
+                }
+                step = step.saturating_add(SimDuration::from_millis(20));
+                star.system.sim.run_until(step);
+            }
+            let received = state.borrow().replies.data.len();
+            assert_eq!(received, 100_000);
+            received
+        })
+    });
+    group.finish();
+}
+
+/// A3: chain lengths 1–3.
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_length");
+    group.sample_size(10);
+    group.bench_function("replicas_1_to_3", |b| {
+        b.iter(|| {
+            let points = chain_scaling(3, 7);
+            assert!(points.iter().all(|p| p.completed));
+            points.len()
+        })
+    });
+    group.finish();
+}
+
+/// A4: lossless vs. 5 % lossy backup branch.
+fn bench_ackchan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ackchan_loss");
+    group.sample_size(10);
+    group.bench_function("loss_0_and_5pct", |b| {
+        b.iter(|| {
+            let points = ackchan_loss(&[0.0, 0.05], 9);
+            assert!(points.iter().all(|p| p.completed));
+            points.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig4,
+    bench_detector,
+    bench_failover,
+    bench_chain,
+    bench_ackchan
+);
+criterion_main!(benches);

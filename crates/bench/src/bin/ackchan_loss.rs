@@ -1,0 +1,30 @@
+//! A4: ack-channel (backup-branch) loss vs. throughput and client cost.
+
+use hydranet_bench::ablations::ackchan_loss;
+use hydranet_bench::render_table;
+
+fn main() {
+    println!("HydraNet-FT reproduction — A4: lossy backup branch (128 kB upstream)\n");
+    let losses = [0.0, 0.01, 0.02, 0.05, 0.10];
+    let points = ackchan_loss(&losses, 41);
+    let header = vec![
+        "branch loss".to_string(),
+        "throughput [kB/s]".to_string(),
+        "client retransmits".to_string(),
+        "completed".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}%", p.loss * 100.0),
+                format!("{:.0}", p.throughput_kbps),
+                p.client_retransmits.to_string(),
+                p.completed.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &rows));
+    println!("(§4.3: the kernel-to-kernel UDP ack channel trades low overhead");
+    println!(" against client retransmissions when its packets are lost)");
+}

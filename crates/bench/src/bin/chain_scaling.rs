@@ -1,0 +1,27 @@
+//! A3: throughput vs. daisy-chain length.
+
+use hydranet_bench::ablations::chain_scaling;
+use hydranet_bench::render_table;
+
+fn main() {
+    println!("HydraNet-FT reproduction — A3: chain length (256 kB upstream, 1 kB writes)\n");
+    let points = chain_scaling(4, 31);
+    let header = vec![
+        "replicas".to_string(),
+        "throughput [kB/s]".to_string(),
+        "completed".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.replicas.to_string(),
+                format!("{:.0}", p.throughput_kbps),
+                p.completed.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &rows));
+    println!("(each backup adds a multicast copy at the redirector and one more");
+    println!(" ack-channel hop before the primary may answer, §4.3)");
+}

@@ -1,0 +1,29 @@
+//! A2: client-visible disruption across a primary fail-over.
+
+use hydranet_bench::ablations::failover_disruption;
+use hydranet_bench::render_table;
+
+fn main() {
+    println!("HydraNet-FT reproduction — A2: fail-over disruption (600 kB echo)\n");
+    let points = failover_disruption(21);
+    let header = vec![
+        "scenario".to_string(),
+        "completed".to_string(),
+        "max client stall".to_string(),
+        "bytes received".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.scenario.to_string(),
+                p.completed.to_string(),
+                p.stall.map_or("-".into(), |d| format!("{d}")),
+                p.bytes.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &rows));
+    println!("(the unreplicated server's clients hang forever; the replicated");
+    println!(" service stalls only for detection + reconfiguration + recovery)");
+}

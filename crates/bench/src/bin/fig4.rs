@@ -1,0 +1,37 @@
+//! Regenerates Figure 4: `ttcp` throughput for the four configurations.
+
+use hydranet_bench::fig4::{extended_write_sizes, run_point, Fig4Config, Fig4Params};
+use hydranet_bench::render_table;
+
+fn main() {
+    let params = Fig4Params::default();
+    println!("HydraNet-FT reproduction — Figure 4: ttcp throughput [kB/s]");
+    println!(
+        "links: {} Mb/s, MTU {}, transfer {} kB per point\n",
+        params.link_bps / 1_000_000,
+        params.mtu,
+        params.total_bytes / 1024
+    );
+    let header: Vec<String> = std::iter::once("size[B]".to_string())
+        .chain(Fig4Config::ALL.iter().map(|c| c.label().to_string()))
+        .collect();
+    let mut rows = Vec::new();
+    for ws in extended_write_sizes() {
+        let mut row = vec![ws.to_string()];
+        for config in Fig4Config::ALL {
+            let p = run_point(config, ws, &params, 42);
+            let cell = if p.completed {
+                format!("{:.0}", p.throughput_kbps)
+            } else {
+                format!("{:.0}*", p.throughput_kbps)
+            };
+            row.push(cell);
+        }
+        rows.push(row);
+        eprint!(".");
+    }
+    eprintln!();
+    println!("{}", render_table(&header, &rows));
+    println!("(*: transfer did not complete before the per-point deadline)");
+    println!("(2048 B exceeds the {} B MTU: IP fragmentation, per §5's past-MTU drop)", params.mtu);
+}

@@ -1,0 +1,67 @@
+//! # hydranet-bench
+//!
+//! The experiment harness that regenerates the paper's evaluation:
+//!
+//! - [`fig4`] — the §5 `ttcp` throughput measurements (Figure 4): four
+//!   configurations (*clean kernel*, *no redirection*, *to primary only*,
+//!   *primary and backup*) swept over write sizes.
+//! - [`ablations`] — design-space experiments the paper discusses in prose:
+//!   detector-threshold trade-off (A1), fail-over disruption (A2), chain
+//!   length scaling (A3), and ack-channel loss (A4).
+//!
+//! Binaries (`fig4`, `detector_sweep`, `failover_latency`, `chain_scaling`,
+//! `ackchan_loss`) print paper-style tables; the Criterion benches wrap the
+//! same scenarios.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablations;
+pub mod fig4;
+
+/// Renders a simple aligned table: a header row then data rows.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let render_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let mut out = String::new();
+    out.push_str(&render_row(header));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["a".into(), "bee".into()],
+            &[vec!["1".into(), "2".into()], vec!["100".into(), "20000".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('a'));
+        assert!(lines[3].contains("20000"));
+    }
+}

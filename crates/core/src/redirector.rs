@@ -1,0 +1,128 @@
+//! The managed redirector node: redirection engine plus the replica
+//! management controller.
+
+use hydranet_mgmt::failover::{ControllerAction, ProbeParams, ReplicaController};
+use hydranet_mgmt::proto::MGMT_PORT;
+use hydranet_netsim::node::{Context, IfaceId, Node, TimerToken};
+use hydranet_netsim::packet::{IpAddr, IpPacket, Protocol};
+use hydranet_redirect::redirector::{Disposition, RedirectorEngine};
+use hydranet_redirect::table::ServiceEntry;
+use hydranet_tcp::udp::UdpDatagram;
+
+/// A redirector with the full replica management plane: intercepts and
+/// multicasts service traffic (engine), and runs the §4.4 controller for
+/// registration, probing, and reconfiguration.
+pub struct ManagedRedirector {
+    engine: RedirectorEngine,
+    controller: ReplicaController,
+    name: String,
+    out_scratch: Vec<(IfaceId, IpPacket)>,
+}
+
+impl std::fmt::Debug for ManagedRedirector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManagedRedirector")
+            .field("name", &self.name)
+            .field("engine", &self.engine)
+            .finish()
+    }
+}
+
+impl ManagedRedirector {
+    /// Creates a managed redirector at `addr`.
+    pub fn new(name: impl Into<String>, addr: IpAddr, probe_params: ProbeParams) -> Self {
+        ManagedRedirector {
+            engine: RedirectorEngine::new(addr),
+            controller: ReplicaController::new(addr, probe_params),
+            name: name.into(),
+            out_scratch: Vec::new(),
+        }
+    }
+
+    /// The redirection engine (routing and redirector tables).
+    pub fn engine(&self) -> &RedirectorEngine {
+        &self.engine
+    }
+
+    /// The redirection engine, mutable (route configuration at build time).
+    pub fn engine_mut(&mut self) -> &mut RedirectorEngine {
+        &mut self.engine
+    }
+
+    /// The replica management controller.
+    pub fn controller(&self) -> &ReplicaController {
+        &self.controller
+    }
+
+    fn apply_controller_actions(&mut self, out: &mut Vec<(IfaceId, IpPacket)>) {
+        for action in self.controller.take_actions() {
+            match action {
+                ControllerAction::Send(dst, payload) => {
+                    let datagram = UdpDatagram {
+                        src_port: MGMT_PORT,
+                        dst_port: MGMT_PORT,
+                        payload,
+                    };
+                    let packet =
+                        IpPacket::new(self.engine.addr(), dst, Protocol::UDP, datagram.encode());
+                    self.engine.route_own(packet, out);
+                }
+                ControllerAction::UpdateTable { service, chain } => {
+                    if chain.is_empty() {
+                        self.engine.table_mut().remove(service);
+                    } else {
+                        self.engine
+                            .table_mut()
+                            .install(service, ServiceEntry::FaultTolerant { chain });
+                    }
+                }
+            }
+        }
+    }
+
+    fn drive(&mut self, ctx: &mut Context<'_>) {
+        self.controller.poll(ctx.now());
+        let mut out = std::mem::take(&mut self.out_scratch);
+        self.apply_controller_actions(&mut out);
+        for (iface, p) in out.drain(..) {
+            ctx.send(iface, p);
+        }
+        self.out_scratch = out;
+        if let Some(t) = self.controller.next_deadline() {
+            ctx.set_timer_at(t, TimerToken(0));
+        }
+    }
+}
+
+impl Node for ManagedRedirector {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, _iface: IfaceId, packet: IpPacket) {
+        let mut out = std::mem::take(&mut self.out_scratch);
+        match self.engine.process(packet, ctx.now(), &mut out) {
+            Disposition::Handled => {}
+            Disposition::Local(packet) => {
+                // Management traffic addressed to the redirector itself.
+                if packet.protocol() == Protocol::UDP {
+                    if let Ok(dgram) = UdpDatagram::decode(&packet.payload) {
+                        if dgram.dst_port == MGMT_PORT {
+                            self.controller
+                                .on_datagram(packet.src(), &dgram.payload, ctx.now());
+                        }
+                    }
+                }
+            }
+        }
+        for (iface, p) in out.drain(..) {
+            ctx.send(iface, p);
+        }
+        self.out_scratch = out;
+        self.drive(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _token: TimerToken) {
+        self.drive(ctx);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}

@@ -1,0 +1,469 @@
+//! Assembling a HydraNet internetwork: clients, routers, redirectors, host
+//! servers, and service deployment, with automatic route configuration.
+
+use std::collections::{HashMap, VecDeque};
+
+use hydranet_mgmt::failover::ProbeParams;
+use hydranet_netsim::link::{LinkId, LinkParams};
+use hydranet_netsim::node::{IfaceId, NodeId, NodeParams};
+use hydranet_netsim::packet::IpAddr;
+use hydranet_netsim::routing::{Prefix, RouterNode};
+use hydranet_netsim::sim::Simulator;
+use hydranet_netsim::time::{SimDuration, SimTime};
+use hydranet_netsim::topology::TopologyBuilder;
+use hydranet_tcp::conn::TcpConfig;
+use hydranet_tcp::detector::DetectorParams;
+use hydranet_tcp::segment::{Quad, SockAddr};
+use hydranet_tcp::stack::SocketApp;
+
+use crate::host::{ClientHost, HostServer};
+use crate::redirector::ManagedRedirector;
+
+/// What kind of node occupies a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An unmodified client host.
+    Client,
+    /// A HydraNet host server.
+    HostServer,
+    /// A managed redirector.
+    Redirector,
+    /// A plain IP router.
+    Router,
+}
+
+#[derive(Debug, Clone)]
+struct NodeInfo {
+    kind: NodeKind,
+    addr: Option<IpAddr>,
+}
+
+/// Deployment description of one fault-tolerant service.
+#[derive(Debug, Clone)]
+pub struct FtServiceSpec {
+    /// The service access point clients connect to (virtual-host address
+    /// and well-known port).
+    pub service: SockAddr,
+    /// Host servers to run replicas, in desired chain order (first becomes
+    /// the primary).
+    pub chain: Vec<NodeId>,
+    /// Failure-estimator tuning passed to `setportopt`.
+    pub detector: DetectorParams,
+    /// When the first replica registers.
+    pub registration_start: SimTime,
+    /// Spacing between successive replicas' registrations (registration
+    /// order defines the chain).
+    pub registration_stagger: SimDuration,
+}
+
+impl FtServiceSpec {
+    /// Creates a spec with default registration timing (start at 1 ms,
+    /// 20 ms stagger).
+    pub fn new(service: SockAddr, chain: Vec<NodeId>, detector: DetectorParams) -> Self {
+        FtServiceSpec {
+            service,
+            chain,
+            detector,
+            registration_start: SimTime::from_millis(1),
+            registration_stagger: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// Builder for a complete HydraNet system.
+pub struct SystemBuilder {
+    topo: TopologyBuilder,
+    nodes: Vec<NodeInfo>,
+    links: Vec<(NodeId, NodeId, IfaceId, IfaceId)>,
+    default_tcp: TcpConfig,
+    probe_params: ProbeParams,
+}
+
+impl std::fmt::Debug for SystemBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .finish()
+    }
+}
+
+impl SystemBuilder {
+    /// Creates a builder; `default_tcp` is used by every stack.
+    pub fn new(default_tcp: TcpConfig) -> Self {
+        SystemBuilder {
+            topo: TopologyBuilder::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            default_tcp,
+            probe_params: ProbeParams::default(),
+        }
+    }
+
+    /// Overrides the failure-identification probe parameters used by
+    /// redirectors added *after* this call.
+    pub fn set_probe_params(&mut self, params: ProbeParams) {
+        self.probe_params = params;
+    }
+
+    /// Adds an unmodified client host.
+    pub fn add_client(&mut self, name: &str, addr: IpAddr) -> NodeId {
+        self.add_client_with(name, addr, self.default_tcp.clone(), NodeParams::INSTANT)
+    }
+
+    /// Adds a client host with specific TCP configuration and CPU cost.
+    pub fn add_client_with(
+        &mut self,
+        name: &str,
+        addr: IpAddr,
+        cfg: TcpConfig,
+        params: NodeParams,
+    ) -> NodeId {
+        let id = self.topo.add_node(ClientHost::new(name, addr, cfg), params);
+        self.note(id, NodeKind::Client, Some(addr));
+        id
+    }
+
+    /// Adds a host server managed via the redirector at `redirector_addr`.
+    pub fn add_host_server(&mut self, name: &str, addr: IpAddr, redirector_addr: IpAddr) -> NodeId {
+        self.add_host_server_with(
+            name,
+            addr,
+            redirector_addr,
+            self.default_tcp.clone(),
+            NodeParams::INSTANT,
+        )
+    }
+
+    /// Adds a host server managed via several redirectors (Figure 1's
+    /// multi-ISP deployment).
+    pub fn add_host_server_multi(
+        &mut self,
+        name: &str,
+        addr: IpAddr,
+        redirectors: Vec<IpAddr>,
+    ) -> NodeId {
+        let id = self.topo.add_node(
+            HostServer::with_redirectors(name, addr, redirectors, self.default_tcp.clone()),
+            NodeParams::INSTANT,
+        );
+        self.note(id, NodeKind::HostServer, Some(addr));
+        id
+    }
+
+    /// Adds a host server with specific TCP configuration and CPU cost.
+    pub fn add_host_server_with(
+        &mut self,
+        name: &str,
+        addr: IpAddr,
+        redirector_addr: IpAddr,
+        cfg: TcpConfig,
+        params: NodeParams,
+    ) -> NodeId {
+        let id = self
+            .topo
+            .add_node(HostServer::new(name, addr, redirector_addr, cfg), params);
+        self.note(id, NodeKind::HostServer, Some(addr));
+        id
+    }
+
+    /// Adds a managed redirector.
+    pub fn add_redirector(&mut self, name: &str, addr: IpAddr) -> NodeId {
+        self.add_redirector_with(name, addr, NodeParams::INSTANT)
+    }
+
+    /// Adds a managed redirector with a CPU cost (the paper's redirector
+    /// was a deliberately slow 486).
+    pub fn add_redirector_with(&mut self, name: &str, addr: IpAddr, params: NodeParams) -> NodeId {
+        let id = self
+            .topo
+            .add_node(ManagedRedirector::new(name, addr, self.probe_params), params);
+        self.note(id, NodeKind::Redirector, Some(addr));
+        id
+    }
+
+    /// Adds a plain IP router (no redirection).
+    pub fn add_router(&mut self, name: &str) -> NodeId {
+        let id = self.topo.add_node(RouterNode::new(name), NodeParams::INSTANT);
+        self.note(id, NodeKind::Router, None);
+        id
+    }
+
+    /// Adds a plain IP router with a CPU cost.
+    pub fn add_router_with(&mut self, name: &str, params: NodeParams) -> NodeId {
+        let id = self.topo.add_node(RouterNode::new(name), params);
+        self.note(id, NodeKind::Router, None);
+        id
+    }
+
+    /// Connects two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a host-type node (client/host server) would gain a second
+    /// interface — hosts are single-homed.
+    pub fn link(&mut self, a: NodeId, b: NodeId, params: LinkParams) -> LinkId {
+        for &n in &[a, b] {
+            let host_like = matches!(
+                self.nodes[n.index()].kind,
+                NodeKind::Client | NodeKind::HostServer
+            );
+            if host_like {
+                let existing = self.links.iter().filter(|&&(x, y, _, _)| x == n || y == n).count();
+                assert_eq!(existing, 0, "host {n} must be single-homed");
+            }
+        }
+        let (link, ia, ib) = self.topo.connect(a, b, params);
+        self.links.push((a, b, ia, ib));
+        link
+    }
+
+    /// Deploys a fault-tolerant service: installs listeners and virtual
+    /// hosts on every chain member and schedules their staggered
+    /// registrations with the redirector.
+    ///
+    /// `app_factory` is invoked once per accepted connection per replica;
+    /// the applications must be deterministic for replication to hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any chain member is not a host server.
+    pub fn deploy_ft_service<F>(&mut self, spec: &FtServiceSpec, app_factory: F)
+    where
+        F: Fn(Quad) -> Box<dyn SocketApp> + Clone + 'static,
+    {
+        for (i, &node) in spec.chain.iter().enumerate() {
+            assert_eq!(
+                self.nodes[node.index()].kind,
+                NodeKind::HostServer,
+                "chain member {node} is not a host server"
+            );
+            let host = self.topo.node_mut::<HostServer>(node);
+            host.stack_mut().add_local_addr(spec.service.addr);
+            let factory = app_factory.clone();
+            host.stack_mut()
+                .listen(spec.service.port, move |quad| factory(quad));
+            let at = spec
+                .registration_start
+                .saturating_add(spec.registration_stagger * i as u64);
+            host.schedule_registration(spec.service, spec.detector, at);
+        }
+    }
+
+    /// Runs arbitrary configuration against a node already added (e.g.
+    /// installing listeners on a host, or static redirector-table entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not of type `T`.
+    pub fn configure<T: hydranet_netsim::node::Node>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T),
+    ) {
+        f(self.topo.node_mut::<T>(id));
+    }
+
+    /// Deploys a *scaled* (non-fault-tolerant) service in HydraNet's
+    /// original load-diffusion mode (§3): the redirector forwards each
+    /// matching packet to the nearest replica. Entries are installed
+    /// statically; replicas get listeners and the virtual host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `redirector` is not a redirector or a replica is not a
+    /// host server.
+    pub fn deploy_scaled_service<F>(
+        &mut self,
+        redirector: NodeId,
+        service: SockAddr,
+        replicas: &[(NodeId, u32)],
+        app_factory: F,
+    ) where
+        F: Fn(Quad) -> Box<dyn SocketApp> + Clone + 'static,
+    {
+        let locs: Vec<hydranet_redirect::table::ReplicaLoc> = replicas
+            .iter()
+            .map(|&(node, metric)| {
+                assert_eq!(self.nodes[node.index()].kind, NodeKind::HostServer);
+                hydranet_redirect::table::ReplicaLoc {
+                    host: self.nodes[node.index()].addr.expect("host has address"),
+                    metric,
+                }
+            })
+            .collect();
+        self.configure::<ManagedRedirector>(redirector, move |r| {
+            r.engine_mut().table_mut().install(
+                service,
+                hydranet_redirect::table::ServiceEntry::Scaled { replicas: locs },
+            );
+        });
+        for &(node, _) in replicas {
+            let host = self.topo.node_mut::<HostServer>(node);
+            host.stack_mut().add_local_addr(service.addr);
+            let factory = app_factory.clone();
+            host.stack_mut().listen(service.port, move |quad| factory(quad));
+        }
+    }
+
+    /// Finishes building: computes shortest-path routes for every router
+    /// and redirector, then constructs the simulator.
+    pub fn build(self, seed: u64) -> System {
+        let SystemBuilder {
+            mut topo,
+            nodes,
+            links,
+            ..
+        } = self;
+
+        // Adjacency: node -> [(neighbor, local iface)].
+        let mut adj: HashMap<NodeId, Vec<(NodeId, IfaceId)>> = HashMap::new();
+        for &(a, b, ia, ib) in &links {
+            adj.entry(a).or_default().push((b, ia));
+            adj.entry(b).or_default().push((a, ib));
+        }
+
+        // For every routing node, BFS to find the egress interface toward
+        // every addressed node.
+        for (idx, info) in nodes.iter().enumerate() {
+            let router_id = NodeId::from_index(idx);
+            if !matches!(info.kind, NodeKind::Router | NodeKind::Redirector) {
+                continue;
+            }
+            let mut first_hop: HashMap<NodeId, IfaceId> = HashMap::new();
+            let mut queue = VecDeque::new();
+            for &(n, iface) in adj.get(&router_id).into_iter().flatten() {
+                if first_hop.insert(n, iface).is_none() {
+                    queue.push_back(n);
+                }
+            }
+            while let Some(at) = queue.pop_front() {
+                let via = first_hop[&at];
+                for &(next, _) in adj.get(&at).into_iter().flatten() {
+                    if next != router_id && !first_hop.contains_key(&next) {
+                        first_hop.insert(next, via);
+                        queue.push_back(next);
+                    }
+                }
+            }
+            // Install host routes for every reachable addressed node.
+            for (tidx, target) in nodes.iter().enumerate() {
+                let target_id = NodeId::from_index(tidx);
+                if target_id == router_id {
+                    continue;
+                }
+                let (Some(addr), Some(&iface)) = (target.addr, first_hop.get(&target_id)) else {
+                    continue;
+                };
+                match info.kind {
+                    NodeKind::Router => {
+                        topo.node_mut::<RouterNode>(router_id)
+                            .routes_mut()
+                            .add(Prefix::host(addr), iface);
+                    }
+                    NodeKind::Redirector => {
+                        topo.node_mut::<ManagedRedirector>(router_id)
+                            .engine_mut()
+                            .routes_mut()
+                            .add(Prefix::host(addr), iface);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+
+        System {
+            sim: topo.into_simulator(seed),
+            nodes,
+        }
+    }
+
+    fn note(&mut self, id: NodeId, kind: NodeKind, addr: Option<IpAddr>) {
+        debug_assert_eq!(id.index(), self.nodes.len());
+        if let Some(a) = addr {
+            assert!(
+                !self.nodes.iter().any(|n| n.addr == Some(a)),
+                "duplicate host address {a}"
+            );
+        }
+        self.nodes.push(NodeInfo { kind, addr });
+    }
+}
+
+/// A built HydraNet system: the simulator plus node metadata.
+pub struct System {
+    /// The underlying simulator.
+    pub sim: Simulator,
+    nodes: Vec<NodeInfo>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System").field("sim", &self.sim).finish()
+    }
+}
+
+impl System {
+    /// The kind of `node`.
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.nodes[node.index()].kind
+    }
+
+    /// The address of `node`, if it has one.
+    pub fn addr(&self, node: NodeId) -> Option<IpAddr> {
+        self.nodes[node.index()].addr
+    }
+
+    /// Borrows a client host.
+    pub fn client(&self, id: NodeId) -> &ClientHost {
+        self.sim.node::<ClientHost>(id)
+    }
+
+    /// Borrows a host server.
+    pub fn host_server(&self, id: NodeId) -> &HostServer {
+        self.sim.node::<HostServer>(id)
+    }
+
+    /// Borrows a redirector.
+    pub fn redirector(&self, id: NodeId) -> &ManagedRedirector {
+        self.sim.node::<ManagedRedirector>(id)
+    }
+
+    /// Opens a client connection to `remote`, running `app`.
+    pub fn connect_client(
+        &mut self,
+        client: NodeId,
+        remote: SockAddr,
+        app: Box<dyn SocketApp>,
+    ) -> Quad {
+        self.sim
+            .with_node_ctx::<ClientHost, _>(client, |host, ctx| host.connect(ctx, remote, app))
+    }
+
+    /// Runs until the redirector's chain for `service` has exactly
+    /// `expected` members, or `deadline` passes. Returns whether the chain
+    /// reached the expected size.
+    pub fn wait_for_chain(
+        &mut self,
+        redirector: NodeId,
+        service: SockAddr,
+        expected: usize,
+        deadline: SimTime,
+    ) -> bool {
+        loop {
+            let len = self
+                .redirector(redirector)
+                .controller()
+                .chain(service)
+                .map_or(0, <[IpAddr]>::len);
+            if len == expected {
+                return true;
+            }
+            if self.sim.now() >= deadline {
+                return false;
+            }
+            let next = self.sim.now().saturating_add(SimDuration::from_millis(5));
+            self.sim.run_until(next.min(deadline));
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Daisy-chain bookkeeping: compute every replica's role from the chain.
+
+use hydranet_netsim::packet::IpAddr;
+use hydranet_tcp::segment::SockAddr;
+
+use crate::proto::MgmtMsg;
+
+/// The role assignment for one chain position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoleAssignment {
+    /// The host this assignment is for.
+    pub host: IpAddr,
+    /// Chain index: 0 = primary.
+    pub index: u32,
+    /// Ack-channel predecessor.
+    pub predecessor: Option<IpAddr>,
+    /// Whether a successor exists.
+    pub has_successor: bool,
+}
+
+impl RoleAssignment {
+    /// The `SetRole` message conveying this assignment for `service`.
+    pub fn to_msg(self, service: SockAddr) -> MgmtMsg {
+        MgmtMsg::SetRole {
+            service,
+            index: self.index,
+            predecessor: self.predecessor,
+            has_successor: self.has_successor,
+        }
+    }
+}
+
+/// Computes the role of every host in `chain` (`chain[0]` is the primary;
+/// each backup's ack-channel predecessor is the host ahead of it, §4.2).
+pub fn assignments(chain: &[IpAddr]) -> Vec<RoleAssignment> {
+    chain
+        .iter()
+        .enumerate()
+        .map(|(i, &host)| RoleAssignment {
+            host,
+            index: i as u32,
+            predecessor: (i > 0).then(|| chain[i - 1]),
+            has_successor: i + 1 < chain.len(),
+        })
+        .collect()
+}
+
+/// Which hosts' assignments differ between `old` and `new` chains — only
+/// those need a `SetRole` message after a reconfiguration.
+pub fn changed_assignments(old: &[IpAddr], new: &[IpAddr]) -> Vec<RoleAssignment> {
+    let old_assignments = assignments(old);
+    assignments(new)
+        .into_iter()
+        .filter(|a| !old_assignments.contains(a))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(n: u8) -> IpAddr {
+        IpAddr::new(10, 0, n, 1)
+    }
+
+    #[test]
+    fn three_node_chain_roles() {
+        let chain = [h(1), h(2), h(3)];
+        let roles = assignments(&chain);
+        assert_eq!(roles.len(), 3);
+        assert_eq!(
+            roles[0],
+            RoleAssignment {
+                host: h(1),
+                index: 0,
+                predecessor: None,
+                has_successor: true
+            }
+        );
+        assert_eq!(
+            roles[1],
+            RoleAssignment {
+                host: h(2),
+                index: 1,
+                predecessor: Some(h(1)),
+                has_successor: true
+            }
+        );
+        assert_eq!(
+            roles[2],
+            RoleAssignment {
+                host: h(3),
+                index: 2,
+                predecessor: Some(h(2)),
+                has_successor: false
+            }
+        );
+    }
+
+    #[test]
+    fn sole_primary_is_ungated() {
+        let roles = assignments(&[h(1)]);
+        assert_eq!(roles.len(), 1);
+        assert!(!roles[0].has_successor);
+        assert!(roles[0].predecessor.is_none());
+    }
+
+    #[test]
+    fn empty_chain_has_no_roles() {
+        assert!(assignments(&[]).is_empty());
+    }
+
+    #[test]
+    fn primary_failure_changes_everyone() {
+        // h1 dies: h2 promotes (new predecessor None), h3's predecessor is
+        // unchanged (h2) but stays last — h3's assignment is identical, so
+        // only h2 needs a message.
+        let changed = changed_assignments(&[h(1), h(2), h(3)], &[h(2), h(3)]);
+        assert_eq!(changed.len(), 2); // h2's index and pred changed; h3's index changed
+        assert!(changed.iter().any(|a| a.host == h(2) && a.index == 0));
+        assert!(changed.iter().any(|a| a.host == h(3) && a.index == 1));
+    }
+
+    #[test]
+    fn middle_failure_rechains_neighbours() {
+        // h2 dies: h1 stays primary-with-successor (unchanged), h3 moves up
+        // with a new predecessor.
+        let changed = changed_assignments(&[h(1), h(2), h(3)], &[h(1), h(3)]);
+        assert_eq!(changed.len(), 1);
+        assert_eq!(
+            changed[0],
+            RoleAssignment {
+                host: h(3),
+                index: 1,
+                predecessor: Some(h(1)),
+                has_successor: false
+            }
+        );
+    }
+
+    #[test]
+    fn last_backup_failure_ungates_predecessor() {
+        let changed = changed_assignments(&[h(1), h(2), h(3)], &[h(1), h(2)]);
+        assert_eq!(changed.len(), 1);
+        assert_eq!(changed[0].host, h(2));
+        assert!(!changed[0].has_successor);
+    }
+
+    #[test]
+    fn adding_backup_gates_former_tail() {
+        let changed = changed_assignments(&[h(1)], &[h(1), h(2)]);
+        assert_eq!(changed.len(), 2);
+        assert!(changed.iter().any(|a| a.host == h(1) && a.has_successor));
+        assert!(changed
+            .iter()
+            .any(|a| a.host == h(2) && a.predecessor == Some(h(1))));
+    }
+
+    #[test]
+    fn set_role_message_mapping() {
+        let service = SockAddr::new(IpAddr::new(192, 20, 225, 20), 80);
+        let a = RoleAssignment {
+            host: h(2),
+            index: 1,
+            predecessor: Some(h(1)),
+            has_successor: false,
+        };
+        match a.to_msg(service) {
+            MgmtMsg::SetRole {
+                service: s,
+                index,
+                predecessor,
+                has_successor,
+            } => {
+                assert_eq!(s, service);
+                assert_eq!(index, 1);
+                assert_eq!(predecessor, Some(h(1)));
+                assert!(!has_successor);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! The host-server management daemon.
+//!
+//! One daemon runs on every HydraNet host (§4.4). It registers local
+//! replicas with the nearest redirector, answers liveness probes, forwards
+//! the failure estimator's reports, and applies `SetRole` directives to the
+//! local stack (the kernel in the paper; [`TcpStack`] here).
+//!
+//! [`TcpStack`]: hydranet_tcp::stack::TcpStack
+
+use std::collections::HashMap;
+
+use hydranet_netsim::packet::IpAddr;
+use hydranet_netsim::time::SimTime;
+use hydranet_tcp::detector::DetectorParams;
+use hydranet_tcp::ft::{ReplicaMode, ReplicatedPortConfig};
+use hydranet_tcp::segment::SockAddr;
+
+use crate::proto::MgmtMsg;
+use crate::reliable::ReliableEndpoint;
+
+/// Actions the daemon asks its host node to perform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DaemonAction {
+    /// Transmit a management datagram.
+    Send(IpAddr, Vec<u8>),
+    /// Bind the service's virtual-host address locally (`v_host`).
+    AddVirtualHost(IpAddr),
+    /// Apply a replicated-port configuration (`setportopt`).
+    ApplyPortOpt {
+        /// The local TCP port.
+        port: u16,
+        /// The configuration to install.
+        config: ReplicatedPortConfig,
+    },
+}
+
+/// The management daemon on one host server.
+#[derive(Debug)]
+pub struct HostDaemon {
+    host: IpAddr,
+    redirectors: Vec<IpAddr>,
+    endpoint: ReliableEndpoint,
+    /// Services this host has registered, with their detector tuning.
+    registered: HashMap<SockAddr, DetectorParams>,
+    actions: Vec<DaemonAction>,
+    /// Failure reports sent (diagnostics).
+    reports_sent: u64,
+}
+
+impl HostDaemon {
+    /// Creates a daemon for the host at `host`, talking to the redirector
+    /// at `redirector`.
+    pub fn new(host: IpAddr, redirector: IpAddr) -> Self {
+        Self::with_id_base(host, redirector, 1)
+    }
+
+    /// Like [`new`](Self::new) with an explicit message-id base. A daemon
+    /// restarting after a crash must use a fresh base (e.g. the restart
+    /// time in nanoseconds) so peers' duplicate filters accept it.
+    pub fn with_id_base(host: IpAddr, redirector: IpAddr, id_base: u64) -> Self {
+        Self::multi_with_id_base(host, vec![redirector], id_base)
+    }
+
+    /// Creates a daemon registering with *several* redirectors — the
+    /// Figure 1 deployment, where clients of different ISPs reach the
+    /// service through their own redirector. Registrations, departures,
+    /// and failure reports are broadcast to all of them; as long as they
+    /// observe the same reports symmetrically, their chains converge
+    /// (staggered registration fixes the order). Divergence under
+    /// asymmetric loss is a limitation inherited from the paper's
+    /// single-redirector protocol (§4.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `redirectors` is empty.
+    pub fn multi_with_id_base(host: IpAddr, redirectors: Vec<IpAddr>, id_base: u64) -> Self {
+        assert!(!redirectors.is_empty(), "a daemon needs at least one redirector");
+        HostDaemon {
+            host,
+            redirectors,
+            endpoint: ReliableEndpoint::new().with_id_base(id_base),
+            registered: HashMap::new(),
+            actions: Vec::new(),
+            reports_sent: 0,
+        }
+    }
+
+    /// This host's address.
+    pub fn host(&self) -> IpAddr {
+        self.host
+    }
+
+    /// The first redirector this daemon registers with.
+    pub fn redirector(&self) -> IpAddr {
+        self.redirectors[0]
+    }
+
+    /// All redirectors this daemon registers with.
+    pub fn redirectors(&self) -> &[IpAddr] {
+        &self.redirectors
+    }
+
+    /// Failure reports sent so far.
+    pub fn reports_sent(&self) -> u64 {
+        self.reports_sent
+    }
+
+    /// Drains queued actions.
+    pub fn take_actions(&mut self) -> Vec<DaemonAction> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// The earliest retransmission deadline.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.endpoint.next_deadline()
+    }
+
+    /// Registers a local replica of `service` with the redirector
+    /// ("creation of primary/backup servers", §4.4). The chain position —
+    /// and with it primary/backup mode — is assigned by the redirector.
+    pub fn register_service(&mut self, service: SockAddr, detector: DetectorParams, now: SimTime) {
+        self.registered.insert(service, detector);
+        self.actions.push(DaemonAction::AddVirtualHost(service.addr));
+        for rd in self.redirectors.clone() {
+            let msg = MgmtMsg::RegisterReplica {
+                service,
+                host: self.host,
+            };
+            let out = self.endpoint.send_reliable(rd, msg, now);
+            self.actions.push(DaemonAction::Send(out.0, out.1));
+        }
+    }
+
+    /// Voluntarily removes this host's replica of `service` (§4.4).
+    pub fn deregister_service(&mut self, service: SockAddr, now: SimTime) {
+        self.registered.remove(&service);
+        for rd in self.redirectors.clone() {
+            let msg = MgmtMsg::Deregister {
+                service,
+                host: self.host,
+            };
+            let out = self.endpoint.send_reliable(rd, msg, now);
+            self.actions.push(DaemonAction::Send(out.0, out.1));
+        }
+    }
+
+    /// Forwards a failure suspicion from the local estimator to the
+    /// redirector ("when a server detects a failure, it informs the
+    /// redirector", §4.4).
+    pub fn report_failure(&mut self, service: SockAddr, observed: u64, now: SimTime) {
+        for rd in self.redirectors.clone() {
+            let msg = MgmtMsg::FailureReport {
+                service,
+                reporter: self.host,
+                observed,
+            };
+            let out = self.endpoint.send_reliable(rd, msg, now);
+            self.actions.push(DaemonAction::Send(out.0, out.1));
+        }
+        self.reports_sent += 1;
+    }
+
+    /// Handles an incoming management datagram.
+    pub fn on_datagram(&mut self, src: IpAddr, bytes: &[u8], now: SimTime) {
+        let (msg, acks) = self.endpoint.on_datagram(src, bytes, now);
+        for (dst, bytes) in acks {
+            self.actions.push(DaemonAction::Send(dst, bytes));
+        }
+        let Some(msg) = msg else {
+            return;
+        };
+        match msg {
+            MgmtMsg::Probe { nonce } => {
+                let out = self
+                    .endpoint
+                    .send_unreliable(src, MgmtMsg::ProbeAck { nonce });
+                self.actions.push(DaemonAction::Send(out.0, out.1));
+            }
+            MgmtMsg::SetRole {
+                service,
+                index,
+                predecessor,
+                has_successor,
+            } => {
+                let detector = self
+                    .registered
+                    .get(&service)
+                    .copied()
+                    .unwrap_or(DetectorParams::DEFAULT);
+                let mode = if index == 0 {
+                    ReplicaMode::Primary
+                } else {
+                    ReplicaMode::Backup { index }
+                };
+                self.actions.push(DaemonAction::ApplyPortOpt {
+                    port: service.port,
+                    config: ReplicatedPortConfig {
+                        mode,
+                        predecessor,
+                        has_successor,
+                        detector,
+                    },
+                });
+            }
+            // Host daemons do not process controller-side messages.
+            _ => {}
+        }
+    }
+
+    /// Advances retransmission timers.
+    pub fn poll(&mut self, now: SimTime) {
+        for (dst, bytes) in self.endpoint.poll(now) {
+            self.actions.push(DaemonAction::Send(dst, bytes));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Envelope;
+    use hydranet_netsim::time::SimDuration;
+
+    const HOST: IpAddr = IpAddr::new(10, 0, 2, 1);
+    const RD: IpAddr = IpAddr::new(10, 9, 0, 1);
+
+    fn service() -> SockAddr {
+        SockAddr::new(IpAddr::new(192, 20, 225, 20), 80)
+    }
+
+    fn payload(msg: MgmtMsg) -> Vec<u8> {
+        Envelope::Payload {
+            id: 7,
+            needs_ack: false,
+            msg,
+        }
+        .encode()
+    }
+
+    #[test]
+    fn registration_emits_vhost_and_register() {
+        let mut d = HostDaemon::new(HOST, RD);
+        d.register_service(service(), DetectorParams::DEFAULT, SimTime::ZERO);
+        let actions = d.take_actions();
+        assert!(actions.contains(&DaemonAction::AddVirtualHost(service().addr)));
+        let sends: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                DaemonAction::Send(dst, bytes) => Some((dst, Envelope::decode(bytes).unwrap())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sends.len(), 1);
+        assert_eq!(*sends[0].0, RD);
+        assert!(matches!(
+            &sends[0].1,
+            Envelope::Payload {
+                needs_ack: true,
+                msg: MgmtMsg::RegisterReplica { host: HOST, .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn probe_is_answered() {
+        let mut d = HostDaemon::new(HOST, RD);
+        d.on_datagram(RD, &payload(MgmtMsg::Probe { nonce: 0xAB }), SimTime::ZERO);
+        let actions = d.take_actions();
+        let ack = actions
+            .iter()
+            .find_map(|a| match a {
+                DaemonAction::Send(dst, bytes) => {
+                    Some((dst, Envelope::decode(bytes).unwrap()))
+                }
+                _ => None,
+            })
+            .expect("reply sent");
+        assert_eq!(*ack.0, RD);
+        assert!(matches!(
+            ack.1,
+            Envelope::Payload {
+                msg: MgmtMsg::ProbeAck { nonce: 0xAB },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn set_role_becomes_portopt() {
+        let mut d = HostDaemon::new(HOST, RD);
+        let custom = DetectorParams::new(7, SimDuration::from_secs(5));
+        d.register_service(service(), custom, SimTime::ZERO);
+        d.take_actions();
+        d.on_datagram(
+            RD,
+            &payload(MgmtMsg::SetRole {
+                service: service(),
+                index: 1,
+                predecessor: Some(IpAddr::new(10, 0, 9, 9)),
+                has_successor: true,
+            }),
+            SimTime::ZERO,
+        );
+        let actions = d.take_actions();
+        let opt = actions
+            .iter()
+            .find_map(|a| match a {
+                DaemonAction::ApplyPortOpt { port, config } => Some((*port, config.clone())),
+                _ => None,
+            })
+            .expect("portopt applied");
+        assert_eq!(opt.0, 80);
+        assert_eq!(opt.1.mode, ReplicaMode::Backup { index: 1 });
+        assert_eq!(opt.1.predecessor, Some(IpAddr::new(10, 0, 9, 9)));
+        assert!(opt.1.has_successor);
+        assert_eq!(opt.1.detector, custom, "detector params from setportopt");
+    }
+
+    #[test]
+    fn failure_report_is_reliable() {
+        let mut d = HostDaemon::new(HOST, RD);
+        d.report_failure(service(), 9, SimTime::ZERO);
+        assert_eq!(d.reports_sent(), 1);
+        d.take_actions();
+        // Unacked: poll retransmits.
+        d.poll(SimTime::from_secs(1));
+        let actions = d.take_actions();
+        assert!(
+            actions.iter().any(|a| matches!(a, DaemonAction::Send(dst, _) if *dst == RD)),
+            "no retransmission: {actions:?}"
+        );
+        assert!(d.next_deadline().is_some());
+    }
+
+    #[test]
+    fn deregister_sends_message() {
+        let mut d = HostDaemon::new(HOST, RD);
+        d.register_service(service(), DetectorParams::DEFAULT, SimTime::ZERO);
+        d.take_actions();
+        d.deregister_service(service(), SimTime::from_secs(1));
+        let actions = d.take_actions();
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            DaemonAction::Send(_, bytes)
+                if matches!(Envelope::decode(bytes),
+                    Ok(Envelope::Payload { msg: MgmtMsg::Deregister { .. }, .. }))
+        )));
+    }
+}

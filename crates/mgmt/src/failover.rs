@@ -1,0 +1,548 @@
+//! The redirector-side replica manager: registration, failure
+//! identification by probing, and chain reconfiguration (§4.4).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hydranet_netsim::packet::IpAddr;
+use hydranet_netsim::time::{SimDuration, SimTime};
+use hydranet_tcp::segment::SockAddr;
+
+use crate::chain::{assignments, changed_assignments};
+use crate::proto::MgmtMsg;
+use crate::reliable::ReliableEndpoint;
+
+/// Actions the controller asks its host (the redirector node) to perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControllerAction {
+    /// Transmit a management datagram.
+    Send(IpAddr, Vec<u8>),
+    /// Install/replace the redirector-table chain for `service`
+    /// (`chain[0]` is the primary). An empty chain removes the entry.
+    UpdateTable {
+        /// The service access point.
+        service: SockAddr,
+        /// The new chain, primary first.
+        chain: Vec<IpAddr>,
+    },
+}
+
+/// Tuning for failure identification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeParams {
+    /// How long to wait for a `ProbeAck`.
+    pub timeout: SimDuration,
+    /// Probe rounds before a silent replica is declared failed.
+    pub attempts: u32,
+}
+
+impl Default for ProbeParams {
+    fn default() -> Self {
+        ProbeParams {
+            timeout: SimDuration::from_millis(300),
+            attempts: 2,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ProbeRound {
+    nonce: u64,
+    deadline: SimTime,
+    awaiting: BTreeSet<IpAddr>,
+    attempt: u32,
+}
+
+#[derive(Debug, Default)]
+struct ServiceState {
+    chain: Vec<IpAddr>,
+    probing: Option<ProbeRound>,
+}
+
+/// The replica management controller embedded in a redirector.
+#[derive(Debug)]
+pub struct ReplicaController {
+    addr: IpAddr,
+    endpoint: ReliableEndpoint,
+    // Deterministic iteration: probe scheduling order is part of the
+    // event schedule.
+    services: BTreeMap<SockAddr, ServiceState>,
+    probe_params: ProbeParams,
+    next_nonce: u64,
+    actions: Vec<ControllerAction>,
+    reconfigurations: u64,
+}
+
+impl ReplicaController {
+    /// Creates a controller for the redirector at `addr`.
+    pub fn new(addr: IpAddr, probe_params: ProbeParams) -> Self {
+        ReplicaController {
+            addr,
+            endpoint: ReliableEndpoint::new(),
+            services: BTreeMap::new(),
+            probe_params,
+            next_nonce: 1,
+            actions: Vec::new(),
+            reconfigurations: 0,
+        }
+    }
+
+    /// The redirector address this controller runs at.
+    pub fn addr(&self) -> IpAddr {
+        self.addr
+    }
+
+    /// The current chain of `service` (primary first).
+    pub fn chain(&self, service: SockAddr) -> Option<&[IpAddr]> {
+        self.services.get(&service).map(|s| s.chain.as_slice())
+    }
+
+    /// Completed reconfigurations (diagnostics).
+    pub fn reconfigurations(&self) -> u64 {
+        self.reconfigurations
+    }
+
+    /// Drains queued actions for the host node to execute.
+    pub fn take_actions(&mut self) -> Vec<ControllerAction> {
+        std::mem::take(&mut self.actions)
+    }
+
+    /// The earliest deadline (probe or retransmission).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        let probe = self
+            .services
+            .values()
+            .filter_map(|s| s.probing.as_ref().map(|p| p.deadline))
+            .min();
+        [probe, self.endpoint.next_deadline()]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Handles an incoming management datagram from `src`.
+    pub fn on_datagram(&mut self, src: IpAddr, bytes: &[u8], now: SimTime) {
+        let (msg, acks) = self.endpoint.on_datagram(src, bytes, now);
+        for (dst, bytes) in acks {
+            self.actions.push(ControllerAction::Send(dst, bytes));
+        }
+        let Some(msg) = msg else {
+            return;
+        };
+        match msg {
+            MgmtMsg::RegisterReplica { service, host } => self.register(service, host, now),
+            MgmtMsg::Deregister { service, host } => self.remove_hosts(service, &[host], now),
+            MgmtMsg::FailureReport { service, .. } => self.start_probe_round(service, now),
+            MgmtMsg::ProbeAck { nonce } => self.on_probe_ack(src, nonce),
+            // Probe/SetRole are sent by controllers, not received.
+            MgmtMsg::Probe { .. } | MgmtMsg::SetRole { .. } => {}
+        }
+    }
+
+    /// Advances timers: reliable retransmissions and probe deadlines.
+    pub fn poll(&mut self, now: SimTime) {
+        for out in self.endpoint.poll(now) {
+            self.actions.push(ControllerAction::Send(out.0, out.1));
+        }
+        let expired: Vec<SockAddr> = self
+            .services
+            .iter()
+            .filter(|(_, s)| s.probing.as_ref().is_some_and(|p| now >= p.deadline))
+            .map(|(&sap, _)| sap)
+            .collect();
+        for service in expired {
+            self.probe_deadline(service, now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    /// "Creation of primary server / creation of backup servers" (§4.4):
+    /// first registrant becomes primary, later ones append as backups.
+    fn register(&mut self, service: SockAddr, host: IpAddr, now: SimTime) {
+        let state = self.services.entry(service).or_default();
+        if state.chain.contains(&host) {
+            // Idempotent re-registration: re-announce the host's role.
+            let chain = state.chain.clone();
+            self.push_roles_for(service, &chain, Some(host), now);
+            return;
+        }
+        let old = state.chain.clone();
+        state.chain.push(host);
+        let new = state.chain.clone();
+        self.push_table_update(service, &new);
+        // Tell every host whose assignment changed (the new tail, and the
+        // previous tail which now has a successor).
+        let changed = changed_assignments(&old, &new);
+        for a in changed {
+            let msg = a.to_msg(service);
+            let out = self.endpoint.send_reliable(a.host, msg, now);
+            self.actions.push(ControllerAction::Send(out.0, out.1));
+        }
+    }
+
+    fn remove_hosts(&mut self, service: SockAddr, hosts: &[IpAddr], now: SimTime) {
+        let Some(state) = self.services.get_mut(&service) else {
+            return;
+        };
+        let old = state.chain.clone();
+        state.chain.retain(|h| !hosts.contains(h));
+        let new = state.chain.clone();
+        if old == new {
+            return;
+        }
+        self.reconfigurations += 1;
+        self.push_table_update(service, &new);
+        for a in changed_assignments(&old, &new) {
+            let msg = a.to_msg(service);
+            let out = self.endpoint.send_reliable(a.host, msg, now);
+            self.actions.push(ControllerAction::Send(out.0, out.1));
+        }
+    }
+
+    /// "Reconfiguration after a failure detection: … the failed server
+    /// needs to be identified" (§4.4): probe every chain member; whoever
+    /// stays silent is declared failed.
+    fn start_probe_round(&mut self, service: SockAddr, now: SimTime) {
+        let Some(state) = self.services.get_mut(&service) else {
+            return;
+        };
+        if state.probing.is_some() || state.chain.is_empty() {
+            return; // a round is already under way
+        }
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        let awaiting: BTreeSet<IpAddr> = state.chain.iter().copied().collect();
+        state.probing = Some(ProbeRound {
+            nonce,
+            deadline: now + self.probe_params.timeout,
+            awaiting: awaiting.clone(),
+            attempt: 1,
+        });
+        for host in awaiting {
+            let out = self.endpoint.send_unreliable(host, MgmtMsg::Probe { nonce });
+            self.actions.push(ControllerAction::Send(out.0, out.1));
+        }
+    }
+
+    fn on_probe_ack(&mut self, src: IpAddr, nonce: u64) {
+        for state in self.services.values_mut() {
+            if let Some(round) = state.probing.as_mut() {
+                if round.nonce == nonce {
+                    round.awaiting.remove(&src);
+                }
+            }
+        }
+    }
+
+    fn probe_deadline(&mut self, service: SockAddr, now: SimTime) {
+        let Some(state) = self.services.get_mut(&service) else {
+            return;
+        };
+        let Some(round) = state.probing.take() else {
+            return;
+        };
+        if round.awaiting.is_empty() {
+            // Everyone answered: a false alarm (e.g. transient congestion
+            // that cleared). Leave the chain as is.
+            return;
+        }
+        if round.attempt < self.probe_params.attempts {
+            let nonce = round.nonce;
+            let awaiting = round.awaiting.clone();
+            state.probing = Some(ProbeRound {
+                nonce,
+                deadline: now + self.probe_params.timeout,
+                awaiting: awaiting.clone(),
+                attempt: round.attempt + 1,
+            });
+            for host in awaiting {
+                let out = self.endpoint.send_unreliable(host, MgmtMsg::Probe { nonce });
+                self.actions.push(ControllerAction::Send(out.0, out.1));
+            }
+            return;
+        }
+        // Silent replicas are failed: shut them out of the chain.
+        let failed: Vec<IpAddr> = round.awaiting.into_iter().collect();
+        self.remove_hosts(service, &failed, now);
+    }
+
+    fn push_table_update(&mut self, service: SockAddr, chain: &[IpAddr]) {
+        self.actions.push(ControllerAction::UpdateTable {
+            service,
+            chain: chain.to_vec(),
+        });
+    }
+
+    fn push_roles_for(
+        &mut self,
+        service: SockAddr,
+        chain: &[IpAddr],
+        only: Option<IpAddr>,
+        now: SimTime,
+    ) {
+        for a in assignments(chain) {
+            if only.is_some_and(|h| h != a.host) {
+                continue;
+            }
+            let msg = a.to_msg(service);
+            let out = self.endpoint.send_reliable(a.host, msg, now);
+            self.actions.push(ControllerAction::Send(out.0, out.1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Envelope;
+
+    const RD: IpAddr = IpAddr::new(10, 9, 0, 1);
+
+    fn h(n: u8) -> IpAddr {
+        IpAddr::new(10, 0, n, 1)
+    }
+
+    fn service() -> SockAddr {
+        SockAddr::new(IpAddr::new(192, 20, 225, 20), 80)
+    }
+
+    fn reg_with_id(host: IpAddr, id: u64) -> Vec<u8> {
+        Envelope::Payload {
+            id,
+            needs_ack: false,
+            msg: MgmtMsg::RegisterReplica {
+                service: service(),
+                host,
+            },
+        }
+        .encode()
+    }
+
+    fn reg(host: IpAddr) -> Vec<u8> {
+        reg_with_id(host, host.to_bits() as u64)
+    }
+
+    fn decode_send(action: &ControllerAction) -> Option<(IpAddr, MgmtMsg)> {
+        if let ControllerAction::Send(dst, bytes) = action {
+            if let Ok(Envelope::Payload { msg, .. }) = Envelope::decode(bytes) {
+                return Some((*dst, msg));
+            }
+        }
+        None
+    }
+
+    fn table_updates(actions: &[ControllerAction]) -> Vec<Vec<IpAddr>> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                ControllerAction::UpdateTable { chain, .. } => Some(chain.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn registration_builds_chain_in_order() {
+        let mut c = ReplicaController::new(RD, ProbeParams::default());
+        c.on_datagram(h(1), &reg(h(1)), SimTime::ZERO);
+        c.on_datagram(h(2), &reg(h(2)), SimTime::ZERO);
+        c.on_datagram(h(3), &reg(h(3)), SimTime::ZERO);
+        assert_eq!(c.chain(service()).unwrap(), &[h(1), h(2), h(3)]);
+        let actions = c.take_actions();
+        let updates = table_updates(&actions);
+        assert_eq!(updates.last().unwrap(), &vec![h(1), h(2), h(3)]);
+        // SetRole messages went out to affected hosts.
+        let roles: Vec<_> = actions
+            .iter()
+            .filter_map(decode_send)
+            .filter(|(_, m)| matches!(m, MgmtMsg::SetRole { .. }))
+            .collect();
+        assert!(roles.iter().any(|(dst, _)| *dst == h(1)));
+        assert!(roles.iter().any(|(dst, _)| *dst == h(3)));
+    }
+
+    #[test]
+    fn duplicate_registration_is_idempotent() {
+        let mut c = ReplicaController::new(RD, ProbeParams::default());
+        c.on_datagram(h(1), &reg(h(1)), SimTime::ZERO);
+        c.take_actions();
+        // A daemon re-registering uses a fresh envelope id (an identical id
+        // would be suppressed by the reliable layer's duplicate filter).
+        c.on_datagram(h(1), &reg_with_id(h(1), 777), SimTime::from_millis(1));
+        assert_eq!(c.chain(service()).unwrap(), &[h(1)]);
+        // Re-registration re-announces the role but does not duplicate the
+        // chain entry.
+        let actions = c.take_actions();
+        assert!(actions.iter().filter_map(decode_send).any(|(dst, m)| {
+            dst == h(1) && matches!(m, MgmtMsg::SetRole { index: 0, .. })
+        }));
+    }
+
+    #[test]
+    fn failure_report_probes_then_removes_silent_hosts() {
+        let params = ProbeParams {
+            timeout: SimDuration::from_millis(100),
+            attempts: 2,
+        };
+        let mut c = ReplicaController::new(RD, params);
+        c.on_datagram(h(1), &reg(h(1)), SimTime::ZERO);
+        c.on_datagram(h(2), &reg(h(2)), SimTime::ZERO);
+        c.take_actions();
+
+        // h2 reports the primary broken.
+        let report = Envelope::Payload {
+            id: 99,
+            needs_ack: false,
+            msg: MgmtMsg::FailureReport {
+                service: service(),
+                reporter: h(2),
+                observed: 6,
+            },
+        }
+        .encode();
+        c.on_datagram(h(2), &report, SimTime::from_secs(1));
+        let actions = c.take_actions();
+        let probes: Vec<_> = actions
+            .iter()
+            .filter_map(decode_send)
+            .filter(|(_, m)| matches!(m, MgmtMsg::Probe { .. }))
+            .collect();
+        assert_eq!(probes.len(), 2, "both chain members probed");
+        let nonce = match probes[0].1 {
+            MgmtMsg::Probe { nonce } => nonce,
+            _ => unreachable!(),
+        };
+
+        // Only h2 answers.
+        let ack = Envelope::Payload {
+            id: 1,
+            needs_ack: false,
+            msg: MgmtMsg::ProbeAck { nonce },
+        }
+        .encode();
+        c.on_datagram(h(2), &ack, SimTime::from_millis(1050));
+
+        // First deadline: h1 still silent → second round.
+        c.poll(SimTime::from_millis(1100));
+        let actions = c.take_actions();
+        let second_probes = actions
+            .iter()
+            .filter_map(decode_send)
+            .filter(|(dst, m)| *dst == h(1) && matches!(m, MgmtMsg::Probe { .. }))
+            .count();
+        assert_eq!(second_probes, 1, "only the silent host is re-probed");
+
+        // Second deadline: h1 declared failed, h2 promoted.
+        c.poll(SimTime::from_millis(1200));
+        assert_eq!(c.chain(service()).unwrap(), &[h(2)]);
+        assert_eq!(c.reconfigurations(), 1);
+        let actions = c.take_actions();
+        let updates = table_updates(&actions);
+        assert_eq!(updates.last().unwrap(), &vec![h(2)]);
+        assert!(actions.iter().filter_map(decode_send).any(|(dst, m)| {
+            dst == h(2)
+                && matches!(
+                    m,
+                    MgmtMsg::SetRole {
+                        index: 0,
+                        predecessor: None,
+                        has_successor: false,
+                        ..
+                    }
+                )
+        }));
+    }
+
+    #[test]
+    fn false_alarm_keeps_chain() {
+        let params = ProbeParams {
+            timeout: SimDuration::from_millis(100),
+            attempts: 1,
+        };
+        let mut c = ReplicaController::new(RD, params);
+        c.on_datagram(h(1), &reg(h(1)), SimTime::ZERO);
+        c.on_datagram(h(2), &reg(h(2)), SimTime::ZERO);
+        c.take_actions();
+        let report = Envelope::Payload {
+            id: 99,
+            needs_ack: false,
+            msg: MgmtMsg::FailureReport {
+                service: service(),
+                reporter: h(2),
+                observed: 5,
+            },
+        }
+        .encode();
+        c.on_datagram(h(2), &report, SimTime::from_secs(1));
+        let actions = c.take_actions();
+        let probes: Vec<_> = actions.iter().filter_map(decode_send).collect();
+        let nonce = probes
+            .iter()
+            .find_map(|(_, m)| match m {
+                MgmtMsg::Probe { nonce } => Some(*nonce),
+                _ => None,
+            })
+            .unwrap();
+        for host in [h(1), h(2)] {
+            let ack = Envelope::Payload {
+                id: 1,
+                needs_ack: false,
+                msg: MgmtMsg::ProbeAck { nonce },
+            }
+            .encode();
+            c.on_datagram(host, &ack, SimTime::from_millis(1020));
+        }
+        c.poll(SimTime::from_millis(1150));
+        assert_eq!(c.chain(service()).unwrap(), &[h(1), h(2)]);
+        assert_eq!(c.reconfigurations(), 0);
+    }
+
+    #[test]
+    fn voluntary_deregistration_promotes_next() {
+        // "If the server is a primary, the redirector designates the backup
+        // immediately following the primary … as the new primary" (§4.4).
+        let mut c = ReplicaController::new(RD, ProbeParams::default());
+        c.on_datagram(h(1), &reg(h(1)), SimTime::ZERO);
+        c.on_datagram(h(2), &reg(h(2)), SimTime::ZERO);
+        c.take_actions();
+        let dereg = Envelope::Payload {
+            id: 50,
+            needs_ack: false,
+            msg: MgmtMsg::Deregister {
+                service: service(),
+                host: h(1),
+            },
+        }
+        .encode();
+        c.on_datagram(h(1), &dereg, SimTime::from_secs(2));
+        assert_eq!(c.chain(service()).unwrap(), &[h(2)]);
+    }
+
+    #[test]
+    fn concurrent_failure_report_does_not_double_probe() {
+        let mut c = ReplicaController::new(RD, ProbeParams::default());
+        c.on_datagram(h(1), &reg(h(1)), SimTime::ZERO);
+        c.on_datagram(h(2), &reg(h(2)), SimTime::ZERO);
+        c.take_actions();
+        for id in [1u64, 2] {
+            let report = Envelope::Payload {
+                id,
+                needs_ack: false,
+                msg: MgmtMsg::FailureReport {
+                    service: service(),
+                    reporter: h(2),
+                    observed: 5,
+                },
+            }
+            .encode();
+            c.on_datagram(h(2), &report, SimTime::from_secs(1));
+        }
+        let probes = c
+            .take_actions()
+            .iter()
+            .filter_map(decode_send)
+            .filter(|(_, m)| matches!(m, MgmtMsg::Probe { .. }))
+            .count();
+        assert_eq!(probes, 2, "one round of two probes, not two rounds");
+    }
+}

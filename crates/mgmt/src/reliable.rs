@@ -1,0 +1,299 @@
+//! "A form of reliable UDP" (§4.4): acknowledged, retransmitted,
+//! duplicate-suppressed message exchange for the management daemons.
+
+use std::collections::HashMap;
+
+use hydranet_netsim::packet::IpAddr;
+use hydranet_netsim::time::{SimDuration, SimTime};
+
+use crate::proto::{Envelope, MgmtMsg};
+
+/// A datagram to hand to the transport: destination host and payload.
+pub type Outgoing = (IpAddr, Vec<u8>);
+
+/// Reliable-UDP endpoint state for one daemon.
+#[derive(Debug)]
+pub struct ReliableEndpoint {
+    next_id: u64,
+    retry_interval: SimDuration,
+    max_attempts: u32,
+    pending: Vec<Pending>,
+    /// Recently seen `(peer, id)` pairs for duplicate suppression.
+    seen: HashMap<(IpAddr, u64), SimTime>,
+    seen_ttl: SimDuration,
+    /// Reliable sends abandoned after `max_attempts` (diagnostics).
+    abandoned: u64,
+}
+
+#[derive(Debug)]
+struct Pending {
+    id: u64,
+    dst: IpAddr,
+    bytes: Vec<u8>,
+    next_retry: SimTime,
+    attempts: u32,
+}
+
+/// Default retransmission interval.
+pub const DEFAULT_RETRY_INTERVAL: SimDuration = SimDuration::from_millis(250);
+
+/// Default number of transmissions before a reliable send is abandoned.
+pub const DEFAULT_MAX_ATTEMPTS: u32 = 8;
+
+impl ReliableEndpoint {
+    /// Creates an endpoint with default retry parameters.
+    pub fn new() -> Self {
+        Self::with_params(DEFAULT_RETRY_INTERVAL, DEFAULT_MAX_ATTEMPTS)
+    }
+
+    /// Sets the first message id this endpoint will use. A process that
+    /// restarts must pick a fresh id space (e.g. derived from the restart
+    /// time), or its peers' duplicate filters will swallow its messages.
+    pub fn with_id_base(mut self, base: u64) -> Self {
+        self.next_id = base.max(1);
+        self
+    }
+
+    /// Creates an endpoint with the given retry interval and attempt limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    pub fn with_params(retry_interval: SimDuration, max_attempts: u32) -> Self {
+        assert!(max_attempts > 0, "max_attempts must be positive");
+        ReliableEndpoint {
+            next_id: 1,
+            retry_interval,
+            max_attempts,
+            pending: Vec::new(),
+            seen: HashMap::new(),
+            seen_ttl: SimDuration::from_secs(120),
+            abandoned: 0,
+        }
+    }
+
+    /// Sends `msg` reliably to `dst`: it is retransmitted until acked.
+    /// Returns the datagram to transmit now.
+    pub fn send_reliable(&mut self, dst: IpAddr, msg: MgmtMsg, now: SimTime) -> Outgoing {
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes = Envelope::Payload {
+            id,
+            needs_ack: true,
+            msg,
+        }
+        .encode();
+        self.pending.push(Pending {
+            id,
+            dst,
+            bytes: bytes.clone(),
+            next_retry: now + self.retry_interval,
+            attempts: 1,
+        });
+        (dst, bytes)
+    }
+
+    /// Sends `msg` best-effort (idempotent operations).
+    pub fn send_unreliable(&mut self, dst: IpAddr, msg: MgmtMsg) -> Outgoing {
+        let id = self.next_id;
+        self.next_id += 1;
+        let bytes = Envelope::Payload {
+            id,
+            needs_ack: false,
+            msg,
+        }
+        .encode();
+        (dst, bytes)
+    }
+
+    /// Handles an incoming datagram from `src`.
+    ///
+    /// Returns the decoded message if it is a *new* payload (duplicates and
+    /// acks return `None`), plus any ack datagrams to transmit.
+    pub fn on_datagram(
+        &mut self,
+        src: IpAddr,
+        bytes: &[u8],
+        now: SimTime,
+    ) -> (Option<MgmtMsg>, Vec<Outgoing>) {
+        self.gc_seen(now);
+        let Ok(env) = Envelope::decode(bytes) else {
+            return (None, Vec::new());
+        };
+        match env {
+            Envelope::Ack { of } => {
+                self.pending.retain(|p| !(p.id == of && p.dst == src));
+                (None, Vec::new())
+            }
+            Envelope::Payload { id, needs_ack, msg } => {
+                let mut out = Vec::new();
+                if needs_ack {
+                    out.push((src, Envelope::Ack { of: id }.encode()));
+                }
+                let fresh = self.seen.insert((src, id), now).is_none();
+                (fresh.then_some(msg), out)
+            }
+        }
+    }
+
+    /// Retransmits overdue reliable messages; drops those out of attempts.
+    pub fn poll(&mut self, now: SimTime) -> Vec<Outgoing> {
+        let mut out = Vec::new();
+        let retry_interval = self.retry_interval;
+        let max_attempts = self.max_attempts;
+        let mut abandoned = 0;
+        self.pending.retain_mut(|p| {
+            if now < p.next_retry {
+                return true;
+            }
+            if p.attempts >= max_attempts {
+                abandoned += 1;
+                return false;
+            }
+            p.attempts += 1;
+            p.next_retry = now + retry_interval;
+            out.push((p.dst, p.bytes.clone()));
+            true
+        });
+        self.abandoned += abandoned;
+        out
+    }
+
+    /// The earliest pending retransmission deadline.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.pending.iter().map(|p| p.next_retry).min()
+    }
+
+    /// Reliable messages still awaiting acknowledgement.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Reliable sends dropped after exhausting attempts.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+
+    fn gc_seen(&mut self, now: SimTime) {
+        if self.seen.len() > 1024 {
+            let ttl = self.seen_ttl;
+            self.seen.retain(|_, &mut t| now.duration_since(t) <= ttl);
+        }
+    }
+}
+
+impl Default for ReliableEndpoint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PEER: IpAddr = IpAddr::new(10, 0, 0, 2);
+
+    fn probe(nonce: u64) -> MgmtMsg {
+        MgmtMsg::Probe { nonce }
+    }
+
+    #[test]
+    fn reliable_send_retransmits_until_acked() {
+        let mut ep = ReliableEndpoint::with_params(SimDuration::from_millis(100), 5);
+        let (dst, bytes) = ep.send_reliable(PEER, probe(1), SimTime::ZERO);
+        assert_eq!(dst, PEER);
+        assert_eq!(ep.pending_count(), 1);
+        // Not due yet.
+        assert!(ep.poll(SimTime::from_millis(50)).is_empty());
+        // Due: retransmit.
+        let retx = ep.poll(SimTime::from_millis(100));
+        assert_eq!(retx.len(), 1);
+        assert_eq!(retx[0].1, bytes);
+        // The peer acks.
+        let env = Envelope::decode(&bytes).unwrap();
+        let Envelope::Payload { id, .. } = env else { panic!() };
+        let ack = Envelope::Ack { of: id }.encode();
+        ep.on_datagram(PEER, &ack, SimTime::from_millis(150));
+        assert_eq!(ep.pending_count(), 0);
+        assert!(ep.poll(SimTime::from_secs(10)).is_empty());
+    }
+
+    #[test]
+    fn abandons_after_max_attempts() {
+        let mut ep = ReliableEndpoint::with_params(SimDuration::from_millis(10), 3);
+        ep.send_reliable(PEER, probe(2), SimTime::ZERO);
+        let mut total = 1;
+        for i in 1..10 {
+            total += ep.poll(SimTime::from_millis(i * 10)).len();
+        }
+        assert_eq!(total, 3);
+        assert_eq!(ep.pending_count(), 0);
+        assert_eq!(ep.abandoned(), 1);
+    }
+
+    #[test]
+    fn receiver_acks_and_dedups() {
+        let mut sender = ReliableEndpoint::new();
+        let mut receiver = ReliableEndpoint::new();
+        let (_, bytes) = sender.send_reliable(PEER, probe(3), SimTime::ZERO);
+        let me = IpAddr::new(10, 0, 0, 1);
+        // First delivery: fresh message + an ack.
+        let (msg, acks) = receiver.on_datagram(me, &bytes, SimTime::from_millis(1));
+        assert_eq!(msg, Some(probe(3)));
+        assert_eq!(acks.len(), 1);
+        // Duplicate delivery (sender retransmitted): suppressed but re-acked.
+        let (msg2, acks2) = receiver.on_datagram(me, &bytes, SimTime::from_millis(2));
+        assert_eq!(msg2, None);
+        assert_eq!(acks2.len(), 1);
+        // The ack clears the sender's pending entry (it arrives *from*
+        // the peer the original message was sent to).
+        sender.on_datagram(PEER, &acks[0].1, SimTime::from_millis(3));
+        assert_eq!(sender.pending_count(), 0);
+    }
+
+    #[test]
+    fn unreliable_send_has_no_pending() {
+        let mut ep = ReliableEndpoint::new();
+        let (_, bytes) = ep.send_unreliable(PEER, probe(4));
+        assert_eq!(ep.pending_count(), 0);
+        let mut rx = ReliableEndpoint::new();
+        let (msg, acks) = rx.on_datagram(PEER, &bytes, SimTime::ZERO);
+        assert_eq!(msg, Some(probe(4)));
+        assert!(acks.is_empty());
+    }
+
+    #[test]
+    fn next_deadline_tracks_earliest() {
+        let mut ep = ReliableEndpoint::with_params(SimDuration::from_millis(100), 3);
+        assert!(ep.next_deadline().is_none());
+        ep.send_reliable(PEER, probe(5), SimTime::ZERO);
+        ep.send_reliable(PEER, probe(6), SimTime::from_millis(40));
+        assert_eq!(ep.next_deadline(), Some(SimTime::from_millis(100)));
+    }
+
+    #[test]
+    fn garbage_input_ignored() {
+        let mut ep = ReliableEndpoint::new();
+        let (msg, acks) = ep.on_datagram(PEER, &[1, 2, 3], SimTime::ZERO);
+        assert!(msg.is_none());
+        assert!(acks.is_empty());
+    }
+
+    #[test]
+    fn per_peer_id_spaces_do_not_collide() {
+        let mut rx = ReliableEndpoint::new();
+        let a = IpAddr::new(10, 0, 0, 1);
+        let b = IpAddr::new(10, 0, 0, 2);
+        // Two different peers both use id 1.
+        let bytes = Envelope::Payload {
+            id: 1,
+            needs_ack: false,
+            msg: probe(7),
+        }
+        .encode();
+        assert!(rx.on_datagram(a, &bytes, SimTime::ZERO).0.is_some());
+        assert!(rx.on_datagram(b, &bytes, SimTime::ZERO).0.is_some());
+        assert!(rx.on_datagram(a, &bytes, SimTime::ZERO).0.is_none());
+    }
+}

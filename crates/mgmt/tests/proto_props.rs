@@ -1,0 +1,100 @@
+//! Property tests for the management protocol's wire format and the chain
+//! role computation.
+
+use hydranet_mgmt::chain::assignments;
+use hydranet_mgmt::proto::{Envelope, MgmtMsg};
+use hydranet_netsim::packet::IpAddr;
+use hydranet_tcp::segment::SockAddr;
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = IpAddr> {
+    any::<u32>().prop_map(IpAddr::from_bits)
+}
+
+fn arb_sockaddr() -> impl Strategy<Value = SockAddr> {
+    (arb_addr(), any::<u16>()).prop_map(|(a, p)| SockAddr::new(a, p))
+}
+
+fn arb_msg() -> impl Strategy<Value = MgmtMsg> {
+    prop_oneof![
+        (arb_sockaddr(), arb_addr())
+            .prop_map(|(service, host)| MgmtMsg::RegisterReplica { service, host }),
+        (arb_sockaddr(), arb_addr()).prop_map(|(service, host)| MgmtMsg::Deregister {
+            service,
+            host
+        }),
+        (arb_sockaddr(), arb_addr(), any::<u64>()).prop_map(|(service, reporter, observed)| {
+            MgmtMsg::FailureReport {
+                service,
+                reporter,
+                observed,
+            }
+        }),
+        (
+            arb_sockaddr(),
+            any::<u32>(),
+            proptest::option::of(arb_addr()),
+            any::<bool>()
+        )
+            .prop_map(|(service, index, predecessor, has_successor)| MgmtMsg::SetRole {
+                service,
+                index,
+                predecessor,
+                has_successor,
+            }),
+        any::<u64>().prop_map(|nonce| MgmtMsg::Probe { nonce }),
+        any::<u64>().prop_map(|nonce| MgmtMsg::ProbeAck { nonce }),
+    ]
+}
+
+proptest! {
+    /// Every message round-trips through the envelope wire format.
+    #[test]
+    fn envelope_roundtrip(id: u64, needs_ack: bool, msg in arb_msg()) {
+        let env = Envelope::Payload { id, needs_ack, msg };
+        prop_assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+    }
+
+    /// Acks round-trip too.
+    #[test]
+    fn ack_roundtrip(of: u64) {
+        let env = Envelope::Ack { of };
+        prop_assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+    }
+
+    /// Decoding arbitrary bytes never panics.
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Envelope::decode(&bytes);
+    }
+
+    /// Truncating a valid envelope anywhere yields an error, not garbage.
+    #[test]
+    fn truncation_is_detected(id: u64, msg in arb_msg(), cut in 1usize..20) {
+        let bytes = Envelope::Payload { id, needs_ack: true, msg }.encode();
+        if cut < bytes.len() {
+            let truncated = &bytes[..bytes.len() - cut];
+            prop_assert!(Envelope::decode(truncated).is_err());
+        }
+    }
+
+    /// Chain role computation invariants, for any chain of distinct hosts:
+    /// indices are sequential, the head is the ungated-predecessor primary,
+    /// exactly the tail lacks a successor, and each predecessor is the
+    /// previous chain member.
+    #[test]
+    fn chain_assignment_invariants(raw in proptest::collection::hash_set(any::<u32>(), 1..8)) {
+        let chain: Vec<IpAddr> = raw.into_iter().map(IpAddr::from_bits).collect();
+        let roles = assignments(&chain);
+        prop_assert_eq!(roles.len(), chain.len());
+        for (i, role) in roles.iter().enumerate() {
+            prop_assert_eq!(role.host, chain[i]);
+            prop_assert_eq!(role.index as usize, i);
+            prop_assert_eq!(role.predecessor, if i == 0 { None } else { Some(chain[i - 1]) });
+            prop_assert_eq!(role.has_successor, i + 1 < chain.len());
+        }
+        // Exactly one primary; exactly one tail.
+        prop_assert_eq!(roles.iter().filter(|r| r.index == 0).count(), 1);
+        prop_assert_eq!(roles.iter().filter(|r| !r.has_successor).count(), 1);
+    }
+}

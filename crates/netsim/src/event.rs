@@ -1,0 +1,168 @@
+//! The simulator's event calendar.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::link::{Direction, LinkId};
+use crate::node::{NodeId, TimerId, TimerToken};
+use crate::packet::IpPacket;
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// Deliver `on_start` to a node.
+    NodeStart(NodeId),
+    /// A packet reaches a node's interface from a link (before CPU cost).
+    PacketArrival {
+        node: NodeId,
+        iface: usize,
+        packet: IpPacket,
+    },
+    /// A packet has finished its CPU processing delay and is handed to the
+    /// node. Carries the node's crash epoch so work queued before a crash
+    /// does not leak into a recovered node.
+    PacketDispatch {
+        node: NodeId,
+        iface: usize,
+        packet: IpPacket,
+        epoch: u64,
+    },
+    /// The transmitter of one link direction is free to send the next
+    /// packet. `epoch` invalidates events scheduled before a link outage.
+    LinkDequeue {
+        link: LinkId,
+        dir: Direction,
+        epoch: u64,
+    },
+    /// A node timer fires.
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        token: TimerToken,
+        epoch: u64,
+    },
+    /// Fail-stop a node.
+    Crash(NodeId),
+    /// Bring a crashed node back.
+    Recover(NodeId),
+    /// Take a link out of service (both directions).
+    LinkDown(LinkId),
+    /// Restore a link to service.
+    LinkUp(LinkId),
+}
+
+#[derive(Debug)]
+pub(crate) struct Event {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. The sequence number breaks ties deterministically in FIFO
+        // order.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap of events ordered by `(time, insertion order)`.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(n: usize) -> EventKind {
+        EventKind::NodeStart(NodeId(n))
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(3), start(3));
+        q.push(SimTime::from_millis(1), start(1));
+        q.push(SimTime::from_millis(2), start(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.as_nanos()).collect();
+        assert_eq!(order, vec![1_000_000, 2_000_000, 3_000_000]);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(SimTime::from_secs(1), start(i));
+        }
+        let mut last_seq = None;
+        while let Some(e) = q.pop() {
+            if let Some(prev) = last_seq {
+                assert!(e.seq > prev, "FIFO violated");
+            }
+            last_seq = Some(e.seq);
+        }
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        assert!(q.is_empty());
+        q.push(SimTime::from_micros(7), start(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

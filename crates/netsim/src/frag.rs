@@ -1,0 +1,435 @@
+//! IP fragmentation and reassembly.
+//!
+//! Links have an MTU; a packet whose on-wire size exceeds the egress MTU is
+//! split into fragments (unless its *don't fragment* flag is set, in which
+//! case it is dropped, as a router would). The receiving host reassembles
+//! fragments keyed by `(src, dst, protocol, id)`.
+//!
+//! The paper's Figure 4 notes that throughput drops again for writes larger
+//! than the MTU "due to the fragmentation of packets"; this module is what
+//! produces that effect in the reproduction.
+
+use std::collections::HashMap;
+
+use crate::packet::{FragInfo, IpAddr, IpPacket, IP_HEADER_LEN};
+use crate::time::{SimDuration, SimTime};
+
+/// Fragments align on 8-byte boundaries, as in real IP.
+const FRAG_ALIGN: usize = 8;
+
+/// Splits `packet` into fragments that each fit within `mtu` bytes on the
+/// wire (header included).
+///
+/// Returns the original packet unchanged (as a single-element vector) when it
+/// already fits. Fragment payload sizes are multiples of 8 bytes except for
+/// the final fragment, mirroring real IP.
+///
+/// # Errors
+///
+/// Returns [`FragError::DontFragment`] if the packet is oversized but has the
+/// *don't fragment* flag set, and [`FragError::MtuTooSmall`] if `mtu` cannot
+/// carry even one aligned payload unit.
+///
+/// # Examples
+///
+/// ```
+/// use hydranet_netsim::frag::fragment_packet;
+/// use hydranet_netsim::packet::{IpAddr, IpPacket, Protocol};
+///
+/// let p = IpPacket::new(IpAddr::new(1, 1, 1, 1), IpAddr::new(2, 2, 2, 2),
+///                       Protocol::UDP, vec![0u8; 100]);
+/// let frags = fragment_packet(p, 68).unwrap();
+/// assert!(frags.len() > 1);
+/// assert!(frags.iter().all(|f| f.total_len() <= 68));
+/// ```
+pub fn fragment_packet(packet: IpPacket, mtu: usize) -> Result<Vec<IpPacket>, FragError> {
+    if packet.total_len() <= mtu {
+        return Ok(vec![packet]);
+    }
+    if packet.header.frag.dont_fragment {
+        return Err(FragError::DontFragment {
+            size: packet.total_len(),
+            mtu,
+        });
+    }
+    let room = mtu.saturating_sub(IP_HEADER_LEN);
+    let unit = room / FRAG_ALIGN * FRAG_ALIGN;
+    if unit == 0 {
+        return Err(FragError::MtuTooSmall { mtu });
+    }
+
+    let base_offset = packet.header.frag.offset;
+    let trailing_more = packet.header.frag.more_fragments;
+    let payload = packet.payload;
+    let mut fragments = Vec::with_capacity(payload.len() / unit + 1);
+    let mut cursor = 0usize;
+    while cursor < payload.len() {
+        let end = (cursor + unit).min(payload.len());
+        let last = end == payload.len();
+        let mut frag = IpPacket {
+            header: packet.header.clone(),
+            payload: payload[cursor..end].to_vec(),
+        };
+        frag.header.frag = FragInfo {
+            offset: base_offset + cursor as u32,
+            // A middle fragment of an already-fragmented packet keeps MF set.
+            more_fragments: !last || trailing_more,
+            dont_fragment: false,
+        };
+        fragments.push(frag);
+        cursor = end;
+    }
+    Ok(fragments)
+}
+
+/// Error returned by [`fragment_packet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FragError {
+    /// The packet exceeds the MTU but forbids fragmentation.
+    DontFragment {
+        /// The packet's on-wire size.
+        size: usize,
+        /// The egress MTU.
+        mtu: usize,
+    },
+    /// The MTU leaves no room for an aligned payload unit.
+    MtuTooSmall {
+        /// The offending MTU.
+        mtu: usize,
+    },
+}
+
+impl std::fmt::Display for FragError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FragError::DontFragment { size, mtu } => {
+                write!(f, "packet of {size} bytes exceeds MTU {mtu} with DF set")
+            }
+            FragError::MtuTooSmall { mtu } => write!(f, "MTU {mtu} too small to fragment into"),
+        }
+    }
+}
+
+impl std::error::Error for FragError {}
+
+/// Key identifying the datagram a fragment belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DatagramKey {
+    src: IpAddr,
+    dst: IpAddr,
+    protocol: u8,
+    id: u16,
+}
+
+#[derive(Debug)]
+struct PartialDatagram {
+    /// Received `(offset, payload)` runs, kept sorted and non-overlapping.
+    runs: Vec<(u32, Vec<u8>)>,
+    /// Total payload length, known once the final fragment arrives.
+    total_len: Option<u32>,
+    /// Header template from the first fragment seen.
+    template: IpPacket,
+    /// Deadline after which the partial datagram is discarded.
+    expires_at: SimTime,
+}
+
+impl PartialDatagram {
+    fn insert(&mut self, offset: u32, payload: Vec<u8>) {
+        // Drop exact duplicates; keep it simple for partial overlaps by
+        // accepting the first copy of any byte (fragments in this simulator
+        // are never partially overlapping because they come from one source).
+        match self.runs.binary_search_by_key(&offset, |(o, _)| *o) {
+            Ok(_) => {}
+            Err(pos) => self.runs.insert(pos, (offset, payload)),
+        }
+    }
+
+    fn try_assemble(&self) -> Option<Vec<u8>> {
+        let total = self.total_len?;
+        let mut assembled = Vec::with_capacity(total as usize);
+        let mut next = 0u32;
+        for (offset, payload) in &self.runs {
+            if *offset > next {
+                return None; // hole
+            }
+            if *offset < next {
+                // Overlap from a duplicate region; skip already-covered bytes.
+                let skip = (next - offset) as usize;
+                if skip >= payload.len() {
+                    continue;
+                }
+                assembled.extend_from_slice(&payload[skip..]);
+                next += (payload.len() - skip) as u32;
+            } else {
+                assembled.extend_from_slice(payload);
+                next += payload.len() as u32;
+            }
+        }
+        (next >= total).then(|| {
+            assembled.truncate(total as usize);
+            assembled
+        })
+    }
+}
+
+/// Reassembles fragments back into whole packets at a receiving host.
+///
+/// # Examples
+///
+/// ```
+/// use hydranet_netsim::frag::{fragment_packet, Reassembler};
+/// use hydranet_netsim::packet::{IpAddr, IpPacket, Protocol};
+/// use hydranet_netsim::time::SimTime;
+///
+/// let mut p = IpPacket::new(IpAddr::new(1, 1, 1, 1), IpAddr::new(2, 2, 2, 2),
+///                           Protocol::UDP, (0..200u8).collect());
+/// p.header.id = 9;
+/// let mut r = Reassembler::new();
+/// let mut whole = None;
+/// for frag in fragment_packet(p.clone(), 88).unwrap() {
+///     whole = r.push(SimTime::ZERO, frag);
+/// }
+/// assert_eq!(whole.unwrap().payload, p.payload);
+/// ```
+#[derive(Debug)]
+pub struct Reassembler {
+    partials: HashMap<DatagramKey, PartialDatagram>,
+    timeout: SimDuration,
+}
+
+/// Default time a partial datagram is retained before being dropped.
+pub const DEFAULT_REASSEMBLY_TIMEOUT: SimDuration = SimDuration::from_secs(30);
+
+impl Reassembler {
+    /// Creates a reassembler with the default 30 s timeout.
+    pub fn new() -> Self {
+        Self::with_timeout(DEFAULT_REASSEMBLY_TIMEOUT)
+    }
+
+    /// Creates a reassembler that discards partial datagrams after `timeout`.
+    pub fn with_timeout(timeout: SimDuration) -> Self {
+        Reassembler {
+            partials: HashMap::new(),
+            timeout,
+        }
+    }
+
+    /// Offers a packet; returns a fully reassembled packet when complete.
+    ///
+    /// Unfragmented packets pass straight through. Stale partial datagrams
+    /// are garbage-collected on every call.
+    pub fn push(&mut self, now: SimTime, packet: IpPacket) -> Option<IpPacket> {
+        self.expire(now);
+        if !packet.header.frag.is_fragment() {
+            return Some(packet);
+        }
+        let key = DatagramKey {
+            src: packet.src(),
+            dst: packet.dst(),
+            protocol: packet.protocol().number(),
+            id: packet.header.id,
+        };
+        let entry = self.partials.entry(key).or_insert_with(|| PartialDatagram {
+            runs: Vec::new(),
+            total_len: None,
+            template: IpPacket {
+                header: packet.header.clone(),
+                payload: Vec::new(),
+            },
+            expires_at: now.saturating_add(self.timeout),
+        });
+        let frag = packet.header.frag;
+        if !frag.more_fragments {
+            entry.total_len = Some(frag.offset + packet.payload.len() as u32);
+        }
+        entry.insert(frag.offset, packet.payload);
+        let assembled = entry.try_assemble()?;
+        let mut whole = self.partials.remove(&key).expect("entry exists").template;
+        whole.header.frag = FragInfo::UNFRAGMENTED;
+        whole.payload = assembled;
+        Some(whole)
+    }
+
+    /// Number of datagrams currently awaiting more fragments.
+    pub fn pending(&self) -> usize {
+        self.partials.len()
+    }
+
+    fn expire(&mut self, now: SimTime) {
+        self.partials.retain(|_, p| p.expires_at > now);
+    }
+}
+
+impl Default for Reassembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Protocol;
+
+    fn packet(len: usize, id: u16) -> IpPacket {
+        let mut p = IpPacket::new(
+            IpAddr::new(10, 0, 0, 1),
+            IpAddr::new(10, 0, 0, 2),
+            Protocol::UDP,
+            (0..len).map(|i| (i % 251) as u8).collect(),
+        );
+        p.header.id = id;
+        p
+    }
+
+    #[test]
+    fn small_packet_passes_through() {
+        let p = packet(40, 1);
+        let frags = fragment_packet(p.clone(), 1500).unwrap();
+        assert_eq!(frags, vec![p]);
+    }
+
+    #[test]
+    fn fragments_respect_mtu_and_alignment() {
+        let p = packet(1000, 2);
+        let frags = fragment_packet(p, 300).unwrap();
+        assert!(frags.len() >= 4);
+        for (i, f) in frags.iter().enumerate() {
+            assert!(f.total_len() <= 300, "fragment {i} oversized");
+            if i + 1 < frags.len() {
+                assert_eq!(f.payload.len() % 8, 0, "non-final fragment unaligned");
+                assert!(f.header.frag.more_fragments);
+            } else {
+                assert!(!f.header.frag.more_fragments);
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_are_contiguous() {
+        let p = packet(500, 3);
+        let frags = fragment_packet(p, 128).unwrap();
+        let mut next = 0u32;
+        for f in &frags {
+            assert_eq!(f.header.frag.offset, next);
+            next += f.payload.len() as u32;
+        }
+        assert_eq!(next, 500);
+    }
+
+    #[test]
+    fn dont_fragment_is_honoured() {
+        let mut p = packet(2000, 4);
+        p.header.frag.dont_fragment = true;
+        assert!(matches!(
+            fragment_packet(p, 1500),
+            Err(FragError::DontFragment { size: 2020, mtu: 1500 })
+        ));
+    }
+
+    #[test]
+    fn tiny_mtu_is_rejected() {
+        let p = packet(100, 5);
+        assert!(matches!(fragment_packet(p, 24), Err(FragError::MtuTooSmall { mtu: 24 })));
+    }
+
+    #[test]
+    fn reassembly_in_order() {
+        let p = packet(700, 6);
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for f in fragment_packet(p.clone(), 200).unwrap() {
+            assert!(out.is_none());
+            out = r.push(SimTime::ZERO, f);
+        }
+        let whole = out.expect("reassembled");
+        assert_eq!(whole.payload, p.payload);
+        assert!(!whole.header.frag.is_fragment());
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn reassembly_out_of_order() {
+        let p = packet(700, 7);
+        let mut frags = fragment_packet(p.clone(), 200).unwrap();
+        frags.reverse();
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for f in frags {
+            out = r.push(SimTime::ZERO, f);
+        }
+        assert_eq!(out.expect("reassembled").payload, p.payload);
+    }
+
+    #[test]
+    fn duplicate_fragments_are_harmless() {
+        let p = packet(300, 8);
+        let frags = fragment_packet(p.clone(), 128).unwrap();
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for f in frags.iter().chain(frags.iter()) {
+            if let Some(w) = r.push(SimTime::ZERO, f.clone()) {
+                out = Some(w);
+            }
+        }
+        assert_eq!(out.expect("reassembled").payload, p.payload);
+    }
+
+    #[test]
+    fn interleaved_datagrams_do_not_mix() {
+        let a = packet(400, 10);
+        let b = packet(400, 11);
+        let fa = fragment_packet(a.clone(), 150).unwrap();
+        let fb = fragment_packet(b.clone(), 150).unwrap();
+        let mut r = Reassembler::new();
+        let mut done = Vec::new();
+        for (x, y) in fa.into_iter().zip(fb) {
+            if let Some(w) = r.push(SimTime::ZERO, x) {
+                done.push(w);
+            }
+            if let Some(w) = r.push(SimTime::ZERO, y) {
+                done.push(w);
+            }
+        }
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().any(|w| w.payload == a.payload));
+        assert!(done.iter().any(|w| w.payload == b.payload));
+    }
+
+    #[test]
+    fn partial_datagrams_expire() {
+        let p = packet(400, 12);
+        let frags = fragment_packet(p, 150).unwrap();
+        let mut r = Reassembler::with_timeout(SimDuration::from_secs(1));
+        // Push all but the last fragment.
+        for f in &frags[..frags.len() - 1] {
+            assert!(r.push(SimTime::ZERO, f.clone()).is_none());
+        }
+        assert_eq!(r.pending(), 1);
+        // After the timeout, the straggler no longer completes the datagram.
+        let late = frags.last().unwrap().clone();
+        assert!(r.push(SimTime::from_secs(2), late).is_none());
+        assert_eq!(r.pending(), 1); // the straggler starts a fresh partial
+    }
+
+    #[test]
+    fn refragmenting_a_fragment_preserves_stream_offsets() {
+        // Fragment at MTU 400, then re-fragment the first piece at MTU 200,
+        // as would happen crossing two successively smaller links.
+        let p = packet(900, 13);
+        let first_pass = fragment_packet(p.clone(), 400).unwrap();
+        let mut wire = Vec::new();
+        for f in first_pass {
+            wire.extend(fragment_packet(f, 200).unwrap());
+        }
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for f in wire {
+            assert!(f.total_len() <= 200);
+            if let Some(w) = r.push(SimTime::ZERO, f) {
+                out = Some(w);
+            }
+        }
+        assert_eq!(out.expect("reassembled").payload, p.payload);
+    }
+}

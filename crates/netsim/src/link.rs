@@ -1,0 +1,383 @@
+//! Point-to-point links: bandwidth, delay, MTU, queues, and loss.
+//!
+//! A link joins two nodes with independent per-direction state: a drop-tail
+//! queue feeding a transmitter that serialises packets at the configured
+//! rate, followed by a fixed propagation delay. A loss model and explicit
+//! up/down state let scenarios model congestion loss and "site disaster"
+//! style outages (the failure classes HydraNet-FT is designed around).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::node::NodeId;
+use crate::packet::IpPacket;
+use crate::rng::SimRng;
+use crate::stats::LinkStats;
+use crate::time::SimDuration;
+
+/// Identifies a link within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub(crate) usize);
+
+impl LinkId {
+    /// Creates a link id from its index in the simulator's link table.
+    /// Indices are assigned sequentially by
+    /// [`TopologyBuilder::connect`](crate::topology::TopologyBuilder::connect).
+    pub const fn from_index(index: usize) -> Self {
+        LinkId(index)
+    }
+
+    /// The link's index in the simulator's link table.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// One of the two directions of a duplex link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// From the link's first endpoint toward its second.
+    AToB,
+    /// From the link's second endpoint toward its first.
+    BToA,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::AToB => Direction::BToA,
+            Direction::BToA => Direction::AToB,
+        }
+    }
+
+    pub(crate) const fn index(self) -> usize {
+        match self {
+            Direction::AToB => 0,
+            Direction::BToA => 1,
+        }
+    }
+}
+
+/// Random-loss model applied per packet as it leaves the transmitter.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub enum LossModel {
+    /// No random loss.
+    #[default]
+    None,
+    /// Each packet is independently lost with probability `p`.
+    Bernoulli {
+        /// Loss probability in `0.0..=1.0`.
+        p: f64,
+    },
+    /// Gilbert–Elliott two-state burst loss: the channel alternates between
+    /// a good state (loss `p_good`) and a bad state (loss `p_bad`), moving
+    /// between them with the given transition probabilities per packet.
+    GilbertElliott {
+        /// Loss probability in the good state.
+        p_good: f64,
+        /// Loss probability in the bad state.
+        p_bad: f64,
+        /// Probability of moving good → bad, evaluated per packet.
+        p_good_to_bad: f64,
+        /// Probability of moving bad → good, evaluated per packet.
+        p_bad_to_good: f64,
+    },
+}
+
+impl LossModel {
+    fn validate(&self) -> Result<(), String> {
+        let check = |name: &str, v: f64| {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{name} out of range: {v}"))
+            }
+        };
+        match self {
+            LossModel::None => Ok(()),
+            LossModel::Bernoulli { p } => check("p", *p),
+            LossModel::GilbertElliott {
+                p_good,
+                p_bad,
+                p_good_to_bad,
+                p_bad_to_good,
+            } => {
+                check("p_good", *p_good)?;
+                check("p_bad", *p_bad)?;
+                check("p_good_to_bad", *p_good_to_bad)?;
+                check("p_bad_to_good", *p_bad_to_good)
+            }
+        }
+    }
+}
+
+
+/// Static configuration of a link.
+///
+/// # Examples
+///
+/// ```
+/// use hydranet_netsim::link::LinkParams;
+///
+/// // Paper-era 10 Mb/s Ethernet with 0.5 ms propagation delay.
+/// let params = LinkParams::new(10_000_000, hydranet_netsim::time::SimDuration::from_micros(500));
+/// assert_eq!(params.mtu, 1500);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkParams {
+    /// Transmission rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Maximum transmission unit in bytes (IP header included).
+    pub mtu: usize,
+    /// Drop-tail queue capacity in packets (per direction).
+    pub queue_packets: usize,
+    /// Random loss model (per direction, independent draws).
+    pub loss: LossModel,
+}
+
+impl LinkParams {
+    /// Creates parameters with the given rate and delay, an Ethernet MTU of
+    /// 1500 bytes, a 64-packet queue, and no loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is zero.
+    pub fn new(bandwidth_bps: u64, delay: SimDuration) -> Self {
+        assert!(bandwidth_bps > 0, "bandwidth must be positive");
+        LinkParams {
+            bandwidth_bps,
+            delay,
+            mtu: 1500,
+            queue_packets: 64,
+            loss: LossModel::None,
+        }
+    }
+
+    /// Sets the MTU (builder style).
+    pub fn with_mtu(mut self, mtu: usize) -> Self {
+        self.mtu = mtu;
+        self
+    }
+
+    /// Sets the queue capacity in packets (builder style).
+    pub fn with_queue(mut self, packets: usize) -> Self {
+        self.queue_packets = packets;
+        self
+    }
+
+    /// Sets the loss model (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability in the model is outside `0.0..=1.0`.
+    pub fn with_loss(mut self, loss: LossModel) -> Self {
+        if let Err(msg) = loss.validate() {
+            panic!("invalid loss model: {msg}");
+        }
+        self.loss = loss;
+        self
+    }
+
+    /// Time to serialise `bytes` onto the wire at this link's rate.
+    pub fn tx_time(&self, bytes: usize) -> SimDuration {
+        // nanos = bytes * 8 * 1e9 / bps, computed without overflow for
+        // realistic sizes (bytes < 2^32, bps >= 1).
+        let nanos = (bytes as u128 * 8 * 1_000_000_000) / self.bandwidth_bps as u128;
+        SimDuration::from_nanos(nanos as u64)
+    }
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams::new(10_000_000, SimDuration::from_micros(500))
+    }
+}
+
+/// Per-direction dynamic state of a link.
+#[derive(Debug)]
+pub(crate) struct DirectionState {
+    pub queue: VecDeque<IpPacket>,
+    /// Whether a dequeue event is pending or a packet is on the wire.
+    pub transmitting: bool,
+    /// Incremented whenever the transmitter is forcibly reset (link
+    /// outage); dequeue events from an older epoch are stale and ignored,
+    /// so an outage/restore cycle cannot leave two concurrent dequeue
+    /// chains serving one direction.
+    pub epoch: u64,
+    /// Gilbert–Elliott channel state: `true` while in the bad state.
+    pub ge_bad: bool,
+    pub stats: LinkStats,
+}
+
+impl DirectionState {
+    fn new() -> Self {
+        DirectionState {
+            queue: VecDeque::new(),
+            transmitting: false,
+            epoch: 0,
+            ge_bad: false,
+            stats: LinkStats::default(),
+        }
+    }
+}
+
+/// A link instance inside the simulator.
+#[derive(Debug)]
+pub(crate) struct Link {
+    pub params: LinkParams,
+    pub endpoints: [NodeId; 2],
+    /// Interface index at each endpoint.
+    pub ifaces: [usize; 2],
+    pub up: bool,
+    pub dirs: [DirectionState; 2],
+}
+
+impl Link {
+    pub(crate) fn new(params: LinkParams, endpoints: [NodeId; 2], ifaces: [usize; 2]) -> Self {
+        Link {
+            params,
+            endpoints,
+            ifaces,
+            up: true,
+            dirs: [DirectionState::new(), DirectionState::new()],
+        }
+    }
+
+    /// The node a packet travelling in `dir` arrives at, and the interface
+    /// index there.
+    pub(crate) fn receiver(&self, dir: Direction) -> (NodeId, usize) {
+        match dir {
+            Direction::AToB => (self.endpoints[1], self.ifaces[1]),
+            Direction::BToA => (self.endpoints[0], self.ifaces[0]),
+        }
+    }
+
+    /// Draws from the loss model; `true` means the packet is lost.
+    pub(crate) fn draw_loss(&mut self, dir: Direction, rng: &mut SimRng) -> bool {
+        let state = &mut self.dirs[dir.index()];
+        match &self.params.loss {
+            LossModel::None => false,
+            LossModel::Bernoulli { p } => rng.chance(*p),
+            LossModel::GilbertElliott {
+                p_good,
+                p_bad,
+                p_good_to_bad,
+                p_bad_to_good,
+            } => {
+                // Transition first, then draw loss in the new state.
+                if state.ge_bad {
+                    if rng.chance(*p_bad_to_good) {
+                        state.ge_bad = false;
+                    }
+                } else if rng.chance(*p_good_to_bad) {
+                    state.ge_bad = true;
+                }
+                rng.chance(if state.ge_bad { *p_bad } else { *p_good })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_is_exact_for_round_numbers() {
+        let p = LinkParams::new(10_000_000, SimDuration::ZERO);
+        // 1250 bytes = 10_000 bits at 10 Mb/s = 1 ms.
+        assert_eq!(p.tx_time(1250), SimDuration::from_millis(1));
+        assert_eq!(p.tx_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let p = LinkParams::new(1_000_000, SimDuration::from_millis(1))
+            .with_mtu(576)
+            .with_queue(10)
+            .with_loss(LossModel::Bernoulli { p: 0.01 });
+        assert_eq!(p.mtu, 576);
+        assert_eq!(p.queue_packets, 10);
+        assert_eq!(p.loss, LossModel::Bernoulli { p: 0.01 });
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = LinkParams::new(0, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid loss model")]
+    fn bad_loss_probability_rejected() {
+        let _ = LinkParams::default().with_loss(LossModel::Bernoulli { p: 1.5 });
+    }
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(Direction::AToB.reverse(), Direction::BToA);
+        assert_eq!(Direction::BToA.reverse(), Direction::AToB);
+        assert_eq!(Direction::AToB.index(), 0);
+        assert_eq!(Direction::BToA.index(), 1);
+    }
+
+    #[test]
+    fn bernoulli_loss_draw_calibrated() {
+        let params = LinkParams::default().with_loss(LossModel::Bernoulli { p: 0.5 });
+        let mut link = Link::new(params, [NodeId(0), NodeId(1)], [0, 0]);
+        let mut rng = SimRng::seed_from(11);
+        let losses = (0..10_000)
+            .filter(|_| link.draw_loss(Direction::AToB, &mut rng))
+            .count();
+        assert!((4_500..5_500).contains(&losses), "losses = {losses}");
+    }
+
+    #[test]
+    fn gilbert_elliott_bursts() {
+        let params = LinkParams::default().with_loss(LossModel::GilbertElliott {
+            p_good: 0.0,
+            p_bad: 1.0,
+            p_good_to_bad: 0.05,
+            p_bad_to_good: 0.2,
+        });
+        let mut link = Link::new(params, [NodeId(0), NodeId(1)], [0, 0]);
+        let mut rng = SimRng::seed_from(12);
+        let draws: Vec<bool> = (0..10_000)
+            .map(|_| link.draw_loss(Direction::AToB, &mut rng))
+            .collect();
+        let losses = draws.iter().filter(|&&l| l).count();
+        // Stationary bad-state share = 0.05 / (0.05 + 0.2) = 20 %.
+        assert!((1_000..3_000).contains(&losses), "losses = {losses}");
+        // Bursts: the probability a loss is followed by a loss must be far
+        // higher than the marginal loss rate.
+        let mut after_loss = 0usize;
+        let mut loss_then_loss = 0usize;
+        for w in draws.windows(2) {
+            if w[0] {
+                after_loss += 1;
+                if w[1] {
+                    loss_then_loss += 1;
+                }
+            }
+        }
+        let cond = loss_then_loss as f64 / after_loss as f64;
+        assert!(cond > 0.5, "burstiness too low: {cond}");
+    }
+
+    #[test]
+    fn link_receiver_mapping() {
+        let link = Link::new(LinkParams::default(), [NodeId(5), NodeId(9)], [2, 0]);
+        assert_eq!(link.receiver(Direction::AToB), (NodeId(9), 0));
+        assert_eq!(link.receiver(Direction::BToA), (NodeId(5), 2));
+    }
+}

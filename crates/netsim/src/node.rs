@@ -1,0 +1,290 @@
+//! The node model: anything attached to the network implements [`Node`].
+//!
+//! Hosts, routers, redirectors, and host servers are all nodes. The
+//! simulator calls into a node when a packet is dispatched to it or one of
+//! its timers fires; the node reacts through the [`Context`] it is handed,
+//! which records sends and timer operations for the simulator to apply.
+
+use std::any::Any;
+use std::fmt;
+
+use crate::packet::IpPacket;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a node within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Creates a node id from its index in the simulator's node table.
+    /// Indices are assigned sequentially by
+    /// [`TopologyBuilder::add_node`](crate::topology::TopologyBuilder::add_node).
+    pub const fn from_index(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// The node's index in the simulator's node table.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a network interface *within one node* (its attachment to one
+/// link). Interface numbers are assigned in the order links are connected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IfaceId(pub(crate) usize);
+
+impl IfaceId {
+    /// Creates an interface id from its per-node index.
+    pub const fn from_index(index: usize) -> Self {
+        IfaceId(index)
+    }
+
+    /// The per-node interface index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for IfaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "if{}", self.0)
+    }
+}
+
+/// Handle for a scheduled timer, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+/// Opaque payload a node attaches to a timer so it can tell its timers apart
+/// when they fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TimerToken(pub u64);
+
+/// Per-node processing-cost parameters.
+///
+/// Models the CPU cost of handling one packet: `fixed` covers header
+/// processing (interrupt, demux, checksums) and `per_byte` covers copying.
+/// The paper deliberately used slow machines (486 redirector, Pentium/120
+/// servers) "to measure the effects of bottlenecks"; these parameters are
+/// how that shows up in the reproduction — small writes make the fixed
+/// per-packet cost dominate, which is exactly the left side of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeParams {
+    /// Fixed CPU cost per received packet.
+    pub proc_fixed: SimDuration,
+    /// Additional CPU cost per payload byte.
+    pub proc_per_byte: SimDuration,
+}
+
+impl NodeParams {
+    /// An infinitely fast node (zero processing cost).
+    pub const INSTANT: NodeParams = NodeParams {
+        proc_fixed: SimDuration::ZERO,
+        proc_per_byte: SimDuration::ZERO,
+    };
+
+    /// Creates parameters with the given fixed and per-byte costs.
+    pub const fn new(proc_fixed: SimDuration, proc_per_byte: SimDuration) -> Self {
+        NodeParams {
+            proc_fixed,
+            proc_per_byte,
+        }
+    }
+
+    /// The CPU time needed to process a packet of `len` on-wire bytes.
+    pub fn cost_for(&self, len: usize) -> SimDuration {
+        self.proc_fixed + SimDuration::from_nanos(self.proc_per_byte.as_nanos() * len as u64)
+    }
+}
+
+impl Default for NodeParams {
+    fn default() -> Self {
+        NodeParams::INSTANT
+    }
+}
+
+/// An action recorded by a node for the simulator to apply after the
+/// callback returns.
+#[derive(Debug)]
+pub(crate) enum Action {
+    Send {
+        iface: IfaceId,
+        packet: IpPacket,
+    },
+    SetTimer {
+        id: TimerId,
+        at: SimTime,
+        token: TimerToken,
+    },
+    CancelTimer {
+        id: TimerId,
+    },
+}
+
+/// The environment a node callback runs in.
+///
+/// Provides the current simulated time, deterministic randomness, packet
+/// transmission, and timer management. All effects are buffered and applied
+/// by the simulator when the callback returns.
+#[derive(Debug)]
+pub struct Context<'a> {
+    now: SimTime,
+    node: NodeId,
+    rng: &'a mut SimRng,
+    next_timer_id: &'a mut u64,
+    actions: &'a mut Vec<Action>,
+}
+
+impl<'a> Context<'a> {
+    pub(crate) fn new(
+        now: SimTime,
+        node: NodeId,
+        rng: &'a mut SimRng,
+        next_timer_id: &'a mut u64,
+        actions: &'a mut Vec<Action>,
+    ) -> Self {
+        Context {
+            now,
+            node,
+            rng,
+            next_timer_id,
+            actions,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node this callback belongs to.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The simulation's deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Transmits `packet` on the given interface.
+    ///
+    /// The packet enters the link's queue; it may later be dropped by the
+    /// queue limit, the loss model, or a link outage.
+    pub fn send(&mut self, iface: IfaceId, packet: IpPacket) {
+        self.actions.push(Action::Send { iface, packet });
+    }
+
+    /// Schedules a timer to fire after `delay`, delivering `token` to
+    /// [`Node::on_timer`]. Returns a handle for cancellation.
+    pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken) -> TimerId {
+        self.set_timer_at(self.now.saturating_add(delay), token)
+    }
+
+    /// Schedules a timer to fire at the absolute instant `at`.
+    ///
+    /// An instant in the past fires immediately (at the current time).
+    pub fn set_timer_at(&mut self, at: SimTime, token: TimerToken) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        let at = at.max(self.now);
+        self.actions.push(Action::SetTimer { id, at, token });
+        id
+    }
+
+    /// Cancels a previously scheduled timer. Cancelling a timer that has
+    /// already fired is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer { id });
+    }
+}
+
+/// A participant in the simulated network.
+///
+/// Implementors receive packets and timer callbacks and react through the
+/// provided [`Context`]. The `Any` supertrait lets scenario code downcast
+/// nodes back to their concrete types after a run to inspect results (see
+/// [`Simulator::node`](crate::sim::Simulator::node)).
+pub trait Node: Any {
+    /// Called once when the simulation starts (time zero), in node order.
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called when a packet has been dispatched to this node (after its CPU
+    /// processing cost has elapsed).
+    fn on_packet(&mut self, ctx: &mut Context<'_>, iface: IfaceId, packet: IpPacket);
+
+    /// Called when a timer set by this node fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _token: TimerToken) {}
+
+    /// Called when the node crashes (fail-stop). Pending packets and timers
+    /// are discarded by the simulator; implementations should drop volatile
+    /// state here.
+    fn on_crash(&mut self) {}
+
+    /// Called when a crashed node is brought back. The node restarts with
+    /// whatever state `on_crash` left behind.
+    fn on_recover(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// A short human-readable name used in traces.
+    fn name(&self) -> &str {
+        "node"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_params_cost() {
+        let p = NodeParams::new(SimDuration::from_micros(10), SimDuration::from_nanos(100));
+        assert_eq!(p.cost_for(0), SimDuration::from_micros(10));
+        assert_eq!(p.cost_for(100), SimDuration::from_micros(20));
+        assert_eq!(NodeParams::INSTANT.cost_for(1500), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn context_buffers_actions() {
+        let mut rng = SimRng::seed_from(0);
+        let mut next = 0u64;
+        let mut actions = Vec::new();
+        let mut ctx = Context::new(SimTime::from_secs(1), NodeId(3), &mut rng, &mut next, &mut actions);
+        assert_eq!(ctx.now(), SimTime::from_secs(1));
+        assert_eq!(ctx.node_id(), NodeId(3));
+        let t1 = ctx.set_timer(SimDuration::from_millis(5), TimerToken(7));
+        let t2 = ctx.set_timer_at(SimTime::ZERO, TimerToken(8)); // in the past
+        assert_ne!(t1, t2);
+        ctx.cancel_timer(t1);
+        #[allow(clippy::drop_non_drop)] // end the borrow of `actions`
+        drop(ctx);
+        assert_eq!(actions.len(), 3);
+        match &actions[0] {
+            Action::SetTimer { at, token, .. } => {
+                assert_eq!(*at, SimTime::from_secs(1) + SimDuration::from_millis(5));
+                assert_eq!(*token, TimerToken(7));
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        match &actions[1] {
+            // Past deadlines are clamped to now.
+            Action::SetTimer { at, .. } => assert_eq!(*at, SimTime::from_secs(1)),
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert!(matches!(actions[2], Action::CancelTimer { id } if id == t1));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(IfaceId(2).to_string(), "if2");
+        assert_eq!(IfaceId::from_index(2).index(), 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Deterministic randomness for the simulator.
+//!
+//! All stochastic behaviour in a simulation (loss models, workload jitter)
+//! draws from a single [`SimRng`] seeded at construction, so a run is a pure
+//! function of its configuration and seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random number generator owned by the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use hydranet_netsim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws a uniformly distributed 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Draws `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0.0..=1.0`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen_bool(p)
+        }
+    }
+
+    /// Draws a value uniformly from `low..high`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn range(&mut self, low: u64, high: u64) -> u64 {
+        assert!(low < high, "empty range {low}..{high}");
+        self.inner.gen_range(low..high)
+    }
+
+    /// Draws a uniformly distributed float in `0.0..1.0`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen_range(0.0..1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16, "streams should differ");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut rng = SimRng::seed_from(4);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits} hits for p=0.25");
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            let v = rng.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn chance_rejects_bad_probability() {
+        SimRng::seed_from(0).chance(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn range_rejects_empty() {
+        SimRng::seed_from(0).range(5, 5);
+    }
+}

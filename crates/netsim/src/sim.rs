@@ -1,0 +1,831 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Simulator`] owns the nodes, links, clock, event calendar, and RNG.
+//! Build one through [`TopologyBuilder`](crate::topology::TopologyBuilder),
+//! then drive it with [`run_until`](Simulator::run_until) /
+//! [`run_until_idle`](Simulator::run_until_idle) and inspect node state with
+//! [`node`](Simulator::node).
+
+use std::any::Any;
+use std::collections::HashSet;
+
+use crate::event::{EventKind, EventQueue};
+use crate::frag::fragment_packet;
+use crate::link::{Direction, Link, LinkId};
+use crate::node::{Action, Context, IfaceId, Node, NodeId, NodeParams};
+use crate::packet::IpPacket;
+use crate::rng::SimRng;
+use crate::stats::{LinkStats, NodeStats, SimStats};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TracePoint};
+
+pub(crate) struct NodeSlot {
+    /// `None` only transiently while the node's callback runs.
+    pub node: Option<Box<dyn Node>>,
+    pub params: NodeParams,
+    pub crashed: bool,
+    /// Incremented on every crash; stale timers/dispatches are discarded.
+    pub epoch: u64,
+    pub cpu_free_at: SimTime,
+    /// For each interface: the link it attaches to and the direction this
+    /// node transmits in on that link.
+    pub ifaces: Vec<(LinkId, Direction)>,
+    pub stats: NodeStats,
+}
+
+/// The discrete-event simulator.
+///
+/// # Examples
+///
+/// ```
+/// use hydranet_netsim::prelude::*;
+///
+/// struct Pinger { got_reply: bool }
+/// impl Node for Pinger {
+///     fn on_start(&mut self, ctx: &mut Context<'_>) {
+///         let p = IpPacket::new(IpAddr::new(10, 0, 0, 1), IpAddr::new(10, 0, 0, 2),
+///                               Protocol::UDP, b"ping".to_vec());
+///         ctx.send(IfaceId::from_index(0), p);
+///     }
+///     fn on_packet(&mut self, _ctx: &mut Context<'_>, _iface: IfaceId, _p: IpPacket) {
+///         self.got_reply = true;
+///     }
+/// }
+/// struct Echo;
+/// impl Node for Echo {
+///     fn on_packet(&mut self, ctx: &mut Context<'_>, iface: IfaceId, mut p: IpPacket) {
+///         std::mem::swap(&mut p.header.src, &mut p.header.dst);
+///         ctx.send(iface, p);
+///     }
+/// }
+///
+/// let mut t = TopologyBuilder::new();
+/// let a = t.add_node(Pinger { got_reply: false }, NodeParams::INSTANT);
+/// let b = t.add_node(Echo, NodeParams::INSTANT);
+/// t.connect(a, b, LinkParams::default());
+/// let mut sim = t.into_simulator(42);
+/// sim.run_until_idle();
+/// assert!(sim.node::<Pinger>(a).got_reply);
+/// ```
+pub struct Simulator {
+    now: SimTime,
+    events: EventQueue,
+    next_timer_id: u64,
+    cancelled_timers: HashSet<u64>,
+    pub(crate) nodes: Vec<NodeSlot>,
+    pub(crate) links: Vec<Link>,
+    rng: SimRng,
+    stats: SimStats,
+    trace: Trace,
+    actions_scratch: Vec<Action>,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("pending_events", &self.events.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    pub(crate) fn new(nodes: Vec<NodeSlot>, links: Vec<Link>, seed: u64) -> Self {
+        let mut sim = Simulator {
+            now: SimTime::ZERO,
+            events: EventQueue::new(),
+            next_timer_id: 0,
+            cancelled_timers: HashSet::new(),
+            nodes,
+            links,
+            rng: SimRng::seed_from(seed),
+            stats: SimStats::default(),
+            trace: Trace::default(),
+            actions_scratch: Vec::new(),
+        };
+        for i in 0..sim.nodes.len() {
+            sim.events.push(SimTime::ZERO, EventKind::NodeStart(NodeId(i)));
+        }
+        sim
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes in the topology.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links in the topology.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whole-run counters.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The trace buffer (enable with [`Trace::set_enabled`]).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// The trace buffer, read-only.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Processes events until the calendar is exhausted or `limit` events
+    /// have run. Returns the number of events processed.
+    pub fn run_until_idle(&mut self) -> u64 {
+        self.run_until_idle_capped(u64::MAX)
+    }
+
+    /// Like [`run_until_idle`](Self::run_until_idle) but stops after at most
+    /// `limit` events — useful as a runaway guard in tests.
+    pub fn run_until_idle_capped(&mut self, limit: u64) -> u64 {
+        let mut n = 0;
+        while n < limit && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Processes all events with timestamps `<= deadline`, then sets the
+    /// clock to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.events.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs the simulation forward by `d` from the current time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.now.saturating_add(d);
+        self.run_until(deadline);
+    }
+
+    /// Processes a single event. Returns `false` when the calendar is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        self.stats.events_processed += 1;
+        self.process(ev.kind);
+        true
+    }
+
+    /// Schedules a fail-stop crash of `node` at time `at`.
+    pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
+        self.events.push(at, EventKind::Crash(node));
+    }
+
+    /// Schedules recovery of a crashed node at time `at`.
+    pub fn schedule_recover(&mut self, node: NodeId, at: SimTime) {
+        self.events.push(at, EventKind::Recover(node));
+    }
+
+    /// Schedules a link outage starting at `at`.
+    pub fn schedule_link_down(&mut self, link: LinkId, at: SimTime) {
+        self.events.push(at, EventKind::LinkDown(link));
+    }
+
+    /// Schedules a link restoration at `at`.
+    pub fn schedule_link_up(&mut self, link: LinkId, at: SimTime) {
+        self.events.push(at, EventKind::LinkUp(link));
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].crashed
+    }
+
+    /// Immediately replaces the loss model of `link` (both directions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's probabilities are out of range.
+    pub fn set_link_loss(&mut self, link: LinkId, loss: crate::link::LossModel) {
+        let params = self.links[link.index()].params.clone().with_loss(loss);
+        self.links[link.index()].params = params;
+    }
+
+    /// Borrows a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not of type `T` or a callback on it is active.
+    pub fn node<T: Node>(&self, id: NodeId) -> &T {
+        let boxed = self.nodes[id.index()]
+            .node
+            .as_ref()
+            .expect("node callback reentrancy");
+        (boxed.as_ref() as &dyn Any)
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("node {id} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Mutably borrows a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not of type `T` or a callback on it is active.
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> &mut T {
+        let boxed = self.nodes[id.index()]
+            .node
+            .as_mut()
+            .expect("node callback reentrancy");
+        (boxed.as_mut() as &mut dyn Any)
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("node {id} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Per-node counters.
+    pub fn node_stats(&self, id: NodeId) -> &NodeStats {
+        &self.nodes[id.index()].stats
+    }
+
+    /// Per-direction counters for `link`: `(a_to_b, b_to_a)`.
+    pub fn link_stats(&self, id: LinkId) -> (&LinkStats, &LinkStats) {
+        let l = &self.links[id.index()];
+        (&l.dirs[0].stats, &l.dirs[1].stats)
+    }
+
+    /// Runs `f` with a [`Context`] for `node`, outside any engine callback.
+    ///
+    /// This is how scenario code injects work into a node mid-run (e.g. an
+    /// application initiating a new connection at a chosen time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from within a node callback on the same node.
+    pub fn with_node_ctx<T: Node, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Context<'_>) -> R,
+    ) -> R {
+        let mut boxed = self.nodes[id.index()]
+            .node
+            .take()
+            .expect("node callback reentrancy");
+        let mut actions = std::mem::take(&mut self.actions_scratch);
+        let result = {
+            let mut ctx = Context::new(self.now, id, &mut self.rng, &mut self.next_timer_id, &mut actions);
+            let node = (boxed.as_mut() as &mut dyn Any)
+                .downcast_mut::<T>()
+                .unwrap_or_else(|| panic!("node {id} is not a {}", std::any::type_name::<T>()));
+            f(node, &mut ctx)
+        };
+        self.nodes[id.index()].node = Some(boxed);
+        self.apply_actions(id, &mut actions);
+        self.actions_scratch = actions;
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Engine internals
+    // ------------------------------------------------------------------
+
+    fn process(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::NodeStart(node) => {
+                self.dispatch(node, |n, ctx| n.on_start(ctx));
+            }
+            EventKind::PacketArrival { node, iface, packet } => {
+                self.packet_arrival(node, iface, packet);
+            }
+            EventKind::PacketDispatch {
+                node,
+                iface,
+                packet,
+                epoch,
+            } => {
+                let slot = &self.nodes[node.index()];
+                if slot.crashed || slot.epoch != epoch {
+                    self.trace.record(
+                        self.now,
+                        TracePoint::CrashDrop(node),
+                        summarize(&packet),
+                    );
+                    return;
+                }
+                self.trace
+                    .record(self.now, TracePoint::Dispatch(node), summarize(&packet));
+                self.dispatch(node, |n, ctx| n.on_packet(ctx, IfaceId(iface), packet));
+            }
+            EventKind::LinkDequeue { link, dir, epoch } => {
+                self.link_dequeue(link, dir, epoch);
+            }
+            EventKind::Timer {
+                node,
+                id,
+                token,
+                epoch,
+            } => {
+                if self.cancelled_timers.remove(&id.0) {
+                    self.stats.timers_cancelled += 1;
+                    return;
+                }
+                let slot = &self.nodes[node.index()];
+                if slot.crashed || slot.epoch != epoch {
+                    return;
+                }
+                self.stats.timers_fired += 1;
+                self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
+            }
+            EventKind::Crash(node) => {
+                let slot = &mut self.nodes[node.index()];
+                if slot.crashed {
+                    return;
+                }
+                slot.crashed = true;
+                slot.epoch += 1;
+                slot.node
+                    .as_mut()
+                    .expect("node callback reentrancy")
+                    .on_crash();
+            }
+            EventKind::Recover(node) => {
+                let slot = &mut self.nodes[node.index()];
+                if !slot.crashed {
+                    return;
+                }
+                slot.crashed = false;
+                slot.cpu_free_at = self.now;
+                self.dispatch(node, |n, ctx| n.on_recover(ctx));
+            }
+            EventKind::LinkDown(link) => {
+                let l = &mut self.links[link.index()];
+                if !l.up {
+                    return;
+                }
+                l.up = false;
+                for dir in &mut l.dirs {
+                    dir.stats.dropped_down += dir.queue.len() as u64;
+                    dir.queue.clear();
+                    dir.transmitting = false;
+                    // Invalidate any in-flight dequeue events.
+                    dir.epoch += 1;
+                }
+            }
+            EventKind::LinkUp(link) => {
+                self.links[link.index()].up = true;
+            }
+        }
+    }
+
+    /// Runs a node callback and applies the actions it recorded.
+    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Context<'_>)) {
+        if self.nodes[id.index()].crashed {
+            return;
+        }
+        let mut boxed = self.nodes[id.index()]
+            .node
+            .take()
+            .expect("node callback reentrancy");
+        let mut actions = std::mem::take(&mut self.actions_scratch);
+        {
+            let mut ctx = Context::new(self.now, id, &mut self.rng, &mut self.next_timer_id, &mut actions);
+            f(boxed.as_mut(), &mut ctx);
+        }
+        self.nodes[id.index()].node = Some(boxed);
+        self.apply_actions(id, &mut actions);
+        self.actions_scratch = actions;
+    }
+
+    fn apply_actions(&mut self, id: NodeId, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { iface, packet } => {
+                    let slot = &self.nodes[id.index()];
+                    let Some(&(link, dir)) = slot.ifaces.get(iface.index()) else {
+                        panic!("{id} sent on nonexistent interface {iface}");
+                    };
+                    self.link_enqueue(link, dir, packet);
+                }
+                Action::SetTimer { id: tid, at, token } => {
+                    let epoch = self.nodes[id.index()].epoch;
+                    self.events.push(
+                        at,
+                        EventKind::Timer {
+                            node: id,
+                            id: tid,
+                            token,
+                            epoch,
+                        },
+                    );
+                }
+                Action::CancelTimer { id: tid } => {
+                    self.cancelled_timers.insert(tid.0);
+                }
+            }
+        }
+    }
+
+    fn link_enqueue(&mut self, link_id: LinkId, dir: Direction, packet: IpPacket) {
+        let link = &mut self.links[link_id.index()];
+        if !link.up {
+            link.dirs[dir.index()].stats.dropped_down += 1;
+            self.trace
+                .record(self.now, TracePoint::LinkDrop(link_id), summarize(&packet));
+            return;
+        }
+        let fragments = match fragment_packet(packet, link.params.mtu) {
+            Ok(f) => f,
+            Err(_) => {
+                link.dirs[dir.index()].stats.dropped_mtu += 1;
+                return;
+            }
+        };
+        let limit = link.params.queue_packets;
+        for frag in fragments {
+            let state = &mut link.dirs[dir.index()];
+            if state.queue.len() >= limit {
+                state.stats.dropped_queue += 1;
+                self.trace
+                    .record(self.now, TracePoint::LinkDrop(link_id), summarize(&frag));
+                continue;
+            }
+            state.stats.enqueued += 1;
+            self.trace
+                .record(self.now, TracePoint::Enqueue(link_id), summarize(&frag));
+            state.queue.push_back(frag);
+            if !state.transmitting {
+                state.transmitting = true;
+                let epoch = state.epoch;
+                self.events.push(
+                    self.now,
+                    EventKind::LinkDequeue {
+                        link: link_id,
+                        dir,
+                        epoch,
+                    },
+                );
+            }
+        }
+    }
+
+    fn link_dequeue(&mut self, link_id: LinkId, dir: Direction, epoch: u64) {
+        let link = &mut self.links[link_id.index()];
+        if link.dirs[dir.index()].epoch != epoch {
+            return; // stale event from before an outage
+        }
+        if !link.up {
+            link.dirs[dir.index()].transmitting = false;
+            return;
+        }
+        let Some(packet) = link.dirs[dir.index()].queue.pop_front() else {
+            link.dirs[dir.index()].transmitting = false;
+            return;
+        };
+        let tx = link.params.tx_time(packet.total_len());
+        let ready_at = self.now + tx;
+        // Keep the transmitter busy until this packet has left the wire.
+        self.events.push(
+            ready_at,
+            EventKind::LinkDequeue {
+                link: link_id,
+                dir,
+                epoch,
+            },
+        );
+
+        let lost = link.draw_loss(dir, &mut self.rng);
+        let state = &mut link.dirs[dir.index()];
+        if lost {
+            state.stats.dropped_loss += 1;
+            self.trace
+                .record(self.now, TracePoint::LinkDrop(link_id), summarize(&packet));
+            return;
+        }
+        state.stats.delivered += 1;
+        state.stats.bytes_delivered += packet.total_len() as u64;
+        let (rx_node, rx_iface) = link.receiver(dir);
+        let arrive_at = ready_at + link.params.delay;
+        self.events.push(
+            arrive_at,
+            EventKind::PacketArrival {
+                node: rx_node,
+                iface: rx_iface,
+                packet,
+            },
+        );
+    }
+
+    fn packet_arrival(&mut self, node: NodeId, iface: usize, packet: IpPacket) {
+        let slot = &mut self.nodes[node.index()];
+        if slot.crashed {
+            slot.stats.dropped_crashed += 1;
+            self.trace
+                .record(self.now, TracePoint::CrashDrop(node), summarize(&packet));
+            return;
+        }
+        self.trace
+            .record(self.now, TracePoint::Arrival(node), summarize(&packet));
+        let cost = slot.params.cost_for(packet.total_len());
+        let start = self.now.max(slot.cpu_free_at);
+        let done = start.saturating_add(cost);
+        slot.cpu_free_at = done;
+        slot.stats.dispatched += 1;
+        slot.stats.cpu_busy_nanos += cost.as_nanos();
+        let epoch = slot.epoch;
+        self.events.push(
+            done,
+            EventKind::PacketDispatch {
+                node,
+                iface,
+                packet,
+                epoch,
+            },
+        );
+    }
+}
+
+fn summarize(packet: &IpPacket) -> String {
+    format!(
+        "{} -> {} {} {}B",
+        packet.src(),
+        packet.dst(),
+        packet.protocol(),
+        packet.total_len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkParams;
+    use crate::packet::{IpAddr, Protocol};
+    use crate::node::TimerToken;
+    use crate::topology::TopologyBuilder;
+
+    /// Sends `count` packets of `size` bytes at start, records arrivals.
+    struct Blaster {
+        count: usize,
+        size: usize,
+        received: Vec<(SimTime, usize)>,
+    }
+
+    impl Blaster {
+        fn new(count: usize, size: usize) -> Self {
+            Blaster {
+                count,
+                size,
+                received: Vec::new(),
+            }
+        }
+    }
+
+    impl Node for Blaster {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.count {
+                let p = IpPacket::new(
+                    IpAddr::new(10, 0, 0, 1),
+                    IpAddr::new(10, 0, 0, 2),
+                    Protocol::UDP,
+                    vec![0u8; self.size],
+                );
+                ctx.send(IfaceId::from_index(0), p);
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut Context<'_>, _iface: IfaceId, p: IpPacket) {
+            self.received.push((ctx.now(), p.payload.len()));
+        }
+    }
+
+    fn two_nodes(params: LinkParams) -> (Simulator, NodeId, NodeId, LinkId) {
+        let mut t = TopologyBuilder::new();
+        let a = t.add_node(Blaster::new(0, 0), NodeParams::INSTANT);
+        let b = t.add_node(Blaster::new(0, 0), NodeParams::INSTANT);
+        let (link, _, _) = t.connect(a, b, params);
+        (t.into_simulator(1), a, b, link)
+    }
+
+    #[test]
+    fn packets_experience_tx_plus_propagation_delay() {
+        let mut t = TopologyBuilder::new();
+        let a = t.add_node(Blaster::new(1, 1230), NodeParams::INSTANT);
+        let b = t.add_node(Blaster::new(0, 0), NodeParams::INSTANT);
+        // 10 Mb/s, 1 ms propagation; 1250 wire bytes -> 1 ms tx.
+        t.connect(a, b, LinkParams::new(10_000_000, SimDuration::from_millis(1)));
+        let mut sim = t.into_simulator(1);
+        sim.run_until_idle();
+        let b_node = sim.node::<Blaster>(b);
+        assert_eq!(b_node.received.len(), 1);
+        assert_eq!(b_node.received[0].0, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn queue_serialises_back_to_back_packets() {
+        let mut t = TopologyBuilder::new();
+        let a = t.add_node(Blaster::new(3, 1230), NodeParams::INSTANT);
+        let b = t.add_node(Blaster::new(0, 0), NodeParams::INSTANT);
+        t.connect(a, b, LinkParams::new(10_000_000, SimDuration::ZERO));
+        let mut sim = t.into_simulator(1);
+        sim.run_until_idle();
+        let times: Vec<u64> = sim
+            .node::<Blaster>(b)
+            .received
+            .iter()
+            .map(|(t, _)| t.as_nanos())
+            .collect();
+        assert_eq!(times, vec![1_000_000, 2_000_000, 3_000_000]);
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut t = TopologyBuilder::new();
+        let a = t.add_node(Blaster::new(100, 1230), NodeParams::INSTANT);
+        let b = t.add_node(Blaster::new(0, 0), NodeParams::INSTANT);
+        let (link, _, _) = t.connect(
+            a,
+            b,
+            LinkParams::new(10_000_000, SimDuration::ZERO).with_queue(10),
+        );
+        let mut sim = t.into_simulator(1);
+        sim.run_until_idle();
+        let (ab, _) = sim.link_stats(link);
+        // All 100 sends land before the first dequeue event runs, so exactly
+        // the queue capacity (10) is accepted and the rest drop.
+        assert_eq!(ab.dropped_queue, 90);
+        assert_eq!(sim.node::<Blaster>(b).received.len(), 10);
+    }
+
+    #[test]
+    fn oversized_packets_fragment_and_arrive() {
+        let mut t = TopologyBuilder::new();
+        let a = t.add_node(Blaster::new(1, 4000), NodeParams::INSTANT);
+        let b = t.add_node(Blaster::new(0, 0), NodeParams::INSTANT);
+        let (link, _, _) = t.connect(a, b, LinkParams::default().with_mtu(1500));
+        let mut sim = t.into_simulator(1);
+        sim.run_until_idle();
+        let (ab, _) = sim.link_stats(link);
+        assert!(ab.delivered >= 3, "expected >= 3 fragments, got {}", ab.delivered);
+        // Fragments arrive as separate packets; hosts reassemble explicitly
+        // (tested in the frag module). Here the raw node just counts them.
+        assert_eq!(sim.node::<Blaster>(b).received.len() as u64, ab.delivered);
+    }
+
+    #[test]
+    fn crashed_node_drops_traffic_and_recovers() {
+        let mut t = TopologyBuilder::new();
+        let a = t.add_node(Blaster::new(0, 0), NodeParams::INSTANT);
+        let b = t.add_node(Blaster::new(0, 0), NodeParams::INSTANT);
+        t.connect(a, b, LinkParams::new(10_000_000, SimDuration::from_micros(10)));
+        let mut sim = t.into_simulator(1);
+        sim.schedule_crash(b, SimTime::from_millis(10));
+        sim.schedule_recover(b, SimTime::from_millis(20));
+        sim.run_until(SimTime::from_millis(15));
+        assert!(sim.is_crashed(b));
+        // Inject a packet mid-crash: it must be dropped.
+        sim.with_node_ctx::<Blaster, _>(a, |_, ctx| {
+            let p = IpPacket::new(
+                IpAddr::new(10, 0, 0, 1),
+                IpAddr::new(10, 0, 0, 2),
+                Protocol::UDP,
+                vec![0u8; 10],
+            );
+            ctx.send(IfaceId::from_index(0), p);
+        });
+        sim.run_until(SimTime::from_millis(25));
+        assert!(!sim.is_crashed(b));
+        assert_eq!(sim.node::<Blaster>(b).received.len(), 0);
+        assert_eq!(sim.node_stats(b).dropped_crashed, 1);
+        // After recovery traffic flows again.
+        sim.with_node_ctx::<Blaster, _>(a, |_, ctx| {
+            let p = IpPacket::new(
+                IpAddr::new(10, 0, 0, 1),
+                IpAddr::new(10, 0, 0, 2),
+                Protocol::UDP,
+                vec![0u8; 10],
+            );
+            ctx.send(IfaceId::from_index(0), p);
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.node::<Blaster>(b).received.len(), 1);
+    }
+
+    #[test]
+    fn link_down_drops_in_flight_queue() {
+        let (mut sim, a, _b, link) = two_nodes(LinkParams::new(1_000_000, SimDuration::ZERO));
+        sim.with_node_ctx::<Blaster, _>(a, |_, ctx| {
+            for _ in 0..5 {
+                let p = IpPacket::new(
+                    IpAddr::new(10, 0, 0, 1),
+                    IpAddr::new(10, 0, 0, 2),
+                    Protocol::UDP,
+                    vec![0u8; 1000],
+                );
+                ctx.send(IfaceId::from_index(0), p);
+            }
+        });
+        sim.schedule_link_down(link, SimTime::from_millis(1));
+        sim.run_until_idle();
+        let (ab, _) = sim.link_stats(link);
+        assert!(ab.dropped_down > 0);
+        assert!(ab.delivered < 5);
+    }
+
+    #[test]
+    fn node_processing_cost_delays_dispatch() {
+        let mut t = TopologyBuilder::new();
+        let a = t.add_node(Blaster::new(2, 100), NodeParams::INSTANT);
+        let b = t.add_node(
+            Blaster::new(0, 0),
+            NodeParams::new(SimDuration::from_millis(5), SimDuration::ZERO),
+        );
+        t.connect(a, b, LinkParams::new(1_000_000_000, SimDuration::ZERO));
+        let mut sim = t.into_simulator(1);
+        sim.run_until_idle();
+        let times: Vec<SimTime> = sim.node::<Blaster>(b).received.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times.len(), 2);
+        // Second packet waits for the first's CPU slot: ~5 ms then ~10 ms.
+        assert!(times[0] >= SimTime::from_millis(5));
+        assert!(times[1] >= SimTime::from_millis(10));
+        assert!(sim.node_stats(b).cpu_busy_nanos >= 10_000_000);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl Node for TimerNode {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(1), TimerToken(1));
+                let t2 = ctx.set_timer(SimDuration::from_millis(2), TimerToken(2));
+                ctx.set_timer(SimDuration::from_millis(3), TimerToken(3));
+                ctx.cancel_timer(t2);
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _iface: IfaceId, _p: IpPacket) {}
+            fn on_timer(&mut self, _ctx: &mut Context<'_>, token: TimerToken) {
+                self.fired.push(token.0);
+            }
+        }
+        let mut t = TopologyBuilder::new();
+        let n = t.add_node(TimerNode { fired: vec![] }, NodeParams::INSTANT);
+        let mut sim = t.into_simulator(1);
+        sim.run_until_idle();
+        assert_eq!(sim.node::<TimerNode>(n).fired, vec![1, 3]);
+        assert_eq!(sim.stats().timers_fired, 2);
+        assert_eq!(sim.stats().timers_cancelled, 1);
+    }
+
+    #[test]
+    fn crash_invalidates_pending_timers() {
+        struct TickTock {
+            ticks: u32,
+        }
+        impl Node for TickTock {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(10), TimerToken(0));
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _iface: IfaceId, _p: IpPacket) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _token: TimerToken) {
+                self.ticks += 1;
+                ctx.set_timer(SimDuration::from_millis(10), TimerToken(0));
+            }
+        }
+        let mut t = TopologyBuilder::new();
+        let n = t.add_node(TickTock { ticks: 0 }, NodeParams::INSTANT);
+        let mut sim = t.into_simulator(1);
+        sim.schedule_crash(n, SimTime::from_millis(35));
+        sim.schedule_recover(n, SimTime::from_millis(100));
+        sim.run_until(SimTime::from_millis(200));
+        // Ticks at 10, 20, 30 — then the pending tick at 40 dies with the
+        // crash, and recovery does not restart the timer chain by itself.
+        assert_eq!(sim.node::<TickTock>(n).ticks, 3);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let build = || {
+            let mut t = TopologyBuilder::new();
+            let a = t.add_node(Blaster::new(50, 512), NodeParams::INSTANT);
+            let b = t.add_node(Blaster::new(0, 0), NodeParams::INSTANT);
+            t.connect(
+                a,
+                b,
+                LinkParams::default().with_loss(crate::link::LossModel::Bernoulli { p: 0.2 }),
+            );
+            let mut sim = t.into_simulator(99);
+            sim.run_until_idle();
+            sim.node::<Blaster>(b).received.clone()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,159 @@
+//! Optional packet-level tracing for debugging scenarios.
+
+use std::fmt;
+
+use crate::link::LinkId;
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// Where in the pipeline a traced event occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePoint {
+    /// Packet accepted into a link queue.
+    Enqueue(LinkId),
+    /// Packet dropped (any cause) at a link.
+    LinkDrop(LinkId),
+    /// Packet delivered to a node's interface.
+    Arrival(NodeId),
+    /// Packet handed to a node's handler after CPU delay.
+    Dispatch(NodeId),
+    /// Packet discarded because the node was crashed.
+    CrashDrop(NodeId),
+}
+
+impl fmt::Display for TracePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TracePoint::Enqueue(l) => write!(f, "enqueue@{l}"),
+            TracePoint::LinkDrop(l) => write!(f, "drop@{l}"),
+            TracePoint::Arrival(n) => write!(f, "arrive@{n}"),
+            TracePoint::Dispatch(n) => write!(f, "dispatch@{n}"),
+            TracePoint::CrashDrop(n) => write!(f, "crashdrop@{n}"),
+        }
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub time: SimTime,
+    /// Where it happened.
+    pub point: TracePoint,
+    /// Short packet summary, e.g. `"10.0.0.1 -> 10.0.0.2 tcp 60B"`.
+    pub summary: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} {}", self.time, self.point, self.summary)
+    }
+}
+
+/// A bounded in-memory trace buffer; disabled by default.
+#[derive(Debug)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    entries: Vec<TraceEntry>,
+    overflowed: bool,
+}
+
+impl Trace {
+    /// Creates a disabled trace with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            enabled: false,
+            capacity,
+            entries: Vec::new(),
+            overflowed: false,
+        }
+    }
+
+    /// Turns tracing on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether tracing is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Whether entries were discarded because the buffer filled up.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Records an entry if tracing is on and there is room.
+    pub fn record(&mut self, time: SimTime, point: TracePoint, summary: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            self.overflowed = true;
+            return;
+        }
+        self.entries.push(TraceEntry {
+            time,
+            point,
+            summary: summary.into(),
+        });
+    }
+
+    /// The recorded entries, oldest first.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Clears all recorded entries (keeps the enabled flag).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.overflowed = false;
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(65_536)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(4);
+        t.record(SimTime::ZERO, TracePoint::Arrival(NodeId(0)), "x");
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_and_caps() {
+        let mut t = Trace::new(2);
+        t.set_enabled(true);
+        assert!(t.is_enabled());
+        for i in 0..5 {
+            t.record(SimTime::from_nanos(i), TracePoint::Dispatch(NodeId(1)), format!("p{i}"));
+        }
+        assert_eq!(t.entries().len(), 2);
+        assert!(t.overflowed());
+        t.clear();
+        assert!(t.entries().is_empty());
+        assert!(!t.overflowed());
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEntry {
+            time: SimTime::from_millis(1),
+            point: TracePoint::Enqueue(LinkId(2)),
+            summary: "a -> b".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("enqueue@l2"), "{s}");
+        assert!(s.contains("a -> b"), "{s}");
+    }
+}

@@ -1,0 +1,394 @@
+//! The redirector engine: detect requests for replicated services and
+//! direct them to the appropriate host server(s).
+//!
+//! "When a redirector receives an IP packet, it checks the destination IP
+//! address and port in the header against the entries in the redirector
+//! table. If it finds a match, it forwards the packet to the appropriate
+//! server host. If there is no match, the packet is simply forwarded to the
+//! origin host" (§3). In fault-tolerant mode the packet "is encapsulated
+//! and tunnelled to the appropriate hosts, with one copy going to the
+//! primary server and one copy to each backup server" (§4.2).
+
+use hydranet_netsim::frag::Reassembler;
+use hydranet_netsim::node::{Context, IfaceId, Node};
+use hydranet_netsim::packet::{IpAddr, IpPacket, Protocol};
+use hydranet_netsim::routing::RouteTable;
+use hydranet_netsim::time::SimTime;
+use hydranet_tcp::segment::SockAddr;
+
+use crate::table::RedirectorTable;
+use crate::tunnel::encapsulate;
+
+/// Counters kept by a redirector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RedirectorStats {
+    /// Packets that matched the redirector table.
+    pub redirected: u64,
+    /// Tunnelled copies emitted (≥ `redirected`; one per chain member).
+    pub copies: u64,
+    /// Packets forwarded by ordinary routing (no table match).
+    pub forwarded: u64,
+    /// Packets dropped for lack of a route.
+    pub dropped_no_route: u64,
+    /// Packets dropped on TTL expiry.
+    pub dropped_ttl: u64,
+    /// Packets addressed to the redirector itself (management traffic).
+    pub local: u64,
+}
+
+/// What [`RedirectorEngine::process`] decided about a packet.
+#[derive(Debug)]
+pub enum Disposition {
+    /// The packet was redirected, forwarded, or dropped; outputs (if any)
+    /// were pushed to the caller's buffer.
+    Handled,
+    /// The packet is addressed to the redirector itself (management
+    /// traffic); the caller owns delivering it up its own stack.
+    Local(IpPacket),
+}
+
+/// Sans-I/O redirector logic: routing plus redirection. Embed this in a
+/// node (see [`RedirectorNode`] or `hydranet-core`'s managed redirector).
+#[derive(Debug)]
+pub struct RedirectorEngine {
+    addr: IpAddr,
+    routes: RouteTable,
+    table: RedirectorTable,
+    stats: RedirectorStats,
+    /// TCP packets can arrive fragmented (e.g. oversized writes); the port
+    /// lives only in the first fragment, so redirection operates on
+    /// reassembled packets — the redirector is a middlebox with per-flow
+    /// reassembly state, like any port-matching router.
+    reassembler: Reassembler,
+}
+
+impl RedirectorEngine {
+    /// Creates an engine for a redirector whose own address is `addr`.
+    pub fn new(addr: IpAddr) -> Self {
+        RedirectorEngine {
+            addr,
+            routes: RouteTable::new(),
+            table: RedirectorTable::new(),
+            stats: RedirectorStats::default(),
+            reassembler: Reassembler::new(),
+        }
+    }
+
+    /// The redirector's own address.
+    pub fn addr(&self) -> IpAddr {
+        self.addr
+    }
+
+    /// The plain routing table (egress interface by destination prefix).
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
+    }
+
+    /// The routing table, mutable.
+    pub fn routes_mut(&mut self) -> &mut RouteTable {
+        &mut self.routes
+    }
+
+    /// The redirector table.
+    pub fn table(&self) -> &RedirectorTable {
+        &self.table
+    }
+
+    /// The redirector table, mutable (installed/reconfigured by the replica
+    /// management protocol).
+    pub fn table_mut(&mut self) -> &mut RedirectorTable {
+        &mut self.table
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &RedirectorStats {
+        &self.stats
+    }
+
+    /// Routes a packet originated *by* the redirector (management replies):
+    /// looks up the egress interface for its destination.
+    pub fn route_own(&mut self, packet: IpPacket, out: &mut Vec<(IfaceId, IpPacket)>) {
+        match self.routes.lookup(packet.dst()) {
+            Some(iface) => out.push((iface, packet)),
+            None => self.stats.dropped_no_route += 1,
+        }
+    }
+
+    /// Processes one incoming packet, pushing any transmissions into `out`.
+    pub fn process(
+        &mut self,
+        packet: IpPacket,
+        now: SimTime,
+        out: &mut Vec<(IfaceId, IpPacket)>,
+    ) -> Disposition {
+        if packet.dst() == self.addr {
+            self.stats.local += 1;
+            return Disposition::Local(packet);
+        }
+        let mut packet = packet;
+        if packet.header.ttl <= 1 {
+            self.stats.dropped_ttl += 1;
+            return Disposition::Handled;
+        }
+        packet.header.ttl -= 1;
+
+        if packet.protocol() == Protocol::TCP {
+            // Redirection matches on the TCP destination port, which for a
+            // fragmented packet is only present once reassembled.
+            let whole = if packet.header.frag.is_fragment() {
+                match self.reassembler.push(now, packet) {
+                    Some(w) => w,
+                    None => return Disposition::Handled, // awaiting fragments
+                }
+            } else {
+                packet
+            };
+            if let Some(port) = peek_tcp_dst_port(&whole.payload) {
+                let sap = SockAddr::new(whole.dst(), port);
+                if let Some(entry) = self.table.lookup(sap) {
+                    let targets = entry.targets();
+                    self.stats.redirected += 1;
+                    for host in targets {
+                        match self.routes.lookup(host) {
+                            Some(iface) => {
+                                self.stats.copies += 1;
+                                out.push((iface, encapsulate(&whole, self.addr, host)));
+                            }
+                            None => self.stats.dropped_no_route += 1,
+                        }
+                    }
+                    return Disposition::Handled;
+                }
+            }
+            packet = whole;
+        }
+
+        match self.routes.lookup(packet.dst()) {
+            Some(iface) => {
+                self.stats.forwarded += 1;
+                out.push((iface, packet));
+            }
+            None => self.stats.dropped_no_route += 1,
+        }
+        Disposition::Handled
+    }
+}
+
+/// Reads the TCP destination port from an (unfragmented) TCP payload.
+pub fn peek_tcp_dst_port(payload: &[u8]) -> Option<u16> {
+    if payload.len() < 4 {
+        return None;
+    }
+    Some(u16::from_be_bytes([payload[2], payload[3]]))
+}
+
+/// A standalone redirector node (no management plane): suitable for tests
+/// and static deployments. Management traffic addressed to the redirector
+/// itself is counted and dropped; use `hydranet-core`'s managed redirector
+/// for the full replica management protocol.
+#[derive(Debug)]
+pub struct RedirectorNode {
+    engine: RedirectorEngine,
+    name: String,
+    out_scratch: Vec<(IfaceId, IpPacket)>,
+}
+
+impl RedirectorNode {
+    /// Creates a redirector node.
+    pub fn new(name: impl Into<String>, addr: IpAddr) -> Self {
+        RedirectorNode {
+            engine: RedirectorEngine::new(addr),
+            name: name.into(),
+            out_scratch: Vec::new(),
+        }
+    }
+
+    /// The embedded engine.
+    pub fn engine(&self) -> &RedirectorEngine {
+        &self.engine
+    }
+
+    /// The embedded engine, mutable (for table/route configuration).
+    pub fn engine_mut(&mut self) -> &mut RedirectorEngine {
+        &mut self.engine
+    }
+}
+
+impl Node for RedirectorNode {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, _iface: IfaceId, packet: IpPacket) {
+        let mut out = std::mem::take(&mut self.out_scratch);
+        let _ = self.engine.process(packet, ctx.now(), &mut out);
+        for (iface, p) in out.drain(..) {
+            ctx.send(iface, p);
+        }
+        self.out_scratch = out;
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ServiceEntry;
+    use hydranet_netsim::routing::Prefix;
+    use hydranet_tcp::segment::{TcpFlags, TcpSegment};
+    use hydranet_tcp::seq::SeqNum;
+
+    const RD: IpAddr = IpAddr::new(10, 9, 0, 1);
+    const SERVICE: IpAddr = IpAddr::new(192, 20, 225, 20);
+    const CLIENT: IpAddr = IpAddr::new(10, 0, 1, 1);
+    const H1: IpAddr = IpAddr::new(10, 0, 2, 1);
+    const H2: IpAddr = IpAddr::new(10, 0, 3, 1);
+
+    fn tcp_packet(dst_port: u16, payload_len: usize) -> IpPacket {
+        let seg = TcpSegment {
+            src_port: 40_000,
+            dst_port,
+            seq: SeqNum::new(1),
+            ack: SeqNum::new(0),
+            flags: TcpFlags::ACK,
+            window: 1000,
+            payload: vec![9; payload_len],
+        };
+        IpPacket::new(CLIENT, SERVICE, Protocol::TCP, seg.encode())
+    }
+
+    fn engine() -> RedirectorEngine {
+        let mut e = RedirectorEngine::new(RD);
+        e.routes_mut().add(Prefix::new(IpAddr::new(10, 0, 1, 0), 24), IfaceId::from_index(0));
+        e.routes_mut().add(Prefix::new(IpAddr::new(10, 0, 2, 0), 24), IfaceId::from_index(1));
+        e.routes_mut().add(Prefix::new(IpAddr::new(10, 0, 3, 0), 24), IfaceId::from_index(2));
+        e.routes_mut().add(Prefix::host(SERVICE), IfaceId::from_index(3));
+        e
+    }
+
+    #[test]
+    fn ft_match_multicasts_tunnelled_copies() {
+        let mut e = engine();
+        e.table_mut().install(
+            SockAddr::new(SERVICE, 80),
+            ServiceEntry::FaultTolerant { chain: vec![H1, H2] },
+        );
+        let mut out = Vec::new();
+        let d = e.process(tcp_packet(80, 100), SimTime::ZERO, &mut out);
+        assert!(matches!(d, Disposition::Handled));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, IfaceId::from_index(1));
+        assert_eq!(out[1].0, IfaceId::from_index(2));
+        for (_, p) in &out {
+            assert_eq!(p.protocol(), Protocol::IP_IN_IP);
+            let inner = crate::tunnel::decapsulate(p).unwrap();
+            assert_eq!(inner.dst(), SERVICE);
+        }
+        assert_eq!(e.stats().redirected, 1);
+        assert_eq!(e.stats().copies, 2);
+    }
+
+    #[test]
+    fn non_matching_port_forwards_to_origin() {
+        // Figure 2: client B's telnet to the origin host is not rerouted.
+        let mut e = engine();
+        e.table_mut().install(
+            SockAddr::new(SERVICE, 80),
+            ServiceEntry::FaultTolerant { chain: vec![H1] },
+        );
+        let mut out = Vec::new();
+        e.process(tcp_packet(23, 10), SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, IfaceId::from_index(3)); // towards origin
+        assert_eq!(out[0].1.protocol(), Protocol::TCP); // untouched
+        assert_eq!(e.stats().forwarded, 1);
+        assert_eq!(e.stats().redirected, 0);
+    }
+
+    #[test]
+    fn scaled_entry_sends_single_copy_to_nearest() {
+        let mut e = engine();
+        e.table_mut().install(
+            SockAddr::new(SERVICE, 80),
+            ServiceEntry::Scaled {
+                replicas: vec![
+                    crate::table::ReplicaLoc { host: H1, metric: 9 },
+                    crate::table::ReplicaLoc { host: H2, metric: 2 },
+                ],
+            },
+        );
+        let mut out = Vec::new();
+        e.process(tcp_packet(80, 0), SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, IfaceId::from_index(2)); // H2 is nearer
+    }
+
+    #[test]
+    fn local_packets_are_surfaced() {
+        let mut e = engine();
+        let p = IpPacket::new(CLIENT, RD, Protocol::UDP, vec![1, 2, 3]);
+        let mut out = Vec::new();
+        match e.process(p.clone(), SimTime::ZERO, &mut out) {
+            Disposition::Local(got) => assert_eq!(got, p),
+            other => panic!("expected Local, got {other:?}"),
+        }
+        assert!(out.is_empty());
+        assert_eq!(e.stats().local, 1);
+    }
+
+    #[test]
+    fn ttl_expiry_drops() {
+        let mut e = engine();
+        let mut p = tcp_packet(80, 0);
+        p.header.ttl = 1;
+        let mut out = Vec::new();
+        e.process(p, SimTime::ZERO, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(e.stats().dropped_ttl, 1);
+    }
+
+    #[test]
+    fn fragmented_tcp_reassembles_before_redirection() {
+        let mut e = engine();
+        e.table_mut().install(
+            SockAddr::new(SERVICE, 80),
+            ServiceEntry::FaultTolerant { chain: vec![H1] },
+        );
+        let mut whole = tcp_packet(80, 2000);
+        whole.header.id = 42;
+        let frags =
+            hydranet_netsim::frag::fragment_packet(whole.clone(), 600).expect("fragments");
+        assert!(frags.len() >= 4);
+        let mut out = Vec::new();
+        for f in frags {
+            e.process(f, SimTime::ZERO, &mut out);
+        }
+        // One reassembled redirected copy.
+        assert_eq!(out.len(), 1);
+        let inner = crate::tunnel::decapsulate(&out[0].1).unwrap();
+        // TTL was decremented once on the reassembled packet's first
+        // fragment; compare payloads instead of headers.
+        assert_eq!(inner.payload, whole.payload);
+    }
+
+    #[test]
+    fn route_own_uses_routing_table() {
+        let mut e = engine();
+        let p = IpPacket::new(RD, H1, Protocol::UDP, vec![]);
+        let mut out = Vec::new();
+        e.route_own(p, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, IfaceId::from_index(1));
+        // No route: dropped.
+        let p2 = IpPacket::new(RD, IpAddr::new(172, 16, 0, 1), Protocol::UDP, vec![]);
+        let mut out2 = Vec::new();
+        e.route_own(p2, &mut out2);
+        assert!(out2.is_empty());
+        assert_eq!(e.stats().dropped_no_route, 1);
+    }
+
+    #[test]
+    fn peek_port() {
+        assert_eq!(peek_tcp_dst_port(&[0, 80, 0, 23]), Some(23));
+        assert_eq!(peek_tcp_dst_port(&[0, 80]), None);
+    }
+}

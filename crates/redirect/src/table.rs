@@ -1,0 +1,213 @@
+//! The redirector table.
+//!
+//! "Each redirector maintains a *redirector table*, which lists the
+//! transport-level service access points (in our case pairs of IP addresses
+//! and port numbers) for which packets must be redirected, and the host
+//! server to which the packets must go" (§3). For fault-tolerant services
+//! the entry holds the whole replica chain: "the redirector maintains the
+//! location of the primary server and of all the backup servers" (§4.2).
+
+use std::collections::HashMap;
+
+use hydranet_netsim::packet::IpAddr;
+use hydranet_tcp::segment::SockAddr;
+
+/// A replica location for a scaled (non-fault-tolerant) service, with the
+/// routing metric used for "nearest" selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaLoc {
+    /// The host server running the replica.
+    pub host: IpAddr,
+    /// Path metric from this redirector (lower is nearer).
+    pub metric: u32,
+}
+
+/// One redirector-table entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceEntry {
+    /// HydraNet scaling mode: forward to the nearest replica.
+    Scaled {
+        /// Candidate replicas.
+        replicas: Vec<ReplicaLoc>,
+    },
+    /// HydraNet-FT mode: multicast to the whole chain; `chain[0]` is the
+    /// primary, the rest are backups in daisy-chain order.
+    FaultTolerant {
+        /// Replica hosts in chain order (primary first).
+        chain: Vec<IpAddr>,
+    },
+}
+
+impl ServiceEntry {
+    /// All host addresses a matching packet must be delivered to.
+    pub fn targets(&self) -> Vec<IpAddr> {
+        match self {
+            ServiceEntry::Scaled { replicas } => replicas
+                .iter()
+                .min_by_key(|r| r.metric)
+                .map(|r| vec![r.host])
+                .unwrap_or_default(),
+            ServiceEntry::FaultTolerant { chain } => chain.clone(),
+        }
+    }
+}
+
+/// Maps service access points to their redirection entries.
+///
+/// # Examples
+///
+/// ```
+/// use hydranet_redirect::table::{RedirectorTable, ServiceEntry};
+/// use hydranet_netsim::packet::IpAddr;
+/// use hydranet_tcp::segment::SockAddr;
+///
+/// let mut t = RedirectorTable::new();
+/// let sap = SockAddr::new(IpAddr::new(192, 20, 225, 20), 80);
+/// t.install(sap, ServiceEntry::FaultTolerant {
+///     chain: vec![IpAddr::new(10, 0, 2, 1), IpAddr::new(10, 0, 3, 1)],
+/// });
+/// assert_eq!(t.lookup(sap).unwrap().targets().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RedirectorTable {
+    entries: HashMap<SockAddr, ServiceEntry>,
+}
+
+impl RedirectorTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RedirectorTable::default()
+    }
+
+    /// Installs (or replaces) the entry for a service access point.
+    pub fn install(&mut self, sap: SockAddr, entry: ServiceEntry) {
+        self.entries.insert(sap, entry);
+    }
+
+    /// Removes the entry for `sap`, returning it.
+    pub fn remove(&mut self, sap: SockAddr) -> Option<ServiceEntry> {
+        self.entries.remove(&sap)
+    }
+
+    /// Looks up the entry for `sap`. Packets with no entry "are simply
+    /// forwarded to the origin host" by the caller.
+    pub fn lookup(&self, sap: SockAddr) -> Option<&ServiceEntry> {
+        self.entries.get(&sap)
+    }
+
+    /// The fault-tolerant chain for `sap`, if that entry exists and is FT.
+    pub fn chain(&self, sap: SockAddr) -> Option<&[IpAddr]> {
+        match self.entries.get(&sap) {
+            Some(ServiceEntry::FaultTolerant { chain }) => Some(chain),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the FT chain for `sap` (used by reconfiguration).
+    pub fn chain_mut(&mut self, sap: SockAddr) -> Option<&mut Vec<IpAddr>> {
+        match self.entries.get_mut(&sap) {
+            Some(ServiceEntry::FaultTolerant { chain }) => Some(chain),
+            _ => None,
+        }
+    }
+
+    /// Removes `host` from the FT chain of `sap` (failure reconfiguration:
+    /// "the failed server must then be 'shut down' by eliminating it from
+    /// the set of replicas", §4.4). Returns `true` if the chain changed.
+    pub fn remove_from_chain(&mut self, sap: SockAddr, host: IpAddr) -> bool {
+        if let Some(chain) = self.chain_mut(sap) {
+            let before = chain.len();
+            chain.retain(|&h| h != host);
+            return chain.len() != before;
+        }
+        false
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(service access point, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&SockAddr, &ServiceEntry)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sap(port: u16) -> SockAddr {
+        SockAddr::new(IpAddr::new(192, 20, 225, 20), port)
+    }
+
+    fn host(n: u8) -> IpAddr {
+        IpAddr::new(10, 0, n, 1)
+    }
+
+    #[test]
+    fn install_lookup_remove() {
+        let mut t = RedirectorTable::new();
+        assert!(t.is_empty());
+        t.install(sap(80), ServiceEntry::FaultTolerant { chain: vec![host(1)] });
+        assert_eq!(t.len(), 1);
+        assert!(t.lookup(sap(80)).is_some());
+        assert!(t.lookup(sap(23)).is_none()); // telnet not redirected (Fig. 2)
+        assert!(t.remove(sap(80)).is_some());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ft_entry_targets_whole_chain() {
+        let e = ServiceEntry::FaultTolerant {
+            chain: vec![host(1), host(2), host(3)],
+        };
+        assert_eq!(e.targets(), vec![host(1), host(2), host(3)]);
+    }
+
+    #[test]
+    fn scaled_entry_picks_nearest() {
+        let e = ServiceEntry::Scaled {
+            replicas: vec![
+                ReplicaLoc { host: host(1), metric: 10 },
+                ReplicaLoc { host: host(2), metric: 3 },
+                ReplicaLoc { host: host(3), metric: 7 },
+            ],
+        };
+        assert_eq!(e.targets(), vec![host(2)]);
+        let empty = ServiceEntry::Scaled { replicas: vec![] };
+        assert!(empty.targets().is_empty());
+    }
+
+    #[test]
+    fn remove_from_chain_reconfigures() {
+        let mut t = RedirectorTable::new();
+        t.install(
+            sap(80),
+            ServiceEntry::FaultTolerant {
+                chain: vec![host(1), host(2), host(3)],
+            },
+        );
+        assert!(t.remove_from_chain(sap(80), host(1)));
+        assert_eq!(t.chain(sap(80)).unwrap(), &[host(2), host(3)]);
+        // Removing an absent host is a no-op.
+        assert!(!t.remove_from_chain(sap(80), host(9)));
+        // Unknown service too.
+        assert!(!t.remove_from_chain(sap(443), host(2)));
+    }
+
+    #[test]
+    fn distinct_ports_are_distinct_services() {
+        let mut t = RedirectorTable::new();
+        t.install(sap(80), ServiceEntry::FaultTolerant { chain: vec![host(1)] });
+        t.install(sap(443), ServiceEntry::FaultTolerant { chain: vec![host(2)] });
+        assert_eq!(t.chain(sap(80)).unwrap(), &[host(1)]);
+        assert_eq!(t.chain(sap(443)).unwrap(), &[host(2)]);
+    }
+}

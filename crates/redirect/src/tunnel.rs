@@ -1,0 +1,95 @@
+//! IP-in-IP tunnelling.
+//!
+//! "A packet is redirected to the appropriate host server by *tunnelling*
+//! it using IP-in-IP encapsulation. The destination host server is equipped
+//! to detect tunneled packets and to forward them internally to the
+//! service" (§3). The decapsulation side lives in the host-server stack
+//! (`hydranet_tcp::stack`); this module provides encapsulation and a
+//! decode helper.
+
+use hydranet_netsim::packet::{DecodeError, IpAddr, IpPacket, Protocol};
+
+/// Encapsulates `inner` for delivery to `host_server`, from `redirector`.
+///
+/// The inner packet keeps its original header (notably the replicated
+/// service's destination address), so the host server's virtual-host
+/// matching works unchanged.
+pub fn encapsulate(inner: &IpPacket, redirector: IpAddr, host_server: IpAddr) -> IpPacket {
+    let mut outer = IpPacket::new(redirector, host_server, Protocol::IP_IN_IP, inner.encode());
+    outer.header.id = inner.header.id;
+    outer
+}
+
+/// Extracts the inner packet from an IP-in-IP tunnel packet.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if `outer` is not IP-in-IP or its payload does
+/// not parse as a packet.
+pub fn decapsulate(outer: &IpPacket) -> Result<IpPacket, DecodeError> {
+    if outer.protocol() != Protocol::IP_IN_IP {
+        return Err(DecodeError::BadVersion(outer.protocol().number()));
+    }
+    IpPacket::decode(&outer.payload)
+}
+
+/// The extra on-wire bytes one level of encapsulation adds.
+pub const TUNNEL_OVERHEAD: usize = hydranet_netsim::packet::IP_HEADER_LEN;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encap_decap_roundtrip() {
+        let inner = IpPacket::new(
+            IpAddr::new(10, 0, 1, 1),
+            IpAddr::new(192, 20, 225, 20),
+            Protocol::TCP,
+            b"segment bytes".to_vec(),
+        );
+        let outer = encapsulate(&inner, IpAddr::new(10, 9, 9, 9), IpAddr::new(10, 0, 2, 1));
+        assert_eq!(outer.protocol(), Protocol::IP_IN_IP);
+        assert_eq!(outer.src(), IpAddr::new(10, 9, 9, 9));
+        assert_eq!(outer.dst(), IpAddr::new(10, 0, 2, 1));
+        assert_eq!(outer.total_len(), inner.total_len() + TUNNEL_OVERHEAD);
+        assert_eq!(decapsulate(&outer).unwrap(), inner);
+    }
+
+    #[test]
+    fn decap_rejects_non_tunnel() {
+        let plain = IpPacket::new(
+            IpAddr::new(1, 1, 1, 1),
+            IpAddr::new(2, 2, 2, 2),
+            Protocol::TCP,
+            vec![],
+        );
+        assert!(decapsulate(&plain).is_err());
+    }
+
+    #[test]
+    fn decap_rejects_garbage_payload() {
+        let bogus = IpPacket::new(
+            IpAddr::new(1, 1, 1, 1),
+            IpAddr::new(2, 2, 2, 2),
+            Protocol::IP_IN_IP,
+            vec![0xFF; 10],
+        );
+        assert!(decapsulate(&bogus).is_err());
+    }
+
+    #[test]
+    fn nested_encapsulation_unwraps_in_order() {
+        let inner = IpPacket::new(
+            IpAddr::new(10, 0, 1, 1),
+            IpAddr::new(192, 20, 225, 20),
+            Protocol::UDP,
+            vec![7; 32],
+        );
+        let mid = encapsulate(&inner, IpAddr::new(10, 8, 0, 1), IpAddr::new(10, 0, 2, 1));
+        let outer = encapsulate(&mid, IpAddr::new(10, 9, 0, 1), IpAddr::new(10, 0, 3, 1));
+        let back_mid = decapsulate(&outer).unwrap();
+        assert_eq!(back_mid, mid);
+        assert_eq!(decapsulate(&back_mid).unwrap(), inner);
+    }
+}

@@ -1,0 +1,538 @@
+//! Socket buffers: retransmittable send data and receive-side reassembly.
+//!
+//! The receive buffer distinguishes *staged* bytes (arrived, possibly out of
+//! order, not yet acknowledged to the application) from *deposited* bytes
+//! (readable by the application and covered by our ACKs). HydraNet-FT's
+//! atomicity rule — replica `Sᵢ` may deposit byte `k` only after its
+//! successor reported an acknowledgement number greater than `k` (paper
+//! §4.3) — is implemented by the deposit limit: staged bytes cross into the
+//! readable queue only up to the limit.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::seq::SeqNum;
+
+/// Bytes accepted from the application, awaiting transmission and
+/// acknowledgement. The buffer's base tracks the lowest unacknowledged
+/// sequence number.
+#[derive(Debug, Clone)]
+pub struct SendBuffer {
+    base: SeqNum,
+    data: VecDeque<u8>,
+    capacity: usize,
+}
+
+impl SendBuffer {
+    /// Creates a buffer whose first byte will carry sequence number `base`.
+    pub fn new(base: SeqNum, capacity: usize) -> Self {
+        SendBuffer {
+            base,
+            data: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Appends as much of `data` as fits; returns the number of bytes taken.
+    pub fn write(&mut self, data: &[u8]) -> usize {
+        let room = self.capacity.saturating_sub(self.data.len());
+        let take = room.min(data.len());
+        self.data.extend(&data[..take]);
+        take
+    }
+
+    /// Sequence number of the first byte held (the retransmission base).
+    pub fn base(&self) -> SeqNum {
+        self.base
+    }
+
+    /// Sequence number one past the last byte held.
+    pub fn end(&self) -> SeqNum {
+        self.base + self.data.len() as u32
+    }
+
+    /// Number of bytes held.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Free space in bytes.
+    pub fn room(&self) -> usize {
+        self.capacity.saturating_sub(self.data.len())
+    }
+
+    /// Releases bytes acknowledged up to (not including) `upto`.
+    ///
+    /// Sequence numbers outside the held range are clamped, so duplicate or
+    /// stale ACKs are harmless.
+    pub fn ack_to(&mut self, upto: SeqNum) {
+        if upto.before_eq(self.base) {
+            return;
+        }
+        let n = (upto - self.base).min(self.data.len() as u32) as usize;
+        self.data.drain(..n);
+        self.base += n as u32;
+    }
+
+    /// Copies up to `len` bytes starting at sequence number `from`.
+    ///
+    /// Returns an empty vector if `from` is outside the held range.
+    pub fn slice(&self, from: SeqNum, len: usize) -> Vec<u8> {
+        if from.before(self.base) || from.after_eq(self.end()) {
+            return Vec::new();
+        }
+        let start = (from - self.base) as usize;
+        let end = (start + len).min(self.data.len());
+        self.data.range(start..end).copied().collect()
+    }
+}
+
+/// Receive-side reassembly buffer with a deposit gate.
+#[derive(Debug, Clone)]
+pub struct RecvBuffer {
+    /// Next sequence number to deposit (`RCV.NXT`).
+    nxt_seq: SeqNum,
+    /// Absolute stream offset corresponding to `nxt_seq` (monotonic, never
+    /// wraps — used as the key space for staging).
+    nxt_off: u64,
+    /// Deposit gate: staged bytes with stream offset `< limit` may become
+    /// readable. `None` means ungated (plain TCP, or the last replica in a
+    /// HydraNet-FT chain).
+    deposit_limit: Option<u64>,
+    /// Deposited, application-readable bytes.
+    readable: VecDeque<u8>,
+    /// Staged runs keyed by absolute stream offset.
+    staged: BTreeMap<u64, Vec<u8>>,
+    capacity: usize,
+}
+
+impl RecvBuffer {
+    /// Creates a buffer expecting its first data byte at `nxt`.
+    pub fn new(nxt: SeqNum, capacity: usize) -> Self {
+        RecvBuffer {
+            nxt_seq: nxt,
+            nxt_off: 0,
+            deposit_limit: None,
+            readable: VecDeque::new(),
+            staged: BTreeMap::new(),
+            capacity,
+        }
+    }
+
+    /// The next sequence number expected in order (`RCV.NXT`); this is what
+    /// our outgoing ACK field carries.
+    pub fn rcv_nxt(&self) -> SeqNum {
+        self.nxt_seq
+    }
+
+    /// The receive window to advertise: free space after readable and
+    /// staged bytes are accounted for.
+    pub fn window(&self) -> u32 {
+        let used = self.readable.len() + self.staged_bytes();
+        self.capacity.saturating_sub(used) as u32
+    }
+
+    /// Number of bytes ready for the application.
+    pub fn readable_len(&self) -> usize {
+        self.readable.len()
+    }
+
+    /// Total bytes staged awaiting deposit (in-order but gated, or out of
+    /// order).
+    pub fn staged_bytes(&self) -> usize {
+        self.staged.values().map(Vec::len).sum()
+    }
+
+    /// Sets the deposit gate from a successor-reported acknowledgement
+    /// number: bytes strictly before `upto` may be deposited. The gate only
+    /// ever moves forward.
+    pub fn gate_deposits_below(&mut self, upto: SeqNum) {
+        let diff = self.seq_to_off(upto);
+        let new_limit = diff.max(self.nxt_off);
+        self.deposit_limit = Some(match self.deposit_limit {
+            Some(old) => old.max(new_limit),
+            None => new_limit,
+        });
+    }
+
+    /// Enables gating with nothing yet permitted (used when a replica port
+    /// gains a successor).
+    pub fn enable_gate(&mut self) {
+        if self.deposit_limit.is_none() {
+            self.deposit_limit = Some(self.nxt_off);
+        }
+    }
+
+    /// Removes the deposit gate entirely (plain TCP behaviour, or a replica
+    /// that became the last in its chain).
+    pub fn clear_gate(&mut self) {
+        self.deposit_limit = None;
+    }
+
+    /// Whether a deposit gate is active.
+    pub fn is_gated(&self) -> bool {
+        self.deposit_limit.is_some()
+    }
+
+    /// Offers segment data starting at `seq`. Data outside the receive
+    /// window is clipped; duplicates are ignored. Returns `true` if
+    /// `RCV.NXT` advanced (i.e. new bytes were deposited).
+    pub fn offer(&mut self, seq: SeqNum, data: &[u8]) -> bool {
+        if !data.is_empty() {
+            self.stage(seq, data);
+        }
+        self.deposit()
+    }
+
+    /// Reads up to `max` deposited bytes.
+    pub fn read(&mut self, max: usize) -> Vec<u8> {
+        let n = max.min(self.readable.len());
+        self.readable.drain(..n).collect()
+    }
+
+    /// Attempts to move staged bytes into the readable queue, honouring the
+    /// deposit gate. Returns `true` if `RCV.NXT` advanced.
+    pub fn deposit(&mut self) -> bool {
+        let mut advanced = false;
+        while let Some((&off, run)) = self.staged.first_key_value() {
+            if off > self.nxt_off {
+                break; // hole
+            }
+            let run_end = off + run.len() as u64;
+            if run_end <= self.nxt_off {
+                self.staged.pop_first();
+                continue; // fully duplicate
+            }
+            let limit = self.deposit_limit.unwrap_or(u64::MAX);
+            if self.nxt_off >= limit {
+                break; // gate closed
+            }
+            let take_end = run_end.min(limit);
+            let skip = (self.nxt_off - off) as usize;
+            let take = (take_end - self.nxt_off) as usize;
+            let run = self.staged.pop_first().expect("first exists").1;
+            self.readable.extend(&run[skip..skip + take]);
+            self.nxt_off += take as u64;
+            self.nxt_seq += take as u32;
+            advanced = true;
+            if take_end < run_end {
+                // Re-stage the gated tail.
+                let rest = run[skip + take..].to_vec();
+                self.staged.insert(take_end, rest);
+                break;
+            }
+        }
+        advanced
+    }
+
+    /// Total distinct stream bytes received so far (deposited plus staged).
+    /// Used to distinguish fresh data from peer retransmissions.
+    pub fn coverage(&self) -> u64 {
+        self.nxt_off + self.staged_bytes() as u64
+    }
+
+    /// Whether the deposit gate would permit at least one more sequence
+    /// slot. This is how a FIN — which occupies sequence space but carries
+    /// no bytes — is gated: the successor's acknowledgement must pass the
+    /// FIN slot before we consume it.
+    pub fn gate_allows_one_more(&self) -> bool {
+        match self.deposit_limit {
+            None => true,
+            Some(limit) => limit > self.nxt_off,
+        }
+    }
+
+    /// Consumes one sequence slot that carries no data (a peer FIN),
+    /// advancing `RCV.NXT` past it.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if undeposited data is staged at the slot.
+    pub fn consume_slot(&mut self) {
+        debug_assert!(
+            self.staged.first_key_value().is_none_or(|(&o, _)| o > self.nxt_off),
+            "consume_slot with staged data pending at RCV.NXT"
+        );
+        self.nxt_seq += 1;
+        self.nxt_off += 1;
+    }
+
+    /// Converts a sequence number near `RCV.NXT` to an absolute offset.
+    fn seq_to_off(&self, seq: SeqNum) -> u64 {
+        let d = (seq - self.nxt_seq) as i32 as i64;
+        self.nxt_off.saturating_add_signed(d)
+    }
+
+    fn stage(&mut self, seq: SeqNum, data: &[u8]) {
+        let start = self.seq_to_off(seq);
+        let end = start + data.len() as u64;
+        // Clip to the receive window: [nxt_off, nxt_off + capacity).
+        let win_lo = self.nxt_off;
+        let win_hi = self.nxt_off + self.capacity as u64;
+        let clip_lo = start.max(win_lo);
+        let clip_hi = end.min(win_hi);
+        if clip_lo >= clip_hi {
+            return;
+        }
+        let data = &data[(clip_lo - start) as usize..(clip_hi - start) as usize];
+        self.insert_run(clip_lo, data);
+    }
+
+    /// Inserts a run, trimming against existing staged runs (first copy of
+    /// any byte wins).
+    fn insert_run(&mut self, mut start: u64, mut data: &[u8]) {
+        while !data.is_empty() {
+            // Find the first existing run overlapping or after `start`.
+            let next_existing = self
+                .staged
+                .range(..=start)
+                .next_back()
+                .filter(|(&o, run)| o + run.len() as u64 > start)
+                .map(|(&o, run)| (o, o + run.len() as u64))
+                .or_else(|| {
+                    self.staged
+                        .range(start..)
+                        .next()
+                        .map(|(&o, run)| (o, o + run.len() as u64))
+                });
+            match next_existing {
+                Some((ex_start, ex_end)) if ex_start <= start => {
+                    // Overlap from the left: skip bytes already held.
+                    let skip = (ex_end - start).min(data.len() as u64) as usize;
+                    start += skip as u64;
+                    data = &data[skip..];
+                }
+                Some((ex_start, _)) if ex_start < start + data.len() as u64 => {
+                    // Partial room before the next run.
+                    let take = (ex_start - start) as usize;
+                    self.staged.insert(start, data[..take].to_vec());
+                    start += take as u64;
+                    data = &data[take..];
+                }
+                _ => {
+                    self.staged.insert(start, data.to_vec());
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn send_buffer_write_and_ack() {
+        let mut sb = SendBuffer::new(SeqNum::new(1000), 16);
+        assert_eq!(sb.write(b"hello world"), 11);
+        assert_eq!(sb.write(b"overflowing!!"), 5); // only 5 fit
+        assert_eq!(sb.len(), 16);
+        assert_eq!(sb.room(), 0);
+        assert_eq!(sb.end(), SeqNum::new(1016));
+        sb.ack_to(SeqNum::new(1006));
+        assert_eq!(sb.base(), SeqNum::new(1006));
+        assert_eq!(sb.len(), 10);
+        // Stale / duplicate acks are no-ops.
+        sb.ack_to(SeqNum::new(1000));
+        assert_eq!(sb.base(), SeqNum::new(1006));
+    }
+
+    #[test]
+    fn send_buffer_slice() {
+        let mut sb = SendBuffer::new(SeqNum::new(10), 64);
+        sb.write(b"abcdefghij");
+        assert_eq!(sb.slice(SeqNum::new(10), 4), b"abcd");
+        assert_eq!(sb.slice(SeqNum::new(14), 100), b"efghij");
+        assert_eq!(sb.slice(SeqNum::new(9), 4), Vec::<u8>::new());
+        assert_eq!(sb.slice(SeqNum::new(20), 4), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn send_buffer_across_wrap() {
+        let base = SeqNum::new(u32::MAX - 3);
+        let mut sb = SendBuffer::new(base, 64);
+        sb.write(b"12345678");
+        assert_eq!(sb.end(), SeqNum::new(4));
+        assert_eq!(sb.slice(base + 6, 2), b"78");
+        sb.ack_to(SeqNum::new(2)); // past the wrap
+        assert_eq!(sb.base(), SeqNum::new(2));
+        assert_eq!(sb.len(), 2);
+    }
+
+    #[test]
+    fn recv_in_order() {
+        let mut rb = RecvBuffer::new(SeqNum::new(1), 1024);
+        assert!(rb.offer(SeqNum::new(1), b"hello "));
+        assert!(rb.offer(SeqNum::new(7), b"world"));
+        assert_eq!(rb.rcv_nxt(), SeqNum::new(12));
+        assert_eq!(rb.read(100), b"hello world");
+        assert_eq!(rb.read(100), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn recv_out_of_order_reassembles() {
+        let mut rb = RecvBuffer::new(SeqNum::new(0), 1024);
+        assert!(!rb.offer(SeqNum::new(6), b"world"));
+        assert_eq!(rb.rcv_nxt(), SeqNum::new(0));
+        assert_eq!(rb.staged_bytes(), 5);
+        assert!(rb.offer(SeqNum::new(0), b"hello "));
+        assert_eq!(rb.rcv_nxt(), SeqNum::new(11));
+        assert_eq!(rb.read(100), b"hello world");
+    }
+
+    #[test]
+    fn recv_duplicates_ignored() {
+        let mut rb = RecvBuffer::new(SeqNum::new(0), 1024);
+        rb.offer(SeqNum::new(0), b"abcd");
+        assert!(!rb.offer(SeqNum::new(0), b"abcd"));
+        assert!(!rb.offer(SeqNum::new(2), b"cd"));
+        assert_eq!(rb.rcv_nxt(), SeqNum::new(4));
+        assert_eq!(rb.read(100), b"abcd");
+    }
+
+    #[test]
+    fn recv_overlapping_segments() {
+        let mut rb = RecvBuffer::new(SeqNum::new(0), 1024);
+        rb.offer(SeqNum::new(4), b"efgh");
+        rb.offer(SeqNum::new(0), b"abcdef"); // overlaps staged run
+        assert_eq!(rb.rcv_nxt(), SeqNum::new(8));
+        assert_eq!(rb.read(100), b"abcdefgh");
+    }
+
+    #[test]
+    fn recv_window_shrinks_with_staged_and_readable() {
+        let mut rb = RecvBuffer::new(SeqNum::new(0), 100);
+        assert_eq!(rb.window(), 100);
+        rb.offer(SeqNum::new(0), &[1u8; 30]);
+        assert_eq!(rb.window(), 70);
+        rb.offer(SeqNum::new(50), &[2u8; 20]); // out of order, staged
+        assert_eq!(rb.window(), 50);
+        rb.read(30);
+        assert_eq!(rb.window(), 80);
+    }
+
+    #[test]
+    fn recv_clips_beyond_window() {
+        let mut rb = RecvBuffer::new(SeqNum::new(0), 10);
+        rb.offer(SeqNum::new(0), &[1u8; 50]);
+        assert_eq!(rb.rcv_nxt(), SeqNum::new(10));
+        assert_eq!(rb.read(100).len(), 10);
+    }
+
+    #[test]
+    fn recv_clips_stale_data_before_nxt() {
+        let mut rb = RecvBuffer::new(SeqNum::new(100), 64);
+        rb.offer(SeqNum::new(100), b"abcd");
+        // Retransmission covering old + new bytes.
+        assert!(rb.offer(SeqNum::new(100), b"abcdEF"));
+        assert_eq!(rb.read(100), b"abcdEF");
+    }
+
+    #[test]
+    fn gate_blocks_until_raised() {
+        let mut rb = RecvBuffer::new(SeqNum::new(0), 1024);
+        rb.enable_gate();
+        assert!(rb.is_gated());
+        assert!(!rb.offer(SeqNum::new(0), b"abcdefgh"));
+        assert_eq!(rb.rcv_nxt(), SeqNum::new(0));
+        assert_eq!(rb.staged_bytes(), 8);
+        // Successor acked up to byte 4: bytes 0..4 may deposit.
+        rb.gate_deposits_below(SeqNum::new(4));
+        assert!(rb.deposit());
+        assert_eq!(rb.rcv_nxt(), SeqNum::new(4));
+        assert_eq!(rb.read(100), b"abcd");
+        // Raise fully.
+        rb.gate_deposits_below(SeqNum::new(8));
+        assert!(rb.deposit());
+        assert_eq!(rb.read(100), b"efgh");
+    }
+
+    #[test]
+    fn gate_never_moves_backwards() {
+        let mut rb = RecvBuffer::new(SeqNum::new(0), 64);
+        rb.enable_gate();
+        rb.gate_deposits_below(SeqNum::new(10));
+        rb.gate_deposits_below(SeqNum::new(5)); // stale successor report
+        rb.offer(SeqNum::new(0), &[7u8; 10]);
+        assert_eq!(rb.rcv_nxt(), SeqNum::new(10));
+    }
+
+    #[test]
+    fn clear_gate_releases_everything() {
+        let mut rb = RecvBuffer::new(SeqNum::new(0), 64);
+        rb.enable_gate();
+        rb.offer(SeqNum::new(0), b"payload");
+        assert_eq!(rb.readable_len(), 0);
+        rb.clear_gate();
+        assert!(rb.deposit());
+        assert_eq!(rb.read(100), b"payload");
+    }
+
+    #[test]
+    fn recv_across_seq_wrap() {
+        let start = SeqNum::new(u32::MAX - 2);
+        let mut rb = RecvBuffer::new(start, 1024);
+        assert!(rb.offer(start, b"abcdef")); // crosses the wrap
+        assert_eq!(rb.rcv_nxt(), SeqNum::new(3));
+        assert_eq!(rb.read(100), b"abcdef");
+        assert!(rb.offer(SeqNum::new(3), b"gh"));
+        assert_eq!(rb.read(100), b"gh");
+    }
+
+    proptest! {
+        /// Delivering a stream's segments in any order with duplicates
+        /// always reassembles the original stream.
+        #[test]
+        fn reassembly_is_order_insensitive(
+            seed: u64,
+            chunk_sizes in proptest::collection::vec(1usize..50, 1..12),
+        ) {
+            use rand::{seq::SliceRandom, SeedableRng};
+            let total: usize = chunk_sizes.iter().sum();
+            let stream: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+            let mut segments = Vec::new();
+            let mut off = 0usize;
+            for &sz in &chunk_sizes {
+                segments.push((off, stream[off..off + sz].to_vec()));
+                off += sz;
+            }
+            // Duplicate everything once and shuffle.
+            let mut wire: Vec<_> = segments.iter().cloned().chain(segments.iter().cloned()).collect();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            wire.shuffle(&mut rng);
+
+            let base = SeqNum::new(0xfff0_0000); // force a wrap mid-stream sometimes
+            let mut rb = RecvBuffer::new(base, total + 64);
+            for (o, data) in wire {
+                rb.offer(base + o as u32, &data);
+            }
+            prop_assert_eq!(rb.rcv_nxt(), base + total as u32);
+            prop_assert_eq!(rb.read(total + 1), stream);
+        }
+
+        /// The gate: no byte at offset >= limit ever becomes readable.
+        #[test]
+        fn gate_invariant(
+            limit in 0u32..64,
+            offers in proptest::collection::vec((0u32..64, 1usize..16), 1..16),
+        ) {
+            let base = SeqNum::new(500);
+            let mut rb = RecvBuffer::new(base, 4096);
+            rb.enable_gate();
+            rb.gate_deposits_below(base + limit);
+            for (off, len) in offers {
+                let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+                rb.offer(base + off, &data);
+            }
+            // rcv_nxt never passes the gate.
+            prop_assert!((rb.rcv_nxt() - base) <= limit);
+            prop_assert!(rb.readable_len() as u32 <= limit);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The low-latency failure estimator.
+//!
+//! HydraNet-FT detects failures by watching the TCP flow-control loop: "If a
+//! server fails to receive a packet, the flow control loop is broken, and
+//! the client re-transmits. … Repeated re-transmissions are detected at the
+//! servers. After some number of re-transmissions have been detected, any
+//! server can initiate a reconfiguration of the set of replicas" (§4.3).
+//!
+//! The threshold trades **detection latency** against **false positives**,
+//! and must stay above TCP's own triple-duplicate-ACK machinery so the
+//! estimator does not fight congestion control. [`DetectorParams`] is the
+//! `detector-parameters` argument of the paper's `setportopt` system call.
+
+use hydranet_netsim::time::{SimDuration, SimTime};
+
+/// Tuning for the failure estimator of one replicated port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorParams {
+    /// Number of observed client retransmissions (fully duplicate data
+    /// segments) that triggers a failure suspicion.
+    pub threshold: u32,
+    /// Duplicates older than this are forgotten, so isolated packet loss
+    /// does not accumulate into a false positive.
+    pub window: SimDuration,
+}
+
+impl DetectorParams {
+    /// Paper-guided default: above the triple-dup-ack level (threshold 5)
+    /// with a 10-second observation window.
+    pub const DEFAULT: DetectorParams = DetectorParams {
+        threshold: 5,
+        window: SimDuration::from_secs(10),
+    };
+
+    /// Creates parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: u32, window: SimDuration) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        DetectorParams { threshold, window }
+    }
+}
+
+impl Default for DetectorParams {
+    fn default() -> Self {
+        DetectorParams::DEFAULT
+    }
+}
+
+/// Per-connection retransmission counter implementing the estimator.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    params: DetectorParams,
+    /// Timestamps of recent duplicates, oldest first.
+    recent: Vec<SimTime>,
+    /// Latched once the threshold is crossed, until [`reset`](Self::reset).
+    suspected: bool,
+    duplicates_total: u64,
+}
+
+impl FailureDetector {
+    /// Creates a detector with the given parameters.
+    pub fn new(params: DetectorParams) -> Self {
+        FailureDetector {
+            params,
+            recent: Vec::new(),
+            suspected: false,
+            duplicates_total: 0,
+        }
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> DetectorParams {
+        self.params
+    }
+
+    /// Records one observed client retransmission. Returns `true` exactly
+    /// once when the threshold is crossed (latched afterwards).
+    pub fn on_duplicate(&mut self, now: SimTime) -> bool {
+        self.duplicates_total += 1;
+        self.expire(now);
+        self.recent.push(now);
+        if !self.suspected && self.recent.len() as u32 >= self.params.threshold {
+            self.suspected = true;
+            return true;
+        }
+        false
+    }
+
+    /// Records forward progress (new data or new ACKs): clears accumulated
+    /// duplicates since the loop is evidently working.
+    pub fn on_progress(&mut self) {
+        self.recent.clear();
+    }
+
+    /// Whether a suspicion is currently latched.
+    pub fn is_suspected(&self) -> bool {
+        self.suspected
+    }
+
+    /// Total duplicates ever observed (diagnostics).
+    pub fn duplicates_total(&self) -> u64 {
+        self.duplicates_total
+    }
+
+    /// Clears the latch and counters (after a reconfiguration).
+    pub fn reset(&mut self) {
+        self.recent.clear();
+        self.suspected = false;
+    }
+
+    fn expire(&mut self, now: SimTime) {
+        let cutoff = self.params.window;
+        self.recent.retain(|&t| now.duration_since(t) <= cutoff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn fires_exactly_once_at_threshold() {
+        let mut d = FailureDetector::new(DetectorParams::new(3, SimDuration::from_secs(10)));
+        assert!(!d.on_duplicate(at(0)));
+        assert!(!d.on_duplicate(at(10)));
+        assert!(d.on_duplicate(at(20)));
+        assert!(d.is_suspected());
+        // Latched: no double-fire.
+        assert!(!d.on_duplicate(at(30)));
+        assert_eq!(d.duplicates_total(), 4);
+    }
+
+    #[test]
+    fn progress_resets_accumulation() {
+        let mut d = FailureDetector::new(DetectorParams::new(3, SimDuration::from_secs(10)));
+        d.on_duplicate(at(0));
+        d.on_duplicate(at(10));
+        d.on_progress();
+        assert!(!d.on_duplicate(at(20)));
+        assert!(!d.on_duplicate(at(30)));
+        assert!(d.on_duplicate(at(40)));
+    }
+
+    #[test]
+    fn old_duplicates_expire() {
+        let mut d = FailureDetector::new(DetectorParams::new(3, SimDuration::from_millis(100)));
+        d.on_duplicate(at(0));
+        d.on_duplicate(at(10));
+        // Third duplicate long after the window: the first two expired.
+        assert!(!d.on_duplicate(at(500)));
+        assert!(!d.is_suspected());
+    }
+
+    #[test]
+    fn reset_unlatches() {
+        let mut d = FailureDetector::new(DetectorParams::new(1, SimDuration::from_secs(1)));
+        assert!(d.on_duplicate(at(0)));
+        d.reset();
+        assert!(!d.is_suspected());
+        assert!(d.on_duplicate(at(10)));
+    }
+
+    #[test]
+    fn default_threshold_clears_triple_dup_ack() {
+        // The paper requires thresholds "high enough to not interfere with
+        // TCP's own congestion control mechanism" (triple dup-ack = 3).
+        const { assert!(DetectorParams::DEFAULT.threshold > 3) };
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        DetectorParams::new(0, SimDuration::from_secs(1));
+    }
+}

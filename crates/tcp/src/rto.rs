@@ -1,0 +1,188 @@
+//! Round-trip estimation and retransmission timeout (Jacobson/Karn).
+
+use hydranet_netsim::time::SimDuration;
+
+/// Smoothed RTT estimator producing the retransmission timeout (RTO).
+///
+/// Implements the classic Jacobson algorithm (`SRTT`/`RTTVAR` with gains
+/// 1/8 and 1/4) with Karn's rule applied by the caller (samples are only
+/// fed for segments that were not retransmitted) and binary exponential
+/// backoff on timeout.
+///
+/// # Examples
+///
+/// ```
+/// use hydranet_tcp::rto::RttEstimator;
+/// use hydranet_netsim::time::SimDuration;
+///
+/// let mut est = RttEstimator::default();
+/// est.sample(SimDuration::from_millis(100));
+/// assert!(est.rto() >= SimDuration::from_millis(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    backoff_shift: u32,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+}
+
+/// Initial RTO before any sample, per RFC 6298 (adapted: BSD-era stacks of
+/// the paper's vintage used coarser timers; the bench configs raise this).
+pub const INITIAL_RTO: SimDuration = SimDuration::from_secs(1);
+
+/// Default RTO floor.
+pub const DEFAULT_MIN_RTO: SimDuration = SimDuration::from_millis(200);
+
+/// Default RTO ceiling.
+pub const DEFAULT_MAX_RTO: SimDuration = SimDuration::from_secs(64);
+
+impl RttEstimator {
+    /// Creates an estimator with the given RTO floor and ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_rto > max_rto` or `min_rto` is zero.
+    pub fn new(min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        assert!(!min_rto.is_zero(), "min_rto must be positive");
+        assert!(min_rto <= max_rto, "min_rto must not exceed max_rto");
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: INITIAL_RTO.max(min_rto).min(max_rto),
+            backoff_shift: 0,
+            min_rto,
+            max_rto,
+        }
+    }
+
+    /// The current retransmission timeout, including any backoff.
+    pub fn rto(&self) -> SimDuration {
+        let backed_off = self.rto * (1u64 << self.backoff_shift.min(16));
+        backed_off.min(self.max_rto)
+    }
+
+    /// The smoothed RTT, if at least one sample has been taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Feeds one RTT measurement (callers must apply Karn's rule: never
+    /// sample a retransmitted segment). Resets any timeout backoff.
+    pub fn sample(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let err = if rtt >= srtt { rtt - srtt } else { srtt - rtt };
+                // RTTVAR = 3/4 RTTVAR + 1/4 |err|
+                self.rttvar = (self.rttvar * 3 + err) / 4;
+                // SRTT = 7/8 SRTT + 1/8 RTT
+                self.srtt = Some((srtt * 7 + rtt) / 8);
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        let candidate = srtt + (self.rttvar * 4).max(SimDuration::from_millis(10));
+        self.rto = candidate.max(self.min_rto).min(self.max_rto);
+        self.backoff_shift = 0;
+    }
+
+    /// Doubles the RTO after a retransmission timeout (capped).
+    pub fn on_timeout(&mut self) {
+        self.backoff_shift = (self.backoff_shift + 1).min(16);
+    }
+
+    /// Current backoff exponent (0 when no consecutive timeouts).
+    pub fn backoff(&self) -> u32 {
+        self.backoff_shift
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator::new(DEFAULT_MIN_RTO, DEFAULT_MAX_RTO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        let est = RttEstimator::default();
+        assert_eq!(est.rto(), SimDuration::from_secs(1));
+        assert!(est.srtt().is_none());
+    }
+
+    #[test]
+    fn converges_to_stable_rtt() {
+        let mut est = RttEstimator::default();
+        for _ in 0..50 {
+            est.sample(SimDuration::from_millis(80));
+        }
+        let srtt = est.srtt().unwrap();
+        assert!(
+            srtt >= SimDuration::from_millis(78) && srtt <= SimDuration::from_millis(82),
+            "srtt = {srtt}"
+        );
+        // With no variance, RTO collapses to the floor.
+        assert_eq!(est.rto(), DEFAULT_MIN_RTO);
+    }
+
+    #[test]
+    fn variance_inflates_rto() {
+        let mut stable = RttEstimator::default();
+        let mut jittery = RttEstimator::default();
+        for i in 0..50 {
+            stable.sample(SimDuration::from_millis(300));
+            let jitter = if i % 2 == 0 { 100 } else { 500 };
+            jittery.sample(SimDuration::from_millis(jitter));
+        }
+        assert!(jittery.rto() > stable.rto());
+    }
+
+    #[test]
+    fn backoff_doubles_and_sample_resets() {
+        let mut est = RttEstimator::default();
+        est.sample(SimDuration::from_millis(500));
+        let base = est.rto();
+        est.on_timeout();
+        assert_eq!(est.rto(), base * 2);
+        est.on_timeout();
+        assert_eq!(est.rto(), base * 4);
+        assert_eq!(est.backoff(), 2);
+        est.sample(SimDuration::from_millis(500));
+        assert_eq!(est.backoff(), 0);
+        assert!(est.rto() <= base * 2);
+    }
+
+    #[test]
+    fn rto_respects_ceiling() {
+        let mut est = RttEstimator::new(SimDuration::from_millis(100), SimDuration::from_secs(4));
+        est.sample(SimDuration::from_secs(3));
+        for _ in 0..10 {
+            est.on_timeout();
+        }
+        assert_eq!(est.rto(), SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn rto_respects_floor() {
+        let mut est = RttEstimator::new(SimDuration::from_millis(500), SimDuration::from_secs(64));
+        for _ in 0..20 {
+            est.sample(SimDuration::from_millis(1));
+        }
+        assert_eq!(est.rto(), SimDuration::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_rto must not exceed")]
+    fn bad_bounds_rejected() {
+        RttEstimator::new(SimDuration::from_secs(2), SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,222 @@
+//! 32-bit wrapping TCP sequence-number arithmetic.
+//!
+//! Sequence numbers live on a circle of size 2³², so "less than" is only
+//! meaningful for numbers within half the space of each other (RFC 793
+//! semantics). [`SeqNum`] makes the wrapping comparisons explicit and keeps
+//! raw `u32` arithmetic out of the protocol code.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A TCP sequence number with wrapping comparison semantics.
+///
+/// # Examples
+///
+/// ```
+/// use hydranet_tcp::seq::SeqNum;
+///
+/// let a = SeqNum::new(u32::MAX - 1);
+/// let b = a + 4; // wraps past zero
+/// assert!(a.before(b));
+/// assert_eq!(b - a, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNum(u32);
+
+impl SeqNum {
+    /// Creates a sequence number from its raw value.
+    pub const fn new(raw: u32) -> Self {
+        SeqNum(raw)
+    }
+
+    /// The raw 32-bit value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Wrapping "strictly earlier than" (RFC 793 `SEQ.LT`).
+    pub fn before(self, other: SeqNum) -> bool {
+        (other.0.wrapping_sub(self.0) as i32) > 0
+    }
+
+    /// Wrapping "earlier than or equal".
+    pub fn before_eq(self, other: SeqNum) -> bool {
+        self == other || self.before(other)
+    }
+
+    /// Wrapping "strictly later than".
+    pub fn after(self, other: SeqNum) -> bool {
+        other.before(self)
+    }
+
+    /// Wrapping "later than or equal".
+    pub fn after_eq(self, other: SeqNum) -> bool {
+        other.before_eq(self)
+    }
+
+    /// Whether `self` lies in the half-open window `[start, start + len)`.
+    pub fn in_window(self, start: SeqNum, len: u32) -> bool {
+        if len == 0 {
+            return false;
+        }
+        let offset = self.0.wrapping_sub(start.0);
+        offset < len
+    }
+
+    /// The earlier of two sequence numbers (wrapping order).
+    pub fn min_seq(self, other: SeqNum) -> SeqNum {
+        if self.before(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two sequence numbers (wrapping order).
+    pub fn max_seq(self, other: SeqNum) -> SeqNum {
+        if self.after(other) {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<u32> for SeqNum {
+    type Output = SeqNum;
+    fn add(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(rhs))
+    }
+}
+
+impl AddAssign<u32> for SeqNum {
+    fn add_assign(&mut self, rhs: u32) {
+        self.0 = self.0.wrapping_add(rhs);
+    }
+}
+
+impl Sub<SeqNum> for SeqNum {
+    type Output = u32;
+    /// Distance from `rhs` forward to `self` on the circle.
+    fn sub(self, rhs: SeqNum) -> u32 {
+        self.0.wrapping_sub(rhs.0)
+    }
+}
+
+impl Sub<u32> for SeqNum {
+    type Output = SeqNum;
+    fn sub(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_sub(rhs))
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_ordering() {
+        let a = SeqNum::new(100);
+        let b = SeqNum::new(200);
+        assert!(a.before(b));
+        assert!(b.after(a));
+        assert!(a.before_eq(a));
+        assert!(a.after_eq(a));
+        assert!(!a.before(a));
+    }
+
+    #[test]
+    fn ordering_across_wrap() {
+        let a = SeqNum::new(u32::MAX - 10);
+        let b = SeqNum::new(5);
+        assert!(a.before(b));
+        assert!(b.after(a));
+        assert_eq!(b - a, 16);
+        assert_eq!(a + 16, b);
+    }
+
+    #[test]
+    fn window_membership() {
+        let start = SeqNum::new(u32::MAX - 2);
+        assert!(start.in_window(start, 1));
+        assert!((start + 4).in_window(start, 10)); // wrapped member
+        assert!(!(start + 10).in_window(start, 10)); // one past the end
+        assert!(!start.in_window(start, 0)); // empty window
+        assert!(!(start - 1).in_window(start, 10)); // before the window
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SeqNum::new(u32::MAX - 1);
+        let b = SeqNum::new(3);
+        assert_eq!(a.min_seq(b), a);
+        assert_eq!(a.max_seq(b), b);
+        assert_eq!(a.min_seq(a), a);
+    }
+
+    #[test]
+    fn add_assign_wraps() {
+        let mut s = SeqNum::new(u32::MAX);
+        s += 2;
+        assert_eq!(s.raw(), 1);
+    }
+
+    proptest! {
+        /// Adding then measuring the distance recovers the addend.
+        #[test]
+        fn add_sub_roundtrip(base: u32, delta: u32) {
+            let a = SeqNum::new(base);
+            let b = a + delta;
+            prop_assert_eq!(b - a, delta);
+        }
+
+        /// For distances within half the space, before/after are a strict
+        /// total order antisymmetric pair.
+        #[test]
+        fn before_after_antisymmetry(base: u32, delta in 1u32..0x7fff_ffff) {
+            let a = SeqNum::new(base);
+            let b = a + delta;
+            prop_assert!(a.before(b));
+            prop_assert!(!b.before(a));
+            prop_assert!(b.after(a));
+            prop_assert!(!a.after(b));
+        }
+
+        /// Window membership matches the arithmetic definition.
+        #[test]
+        fn window_matches_offset(base: u32, off: u32, len in 1u32..u32::MAX) {
+            let start = SeqNum::new(base);
+            let x = start + off;
+            prop_assert_eq!(x.in_window(start, len), off < len);
+        }
+
+        /// before() is transitive for points within a common half-space
+        /// window.
+        #[test]
+        fn before_transitive(base: u32, d1 in 1u32..0x3fff_ffff, d2 in 1u32..0x3fff_ffff) {
+            let a = SeqNum::new(base);
+            let b = a + d1;
+            let c = b + d2;
+            prop_assert!(a.before(b) && b.before(c));
+            prop_assert!(a.before(c));
+        }
+
+        /// min/max are consistent with before().
+        #[test]
+        fn min_max_consistent(base: u32, delta in 1u32..0x7fff_ffff) {
+            let a = SeqNum::new(base);
+            let b = a + delta;
+            prop_assert_eq!(a.min_seq(b), a);
+            prop_assert_eq!(a.max_seq(b), b);
+            prop_assert_eq!(b.min_seq(a), a);
+            prop_assert_eq!(b.max_seq(a), b);
+        }
+    }
+}

@@ -1,0 +1,766 @@
+//! The host TCP/UDP stack: demultiplexing, listeners, applications, and the
+//! ft-TCP replicated-port plumbing.
+//!
+//! A [`TcpStack`] is the per-host protocol engine. The owning node feeds it
+//! IP packets and clock ticks; applications implement [`SocketApp`] and are
+//! attached to listeners or outgoing connections; the stack queues outgoing
+//! IP packets and [`StackEvent`]s for the host to act on.
+//!
+//! For HydraNet-FT, the stack implements everything the paper adds to the
+//! FreeBSD kernel on host servers (§4.1, §4.3):
+//!
+//! - virtual-host addresses ([`TcpStack::add_local_addr`], the `v_host`
+//!   system call);
+//! - replicated ports ([`TcpStack::setportopt`]) with primary/backup modes;
+//! - the acknowledgement channel: backups' would-be transmissions are
+//!   stripped to their `(SEQ, ACK)` fields and forwarded over UDP to the
+//!   chain predecessor, while incoming ack-channel messages raise the
+//!   send/deposit gates of the matching connection;
+//! - per-connection failure estimation by counting client retransmissions.
+
+use std::collections::BTreeMap;
+
+use hydranet_netsim::frag::Reassembler;
+use hydranet_netsim::packet::{IpAddr, IpPacket, Protocol};
+use hydranet_netsim::time::SimTime;
+
+use crate::conn::{ConnEvent, Connection, TcpConfig, TcpState};
+use crate::detector::FailureDetector;
+use crate::ft::{deterministic_iss, AckChanMsg, ReplicatedPortConfig, ACK_CHANNEL_PORT};
+use crate::segment::{Quad, SockAddr, TcpFlags, TcpSegment};
+use crate::udp::UdpDatagram;
+
+/// Application callbacks for one TCP connection.
+///
+/// Handlers receive a [`SocketIo`] scoped to the connection; they may read,
+/// write, and close through it. One `SocketApp` instance serves exactly one
+/// connection (listeners create one per accepted connection).
+pub trait SocketApp {
+    /// The three-way handshake completed.
+    fn on_established(&mut self, _io: &mut SocketIo<'_>) {}
+    /// New in-order data is readable.
+    fn on_data(&mut self, _io: &mut SocketIo<'_>) {}
+    /// Send-buffer space opened after being full.
+    fn on_send_space(&mut self, _io: &mut SocketIo<'_>) {}
+    /// The peer closed its direction.
+    fn on_peer_fin(&mut self, _io: &mut SocketIo<'_>) {}
+    /// The connection was reset.
+    fn on_reset(&mut self, _quad: Quad) {}
+    /// The connection closed cleanly.
+    fn on_closed(&mut self, _quad: Quad) {}
+}
+
+/// A no-op application (useful for tests and pure sinks).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullApp;
+
+impl SocketApp for NullApp {}
+
+/// The application's handle to its connection during a callback.
+#[derive(Debug)]
+pub struct SocketIo<'a> {
+    conn: &'a mut Connection,
+    now: SimTime,
+}
+
+impl<'a> SocketIo<'a> {
+    /// Reads up to `max` bytes of in-order data.
+    pub fn read(&mut self, max: usize) -> Vec<u8> {
+        self.conn.read(max, self.now)
+    }
+
+    /// Reads everything currently available.
+    pub fn read_all(&mut self) -> Vec<u8> {
+        let n = self.conn.readable_len();
+        self.conn.read(n, self.now)
+    }
+
+    /// Writes data; returns the number of bytes accepted.
+    pub fn write(&mut self, data: &[u8]) -> usize {
+        self.conn.write(data, self.now)
+    }
+
+    /// Initiates a graceful close.
+    pub fn close(&mut self) {
+        self.conn.close(self.now);
+    }
+
+    /// The connection four-tuple.
+    pub fn quad(&self) -> Quad {
+        self.conn.quad()
+    }
+
+    /// Bytes readable right now.
+    pub fn readable_len(&self) -> usize {
+        self.conn.readable_len()
+    }
+
+    /// Free send-buffer space.
+    pub fn send_room(&self) -> usize {
+        self.conn.send_room()
+    }
+
+    /// Current connection state.
+    pub fn state(&self) -> TcpState {
+        self.conn.state()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+/// Events the stack surfaces to its host node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StackEvent {
+    /// A UDP datagram arrived for a port the stack does not handle
+    /// internally (i.e. anything except the ack channel).
+    UdpDelivery {
+        /// Local endpoint it arrived on.
+        local: SockAddr,
+        /// Sender endpoint.
+        remote: SockAddr,
+        /// Datagram payload.
+        payload: Vec<u8>,
+    },
+    /// A connection completed its handshake.
+    ConnEstablished(Quad),
+    /// A connection ended (cleanly or by reset).
+    ConnClosed(Quad),
+    /// The failure estimator on a replicated port crossed its threshold:
+    /// the flow-control loop appears broken (§4.3). The host should report
+    /// this through the replica management protocol.
+    FailureSuspected {
+        /// The replicated port.
+        port: u16,
+        /// The connection whose estimator fired.
+        quad: Quad,
+        /// Total duplicates observed on that connection.
+        observed: u64,
+    },
+}
+
+/// Counters kept by the stack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StackStats {
+    /// TCP segments accepted and demultiplexed.
+    pub tcp_rx: u64,
+    /// UDP datagrams accepted.
+    pub udp_rx: u64,
+    /// Packets dropped (bad checksum/decode, unknown address).
+    pub dropped: u64,
+    /// RSTs emitted for segments with no matching socket.
+    pub rst_sent: u64,
+    /// Ack-channel messages sent (backup output diversion).
+    pub ackchan_tx: u64,
+    /// Ack-channel messages received and applied.
+    pub ackchan_rx: u64,
+    /// IP-in-IP tunnelled packets decapsulated.
+    pub decapsulated: u64,
+}
+
+struct ConnEntry {
+    conn: Connection,
+    app: Box<dyn SocketApp>,
+    detector: Option<FailureDetector>,
+}
+
+type AppFactory = Box<dyn FnMut(Quad) -> Box<dyn SocketApp>>;
+
+/// The per-host TCP/UDP protocol engine.
+pub struct TcpStack {
+    addrs: Vec<IpAddr>,
+    cfg: TcpConfig,
+    // BTree maps keep iteration deterministic: the order connections
+    // are visited in (timers, role changes) is part of the event schedule,
+    // and HashMap's per-instance random ordering would make runs differ
+    // across processes.
+    listeners: BTreeMap<u16, AppFactory>,
+    conns: BTreeMap<Quad, ConnEntry>,
+    replicated: BTreeMap<u16, ReplicatedPortConfig>,
+    reassembler: Reassembler,
+    ip_id: u16,
+    next_ephemeral: u16,
+    out: Vec<IpPacket>,
+    events: Vec<StackEvent>,
+    stats: StackStats,
+}
+
+impl std::fmt::Debug for TcpStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpStack")
+            .field("addrs", &self.addrs)
+            .field("conns", &self.conns.len())
+            .field("listeners", &self.listeners.len())
+            .field("replicated_ports", &self.replicated.len())
+            .finish()
+    }
+}
+
+impl TcpStack {
+    /// Creates a stack owning `addr`, with `cfg` as the default connection
+    /// configuration.
+    pub fn new(addr: IpAddr, cfg: TcpConfig) -> Self {
+        TcpStack {
+            addrs: vec![addr],
+            cfg,
+            listeners: BTreeMap::new(),
+            conns: BTreeMap::new(),
+            replicated: BTreeMap::new(),
+            reassembler: Reassembler::new(),
+            ip_id: 1,
+            next_ephemeral: 40_000,
+            out: Vec::new(),
+            events: Vec::new(),
+            stats: StackStats::default(),
+        }
+    }
+
+    /// The host's primary address.
+    pub fn primary_addr(&self) -> IpAddr {
+        self.addrs[0]
+    }
+
+    /// All local addresses (host address plus virtual hosts).
+    pub fn local_addrs(&self) -> &[IpAddr] {
+        &self.addrs
+    }
+
+    /// Adds a local address — the paper's `v_host(ip_address)` system call:
+    /// the host will accept traffic addressed to `addr` as its own, letting
+    /// it "host IP services that may be known to the outside world under
+    /// the IP address of another host" (§1).
+    pub fn add_local_addr(&mut self, addr: IpAddr) {
+        if !self.addrs.contains(&addr) {
+            self.addrs.push(addr);
+        }
+    }
+
+    /// Whether `addr` is local to this stack.
+    pub fn is_local(&self, addr: IpAddr) -> bool {
+        self.addrs.contains(&addr)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &StackStats {
+        &self.stats
+    }
+
+    /// Installs a listener on `port`. `factory` is invoked once per
+    /// accepted connection to create its application.
+    pub fn listen(&mut self, port: u16, factory: impl FnMut(Quad) -> Box<dyn SocketApp> + 'static) {
+        self.listeners.insert(port, Box::new(factory));
+    }
+
+    /// Removes the listener on `port` (existing connections continue).
+    pub fn unlisten(&mut self, port: u16) {
+        self.listeners.remove(&port);
+    }
+
+    /// Marks `port` replicated — the paper's
+    /// `setportopt(port, mode, detector-parameters)` system call — or
+    /// updates its chain configuration. Existing connections on the port
+    /// are re-geared immediately (promotion, chain membership changes).
+    pub fn setportopt(&mut self, port: u16, config: ReplicatedPortConfig, now: SimTime) {
+        let gated = config.gated();
+        let promoted = config.mode.is_primary();
+        self.replicated.insert(port, config);
+        let quads: Vec<Quad> = self
+            .conns
+            .keys()
+            .filter(|q| q.local.port == port)
+            .copied()
+            .collect();
+        for quad in quads {
+            let Some(mut entry) = self.conns.remove(&quad) else {
+                continue;
+            };
+            // Role changes only ever *loosen* gates on existing
+            // connections. Tightening would make them wait on a successor
+            // that has no per-connection state for them (a freshly joined
+            // backup); connection-state transfer on re-commissioning is
+            // future work in the paper (§6), so live connections are
+            // grandfathered with their current chain discipline.
+            if !gated {
+                entry.conn.disable_send_gate(now);
+                entry.conn.disable_deposit_gate(now);
+            }
+            if promoted {
+                entry.conn.kick(now);
+            }
+            // A role change means a reconfiguration happened: clear the
+            // failure estimator's latch so a *subsequent* failure on this
+            // same connection can be reported too.
+            if let Some(d) = entry.detector.as_mut() {
+                d.reset();
+            }
+            self.finish_entry(quad, entry, now);
+        }
+    }
+
+    /// Removes replication state from `port` (connections become plain TCP).
+    pub fn clear_portopt(&mut self, port: u16, now: SimTime) {
+        self.replicated.remove(&port);
+        let quads: Vec<Quad> = self
+            .conns
+            .keys()
+            .filter(|q| q.local.port == port)
+            .copied()
+            .collect();
+        for quad in quads {
+            if let Some(mut entry) = self.conns.remove(&quad) {
+                entry.conn.disable_send_gate(now);
+                entry.conn.disable_deposit_gate(now);
+                entry.detector = None;
+                self.finish_entry(quad, entry, now);
+            }
+        }
+    }
+
+    /// The replication configuration of `port`, if any.
+    pub fn portopt(&self, port: u16) -> Option<&ReplicatedPortConfig> {
+        self.replicated.get(&port)
+    }
+
+    /// Opens a connection from this host to `remote`, attaching `app`.
+    /// Returns the connection's four-tuple.
+    pub fn connect(&mut self, remote: SockAddr, app: Box<dyn SocketApp>, now: SimTime) -> Quad {
+        let local = SockAddr::new(self.addrs[0], self.alloc_ephemeral(remote));
+        let quad = Quad::new(local, remote);
+        let iss = deterministic_iss(quad);
+        let conn = Connection::connect(quad, self.cfg.clone(), iss, now);
+        let entry = ConnEntry {
+            conn,
+            app,
+            detector: None,
+        };
+        self.finish_entry(quad, entry, now);
+        quad
+    }
+
+    /// Drops all connection state and replicated-port configuration, as a
+    /// host reboot (fail-stop crash) would. Listeners, local addresses,
+    /// and the default configuration survive — they model on-disk
+    /// configuration that a restarted server re-applies.
+    pub fn reset_volatile(&mut self) {
+        self.conns.clear();
+        self.replicated.clear();
+        self.out.clear();
+        self.events.clear();
+        self.reassembler = Reassembler::new();
+    }
+
+    /// Number of live connections.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Read-only view of a connection.
+    pub fn conn(&self, quad: Quad) -> Option<&Connection> {
+        self.conns.get(&quad).map(|e| &e.conn)
+    }
+
+    /// Iterates over the quads of live connections.
+    pub fn quads(&self) -> impl Iterator<Item = Quad> + '_ {
+        self.conns.keys().copied()
+    }
+
+    /// Runs `f` against a live connection's application I/O handle (for
+    /// scenario drivers that inject work, e.g. a client writing on a
+    /// schedule).
+    pub fn with_io<R>(
+        &mut self,
+        quad: Quad,
+        now: SimTime,
+        f: impl FnOnce(&mut SocketIo<'_>) -> R,
+    ) -> Option<R> {
+        let mut entry = self.conns.remove(&quad)?;
+        let result = {
+            let mut io = SocketIo {
+                conn: &mut entry.conn,
+                now,
+            };
+            f(&mut io)
+        };
+        self.finish_entry(quad, entry, now);
+        Some(result)
+    }
+
+    /// Sends a UDP datagram from `src` (one of this stack's addresses) to
+    /// `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `src.addr` is not local.
+    pub fn udp_send(&mut self, src: SockAddr, dst: SockAddr, payload: Vec<u8>) {
+        debug_assert!(self.is_local(src.addr), "udp_send from foreign address");
+        let datagram = UdpDatagram {
+            src_port: src.port,
+            dst_port: dst.port,
+            payload,
+        };
+        self.push_packet(src.addr, dst.addr, Protocol::UDP, datagram.encode());
+    }
+
+    /// Feeds one incoming IP packet (fragments are reassembled internally;
+    /// IP-in-IP tunnels from redirectors are decapsulated).
+    pub fn handle_packet(&mut self, packet: IpPacket, now: SimTime) {
+        let Some(packet) = self.reassembler.push(now, packet) else {
+            return;
+        };
+        self.handle_assembled(packet, now);
+    }
+
+    fn handle_assembled(&mut self, packet: IpPacket, now: SimTime) {
+        match packet.protocol() {
+            Protocol::IP_IN_IP => {
+                match IpPacket::decode(&packet.payload) {
+                    Ok(inner) => {
+                        self.stats.decapsulated += 1;
+                        // Tunnelled packets address the virtual host; the
+                        // reassembler keyed the outer packet, the inner one
+                        // may itself be fragmented end-to-end.
+                        self.handle_packet(inner, now);
+                    }
+                    Err(_) => self.stats.dropped += 1,
+                }
+            }
+            Protocol::TCP => {
+                if !self.is_local(packet.dst()) {
+                    self.stats.dropped += 1;
+                    return;
+                }
+                match TcpSegment::decode(&packet.payload) {
+                    Ok(seg) => self.handle_tcp(packet.src(), packet.dst(), seg, now),
+                    Err(_) => self.stats.dropped += 1,
+                }
+            }
+            Protocol::UDP => {
+                if !self.is_local(packet.dst()) {
+                    self.stats.dropped += 1;
+                    return;
+                }
+                match UdpDatagram::decode(&packet.payload) {
+                    Ok(dgram) => self.handle_udp(packet.src(), packet.dst(), dgram, now),
+                    Err(_) => self.stats.dropped += 1,
+                }
+            }
+            _ => self.stats.dropped += 1,
+        }
+    }
+
+    /// Advances all connection timers to `now`.
+    pub fn on_timer(&mut self, now: SimTime) {
+        let due: Vec<Quad> = self
+            .conns
+            .iter()
+            .filter(|(_, e)| e.conn.next_deadline().is_some_and(|t| t <= now))
+            .map(|(q, _)| *q)
+            .collect();
+        for quad in due {
+            if let Some(mut entry) = self.conns.remove(&quad) {
+                entry.conn.on_tick(now);
+                self.finish_entry(quad, entry, now);
+            }
+        }
+    }
+
+    /// The earliest timer deadline across all connections.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.conns
+            .values()
+            .filter_map(|e| e.conn.next_deadline())
+            .min()
+    }
+
+    /// Drains queued outgoing IP packets.
+    pub fn take_packets(&mut self) -> Vec<IpPacket> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Drains queued stack events.
+    pub fn take_events(&mut self) -> Vec<StackEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Allocates an ephemeral port such that `(local, remote)` is not a
+    /// live connection (the counter wraps after ~25k connections).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every ephemeral port to `remote` is in use.
+    fn alloc_ephemeral(&mut self, remote: SockAddr) -> u16 {
+        for _ in 0..=u16::MAX - 40_000 {
+            let port = self.next_ephemeral;
+            self.next_ephemeral = self.next_ephemeral.checked_add(1).unwrap_or(40_000);
+            let quad = Quad::new(SockAddr::new(self.addrs[0], port), remote);
+            if !self.conns.contains_key(&quad) {
+                return port;
+            }
+        }
+        panic!("ephemeral port space to {remote} exhausted");
+    }
+
+    fn handle_tcp(&mut self, src: IpAddr, dst: IpAddr, seg: TcpSegment, now: SimTime) {
+        self.stats.tcp_rx += 1;
+        let quad = Quad::new(
+            SockAddr::new(dst, seg.dst_port),
+            SockAddr::new(src, seg.src_port),
+        );
+        if let Some(mut entry) = self.conns.remove(&quad) {
+            entry.conn.on_segment(seg, now);
+            self.finish_entry(quad, entry, now);
+            return;
+        }
+        // New connection?
+        if seg.flags.syn && !seg.flags.ack && self.listeners.contains_key(&seg.dst_port) {
+            let replication = self.replicated.get(&seg.dst_port).cloned();
+            let iss = deterministic_iss(quad);
+            let gated = replication.as_ref().is_some_and(ReplicatedPortConfig::gated);
+            let mut conn_cfg = self.cfg.clone();
+            if replication.is_some() {
+                // Replica connections forward their flow-control fields
+                // along the ack channel the moment they would ack; delaying
+                // those reports would stack a delayed-ack timer per chain
+                // stage onto the client's ACK path and race its RTO.
+                conn_cfg.delayed_ack = false;
+            }
+            let conn = Connection::accept_replicated(
+                quad,
+                conn_cfg,
+                iss,
+                &seg,
+                now,
+                gated,
+                gated,
+            );
+            let app = self
+                .listeners
+                .get_mut(&seg.dst_port)
+                .expect("listener checked above")(quad);
+            let detector = replication
+                .as_ref()
+                .map(|r| FailureDetector::new(r.detector));
+            let entry = ConnEntry {
+                conn,
+                app,
+                detector,
+            };
+            self.finish_entry(quad, entry, now);
+            return;
+        }
+        // No socket. A replica that (re)joined a chain after a connection
+        // was established does not know that connection; it must stay
+        // silent rather than reset it (per-connection state transfer on
+        // re-commissioning is the paper's declared future work, §6).
+        if self.replicated.contains_key(&seg.dst_port) {
+            return;
+        }
+        // Otherwise: answer with RST (unless the stray segment is itself a
+        // RST).
+        if !seg.flags.rst {
+            self.stats.rst_sent += 1;
+            let rst = TcpSegment {
+                src_port: quad.local.port,
+                dst_port: quad.remote.port,
+                seq: if seg.flags.ack { seg.ack } else { crate::seq::SeqNum::new(0) },
+                ack: seg.seq_end(),
+                flags: TcpFlags {
+                    rst: true,
+                    ack: true,
+                    ..TcpFlags::default()
+                },
+                window: 0,
+                payload: Vec::new(),
+            };
+            self.push_packet(quad.local.addr, quad.remote.addr, Protocol::TCP, rst.encode());
+        }
+    }
+
+    fn handle_udp(&mut self, src: IpAddr, dst: IpAddr, dgram: UdpDatagram, now: SimTime) {
+        self.stats.udp_rx += 1;
+        if dgram.dst_port == ACK_CHANNEL_PORT {
+            match AckChanMsg::decode(&dgram.payload) {
+                Ok(msg) => self.on_ack_chan(msg, now),
+                Err(_) => self.stats.dropped += 1,
+            }
+            return;
+        }
+        self.events.push(StackEvent::UdpDelivery {
+            local: SockAddr::new(dst, dgram.dst_port),
+            remote: SockAddr::new(src, dgram.src_port),
+            payload: dgram.payload,
+        });
+    }
+
+    /// Applies an ack-channel report from the chain successor: raises the
+    /// matching connection's send gate (SEQ) and deposit gate (ACK).
+    fn on_ack_chan(&mut self, msg: AckChanMsg, now: SimTime) {
+        self.stats.ackchan_rx += 1;
+        let quad = msg.quad();
+        if let Some(mut entry) = self.conns.remove(&quad) {
+            entry.conn.raise_send_gate(msg.seq, now);
+            entry.conn.raise_deposit_gate(msg.ack, now);
+            self.finish_entry(quad, entry, now);
+        }
+    }
+
+    /// Common post-processing after any interaction with a connection:
+    /// dispatch events to the application, drain and route outgoing
+    /// segments, reap closed connections.
+    fn finish_entry(&mut self, quad: Quad, mut entry: ConnEntry, now: SimTime) {
+        // Event/application loop: app actions may produce more events. The
+        // iteration cap is a runaway-app backstop; hitting it is counted
+        // rather than silently swallowed.
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            if rounds > 64 {
+                self.stats.dropped += entry.conn.take_events().len() as u64;
+                debug_assert!(false, "application event loop did not settle for {quad}");
+                break;
+            }
+            let events = entry.conn.take_events();
+            if events.is_empty() {
+                break;
+            }
+            for ev in events {
+                match ev {
+                    ConnEvent::Established => {
+                        self.events.push(StackEvent::ConnEstablished(quad));
+                        let mut io = SocketIo {
+                            conn: &mut entry.conn,
+                            now,
+                        };
+                        entry.app.on_established(&mut io);
+                    }
+                    ConnEvent::DataReadable => {
+                        if let Some(d) = entry.detector.as_mut() {
+                            d.on_progress();
+                        }
+                        let mut io = SocketIo {
+                            conn: &mut entry.conn,
+                            now,
+                        };
+                        entry.app.on_data(&mut io);
+                    }
+                    ConnEvent::SendSpace => {
+                        let mut io = SocketIo {
+                            conn: &mut entry.conn,
+                            now,
+                        };
+                        entry.app.on_send_space(&mut io);
+                    }
+                    ConnEvent::PeerFin => {
+                        let mut io = SocketIo {
+                            conn: &mut entry.conn,
+                            now,
+                        };
+                        entry.app.on_peer_fin(&mut io);
+                    }
+                    ConnEvent::Reset => {
+                        entry.app.on_reset(quad);
+                        self.events.push(StackEvent::ConnClosed(quad));
+                    }
+                    ConnEvent::Closed => {
+                        entry.app.on_closed(quad);
+                        self.events.push(StackEvent::ConnClosed(quad));
+                    }
+                    ConnEvent::DuplicateData => {
+                        if let Some(d) = entry.detector.as_mut() {
+                            if d.on_duplicate(now) {
+                                self.events.push(StackEvent::FailureSuspected {
+                                    port: quad.local.port,
+                                    quad,
+                                    observed: d.duplicates_total(),
+                                });
+                            }
+                        }
+                    }
+                    ConnEvent::AckProgress => {
+                        if let Some(d) = entry.detector.as_mut() {
+                            d.on_progress();
+                        }
+                    }
+                    ConnEvent::RetransmitTimeout => {
+                        // Our own data is not being acknowledged: for a
+                        // replica this usually means the primary that
+                        // delivers the stream to the client is gone. Count
+                        // it as a broken-loop signal (§4.3).
+                        if let Some(d) = entry.detector.as_mut() {
+                            if d.on_duplicate(now) {
+                                self.events.push(StackEvent::FailureSuspected {
+                                    port: quad.local.port,
+                                    quad,
+                                    observed: d.duplicates_total(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Route outgoing segments.
+        let segments = entry.conn.take_segments();
+        if !segments.is_empty() {
+            let divert = self
+                .replicated
+                .get(&quad.local.port)
+                .filter(|r| r.diverts_output())
+                .map(|r| r.predecessor);
+            for seg in segments {
+                match divert {
+                    Some(Some(pred)) => {
+                        // Backup: strip to (SEQ, ACK) and forward along the
+                        // acknowledgement channel; discard the contents
+                        // (§4.3).
+                        let msg = AckChanMsg {
+                            client: quad.remote,
+                            service: quad.local,
+                            seq: seg.seq_end(),
+                            ack: seg.ack,
+                        };
+                        self.stats.ackchan_tx += 1;
+                        let datagram = UdpDatagram {
+                            src_port: ACK_CHANNEL_PORT,
+                            dst_port: ACK_CHANNEL_PORT,
+                            payload: msg.encode(),
+                        };
+                        self.push_packet(quad.local.addr, pred, Protocol::UDP, datagram.encode());
+                    }
+                    Some(None) => {
+                        // Backup with no predecessor configured yet: the
+                        // report has nowhere to go; drop it (the management
+                        // protocol will re-chain shortly).
+                        self.stats.dropped += 1;
+                    }
+                    None => {
+                        self.push_packet(
+                            quad.local.addr,
+                            quad.remote.addr,
+                            Protocol::TCP,
+                            seg.encode(),
+                        );
+                    }
+                }
+            }
+        }
+        if entry.conn.state() == TcpState::Closed {
+            // Reaped; events already delivered.
+            return;
+        }
+        self.conns.insert(quad, entry);
+    }
+
+    fn push_packet(&mut self, src: IpAddr, dst: IpAddr, proto: Protocol, payload: Vec<u8>) {
+        let mut packet = IpPacket::new(src, dst, proto, payload);
+        packet.header.id = self.ip_id;
+        self.ip_id = self.ip_id.wrapping_add(1);
+        self.out.push(packet);
+    }
+}

@@ -1,0 +1,131 @@
+//! Minimal UDP: datagram wire format.
+//!
+//! HydraNet-FT uses UDP twice: the kernel-to-kernel **acknowledgement
+//! channel** between replicas ("In the current implementation we use a
+//! kernel-to-kernel UDP connection for the acknowledgement channel, trading
+//! low overhead against lack of ordering across connections", §4.3) and the
+//! replica-management daemons ("The management daemons interact with each
+//! other using UDP for idempotent operations and a form of reliable UDP for
+//! the message exchanges", §4.4).
+
+use hydranet_netsim::packet::DecodeError;
+
+/// Size in bytes of the UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A UDP datagram: ports plus payload.
+///
+/// # Examples
+///
+/// ```
+/// use hydranet_tcp::udp::UdpDatagram;
+///
+/// let d = UdpDatagram { src_port: 5000, dst_port: 53, payload: vec![1, 2, 3] };
+/// assert_eq!(UdpDatagram::decode(&d.encode())?, d);
+/// # Ok::<(), hydranet_netsim::packet::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl UdpDatagram {
+    /// On-wire size (header + payload).
+    pub fn wire_len(&self) -> usize {
+        UDP_HEADER_LEN + self.payload.len()
+    }
+
+    /// Serialises to bytes: `src (2) | dst (2) | len (2) | checksum (2)`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&crate::segment::checksum(&self.payload).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a datagram from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncation, length mismatch, or payload
+    /// checksum failure.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        if bytes.len() < UDP_HEADER_LEN {
+            return Err(DecodeError::Truncated {
+                needed: UDP_HEADER_LEN,
+                got: bytes.len(),
+            });
+        }
+        let src_port = u16::from_be_bytes([bytes[0], bytes[1]]);
+        let dst_port = u16::from_be_bytes([bytes[2], bytes[3]]);
+        let len = u16::from_be_bytes([bytes[4], bytes[5]]) as usize;
+        let declared_sum = u16::from_be_bytes([bytes[6], bytes[7]]);
+        if bytes.len() < UDP_HEADER_LEN + len {
+            return Err(DecodeError::BadLength {
+                declared: UDP_HEADER_LEN + len,
+                available: bytes.len(),
+            });
+        }
+        let payload = bytes[UDP_HEADER_LEN..UDP_HEADER_LEN + len].to_vec();
+        if crate::segment::checksum(&payload) != declared_sum {
+            return Err(DecodeError::BadLength {
+                declared: declared_sum as usize,
+                available: crate::segment::checksum(&payload) as usize,
+            });
+        }
+        Ok(UdpDatagram {
+            src_port,
+            dst_port,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let d = UdpDatagram {
+            src_port: 7101,
+            dst_port: 7101,
+            payload: (0..100u8).collect(),
+        };
+        assert_eq!(UdpDatagram::decode(&d.encode()).unwrap(), d);
+        assert_eq!(d.wire_len(), 108);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let d = UdpDatagram {
+            src_port: 1,
+            dst_port: 2,
+            payload: vec![],
+        };
+        assert_eq!(UdpDatagram::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn rejects_truncation_and_corruption() {
+        let d = UdpDatagram {
+            src_port: 9,
+            dst_port: 10,
+            payload: vec![5; 40],
+        };
+        let bytes = d.encode();
+        assert!(UdpDatagram::decode(&bytes[..4]).is_err());
+        assert!(UdpDatagram::decode(&bytes[..20]).is_err());
+        let mut corrupted = bytes.clone();
+        corrupted[30] ^= 0x40;
+        assert!(UdpDatagram::decode(&corrupted).is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! Stack-level edge cases: RST policy, volatile reset, simultaneous close,
+//! half-close, and replica connection configuration.
+
+mod common;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use common::{pattern, CollectApp, SendOnceApp, StackHost};
+use hydranet_netsim::prelude::*;
+use hydranet_tcp::prelude::*;
+
+const A_ADDR: IpAddr = IpAddr::new(10, 0, 1, 1);
+const B_ADDR: IpAddr = IpAddr::new(10, 0, 2, 1);
+
+fn pair() -> (Simulator, NodeId, NodeId) {
+    let mut t = TopologyBuilder::new();
+    let a = t.add_node(
+        StackHost::new("a", A_ADDR, TcpConfig::default()),
+        NodeParams::INSTANT,
+    );
+    let b = t.add_node(
+        StackHost::new("b", B_ADDR, TcpConfig::default()),
+        NodeParams::INSTANT,
+    );
+    t.connect(a, b, LinkParams::default());
+    (t.into_simulator(5), a, b)
+}
+
+#[test]
+fn replicated_port_never_rsts_unknown_connections() {
+    let (mut sim, a, b) = pair();
+    {
+        let host = sim.node_mut::<StackHost>(b);
+        host.stack.listen(80, |_q| Box::new(NullApp));
+        host.stack.setportopt(
+            80,
+            ReplicatedPortConfig::sole_primary(DetectorParams::DEFAULT),
+            SimTime::ZERO,
+        );
+        host.stack.listen(81, |_q| Box::new(NullApp));
+    }
+    // Craft a non-SYN segment for an unknown connection on the replicated
+    // port (what a rejoined replica sees mid-connection) and on a plain
+    // port.
+    for (port, expect_rst) in [(80u16, false), (81, true), (9, true)] {
+        let seg = TcpSegment {
+            src_port: 50_000 + port,
+            dst_port: port,
+            seq: SeqNum::new(1000),
+            ack: SeqNum::new(2000),
+            flags: TcpFlags::ACK,
+            window: 1000,
+            payload: b"mid-stream".to_vec(),
+        };
+        let packet = hydranet_netsim::packet::IpPacket::new(
+            A_ADDR,
+            B_ADDR,
+            hydranet_netsim::packet::Protocol::TCP,
+            seg.encode(),
+        );
+        sim.with_node_ctx::<StackHost, _>(a, |_, ctx| {
+            ctx.send(IfaceId::from_index(0), packet);
+        });
+        sim.run_for(SimDuration::from_millis(50));
+        let rsts = sim.node::<StackHost>(b).stack.stats().rst_sent;
+        if expect_rst {
+            assert!(rsts > 0, "port {port}: expected a RST");
+        } else {
+            assert_eq!(rsts, 0, "port {port}: replicated port must stay silent");
+        }
+    }
+}
+
+#[test]
+fn reset_volatile_drops_connections_keeps_listeners() {
+    let (mut sim, a, b) = pair();
+    let rx = Rc::new(RefCell::new(Vec::new()));
+    let handle = rx.clone();
+    sim.node_mut::<StackHost>(b)
+        .stack
+        .listen(80, move |_q| Box::new(CollectApp::new(handle.clone(), false)));
+    let payload = pattern(5_000);
+    let sent = Rc::new(RefCell::new(Vec::new()));
+    let app = SendOnceApp {
+        payload: payload.clone(),
+        received: sent,
+        close_after: None,
+    };
+    sim.with_node_ctx::<StackHost, _>(a, |host, ctx| {
+        host.stack
+            .connect(SockAddr::new(B_ADDR, 80), Box::new(app), ctx.now());
+        host.flush(ctx);
+    });
+    sim.run_for(SimDuration::from_millis(200));
+    assert_eq!(*rx.borrow(), payload);
+    assert_eq!(sim.node::<StackHost>(b).stack.conn_count(), 1);
+
+    // Reboot-style reset: connections gone, listener still answers.
+    sim.node_mut::<StackHost>(b).stack.reset_volatile();
+    assert_eq!(sim.node::<StackHost>(b).stack.conn_count(), 0);
+    let rx2 = Rc::new(RefCell::new(Vec::new()));
+    let app2 = SendOnceApp {
+        payload: b"again".to_vec(),
+        received: rx2,
+        close_after: None,
+    };
+    sim.with_node_ctx::<StackHost, _>(a, |host, ctx| {
+        host.stack
+            .connect(SockAddr::new(B_ADDR, 80), Box::new(app2), ctx.now());
+        host.flush(ctx);
+    });
+    sim.run_for(SimDuration::from_secs(1));
+    assert_eq!(rx.borrow().len(), payload.len() + 5, "new connection served");
+}
+
+/// An echo app that reciprocates the peer's close (full four-way).
+struct PoliteEcho;
+
+impl SocketApp for PoliteEcho {
+    fn on_data(&mut self, io: &mut SocketIo<'_>) {
+        let data = io.read_all();
+        io.write(&data);
+    }
+    fn on_peer_fin(&mut self, io: &mut SocketIo<'_>) {
+        io.close();
+    }
+}
+
+#[test]
+fn graceful_close_reaps_both_ends() {
+    let (mut sim, a, b) = pair();
+    sim.node_mut::<StackHost>(b)
+        .stack
+        .listen(80, |_q| Box::new(PoliteEcho));
+    let replies = Rc::new(RefCell::new(Vec::new()));
+    let app = SendOnceApp {
+        payload: b"goodbye".to_vec(),
+        received: replies.clone(),
+        close_after: Some(7), // close after full echo
+    };
+    sim.with_node_ctx::<StackHost, _>(a, |host, ctx| {
+        host.stack
+            .connect(SockAddr::new(B_ADDR, 80), Box::new(app), ctx.now());
+        host.flush(ctx);
+    });
+    // Run long enough for the FIN exchange plus TIME_WAIT expiry (30 s).
+    sim.run_until(SimTime::from_secs(40));
+    assert_eq!(*replies.borrow(), b"goodbye");
+    assert_eq!(sim.node::<StackHost>(b).stack.conn_count(), 0, "server reaped");
+    assert_eq!(sim.node::<StackHost>(a).stack.conn_count(), 0, "client reaped");
+}
+
+#[test]
+fn half_close_still_delivers_server_data() {
+    // Client closes its sending direction; the server may keep talking.
+    struct LateTalker;
+    impl SocketApp for LateTalker {
+        fn on_peer_fin(&mut self, io: &mut SocketIo<'_>) {
+            io.write(b"parting words");
+            io.close();
+        }
+    }
+    /// Writes once, closes immediately (half-close), collects replies.
+    struct WriteAndClose {
+        replies: Rc<RefCell<Vec<u8>>>,
+    }
+    impl SocketApp for WriteAndClose {
+        fn on_established(&mut self, io: &mut SocketIo<'_>) {
+            io.write(b"hello");
+            io.close();
+        }
+        fn on_data(&mut self, io: &mut SocketIo<'_>) {
+            let data = io.read_all();
+            self.replies.borrow_mut().extend(data);
+        }
+    }
+    let (mut sim, a, b) = pair();
+    sim.node_mut::<StackHost>(b)
+        .stack
+        .listen(80, |_q| Box::new(LateTalker));
+    let replies = Rc::new(RefCell::new(Vec::new()));
+    let app = WriteAndClose {
+        replies: replies.clone(),
+    };
+    sim.with_node_ctx::<StackHost, _>(a, |host, ctx| {
+        host.stack
+            .connect(SockAddr::new(B_ADDR, 80), Box::new(app), ctx.now());
+        host.flush(ctx);
+    });
+    sim.run_until(SimTime::from_secs(5));
+    assert_eq!(*replies.borrow(), b"parting words");
+}
+
+#[test]
+fn replica_connections_ack_every_segment() {
+    // Replica connections are created with delayed ACKs off so their
+    // ack-channel reports are immediate.
+    let (mut sim, a, b) = pair();
+    {
+        let host = sim.node_mut::<StackHost>(b);
+        host.stack.listen(80, |_q| Box::new(NullApp));
+        host.stack.setportopt(
+            80,
+            ReplicatedPortConfig::sole_primary(DetectorParams::DEFAULT),
+            SimTime::ZERO,
+        );
+        host.stack.listen(81, |_q| Box::new(NullApp));
+    }
+    let mut counts = Vec::new();
+    for port in [80u16, 81] {
+        let before = sim.node::<StackHost>(b).stack.quads().count();
+        let _ = before;
+        let sent = Rc::new(RefCell::new(Vec::new()));
+        let app = SendOnceApp {
+            payload: pattern(20_000),
+            received: sent,
+            close_after: None,
+        };
+        let quad = sim.with_node_ctx::<StackHost, _>(a, |host, ctx| {
+            let q = host
+                .stack
+                .connect(SockAddr::new(B_ADDR, port), Box::new(app), ctx.now());
+            host.flush(ctx);
+            q
+        });
+        sim.run_until(sim.now().saturating_add(SimDuration::from_secs(5)));
+        let client = sim.node::<StackHost>(a);
+        let conn = client.stack.conn(quad).expect("conn alive");
+        counts.push((conn.segments_sent(), conn.segments_received()));
+    }
+    // The replicated-port server (ack per segment) sends noticeably more
+    // segments back than the plain-port server (delayed acks).
+    let (sent80, recv80) = counts[0];
+    let (sent81, recv81) = counts[1];
+    assert!(
+        recv80 > recv81 + recv81 / 4,
+        "expected more acks from the replica port: {recv80} vs {recv81} (sent {sent80}/{sent81})"
+    );
+}
+
+#[test]
+fn udp_delivery_surfaces_to_host() {
+    let (mut sim, a, b) = pair();
+    sim.with_node_ctx::<StackHost, _>(a, |host, ctx| {
+        host.stack.udp_send(
+            SockAddr::new(A_ADDR, 9000),
+            SockAddr::new(B_ADDR, 9001),
+            b"datagram!".to_vec(),
+        );
+        host.flush(ctx);
+    });
+    sim.run_for(SimDuration::from_millis(50));
+    let events = &sim.node::<StackHost>(b).events;
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            StackEvent::UdpDelivery { local, remote, payload }
+                if local.port == 9001 && remote.port == 9000 && payload == b"datagram!"
+        )),
+        "udp delivery missing: {events:?}"
+    );
+}
+
+#[test]
+fn ack_channel_datagrams_are_consumed_internally() {
+    let (mut sim, a, b) = pair();
+    sim.with_node_ctx::<StackHost, _>(a, |host, ctx| {
+        let msg = AckChanMsg {
+            client: SockAddr::new(IpAddr::new(9, 9, 9, 9), 1),
+            service: SockAddr::new(B_ADDR, 80),
+            seq: SeqNum::new(5),
+            ack: SeqNum::new(6),
+        };
+        host.stack.udp_send(
+            SockAddr::new(A_ADDR, ACK_CHANNEL_PORT),
+            SockAddr::new(B_ADDR, ACK_CHANNEL_PORT),
+            msg.encode(),
+        );
+        host.flush(ctx);
+    });
+    sim.run_for(SimDuration::from_millis(50));
+    let host = sim.node::<StackHost>(b);
+    assert_eq!(host.stack.stats().ackchan_rx, 1);
+    assert!(
+        !host
+            .events
+            .iter()
+            .any(|e| matches!(e, StackEvent::UdpDelivery { .. })),
+        "ack-channel traffic must not surface as a UDP delivery"
+    );
+}

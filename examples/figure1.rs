@@ -1,0 +1,148 @@
+//! The paper's Figure 1, end to end: two ISPs (`southwest.net`,
+//! `northeast.net`), each with its own redirector; the web service of
+//! `www.northwest.com` **scaled** onto northeast's host server to diffuse
+//! load; and `audio.south.com` **fault-tolerantly replicated** on two
+//! hosts, surviving a failure mid-broadcast — all at once, all invisible to
+//! the stock TCP clients.
+//!
+//! Run with: `cargo run --example figure1`
+
+use hydranet::prelude::*;
+
+const WWW_NORTHWEST: IpAddr = IpAddr::new(192, 20, 225, 20); // origin host
+const AUDIO_SOUTH: IpAddr = IpAddr::new(193, 30, 1, 5); // virtual host (dark triangle)
+
+fn main() {
+    let mut b = SystemBuilder::new(TcpConfig::default());
+    b.set_probe_params(ProbeParams {
+        timeout: SimDuration::from_millis(250),
+        attempts: 2,
+    });
+
+    // ISP southwest.net
+    let client_sw = b.add_client("client_sw", IpAddr::new(10, 1, 0, 1));
+    let rd_sw_addr = IpAddr::new(10, 1, 9, 1);
+    let rd_sw = b.add_redirector("rd_sw", rd_sw_addr);
+    // ISP northeast.net
+    let client_ne = b.add_client("client_ne", IpAddr::new(10, 2, 0, 1));
+    let rd_ne_addr = IpAddr::new(10, 2, 9, 1);
+    let rd_ne = b.add_redirector("rd_ne", rd_ne_addr);
+
+    // Host servers: one in each ISP; both are available to the ft service.
+    let hs_ne = b.add_host_server_multi(
+        "hs_northeast",
+        IpAddr::new(10, 2, 5, 1),
+        vec![rd_sw_addr, rd_ne_addr],
+    );
+    let hs_sw = b.add_host_server_multi(
+        "hs_southwest",
+        IpAddr::new(10, 1, 5, 1),
+        vec![rd_sw_addr, rd_ne_addr],
+    );
+    // The far-away origin host of www.northwest.com (ordinary server).
+    let origin = b.add_client("www.northwest.com", WWW_NORTHWEST);
+
+    let near = LinkParams::new(10_000_000, SimDuration::from_micros(300));
+    let far = LinkParams::new(1_500_000, SimDuration::from_millis(25));
+    b.link(client_sw, rd_sw, near.clone());
+    b.link(client_ne, rd_ne, near.clone());
+    b.link(rd_sw, rd_ne, LinkParams::new(45_000_000, SimDuration::from_millis(4)));
+    b.link(rd_ne, hs_ne, near.clone());
+    b.link(rd_sw, hs_sw, near);
+    b.link(rd_sw, origin, far); // the long haul to northwest.com
+
+    // --- www.northwest.com: origin web server + scaled replica ----------
+    let origin_served = shared(0u64);
+    {
+        let served = origin_served.clone();
+        b.configure::<hydranet::core::host::ClientHost>(origin, move |host| {
+            let served = served.clone();
+            host.stack_mut()
+                .listen(80, move |_q| Box::new(LineReplyApp::new(12_000, served.clone())));
+        });
+    }
+    // northeast.net hosts a replica of the web service near its clients.
+    let replica_served = shared(0u64);
+    {
+        let served = replica_served.clone();
+        b.deploy_scaled_service(
+            rd_ne,
+            SockAddr::new(WWW_NORTHWEST, 80),
+            &[(hs_ne, 1)],
+            move |_q| Box::new(LineReplyApp::new(12_000, served.clone())),
+        );
+    }
+    // southwest.net has no replica: its redirector forwards to the origin.
+
+    // --- audio.south.com: fault-tolerant broadcast service --------------
+    const STREAM: usize = 1_000_000;
+    let audio = SockAddr::new(AUDIO_SOUTH, 554);
+    let detector = DetectorParams::new(4, SimDuration::from_secs(30));
+    for (i, &hs) in [hs_sw, hs_ne].iter().enumerate() {
+        let mut spec = FtServiceSpec::new(audio, vec![hs], detector);
+        spec.registration_start = SimTime::from_millis(1 + 25 * i as u64);
+        b.deploy_ft_service(&spec, move |_q| {
+            let frames: Vec<u8> = (0..STREAM).map(|i| (i % 249) as u8).collect();
+            Box::new(StreamSenderApp::new(frames, false, shared(SenderState::default())))
+        });
+    }
+
+    let mut system = b.build(17);
+    assert!(system.wait_for_chain(rd_sw, audio, 2, SimTime::from_secs(2)));
+    assert!(system.wait_for_chain(rd_ne, audio, 2, SimTime::from_secs(2)));
+
+    // Client NE fetches web objects (served by the nearby replica) while
+    // listening to the broadcast; client SW fetches from the origin.
+    let web_ne = shared(RequestLoopState::default());
+    system.connect_client(
+        client_ne,
+        SockAddr::new(WWW_NORTHWEST, 80),
+        Box::new(RequestLoopApp::new(10, web_ne.clone())),
+    );
+    let web_sw = shared(RequestLoopState::default());
+    system.connect_client(
+        client_sw,
+        SockAddr::new(WWW_NORTHWEST, 80),
+        Box::new(RequestLoopApp::new(10, web_sw.clone())),
+    );
+    let listener = shared(SinkState::default());
+    system.connect_client(client_ne, audio, Box::new(EchoApp::sink(listener.clone())));
+
+    // Kill the audio primary mid-broadcast.
+    let crash_at = system.sim.now().saturating_add(SimDuration::from_millis(120));
+    system.sim.schedule_crash(hs_sw, crash_at);
+
+    let deadline = SimTime::from_secs(180);
+    let mut step = system.sim.now();
+    while system.sim.now() < deadline {
+        let done = listener.borrow().len() >= STREAM
+            && web_ne.borrow().completed >= 10
+            && web_sw.borrow().completed >= 10;
+        if done {
+            break;
+        }
+        step = step.saturating_add(SimDuration::from_millis(25));
+        system.sim.run_until(step);
+    }
+
+    println!("northeast web exchanges: {} (replica served {}, origin served {})",
+        web_ne.borrow().completed, *replica_served.borrow(), *origin_served.borrow());
+    println!("southwest web exchanges: {}", web_sw.borrow().completed);
+    println!(
+        "audio broadcast: {} / {STREAM} bytes, stall across fail-over: {}",
+        listener.borrow().len(),
+        listener
+            .borrow()
+            .max_gap_duration()
+            .map_or("-".to_string(), |d| d.to_string())
+    );
+    assert_eq!(web_ne.borrow().completed, 10);
+    assert_eq!(web_sw.borrow().completed, 10);
+    assert_eq!(*replica_served.borrow(), 10, "NE web should hit the replica");
+    assert_eq!(*origin_served.borrow(), 10, "SW web should hit the origin");
+    assert_eq!(listener.borrow().len(), STREAM, "broadcast incomplete");
+    let expected: Vec<u8> = (0..STREAM).map(|i| (i % 249) as u8).collect();
+    assert_eq!(listener.borrow().data, expected, "broadcast corrupted");
+    assert!(!listener.borrow().reset, "listener connection reset");
+    println!("figure 1 scenario complete: scaling + fault tolerance, one internetwork");
+}

@@ -1,0 +1,100 @@
+//! HydraNet's original scaling mode (no fault tolerance): the Figure 1/2
+//! scenario. A web service is replicated from its origin host onto a host
+//! server near the clients; the redirector sends web traffic to the nearest
+//! replica while *other* services of the same origin host (telnet in
+//! Figure 2) pass through untouched.
+//!
+//! Run with: `cargo run --example load_diffusion`
+
+use hydranet::core::host::ClientHost;
+use hydranet::prelude::*;
+
+fn main() {
+    let origin_addr = IpAddr::new(192, 20, 225, 20);
+    let mut b = SystemBuilder::new(TcpConfig::default());
+    let client_a = b.add_client("clientA", IpAddr::new(128, 32, 33, 109));
+    let client_b = b.add_client("clientB", IpAddr::new(128, 32, 33, 110));
+    let rd_addr = IpAddr::new(10, 9, 0, 1);
+    let rd = b.add_redirector("redirector", rd_addr);
+    let host_server = b.add_host_server("hostserver", IpAddr::new(128, 142, 222, 80), rd_addr);
+    // The origin host is an ordinary, unmodified server far away (slow,
+    // long link).
+    let origin = b.add_client("origin", origin_addr);
+    let near = LinkParams::new(10_000_000, SimDuration::from_micros(300));
+    let far = LinkParams::new(1_500_000, SimDuration::from_millis(20));
+    b.link(client_a, rd, near.clone());
+    b.link(client_b, rd, near.clone());
+    b.link(rd, host_server, near);
+    b.link(rd, origin, far);
+
+    // The origin host serves both web (80) and telnet (23).
+    let origin_web = shared(0u64);
+    let origin_telnet = shared(0u64);
+    {
+        let web = origin_web.clone();
+        let telnet = origin_telnet.clone();
+        b.configure::<ClientHost>(origin, move |host| {
+            let web = web.clone();
+            host.stack_mut()
+                .listen(80, move |_q| Box::new(LineReplyApp::new(16_000, web.clone())));
+            let telnet = telnet.clone();
+            host.stack_mut()
+                .listen(23, move |_q| Box::new(LineReplyApp::new(200, telnet.clone())));
+        });
+    }
+
+    // Build first, then install the scaled entry + replica (static
+    // HydraNet-style installation: "dynamically, and transparently,
+    // install replicas at strategic locations", §3).
+    let replica_web = shared(0u64);
+    let service = SockAddr::new(origin_addr, 80);
+    {
+        let replica_web = replica_web.clone();
+        b.deploy_scaled_service(rd, service, &[(host_server, 1)], move |_q| {
+            Box::new(LineReplyApp::new(16_000, replica_web.clone()))
+        });
+    }
+    let mut system = b.build(3);
+
+    // Client A fetches 20 web objects from 192.20.225.20:80.
+    let web_session = shared(RequestLoopState::default());
+    system.connect_client(
+        client_a,
+        service,
+        Box::new(RequestLoopApp::new(20, web_session.clone())),
+    );
+    // Client B telnets to the *same address*, port 23.
+    let telnet_session = shared(RequestLoopState::default());
+    system.connect_client(
+        client_b,
+        SockAddr::new(origin_addr, 23),
+        Box::new(RequestLoopApp::new(5, telnet_session.clone())),
+    );
+
+    system.sim.run_until(SimTime::from_secs(30));
+
+    println!("client A web exchanges: {}", web_session.borrow().completed);
+    println!("client B telnet exchanges: {}", telnet_session.borrow().completed);
+    println!(
+        "web requests served by the nearby replica: {}",
+        *replica_web.borrow()
+    );
+    println!(
+        "web requests that reached the origin host:  {}",
+        *origin_web.borrow()
+    );
+    println!(
+        "telnet requests served by the origin host:  {}",
+        *origin_telnet.borrow()
+    );
+    let stats = system.redirector(rd).engine().stats();
+    println!(
+        "redirector: {} packets redirected, {} forwarded untouched",
+        stats.redirected, stats.forwarded
+    );
+    assert_eq!(web_session.borrow().completed, 20);
+    assert_eq!(telnet_session.borrow().completed, 5);
+    assert_eq!(*replica_web.borrow(), 20, "web not served by replica");
+    assert_eq!(*origin_web.borrow(), 0, "web leaked to origin");
+    assert_eq!(*origin_telnet.borrow(), 5, "telnet not served by origin");
+}

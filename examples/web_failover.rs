@@ -1,0 +1,92 @@
+//! A session-style web workload across a fail-over — the paper's
+//! motivating e-commerce scenario: "service interruptions for an on-line
+//! brokerage firm may have very serious effects" (§1).
+//!
+//! A browser-like client performs 100 request/response exchanges over one
+//! TCP connection. Halfway through, the primary web server dies. The
+//! exchanges continue on the promoted backup; the client's TCP stack is
+//! stock and never learns anything happened.
+//!
+//! Run with: `cargo run --example web_failover`
+
+use hydranet::prelude::*;
+
+const EXCHANGES: u32 = 100;
+const BODY_BYTES: usize = 8_000;
+
+fn main() {
+    let mut b = SystemBuilder::new(TcpConfig::default());
+    b.set_probe_params(ProbeParams {
+        timeout: SimDuration::from_millis(250),
+        attempts: 2,
+    });
+    let client = b.add_client("browser", IpAddr::new(10, 0, 1, 1));
+    let rd_addr = IpAddr::new(10, 9, 0, 1);
+    let rd = b.add_redirector("redirector", rd_addr);
+    let hs1 = b.add_host_server("web1", IpAddr::new(10, 0, 2, 1), rd_addr);
+    let hs2 = b.add_host_server("web2", IpAddr::new(10, 0, 3, 1), rd_addr);
+    b.link(client, rd, LinkParams::default());
+    b.link(rd, hs1, LinkParams::default());
+    b.link(rd, hs2, LinkParams::default());
+
+    // www.northwest.com:80, replicated on both web servers.
+    let service = SockAddr::new(IpAddr::new(192, 20, 225, 20), 80);
+    let served = shared(0u64);
+    let spec = FtServiceSpec::new(
+        service,
+        vec![hs1, hs2],
+        DetectorParams::new(4, SimDuration::from_secs(30)),
+    );
+    let served_handle = served.clone();
+    b.deploy_ft_service(&spec, move |_q| {
+        Box::new(LineReplyApp::new(BODY_BYTES, served_handle.clone()))
+    });
+    let mut system = b.build(7);
+    assert!(system.wait_for_chain(rd, service, 2, SimTime::from_secs(2)));
+
+    let session = shared(RequestLoopState::default());
+    let app = RequestLoopApp::new(EXCHANGES, session.clone());
+    system.connect_client(client, service, Box::new(app));
+
+    // Let the session get going, then kill the primary.
+    let crash_at = system.sim.now().saturating_add(SimDuration::from_millis(150));
+    system.sim.schedule_crash(hs1, crash_at);
+
+    let deadline = SimTime::from_secs(180);
+    let mut step = system.sim.now();
+    let mut at_crash = None;
+    while system.sim.now() < deadline && session.borrow().completed < EXCHANGES {
+        step = step.saturating_add(SimDuration::from_millis(25));
+        system.sim.run_until(step);
+        if at_crash.is_none() && system.sim.now() >= crash_at {
+            at_crash = Some(session.borrow().completed);
+        }
+    }
+
+    let st = session.borrow();
+    assert_eq!(st.completed, EXCHANGES, "session did not finish");
+    assert!(!st.reset, "browser connection was reset");
+    println!("exchanges completed: {} / {EXCHANGES}", st.completed);
+    println!(
+        "exchanges done when web1 crashed ({}): {}",
+        crash_at,
+        at_crash.unwrap_or(0)
+    );
+    // The fail-over shows up only as one slow exchange.
+    let mut slowest = SimDuration::ZERO;
+    let mut slowest_idx = 0;
+    for (i, pair) in st.completion_times.windows(2).enumerate() {
+        let gap = pair[1].duration_since(pair[0]);
+        if gap > slowest {
+            slowest = gap;
+            slowest_idx = i + 1;
+        }
+    }
+    println!("slowest exchange: #{slowest_idx} took {slowest} (the fail-over)");
+    println!(
+        "median-ish exchange time: {}",
+        st.completion_times[EXCHANGES as usize / 2]
+            .duration_since(st.completion_times[EXCHANGES as usize / 2 - 1])
+    );
+    println!("session finished at {}", system.sim.now());
+}

@@ -1,0 +1,381 @@
+//! Whole-system integration tests: deployment through the management
+//! protocol, automatic fail-over, reconfiguration, and client transparency.
+
+use hydranet::prelude::*;
+
+const CLIENT: IpAddr = IpAddr::new(10, 0, 1, 1);
+const RD: IpAddr = IpAddr::new(10, 9, 0, 1);
+const HS1: IpAddr = IpAddr::new(10, 0, 2, 1);
+const HS2: IpAddr = IpAddr::new(10, 0, 3, 1);
+const HS3: IpAddr = IpAddr::new(10, 0, 4, 1);
+const SERVICE_ADDR: IpAddr = IpAddr::new(192, 20, 225, 20);
+
+fn service() -> SockAddr {
+    SockAddr::new(SERVICE_ADDR, 80)
+}
+
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i % 251) as u8).collect()
+}
+
+struct Deployment {
+    system: System,
+    client: NodeId,
+    rd: NodeId,
+    replicas: Vec<NodeId>,
+    sinks: Vec<Shared<SinkState>>,
+}
+
+/// Builds a star: client — redirector — N host servers, echo service
+/// replicated on all of them, fast detector for short tests.
+fn deploy(n: usize, echo: bool, seed: u64) -> Deployment {
+    let mut b = SystemBuilder::new(TcpConfig::default());
+    b.set_probe_params(ProbeParams {
+        timeout: SimDuration::from_millis(200),
+        attempts: 2,
+    });
+    let client = b.add_client("client", CLIENT);
+    let rd = b.add_redirector("rd", RD);
+    let addrs = [HS1, HS2, HS3];
+    let mut replicas = Vec::new();
+    for (i, addr) in addrs.iter().take(n).enumerate() {
+        replicas.push(b.add_host_server(&format!("hs{}", i + 1), *addr, RD));
+    }
+    b.link(client, rd, LinkParams::default());
+    for &r in &replicas {
+        b.link(rd, r, LinkParams::default());
+    }
+    // One sink per replica, matched by connection order: each accepted
+    // connection on replica i records into sinks[i].
+    let sinks: Vec<Shared<SinkState>> = (0..n).map(|_| shared(SinkState::default())).collect();
+    let detector = DetectorParams::new(4, SimDuration::from_secs(30));
+    let spec = FtServiceSpec::new(service(), replicas.clone(), detector);
+    for (i, &replica) in replicas.iter().enumerate() {
+        // Deploy per-replica so each replica gets its own sink handle.
+        let sink = sinks[i].clone();
+        let one = FtServiceSpec {
+            chain: vec![replica],
+            ..spec.clone()
+        };
+        let mut one = one;
+        one.registration_start =
+            spec.registration_start.saturating_add(spec.registration_stagger * i as u64);
+        b.deploy_ft_service(&one, move |_quad| {
+            if echo {
+                Box::new(EchoApp::new(sink.clone()))
+            } else {
+                Box::new(EchoApp::sink(sink.clone()))
+            }
+        });
+    }
+    let system = b.build(seed);
+    Deployment {
+        system,
+        client,
+        rd,
+        replicas,
+        sinks,
+    }
+}
+
+fn start_sender(d: &mut Deployment, payload: Vec<u8>) -> Shared<SenderState> {
+    let state = shared(SenderState::default());
+    let app = StreamSenderApp::new(payload, false, state.clone());
+    d.system.connect_client(d.client, service(), Box::new(app));
+    state
+}
+
+#[test]
+fn registration_forms_chain_in_stagger_order() {
+    let mut d = deploy(3, false, 1);
+    assert!(d.system.wait_for_chain(d.rd, service(), 3, SimTime::from_secs(2)));
+    let chain = d
+        .system
+        .redirector(d.rd)
+        .controller()
+        .chain(service())
+        .unwrap()
+        .to_vec();
+    assert_eq!(chain, vec![HS1, HS2, HS3]);
+    // The redirector table matches the controller's view.
+    let table_chain = d
+        .system
+        .redirector(d.rd)
+        .engine()
+        .table()
+        .chain(service())
+        .unwrap()
+        .to_vec();
+    assert_eq!(table_chain, chain);
+}
+
+#[test]
+fn replicated_echo_end_to_end() {
+    let mut d = deploy(2, true, 2);
+    assert!(d.system.wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
+    let payload = pattern(25_000);
+    let state = start_sender(&mut d, payload.clone());
+    d.system.sim.run_until(SimTime::from_secs(20));
+    assert_eq!(d.sinks[0].borrow().data, payload, "primary stream");
+    assert_eq!(d.sinks[1].borrow().data, payload, "backup stream");
+    assert_eq!(state.borrow().replies.data, payload, "client echo");
+}
+
+#[test]
+fn automatic_failover_on_primary_crash_is_client_transparent() {
+    let mut d = deploy(2, true, 3);
+    assert!(d.system.wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
+    let payload = pattern(400_000);
+    let state = start_sender(&mut d, payload.clone());
+    // Crash the primary mid-transfer.
+    let crash_at = d.system.sim.now().saturating_add(SimDuration::from_millis(50));
+    d.system.sim.schedule_crash(d.replicas[0], crash_at);
+    // Run: detector -> FailureReport -> probes -> reconfiguration ->
+    // SetRole(promote) all happen inside the system, no hand-holding.
+    let deadline = SimTime::from_secs(180);
+    let mut step = d.system.sim.now();
+    while d.system.sim.now() < deadline && state.borrow().replies.data.len() < payload.len() {
+        step = step.saturating_add(SimDuration::from_millis(50));
+        d.system.sim.run_until(step);
+    }
+    assert_eq!(
+        state.borrow().replies.data.len(),
+        payload.len(),
+        "echo incomplete after automatic fail-over"
+    );
+    assert_eq!(state.borrow().replies.data, payload, "stream corrupted");
+    assert!(!state.borrow().replies.reset, "client saw a reset");
+    // The chain reconfigured down to the surviving backup.
+    let chain = d
+        .system
+        .redirector(d.rd)
+        .controller()
+        .chain(service())
+        .unwrap()
+        .to_vec();
+    assert_eq!(chain, vec![HS2]);
+    assert!(d.system.redirector(d.rd).controller().reconfigurations() >= 1);
+}
+
+#[test]
+fn automatic_reconfiguration_on_backup_crash() {
+    let mut d = deploy(2, false, 4);
+    assert!(d.system.wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
+    let payload = pattern(300_000);
+    let _state = start_sender(&mut d, payload.clone());
+    let crash_at = d.system.sim.now().saturating_add(SimDuration::from_millis(50));
+    d.system.sim.schedule_crash(d.replicas[1], crash_at);
+    let deadline = SimTime::from_secs(180);
+    let mut step = d.system.sim.now();
+    while d.system.sim.now() < deadline && d.sinks[0].borrow().len() < payload.len() {
+        step = step.saturating_add(SimDuration::from_millis(50));
+        d.system.sim.run_until(step);
+    }
+    assert_eq!(d.sinks[0].borrow().data, payload, "service did not resume");
+    let chain = d
+        .system
+        .redirector(d.rd)
+        .controller()
+        .chain(service())
+        .unwrap()
+        .to_vec();
+    assert_eq!(chain, vec![HS1]);
+}
+
+#[test]
+fn middle_backup_crash_rechains_three_replicas() {
+    let mut d = deploy(3, false, 5);
+    assert!(d.system.wait_for_chain(d.rd, service(), 3, SimTime::from_secs(2)));
+    let payload = pattern(300_000);
+    let _state = start_sender(&mut d, payload.clone());
+    let crash_at = d.system.sim.now().saturating_add(SimDuration::from_millis(50));
+    d.system.sim.schedule_crash(d.replicas[1], crash_at);
+    let deadline = SimTime::from_secs(180);
+    let mut step = d.system.sim.now();
+    while d.system.sim.now() < deadline
+        && (d.sinks[0].borrow().len() < payload.len() || d.sinks[2].borrow().len() < payload.len())
+    {
+        step = step.saturating_add(SimDuration::from_millis(50));
+        d.system.sim.run_until(step);
+    }
+    assert_eq!(d.sinks[0].borrow().data, payload, "primary stream");
+    assert_eq!(d.sinks[2].borrow().data, payload, "tail backup stream");
+    let chain = d
+        .system
+        .redirector(d.rd)
+        .controller()
+        .chain(service())
+        .unwrap()
+        .to_vec();
+    assert_eq!(chain, vec![HS1, HS3]);
+}
+
+#[test]
+fn recovered_host_can_rejoin_as_backup() {
+    let mut d = deploy(2, false, 6);
+    assert!(d.system.wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
+    // Kill the backup mid-transfer and let the system reconfigure down to
+    // one (detection needs traffic: an idle chain has no flow-control loop
+    // to observe breaking).
+    let payload = pattern(600_000);
+    let _ = start_sender(&mut d, payload);
+    let crash_at = d.system.sim.now().saturating_add(SimDuration::from_millis(100));
+    d.system.sim.schedule_crash(d.replicas[1], crash_at);
+    let mut step = d.system.sim.now();
+    while d.system.sim.now() < SimTime::from_secs(120) {
+        step = step.saturating_add(SimDuration::from_millis(50));
+        d.system.sim.run_until(step);
+        let len = d
+            .system
+            .redirector(d.rd)
+            .controller()
+            .chain(service())
+            .map_or(0, |c| c.len());
+        if len == 1 {
+            break;
+        }
+    }
+    assert_eq!(
+        d.system.redirector(d.rd).controller().chain(service()).unwrap(),
+        &[HS1]
+    );
+    // Recover the host: its restarted daemon re-registers automatically
+    // and the redirector appends it to the chain as a backup.
+    let now = d.system.sim.now();
+    let rejoin_at = now.saturating_add(SimDuration::from_millis(10));
+    d.system.sim.schedule_recover(d.replicas[1], rejoin_at);
+    assert!(d
+        .system
+        .wait_for_chain(d.rd, service(), 2, rejoin_at.saturating_add(SimDuration::from_secs(5))));
+    assert_eq!(
+        d.system.redirector(d.rd).controller().chain(service()).unwrap(),
+        &[HS1, HS2]
+    );
+}
+
+#[test]
+fn request_reply_service_survives_failover() {
+    // A session-style workload: 50 request/response exchanges across a
+    // primary crash. The client is a plain TCP client throughout.
+    let mut b = SystemBuilder::new(TcpConfig::default());
+    b.set_probe_params(ProbeParams {
+        timeout: SimDuration::from_millis(200),
+        attempts: 2,
+    });
+    let client = b.add_client("client", CLIENT);
+    let rd = b.add_redirector("rd", RD);
+    let hs1 = b.add_host_server("hs1", HS1, RD);
+    let hs2 = b.add_host_server("hs2", HS2, RD);
+    b.link(client, rd, LinkParams::default());
+    b.link(rd, hs1, LinkParams::default());
+    b.link(rd, hs2, LinkParams::default());
+    let served = shared(0u64);
+    let spec = FtServiceSpec::new(
+        service(),
+        vec![hs1, hs2],
+        DetectorParams::new(4, SimDuration::from_secs(30)),
+    );
+    let served_handle = served.clone();
+    b.deploy_ft_service(&spec, move |_q| {
+        Box::new(LineReplyApp::new(4_000, served_handle.clone()))
+    });
+    let mut system = b.build(7);
+    assert!(system.wait_for_chain(rd, service(), 2, SimTime::from_secs(2)));
+
+    let state = shared(RequestLoopState::default());
+    let app = RequestLoopApp::new(50, state.clone());
+    system.connect_client(client, service(), Box::new(app));
+    let crash_at = system.sim.now().saturating_add(SimDuration::from_millis(100));
+    system.sim.schedule_crash(hs1, crash_at);
+    let mut step = system.sim.now();
+    while system.sim.now() < SimTime::from_secs(180) && state.borrow().completed < 50 {
+        step = step.saturating_add(SimDuration::from_millis(50));
+        system.sim.run_until(step);
+    }
+    assert_eq!(state.borrow().completed, 50, "exchanges incomplete");
+    assert!(!state.borrow().reset, "client connection was reset");
+}
+
+#[test]
+fn deterministic_replay() {
+    let run = |seed: u64| {
+        let mut d = deploy(2, true, seed);
+        assert!(d.system.wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
+        let state = start_sender(&mut d, pattern(50_000));
+        let crash_at = d.system.sim.now().saturating_add(SimDuration::from_millis(40));
+        d.system.sim.schedule_crash(d.replicas[0], crash_at);
+        d.system.sim.run_until(SimTime::from_secs(30));
+        let received = state.borrow().replies.data.len();
+        (received, d.system.sim.stats().events_processed)
+    };
+    assert_eq!(run(99), run(99), "same seed must replay identically");
+}
+
+#[test]
+fn two_successive_failures_on_one_connection() {
+    // Regression: the failure estimator's latch must reset after each
+    // reconfiguration, or a second failure on the same long-lived
+    // connection goes unreported and the service stalls forever.
+    let mut d = deploy(3, true, 8);
+    assert!(d.system.wait_for_chain(d.rd, service(), 3, SimTime::from_secs(2)));
+    let payload = pattern(1_200_000);
+    let state = start_sender(&mut d, payload.clone());
+    // First failure: the primary.
+    let crash1 = d.system.sim.now().saturating_add(SimDuration::from_millis(50));
+    d.system.sim.schedule_crash(d.replicas[0], crash1);
+    // Second failure: the promoted replica, once the first reconfiguration
+    // has happened and traffic resumed.
+    let deadline = SimTime::from_secs(600);
+    let mut second_crash_done = false;
+    let mut step = d.system.sim.now();
+    while d.system.sim.now() < deadline && state.borrow().replies.data.len() < payload.len() {
+        step = step.saturating_add(SimDuration::from_millis(50));
+        d.system.sim.run_until(step);
+        if !second_crash_done
+            && d.system.redirector(d.rd).controller().reconfigurations() >= 1
+            && !state.borrow().replies.data.is_empty()
+        {
+            let at = d.system.sim.now().saturating_add(SimDuration::from_millis(100));
+            d.system.sim.schedule_crash(d.replicas[1], at);
+            second_crash_done = true;
+        }
+    }
+    assert!(second_crash_done, "second crash never scheduled");
+    assert_eq!(
+        state.borrow().replies.data.len(),
+        payload.len(),
+        "stream stalled after the second failure (detector latch not reset?)"
+    );
+    assert_eq!(state.borrow().replies.data, payload);
+    assert_eq!(
+        d.system.redirector(d.rd).controller().chain(service()).unwrap(),
+        &[HS3],
+        "chain should have shed both failed replicas"
+    );
+}
+
+#[test]
+fn link_outage_and_restore_keeps_stream_correct() {
+    // A transient network outage (not a crash) on the client's link: TCP
+    // rides it out; the chain must not be reconfigured spuriously once the
+    // link returns and traffic resumes (the paper's congestion scenario).
+    let mut d = deploy(2, true, 9);
+    assert!(d.system.wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
+    let payload = pattern(300_000);
+    let state = start_sender(&mut d, payload.clone());
+    // The client link is link 0 (first created in deploy()).
+    let client_link = hydranet::netsim::link::LinkId::from_index(0);
+    let down_at = d.system.sim.now().saturating_add(SimDuration::from_millis(60));
+    d.system.sim.schedule_link_down(client_link, down_at);
+    d.system
+        .sim
+        .schedule_link_up(client_link, down_at.saturating_add(SimDuration::from_millis(700)));
+    let deadline = SimTime::from_secs(240);
+    let mut step = d.system.sim.now();
+    while d.system.sim.now() < deadline && state.borrow().replies.data.len() < payload.len() {
+        step = step.saturating_add(SimDuration::from_millis(50));
+        d.system.sim.run_until(step);
+    }
+    assert_eq!(state.borrow().replies.data, payload, "stream broken by outage");
+    assert!(!state.borrow().replies.reset);
+}

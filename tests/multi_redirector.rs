@@ -1,0 +1,161 @@
+//! The Figure 1 deployment: two ISPs, each with its own redirector, one
+//! replicated service reachable through either. Clients in both ISPs hold
+//! connections through a primary failure; both redirectors converge on the
+//! same reconfigured chain.
+
+use hydranet::prelude::*;
+
+const CLIENT_SW: IpAddr = IpAddr::new(10, 1, 0, 1); // southwest.net client
+const CLIENT_NE: IpAddr = IpAddr::new(10, 2, 0, 1); // northeast.net client
+const RD_SW: IpAddr = IpAddr::new(10, 1, 9, 1);
+const RD_NE: IpAddr = IpAddr::new(10, 2, 9, 1);
+const HS1: IpAddr = IpAddr::new(10, 3, 0, 1);
+const HS2: IpAddr = IpAddr::new(10, 3, 0, 2);
+const SERVICE_ADDR: IpAddr = IpAddr::new(192, 20, 225, 20);
+
+fn service() -> SockAddr {
+    SockAddr::new(SERVICE_ADDR, 80)
+}
+
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i % 251) as u8).collect()
+}
+
+struct Net {
+    system: System,
+    client_sw: NodeId,
+    client_ne: NodeId,
+    rd_sw: NodeId,
+    rd_ne: NodeId,
+    hs1: NodeId,
+}
+
+/// Topology:
+/// client_sw — rd_sw —+— hs1
+///                    ×
+/// client_ne — rd_ne —+— hs2
+/// (both redirectors link to both host servers and to each other's clients'
+/// paths via a backbone link between them)
+fn build(seed: u64) -> Net {
+    let mut b = SystemBuilder::new(TcpConfig::default());
+    b.set_probe_params(ProbeParams {
+        timeout: SimDuration::from_millis(200),
+        attempts: 2,
+    });
+    let client_sw = b.add_client("client_sw", CLIENT_SW);
+    let client_ne = b.add_client("client_ne", CLIENT_NE);
+    let rd_sw = b.add_redirector("rd_sw", RD_SW);
+    let rd_ne = b.add_redirector("rd_ne", RD_NE);
+    let hs1 = b.add_host_server_multi("hs1", HS1, vec![RD_SW, RD_NE]);
+    let hs2 = b.add_host_server_multi("hs2", HS2, vec![RD_SW, RD_NE]);
+    b.link(client_sw, rd_sw, LinkParams::default());
+    b.link(client_ne, rd_ne, LinkParams::default());
+    // Backbone between the ISPs.
+    b.link(rd_sw, rd_ne, LinkParams::new(100_000_000, SimDuration::from_millis(2)));
+    // Each redirector reaches each host server directly.
+    b.link(rd_sw, hs1, LinkParams::default());
+    b.link(rd_ne, hs2, LinkParams::default());
+    // hs1 hangs off rd_sw; hs2 off rd_ne. Cross traffic rides the backbone
+    // (auto-routing computes shortest paths).
+
+    let detector = DetectorParams::new(4, SimDuration::from_secs(30));
+    for (i, &hs) in [hs1, hs2].iter().enumerate() {
+        let mut spec = FtServiceSpec::new(service(), vec![hs], detector);
+        spec.registration_start = SimTime::from_millis(1 + 30 * i as u64);
+        b.deploy_ft_service(&spec, move |_q| {
+            Box::new(EchoApp::new(shared(SinkState::default())))
+        });
+    }
+    let mut system = b.build(seed);
+    assert!(system.wait_for_chain(rd_sw, service(), 2, SimTime::from_secs(3)));
+    assert!(system.wait_for_chain(rd_ne, service(), 2, SimTime::from_secs(3)));
+    Net {
+        system,
+        client_sw,
+        client_ne,
+        rd_sw,
+        rd_ne,
+        hs1,
+    }
+}
+
+#[test]
+fn both_redirectors_learn_the_same_chain() {
+    let net = build(1);
+    let chain_sw = net
+        .system
+        .redirector(net.rd_sw)
+        .controller()
+        .chain(service())
+        .unwrap()
+        .to_vec();
+    let chain_ne = net
+        .system
+        .redirector(net.rd_ne)
+        .controller()
+        .chain(service())
+        .unwrap()
+        .to_vec();
+    assert_eq!(chain_sw, chain_ne);
+    assert_eq!(chain_sw, vec![HS1, HS2]);
+}
+
+#[test]
+fn clients_of_both_isps_are_served() {
+    let mut net = build(2);
+    let (pa, pb) = (pattern(60_000), pattern(80_000));
+    let ra = shared(SenderState::default());
+    let rb = shared(SenderState::default());
+    net.system.connect_client(
+        net.client_sw,
+        service(),
+        Box::new(StreamSenderApp::new(pa.clone(), false, ra.clone())),
+    );
+    net.system.connect_client(
+        net.client_ne,
+        service(),
+        Box::new(StreamSenderApp::new(pb.clone(), false, rb.clone())),
+    );
+    net.system.sim.run_until(SimTime::from_secs(30));
+    assert_eq!(ra.borrow().replies.data, pa, "southwest client stream");
+    assert_eq!(rb.borrow().replies.data, pb, "northeast client stream");
+}
+
+#[test]
+fn failover_converges_on_both_redirectors() {
+    let mut net = build(3);
+    let (pa, pb) = (pattern(400_000), pattern(400_000));
+    let ra = shared(SenderState::default());
+    let rb = shared(SenderState::default());
+    net.system.connect_client(
+        net.client_sw,
+        service(),
+        Box::new(StreamSenderApp::new(pa.clone(), false, ra.clone())),
+    );
+    net.system.connect_client(
+        net.client_ne,
+        service(),
+        Box::new(StreamSenderApp::new(pb.clone(), false, rb.clone())),
+    );
+    let crash_at = net.system.sim.now().saturating_add(SimDuration::from_millis(80));
+    net.system.sim.schedule_crash(net.hs1, crash_at);
+    let deadline = SimTime::from_secs(240);
+    let mut step = net.system.sim.now();
+    while net.system.sim.now() < deadline {
+        if ra.borrow().replies.data.len() >= pa.len() && rb.borrow().replies.data.len() >= pb.len()
+        {
+            break;
+        }
+        step = step.saturating_add(SimDuration::from_millis(50));
+        net.system.sim.run_until(step);
+    }
+    assert_eq!(ra.borrow().replies.data, pa, "southwest stream across fail-over");
+    assert_eq!(rb.borrow().replies.data, pb, "northeast stream across fail-over");
+    for rd in [net.rd_sw, net.rd_ne] {
+        assert_eq!(
+            net.system.redirector(rd).controller().chain(service()).unwrap(),
+            &[HS2],
+            "redirector {rd:?} did not converge"
+        );
+    }
+}
