@@ -1,4 +1,6 @@
-//! Criterion wrappers around the paper's experiments.
+//! Wall-clock micro-benchmarks around the paper's experiments, with a
+//! plain self-contained harness (`harness = false`, no external bench
+//! framework — the container builds offline).
 //!
 //! Each bench runs a complete deterministic simulation per iteration; the
 //! wall-clock numbers measure the *harness* (simulator) cost, while the
@@ -6,11 +8,27 @@
 //! `detector_sweep`, `failover_latency`, `chain_scaling`, and
 //! `ackchan_loss` binaries.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use hydranet_bench::ablations::{ackchan_loss, build_star, chain_scaling, detector_sweep};
 use hydranet_bench::fig4::{run_point, Fig4Config, Fig4Params};
 use hydranet_core::prelude::*;
+
+/// Runs `f` a few times and reports min/mean wall-clock per iteration.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    // One warm-up iteration outside the measurement.
+    f();
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed());
+    }
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let total: std::time::Duration = samples.iter().sum();
+    let mean = total / iters.max(1);
+    println!("{name:<40} iters={iters:<3} min={min:>12.3?} mean={mean:>12.3?}");
+}
 
 fn quick_fig4_params() -> Fig4Params {
     Fig4Params {
@@ -19,103 +37,63 @@ fn quick_fig4_params() -> Fig4Params {
     }
 }
 
-/// Figure 4: one measurement point per configuration at 512-byte writes.
-fn bench_fig4(c: &mut Criterion) {
+fn main() {
+    println!("paper_benches: simulator wall-clock cost per full scenario run\n");
+
+    // Figure 4: one measurement point per configuration at 512-byte writes.
     let params = quick_fig4_params();
-    let mut group = c.benchmark_group("fig4_throughput");
-    group.sample_size(10);
     for config in Fig4Config::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(config.label()),
-            &config,
-            |b, &config| {
-                b.iter(|| {
-                    let p = run_point(config, 512, &params, 42);
-                    assert!(p.completed);
-                    p.throughput_kbps
-                })
-            },
-        );
+        bench(&format!("fig4/{}", config.label()), 5, || {
+            let p = run_point(config, 512, &params, 42);
+            assert!(p.completed);
+        });
     }
-    group.finish();
-}
 
-/// A1: detection latency at the default threshold.
-fn bench_detector(c: &mut Criterion) {
-    let mut group = c.benchmark_group("detector_threshold");
-    group.sample_size(10);
-    group.bench_function("threshold_5", |b| {
-        b.iter(|| detector_sweep(&[5], 11).pop().unwrap().detection_latency)
+    // A1: detection latency at the default threshold.
+    bench("detector/threshold_5", 3, || {
+        let point = detector_sweep(&[5], 11).pop().unwrap();
+        assert!(point.detection_latency.is_some());
     });
-    group.finish();
-}
 
-/// A2: a full primary fail-over under load.
-fn bench_failover(c: &mut Criterion) {
-    let mut group = c.benchmark_group("failover");
-    group.sample_size(10);
-    group.bench_function("primary_crash_with_backup", |b| {
-        b.iter(|| {
-            let detector = DetectorParams::new(4, SimDuration::from_secs(60));
-            let mut star = build_star(2, detector, true, 5);
-            let payload: Vec<u8> = (0..100_000).map(|i| (i % 251) as u8).collect();
-            let state = shared(SenderState::default());
-            let app = StreamSenderApp::new(payload, false, state.clone());
-            star.system
-                .connect_client(star.client, hydranet_bench::ablations::service(), Box::new(app));
-            let at = star.system.sim.now().saturating_add(SimDuration::from_millis(50));
-            star.system.sim.schedule_crash(star.replicas[0], at);
-            let deadline = SimTime::from_secs(60);
-            let mut step = star.system.sim.now();
-            while star.system.sim.now() < deadline {
-                if state.borrow().replies.data.len() >= 100_000 {
-                    break;
-                }
-                step = step.saturating_add(SimDuration::from_millis(20));
-                star.system.sim.run_until(step);
+    // A2: a full primary fail-over under load.
+    bench("failover/primary_crash_with_backup", 3, || {
+        let detector = DetectorParams::new(4, SimDuration::from_secs(60));
+        let mut star = build_star(2, detector, true, 5);
+        let payload: Vec<u8> = (0..100_000).map(|i| (i % 251) as u8).collect();
+        let state = shared(SenderState::default());
+        let app = StreamSenderApp::new(payload, false, state.clone());
+        star.system.connect_client(
+            star.client,
+            hydranet_bench::ablations::service(),
+            Box::new(app),
+        );
+        let at = star
+            .system
+            .sim
+            .now()
+            .saturating_add(SimDuration::from_millis(50));
+        star.system.sim.schedule_crash(star.replicas[0], at);
+        let deadline = SimTime::from_secs(60);
+        let mut step = star.system.sim.now();
+        while star.system.sim.now() < deadline {
+            if state.borrow().replies.data.len() >= 100_000 {
+                break;
             }
-            let received = state.borrow().replies.data.len();
-            assert_eq!(received, 100_000);
-            received
-        })
+            step = step.saturating_add(SimDuration::from_millis(20));
+            star.system.sim.run_until(step);
+        }
+        assert_eq!(state.borrow().replies.data.len(), 100_000);
     });
-    group.finish();
-}
 
-/// A3: chain lengths 1–3.
-fn bench_chain(c: &mut Criterion) {
-    let mut group = c.benchmark_group("chain_length");
-    group.sample_size(10);
-    group.bench_function("replicas_1_to_3", |b| {
-        b.iter(|| {
-            let points = chain_scaling(3, 7);
-            assert!(points.iter().all(|p| p.completed));
-            points.len()
-        })
+    // A3: chain lengths 1–3.
+    bench("chain/replicas_1_to_3", 3, || {
+        let points = chain_scaling(3, 7);
+        assert!(points.iter().all(|p| p.completed));
     });
-    group.finish();
-}
 
-/// A4: lossless vs. 5 % lossy backup branch.
-fn bench_ackchan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ackchan_loss");
-    group.sample_size(10);
-    group.bench_function("loss_0_and_5pct", |b| {
-        b.iter(|| {
-            let points = ackchan_loss(&[0.0, 0.05], 9);
-            assert!(points.iter().all(|p| p.completed));
-            points.len()
-        })
+    // A4: lossless vs. 5 % lossy backup branch.
+    bench("ackchan/loss_0_and_5pct", 3, || {
+        let points = ackchan_loss(&[0.0, 0.05], 9);
+        assert!(points.iter().all(|p| p.completed));
     });
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_fig4,
-    bench_detector,
-    bench_failover,
-    bench_chain,
-    bench_ackchan
-);
-criterion_main!(benches);

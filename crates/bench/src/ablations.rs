@@ -63,8 +63,9 @@ pub fn build_star(n_replicas: usize, detector: DetectorParams, echo: bool, seed:
     for &r in &replicas {
         replica_links.push(b.link(rd, r, LinkParams::default()));
     }
-    let sinks: Vec<Shared<SinkState>> =
-        (0..n_replicas).map(|_| shared(SinkState::default())).collect();
+    let sinks: Vec<Shared<SinkState>> = (0..n_replicas)
+        .map(|_| shared(SinkState::default()))
+        .collect();
     let base = FtServiceSpec::new(service(), replicas.clone(), detector);
     for (i, &replica) in replicas.iter().enumerate() {
         let sink = sinks[i].clone();
@@ -133,17 +134,32 @@ pub fn detector_sweep(thresholds: &[u32], seed: u64) -> Vec<DetectorPoint> {
             let payload: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
             let state = shared(SenderState::default());
             let app = StreamSenderApp::new(payload, false, state);
-            star.system.connect_client(star.client, service(), Box::new(app));
-            let crash_at = star.system.sim.now().saturating_add(SimDuration::from_millis(50));
+            star.system
+                .connect_client(star.client, service(), Box::new(app));
+            let crash_at = star
+                .system
+                .sim
+                .now()
+                .saturating_add(SimDuration::from_millis(50));
             star.system.sim.schedule_crash(star.replicas[0], crash_at);
             let deadline = SimTime::from_secs(120);
             let mut detection_latency = None;
             while star.system.sim.now() < deadline {
-                if star.system.redirector(star.rd).controller().reconfigurations() > 0 {
+                if star
+                    .system
+                    .redirector(star.rd)
+                    .controller()
+                    .reconfigurations()
+                    > 0
+                {
                     detection_latency = Some(star.system.sim.now().duration_since(crash_at));
                     break;
                 }
-                let next = star.system.sim.now().saturating_add(SimDuration::from_millis(10));
+                let next = star
+                    .system
+                    .sim
+                    .now()
+                    .saturating_add(SimDuration::from_millis(10));
                 star.system.sim.run_until(next);
             }
 
@@ -160,15 +176,19 @@ pub fn detector_sweep(thresholds: &[u32], seed: u64) -> Vec<DetectorPoint> {
             let payload: Vec<u8> = (0..400_000).map(|i| (i % 251) as u8).collect();
             let state = shared(SenderState::default());
             let app = StreamSenderApp::new(payload, false, state);
-            star.system.connect_client(star.client, service(), Box::new(app));
+            star.system
+                .connect_client(star.client, service(), Box::new(app));
             star.system.sim.run_until(SimTime::from_secs(60));
             let false_reports: u64 = star
                 .replicas
                 .iter()
                 .map(|&r| star.system.host_server(r).daemon().reports_sent())
                 .sum();
-            let false_reconfigurations =
-                star.system.redirector(star.rd).controller().reconfigurations();
+            let false_reconfigurations = star
+                .system
+                .redirector(star.rd)
+                .controller()
+                .reconfigurations();
 
             DetectorPoint {
                 threshold,
@@ -195,6 +215,12 @@ pub struct FailoverPoint {
     pub stall: Option<SimDuration>,
     /// Bytes the client received by the deadline.
     pub bytes: usize,
+    /// Detection latency measured on the telemetry timeline (first
+    /// `tcp.detector.suspected` → first promotion), when a fail-over ran.
+    pub detection_latency: Option<SimDuration>,
+    /// The run's full telemetry report (metrics registry + timeline) as
+    /// JSON.
+    pub telemetry: String,
 }
 
 /// A2: measures client-visible disruption for (i) a baseline run without
@@ -216,9 +242,14 @@ pub fn failover_disruption(seed: u64) -> Vec<FailoverPoint> {
         let mut star = build_star(replicas, detector, true, seed);
         let state = shared(SenderState::default());
         let app = StreamSenderApp::new(payload.clone(), false, state.clone());
-        star.system.connect_client(star.client, service(), Box::new(app));
+        star.system
+            .connect_client(star.client, service(), Box::new(app));
         if crash {
-            let at = star.system.sim.now().saturating_add(SimDuration::from_millis(50));
+            let at = star
+                .system
+                .sim
+                .now()
+                .saturating_add(SimDuration::from_millis(50));
             star.system.sim.schedule_crash(star.replicas[0], at);
         }
         let mut step = star.system.sim.now();
@@ -229,12 +260,19 @@ pub fn failover_disruption(seed: u64) -> Vec<FailoverPoint> {
             step = step.saturating_add(SimDuration::from_millis(20));
             star.system.sim.run_until(step);
         }
+        let detection_latency = star
+            .system
+            .detection_latency_nanos()
+            .map(SimDuration::from_nanos);
+        let telemetry = star.system.telemetry_json(scenario);
         let st = state.borrow();
         results.push(FailoverPoint {
             scenario,
             completed: st.replies.data.len() >= total,
             stall: st.replies.max_gap_duration(),
             bytes: st.replies.data.len(),
+            detection_latency,
+            telemetry,
         });
     }
     results
@@ -351,7 +389,10 @@ mod tests {
         let points = failover_disruption(5);
         assert!(points[0].completed, "baseline failed");
         assert!(points[1].completed, "fail-over run failed");
-        assert!(!points[2].completed, "unreplicated server 'survived' a crash");
+        assert!(
+            !points[2].completed,
+            "unreplicated server 'survived' a crash"
+        );
         // The paper's claim: with a backup the disruption is bounded; with
         // none the service is simply gone.
         let stall = points[1].stall.expect("stall measured");

@@ -1,4 +1,6 @@
-//! A2: client-visible disruption across a primary fail-over.
+//! A2: client-visible disruption across a primary fail-over, with the
+//! detection latency read off the unified telemetry timeline
+//! (`tcp.detector.suspected` → `mgmt.daemon.promoted`).
 
 use hydranet_bench::ablations::failover_disruption;
 use hydranet_bench::render_table;
@@ -10,6 +12,7 @@ fn main() {
         "scenario".to_string(),
         "completed".to_string(),
         "max client stall".to_string(),
+        "detect -> promote".to_string(),
         "bytes received".to_string(),
     ];
     let rows: Vec<Vec<String>> = points
@@ -19,6 +22,7 @@ fn main() {
                 p.scenario.to_string(),
                 p.completed.to_string(),
                 p.stall.map_or("-".into(), |d| format!("{d}")),
+                p.detection_latency.map_or("-".into(), |d| format!("{d}")),
                 p.bytes.to_string(),
             ]
         })
@@ -26,4 +30,16 @@ fn main() {
     println!("{}", render_table(&header, &rows));
     println!("(the unreplicated server's clients hang forever; the replicated");
     println!(" service stalls only for detection + reconfiguration + recovery)");
+
+    // Export the fail-over run's full telemetry report for offline analysis.
+    if let Some(p) = points.iter().find(|p| p.detection_latency.is_some()) {
+        let path = "BENCH_failover_latency.json";
+        match std::fs::write(path, &p.telemetry) {
+            Ok(()) => println!("\ntelemetry report ({}) written to {path}", p.scenario),
+            Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+        }
+        if let Some(d) = p.detection_latency {
+            println!("measured detection latency (timeline): {d}");
+        }
+    }
 }

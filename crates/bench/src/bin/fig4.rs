@@ -33,5 +33,8 @@ fn main() {
     eprintln!();
     println!("{}", render_table(&header, &rows));
     println!("(*: transfer did not complete before the per-point deadline)");
-    println!("(2048 B exceeds the {} B MTU: IP fragmentation, per §5's past-MTU drop)", params.mtu);
+    println!(
+        "(2048 B exceeds the {} B MTU: IP fragmentation, per §5's past-MTU drop)",
+        params.mtu
+    );
 }

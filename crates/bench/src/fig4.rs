@@ -196,18 +196,13 @@ pub fn run_point(
             // The server runs a plain listener on its own address (no
             // virtual host): HydraNet host-server software only in the
             // NoRedirection case.
-            let server = b.add_host_server_with(
-                "server",
-                HS1,
-                RD,
-                tcp.clone(),
-                host_params,
-            );
+            let server = b.add_host_server_with("server", HS1, RD, tcp.clone(), host_params);
             b.link(client, middle, link.clone());
             b.link(middle, server, link.clone());
             let handle = sink.clone();
             b.configure::<HostServer>(server, move |hs| {
-                hs.stack_mut().listen(PORT, move |_q| Box::new(EchoApp::sink(handle.clone())));
+                hs.stack_mut()
+                    .listen(PORT, move |_q| Box::new(EchoApp::sink(handle.clone())));
             });
             (b.build(seed), client, SockAddr::new(HS1, PORT))
         }
@@ -308,9 +303,24 @@ mod tests {
             .iter()
             .map(|&c| run_point(c, 256, &quick_params(), 1).throughput_kbps)
             .collect();
-        assert!(pts[0] >= pts[1], "clean {} < no_redirect {}", pts[0], pts[1]);
-        assert!(pts[1] >= pts[2], "no_redirect {} < primary {}", pts[1], pts[2]);
-        assert!(pts[2] >= pts[3], "primary {} < primary+backup {}", pts[2], pts[3]);
+        assert!(
+            pts[0] >= pts[1],
+            "clean {} < no_redirect {}",
+            pts[0],
+            pts[1]
+        );
+        assert!(
+            pts[1] >= pts[2],
+            "no_redirect {} < primary {}",
+            pts[1],
+            pts[2]
+        );
+        assert!(
+            pts[2] >= pts[3],
+            "primary {} < primary+backup {}",
+            pts[2],
+            pts[3]
+        );
         assert!(
             pts[3] > pts[0] * 0.3,
             "ft mode unreasonably slow: {} vs clean {}",
@@ -345,4 +355,3 @@ mod tests {
         );
     }
 }
-

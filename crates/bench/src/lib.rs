@@ -57,7 +57,10 @@ mod tests {
     fn table_renders_aligned() {
         let t = render_table(
             &["a".into(), "bee".into()],
-            &[vec!["1".into(), "2".into()], vec!["100".into(), "20000".into()]],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["100".into(), "20000".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -253,7 +253,9 @@ impl SocketApp for LineReplyApp {
         for byte in io.read_all() {
             if byte == b'\n' {
                 // Body bytes avoid the terminator byte by construction.
-                let reply: Vec<u8> = (0..self.body_bytes).map(|i| b'a' + (i % 26) as u8).collect();
+                let reply: Vec<u8> = (0..self.body_bytes)
+                    .map(|i| b'a' + (i % 26) as u8)
+                    .collect();
                 self.backlog.extend_from_slice(&reply);
                 self.backlog.push(b'\n');
                 *self.served.borrow_mut() += 1;
@@ -379,7 +381,10 @@ impl SinkRegistry {
 
     /// The sink of the connection whose *remote* endpoint is `remote`
     /// (most recent if the client reconnected).
-    pub fn sink_for_remote(&self, remote: hydranet_tcp::segment::SockAddr) -> Option<Shared<SinkState>> {
+    pub fn sink_for_remote(
+        &self,
+        remote: hydranet_tcp::segment::SockAddr,
+    ) -> Option<Shared<SinkState>> {
         self.by_quad
             .borrow()
             .iter()

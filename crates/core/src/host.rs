@@ -5,6 +5,7 @@ use hydranet_mgmt::proto::MGMT_PORT;
 use hydranet_netsim::node::{Context, IfaceId, Node, TimerToken};
 use hydranet_netsim::packet::{IpAddr, IpPacket};
 use hydranet_netsim::time::{SimDuration, SimTime};
+use hydranet_obs::Obs;
 use hydranet_tcp::conn::TcpConfig;
 use hydranet_tcp::detector::DetectorParams;
 use hydranet_tcp::segment::{Quad, SockAddr};
@@ -49,6 +50,12 @@ impl ClientHost {
     /// used inside a node context.
     pub fn stack_mut(&mut self) -> &mut TcpStack {
         &mut self.stack
+    }
+
+    /// Wires telemetry into the stack (per-connection histograms and
+    /// counters).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.stack.set_obs(obs);
     }
 
     /// Opens a connection to `remote` running `app`.
@@ -108,6 +115,8 @@ pub struct HostServer {
     /// Stack events accumulated for scenario inspection.
     pub events: Vec<StackEvent>,
     name: String,
+    /// Kept so a daemon recreated on recovery can be re-wired.
+    obs: Obs,
 }
 
 impl std::fmt::Debug for HostServer {
@@ -145,7 +154,15 @@ impl HostServer {
             pending: Vec::new(),
             events: Vec::new(),
             name: name.into(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Wires telemetry into the stack and the management daemon.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.stack.set_obs(obs.clone());
+        self.daemon.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// The host's stack.
@@ -222,7 +239,8 @@ impl HostServer {
             match action {
                 DaemonAction::Send(dst, payload) => {
                     let src = SockAddr::new(self.stack.primary_addr(), MGMT_PORT);
-                    self.stack.udp_send(src, SockAddr::new(dst, MGMT_PORT), payload);
+                    self.stack
+                        .udp_send(src, SockAddr::new(dst, MGMT_PORT), payload);
                 }
                 DaemonAction::AddVirtualHost(addr) => {
                     self.stack.add_local_addr(addr);
@@ -237,10 +255,18 @@ impl HostServer {
         let events = self.stack.take_events();
         for event in events {
             match &event {
-                StackEvent::UdpDelivery { local, remote, payload } if local.port == MGMT_PORT => {
+                StackEvent::UdpDelivery {
+                    local,
+                    remote,
+                    payload,
+                } if local.port == MGMT_PORT => {
                     self.daemon.on_datagram(remote.addr, payload, now);
                 }
-                StackEvent::FailureSuspected { port, quad, observed } => {
+                StackEvent::FailureSuspected {
+                    port,
+                    quad,
+                    observed,
+                } => {
                     let service = SockAddr::new(quad.local.addr, *port);
                     self.daemon.report_failure(service, *observed, now);
                     self.events.push(event);
@@ -254,7 +280,8 @@ impl HostServer {
             match action {
                 DaemonAction::Send(dst, payload) => {
                     let src = SockAddr::new(self.stack.primary_addr(), MGMT_PORT);
-                    self.stack.udp_send(src, SockAddr::new(dst, MGMT_PORT), payload);
+                    self.stack
+                        .udp_send(src, SockAddr::new(dst, MGMT_PORT), payload);
                 }
                 DaemonAction::AddVirtualHost(addr) => self.stack.add_local_addr(addr),
                 DaemonAction::ApplyPortOpt { port, config } => {
@@ -313,6 +340,7 @@ impl Node for HostServer {
             redirectors,
             ctx.now().as_nanos().max(1),
         );
+        self.daemon.set_obs(self.obs.clone());
         for p in &mut self.pending {
             p.register_at = ctx.now();
         }

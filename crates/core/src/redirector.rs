@@ -5,6 +5,8 @@ use hydranet_mgmt::failover::{ControllerAction, ProbeParams, ReplicaController};
 use hydranet_mgmt::proto::MGMT_PORT;
 use hydranet_netsim::node::{Context, IfaceId, Node, TimerToken};
 use hydranet_netsim::packet::{IpAddr, IpPacket, Protocol};
+use hydranet_netsim::time::SimTime;
+use hydranet_obs::{kinds, Obs};
 use hydranet_redirect::redirector::{Disposition, RedirectorEngine};
 use hydranet_redirect::table::ServiceEntry;
 use hydranet_tcp::udp::UdpDatagram;
@@ -17,6 +19,7 @@ pub struct ManagedRedirector {
     controller: ReplicaController,
     name: String,
     out_scratch: Vec<(IfaceId, IpPacket)>,
+    obs: Obs,
 }
 
 impl std::fmt::Debug for ManagedRedirector {
@@ -36,7 +39,17 @@ impl ManagedRedirector {
             controller: ReplicaController::new(addr, probe_params),
             name: name.into(),
             out_scratch: Vec::new(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Wires telemetry into the engine (redirection counters, table
+    /// metrics) and the controller (probe/reconfiguration timeline), plus
+    /// table install/remove timeline events emitted by this node.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.engine.set_obs(&obs);
+        self.controller.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// The redirection engine (routing and redirector tables).
@@ -54,7 +67,7 @@ impl ManagedRedirector {
         &self.controller
     }
 
-    fn apply_controller_actions(&mut self, out: &mut Vec<(IfaceId, IpPacket)>) {
+    fn apply_controller_actions(&mut self, now: SimTime, out: &mut Vec<(IfaceId, IpPacket)>) {
         for action in self.controller.take_actions() {
             match action {
                 ControllerAction::Send(dst, payload) => {
@@ -70,10 +83,32 @@ impl ManagedRedirector {
                 ControllerAction::UpdateTable { service, chain } => {
                     if chain.is_empty() {
                         self.engine.table_mut().remove(service);
+                        self.obs.event(
+                            now.as_nanos(),
+                            kinds::TABLE_REMOVED,
+                            &[
+                                ("redirector", self.engine.addr().to_string()),
+                                ("service", service.to_string()),
+                            ],
+                        );
                     } else {
+                        let chain_desc = chain
+                            .iter()
+                            .map(|h| h.to_string())
+                            .collect::<Vec<_>>()
+                            .join(" -> ");
                         self.engine
                             .table_mut()
                             .install(service, ServiceEntry::FaultTolerant { chain });
+                        self.obs.event(
+                            now.as_nanos(),
+                            kinds::TABLE_INSTALLED,
+                            &[
+                                ("redirector", self.engine.addr().to_string()),
+                                ("service", service.to_string()),
+                                ("chain", chain_desc),
+                            ],
+                        );
                     }
                 }
             }
@@ -83,7 +118,7 @@ impl ManagedRedirector {
     fn drive(&mut self, ctx: &mut Context<'_>) {
         self.controller.poll(ctx.now());
         let mut out = std::mem::take(&mut self.out_scratch);
-        self.apply_controller_actions(&mut out);
+        self.apply_controller_actions(ctx.now(), &mut out);
         for (iface, p) in out.drain(..) {
             ctx.send(iface, p);
         }

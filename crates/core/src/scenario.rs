@@ -120,6 +120,9 @@ pub struct FailoverResult {
     pub reconfigured: bool,
     /// Bytes the client received in total.
     pub bytes_received: usize,
+    /// Measured detection latency — first `tcp.detector.suspected` to the
+    /// first promotion — from the telemetry timeline, if both happened.
+    pub detection_latency: Option<SimDuration>,
 }
 
 /// Measures client-visible disruption across a replica failure: runs until
@@ -140,12 +143,20 @@ pub fn measure_failover(
         let next = system.sim.now().saturating_add(step);
         system.sim.run_until(next.min(deadline));
     }
-    let reconfigured = system.redirector(redirector).controller().reconfigurations() > 0;
+    let reconfigured = system
+        .redirector(redirector)
+        .controller()
+        .reconfigurations()
+        > 0;
+    let detection_latency = system
+        .detection_latency_nanos()
+        .map(SimDuration::from_nanos);
     let sink = sink.borrow();
     FailoverResult {
         completed: sink.len() >= expected_bytes,
         client_stall: sink.max_gap_duration(),
         reconfigured,
         bytes_received: sink.len(),
+        detection_latency,
     }
 }

@@ -11,6 +11,7 @@ use hydranet_netsim::routing::{Prefix, RouterNode};
 use hydranet_netsim::sim::Simulator;
 use hydranet_netsim::time::{SimDuration, SimTime};
 use hydranet_netsim::topology::TopologyBuilder;
+use hydranet_obs::Obs;
 use hydranet_tcp::conn::TcpConfig;
 use hydranet_tcp::detector::DetectorParams;
 use hydranet_tcp::segment::{Quad, SockAddr};
@@ -175,16 +176,19 @@ impl SystemBuilder {
     /// Adds a managed redirector with a CPU cost (the paper's redirector
     /// was a deliberately slow 486).
     pub fn add_redirector_with(&mut self, name: &str, addr: IpAddr, params: NodeParams) -> NodeId {
-        let id = self
-            .topo
-            .add_node(ManagedRedirector::new(name, addr, self.probe_params), params);
+        let id = self.topo.add_node(
+            ManagedRedirector::new(name, addr, self.probe_params),
+            params,
+        );
         self.note(id, NodeKind::Redirector, Some(addr));
         id
     }
 
     /// Adds a plain IP router (no redirection).
     pub fn add_router(&mut self, name: &str) -> NodeId {
-        let id = self.topo.add_node(RouterNode::new(name), NodeParams::INSTANT);
+        let id = self
+            .topo
+            .add_node(RouterNode::new(name), NodeParams::INSTANT);
         self.note(id, NodeKind::Router, None);
         id
     }
@@ -209,7 +213,11 @@ impl SystemBuilder {
                 NodeKind::Client | NodeKind::HostServer
             );
             if host_like {
-                let existing = self.links.iter().filter(|&&(x, y, _, _)| x == n || y == n).count();
+                let existing = self
+                    .links
+                    .iter()
+                    .filter(|&&(x, y, _, _)| x == n || y == n)
+                    .count();
                 assert_eq!(existing, 0, "host {n} must be single-homed");
             }
         }
@@ -302,12 +310,14 @@ impl SystemBuilder {
             let host = self.topo.node_mut::<HostServer>(node);
             host.stack_mut().add_local_addr(service.addr);
             let factory = app_factory.clone();
-            host.stack_mut().listen(service.port, move |quad| factory(quad));
+            host.stack_mut()
+                .listen(service.port, move |quad| factory(quad));
         }
     }
 
     /// Finishes building: computes shortest-path routes for every router
-    /// and redirector, then constructs the simulator.
+    /// and redirector, wires the unified telemetry layer into every node,
+    /// then constructs the simulator.
     pub fn build(self, seed: u64) -> System {
         let SystemBuilder {
             mut topo,
@@ -315,6 +325,7 @@ impl SystemBuilder {
             links,
             ..
         } = self;
+        let obs = Obs::enabled();
 
         // Adjacency: node -> [(neighbor, local iface)].
         let mut adj: HashMap<NodeId, Vec<(NodeId, IfaceId)>> = HashMap::new();
@@ -372,10 +383,23 @@ impl SystemBuilder {
             }
         }
 
-        System {
-            sim: topo.into_simulator(seed),
-            nodes,
+        // Wire the shared telemetry handle into every node so metrics and
+        // timeline events from all layers land in one registry.
+        for (idx, info) in nodes.iter().enumerate() {
+            let id = NodeId::from_index(idx);
+            match info.kind {
+                NodeKind::Client => topo.node_mut::<ClientHost>(id).set_obs(obs.clone()),
+                NodeKind::HostServer => topo.node_mut::<HostServer>(id).set_obs(obs.clone()),
+                NodeKind::Redirector => {
+                    topo.node_mut::<ManagedRedirector>(id).set_obs(obs.clone());
+                }
+                NodeKind::Router => {}
+            }
         }
+
+        let mut sim = topo.into_simulator(seed);
+        sim.set_obs(obs.clone());
+        System { sim, nodes, obs }
     }
 
     fn note(&mut self, id: NodeId, kind: NodeKind, addr: Option<IpAddr>) {
@@ -395,6 +419,7 @@ pub struct System {
     /// The underlying simulator.
     pub sim: Simulator,
     nodes: Vec<NodeInfo>,
+    obs: Obs,
 }
 
 impl std::fmt::Debug for System {
@@ -407,6 +432,31 @@ impl System {
     /// The kind of `node`.
     pub fn kind(&self, node: NodeId) -> NodeKind {
         self.nodes[node.index()].kind
+    }
+
+    /// The unified telemetry handle shared by every node in the system.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The measured fail-over detection latency — the span from the first
+    /// `tcp.detector.suspected` event to the first promotion — in
+    /// nanoseconds, once both have happened.
+    pub fn detection_latency_nanos(&self) -> Option<u64> {
+        self.obs.detection_latency_nanos()
+    }
+
+    /// Serialises the full telemetry report (metrics registry + failover
+    /// timeline) as JSON, tagged with run metadata. Bench binaries write
+    /// this next to their numeric output.
+    pub fn telemetry_json(&self, scenario: &str) -> String {
+        let stats = self.sim.stats();
+        self.obs.to_json_with_meta(&[
+            ("scenario", scenario.to_string()),
+            ("sim_now_nanos", self.sim.now().as_nanos().to_string()),
+            ("events_processed", stats.events_processed.to_string()),
+            ("trace_dropped", stats.trace_dropped.to_string()),
+        ])
     }
 
     /// The address of `node`, if it has one.

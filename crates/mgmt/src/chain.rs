@@ -45,6 +45,16 @@ pub fn assignments(chain: &[IpAddr]) -> Vec<RoleAssignment> {
         .collect()
 }
 
+/// A compact human-readable rendering of a chain for telemetry event
+/// fields, e.g. `"10.0.1.1 -> 10.0.2.1"`.
+pub fn describe(chain: &[IpAddr]) -> String {
+    chain
+        .iter()
+        .map(|h| h.to_string())
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
 /// Which hosts' assignments differ between `old` and `new` chains — only
 /// those need a `SetRole` message after a reconfiguration.
 pub fn changed_assignments(old: &[IpAddr], new: &[IpAddr]) -> Vec<RoleAssignment> {

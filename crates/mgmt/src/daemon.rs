@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use hydranet_netsim::packet::IpAddr;
 use hydranet_netsim::time::SimTime;
+use hydranet_obs::{kinds, Obs};
 use hydranet_tcp::detector::DetectorParams;
 use hydranet_tcp::ft::{ReplicaMode, ReplicatedPortConfig};
 use hydranet_tcp::segment::SockAddr;
@@ -42,9 +43,13 @@ pub struct HostDaemon {
     endpoint: ReliableEndpoint,
     /// Services this host has registered, with their detector tuning.
     registered: HashMap<SockAddr, DetectorParams>,
+    /// Last chain index applied per service (for promotion detection).
+    roles: HashMap<SockAddr, u32>,
     actions: Vec<DaemonAction>,
     /// Failure reports sent (diagnostics).
     reports_sent: u64,
+    /// Telemetry sink (no-op unless wired via [`set_obs`](Self::set_obs)).
+    obs: Obs,
 }
 
 impl HostDaemon {
@@ -74,15 +79,26 @@ impl HostDaemon {
     ///
     /// Panics if `redirectors` is empty.
     pub fn multi_with_id_base(host: IpAddr, redirectors: Vec<IpAddr>, id_base: u64) -> Self {
-        assert!(!redirectors.is_empty(), "a daemon needs at least one redirector");
+        assert!(
+            !redirectors.is_empty(),
+            "a daemon needs at least one redirector"
+        );
         HostDaemon {
             host,
             redirectors,
             endpoint: ReliableEndpoint::new().with_id_base(id_base),
             registered: HashMap::new(),
+            roles: HashMap::new(),
             actions: Vec::new(),
             reports_sent: 0,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Wires telemetry: registrations, failure reports, and role changes
+    /// (in particular primary promotions) are recorded on the timeline.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// This host's address.
@@ -120,7 +136,16 @@ impl HostDaemon {
     /// and with it primary/backup mode — is assigned by the redirector.
     pub fn register_service(&mut self, service: SockAddr, detector: DetectorParams, now: SimTime) {
         self.registered.insert(service, detector);
-        self.actions.push(DaemonAction::AddVirtualHost(service.addr));
+        self.obs.event(
+            now.as_nanos(),
+            kinds::REPLICA_REGISTERED,
+            &[
+                ("host", self.host.to_string()),
+                ("service", service.to_string()),
+            ],
+        );
+        self.actions
+            .push(DaemonAction::AddVirtualHost(service.addr));
         for rd in self.redirectors.clone() {
             let msg = MgmtMsg::RegisterReplica {
                 service,
@@ -148,6 +173,15 @@ impl HostDaemon {
     /// redirector ("when a server detects a failure, it informs the
     /// redirector", §4.4).
     pub fn report_failure(&mut self, service: SockAddr, observed: u64, now: SimTime) {
+        self.obs.event(
+            now.as_nanos(),
+            kinds::FAILURE_REPORTED,
+            &[
+                ("reporter", self.host.to_string()),
+                ("service", service.to_string()),
+                ("observed", observed.to_string()),
+            ],
+        );
         for rd in self.redirectors.clone() {
             let msg = MgmtMsg::FailureReport {
                 service,
@@ -192,6 +226,19 @@ impl HostDaemon {
                 } else {
                     ReplicaMode::Backup { index }
                 };
+                // A backup stepping into index 0 is the paper's promotion
+                // moment; the initial primary assignment is not.
+                let was_backup = self.roles.insert(service, index).is_some_and(|i| i != 0);
+                if index == 0 && was_backup {
+                    self.obs.event(
+                        now.as_nanos(),
+                        kinds::PROMOTED,
+                        &[
+                            ("host", self.host.to_string()),
+                            ("service", service.to_string()),
+                        ],
+                    );
+                }
                 self.actions.push(DaemonAction::ApplyPortOpt {
                     port: service.port,
                     config: ReplicatedPortConfig {
@@ -270,9 +317,7 @@ mod tests {
         let ack = actions
             .iter()
             .find_map(|a| match a {
-                DaemonAction::Send(dst, bytes) => {
-                    Some((dst, Envelope::decode(bytes).unwrap()))
-                }
+                DaemonAction::Send(dst, bytes) => Some((dst, Envelope::decode(bytes).unwrap())),
                 _ => None,
             })
             .expect("reply sent");
@@ -327,7 +372,9 @@ mod tests {
         d.poll(SimTime::from_secs(1));
         let actions = d.take_actions();
         assert!(
-            actions.iter().any(|a| matches!(a, DaemonAction::Send(dst, _) if *dst == RD)),
+            actions
+                .iter()
+                .any(|a| matches!(a, DaemonAction::Send(dst, _) if *dst == RD)),
             "no retransmission: {actions:?}"
         );
         assert!(d.next_deadline().is_some());

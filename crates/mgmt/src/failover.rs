@@ -5,9 +5,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use hydranet_netsim::packet::IpAddr;
 use hydranet_netsim::time::{SimDuration, SimTime};
+use hydranet_obs::{kinds, Obs};
 use hydranet_tcp::segment::SockAddr;
 
-use crate::chain::{assignments, changed_assignments};
+use crate::chain::{assignments, changed_assignments, describe};
 use crate::proto::MgmtMsg;
 use crate::reliable::ReliableEndpoint;
 
@@ -70,6 +71,8 @@ pub struct ReplicaController {
     next_nonce: u64,
     actions: Vec<ControllerAction>,
     reconfigurations: u64,
+    /// Telemetry sink (no-op unless wired via [`set_obs`](Self::set_obs)).
+    obs: Obs,
 }
 
 impl ReplicaController {
@@ -83,7 +86,15 @@ impl ReplicaController {
             next_nonce: 1,
             actions: Vec::new(),
             reconfigurations: 0,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Wires telemetry: probe rounds, host removals, and committed chain
+    /// reconfigurations are recorded on the timeline, plus a
+    /// `mgmt.controller.<addr>.reconfigurations` counter.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The redirector address this controller runs at.
@@ -191,6 +202,27 @@ impl ReplicaController {
             return;
         }
         self.reconfigurations += 1;
+        for host in &old {
+            if !new.contains(host) {
+                self.obs.event(
+                    now.as_nanos(),
+                    kinds::HOST_REMOVED,
+                    &[("service", service.to_string()), ("host", host.to_string())],
+                );
+            }
+        }
+        self.obs.event(
+            now.as_nanos(),
+            kinds::CHAIN_RECONFIGURED,
+            &[
+                ("service", service.to_string()),
+                ("chain", describe(&new)),
+                ("length", new.len().to_string()),
+            ],
+        );
+        self.obs
+            .counter(&format!("mgmt.controller.{}.reconfigurations", self.addr))
+            .inc();
         self.push_table_update(service, &new);
         for a in changed_assignments(&old, &new) {
             let msg = a.to_msg(service);
@@ -218,8 +250,19 @@ impl ReplicaController {
             awaiting: awaiting.clone(),
             attempt: 1,
         });
+        self.obs.event(
+            now.as_nanos(),
+            kinds::PROBE_STARTED,
+            &[
+                ("service", service.to_string()),
+                ("nonce", nonce.to_string()),
+                ("targets", awaiting.len().to_string()),
+            ],
+        );
         for host in awaiting {
-            let out = self.endpoint.send_unreliable(host, MgmtMsg::Probe { nonce });
+            let out = self
+                .endpoint
+                .send_unreliable(host, MgmtMsg::Probe { nonce });
             self.actions.push(ControllerAction::Send(out.0, out.1));
         }
     }
@@ -256,7 +299,9 @@ impl ReplicaController {
                 attempt: round.attempt + 1,
             });
             for host in awaiting {
-                let out = self.endpoint.send_unreliable(host, MgmtMsg::Probe { nonce });
+                let out = self
+                    .endpoint
+                    .send_unreliable(host, MgmtMsg::Probe { nonce });
                 self.actions.push(ControllerAction::Send(out.0, out.1));
             }
             return;
@@ -373,9 +418,10 @@ mod tests {
         // Re-registration re-announces the role but does not duplicate the
         // chain entry.
         let actions = c.take_actions();
-        assert!(actions.iter().filter_map(decode_send).any(|(dst, m)| {
-            dst == h(1) && matches!(m, MgmtMsg::SetRole { index: 0, .. })
-        }));
+        assert!(actions
+            .iter()
+            .filter_map(decode_send)
+            .any(|(dst, m)| { dst == h(1) && matches!(m, MgmtMsg::SetRole { index: 0, .. }) }));
     }
 
     #[test]

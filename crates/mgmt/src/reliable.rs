@@ -212,7 +212,9 @@ mod tests {
         assert_eq!(retx[0].1, bytes);
         // The peer acks.
         let env = Envelope::decode(&bytes).unwrap();
-        let Envelope::Payload { id, .. } = env else { panic!() };
+        let Envelope::Payload { id, .. } = env else {
+            panic!()
+        };
         let ack = Envelope::Ack { of: id }.encode();
         ep.on_datagram(PEER, &ack, SimTime::from_millis(150));
         assert_eq!(ep.pending_count(), 0);

@@ -172,7 +172,10 @@ mod tests {
         assert_eq!(r.u32().unwrap(), 70_000);
         assert_eq!(r.u64().unwrap(), u64::MAX - 1);
         assert_eq!(r.addr().unwrap(), IpAddr::new(1, 2, 3, 4));
-        assert_eq!(r.sockaddr().unwrap(), SockAddr::new(IpAddr::new(9, 9, 9, 9), 80));
+        assert_eq!(
+            r.sockaddr().unwrap(),
+            SockAddr::new(IpAddr::new(9, 9, 9, 9), 80)
+        );
         assert_eq!(r.opt_addr().unwrap(), Some(IpAddr::new(5, 6, 7, 8)));
         assert_eq!(r.opt_addr().unwrap(), None);
         assert!(r.is_exhausted());

@@ -1,100 +1,138 @@
-//! Property tests for the management protocol's wire format and the chain
-//! role computation.
+//! Randomized-sweep tests for the management protocol's wire format and
+//! the chain role computation (formerly proptest properties; now driven by
+//! the in-tree deterministic [`SimRng`]).
+
+use std::collections::BTreeSet;
 
 use hydranet_mgmt::chain::assignments;
 use hydranet_mgmt::proto::{Envelope, MgmtMsg};
 use hydranet_netsim::packet::IpAddr;
+use hydranet_netsim::rng::SimRng;
 use hydranet_tcp::segment::SockAddr;
-use proptest::prelude::*;
 
-fn arb_addr() -> impl Strategy<Value = IpAddr> {
-    any::<u32>().prop_map(IpAddr::from_bits)
+fn arb_addr(rng: &mut SimRng) -> IpAddr {
+    IpAddr::from_bits(rng.next_u64() as u32)
 }
 
-fn arb_sockaddr() -> impl Strategy<Value = SockAddr> {
-    (arb_addr(), any::<u16>()).prop_map(|(a, p)| SockAddr::new(a, p))
+fn arb_sockaddr(rng: &mut SimRng) -> SockAddr {
+    SockAddr::new(arb_addr(rng), rng.next_u64() as u16)
 }
 
-fn arb_msg() -> impl Strategy<Value = MgmtMsg> {
-    prop_oneof![
-        (arb_sockaddr(), arb_addr())
-            .prop_map(|(service, host)| MgmtMsg::RegisterReplica { service, host }),
-        (arb_sockaddr(), arb_addr()).prop_map(|(service, host)| MgmtMsg::Deregister {
-            service,
-            host
-        }),
-        (arb_sockaddr(), arb_addr(), any::<u64>()).prop_map(|(service, reporter, observed)| {
-            MgmtMsg::FailureReport {
-                service,
-                reporter,
-                observed,
-            }
-        }),
-        (
-            arb_sockaddr(),
-            any::<u32>(),
-            proptest::option::of(arb_addr()),
-            any::<bool>()
-        )
-            .prop_map(|(service, index, predecessor, has_successor)| MgmtMsg::SetRole {
-                service,
-                index,
-                predecessor,
-                has_successor,
-            }),
-        any::<u64>().prop_map(|nonce| MgmtMsg::Probe { nonce }),
-        any::<u64>().prop_map(|nonce| MgmtMsg::ProbeAck { nonce }),
-    ]
-}
-
-proptest! {
-    /// Every message round-trips through the envelope wire format.
-    #[test]
-    fn envelope_roundtrip(id: u64, needs_ack: bool, msg in arb_msg()) {
-        let env = Envelope::Payload { id, needs_ack, msg };
-        prop_assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+fn arb_msg(rng: &mut SimRng) -> MgmtMsg {
+    match rng.range(0, 6) {
+        0 => MgmtMsg::RegisterReplica {
+            service: arb_sockaddr(rng),
+            host: arb_addr(rng),
+        },
+        1 => MgmtMsg::Deregister {
+            service: arb_sockaddr(rng),
+            host: arb_addr(rng),
+        },
+        2 => MgmtMsg::FailureReport {
+            service: arb_sockaddr(rng),
+            reporter: arb_addr(rng),
+            observed: rng.next_u64(),
+        },
+        3 => MgmtMsg::SetRole {
+            service: arb_sockaddr(rng),
+            index: rng.next_u64() as u32,
+            predecessor: if rng.chance(0.5) {
+                Some(arb_addr(rng))
+            } else {
+                None
+            },
+            has_successor: rng.chance(0.5),
+        },
+        4 => MgmtMsg::Probe {
+            nonce: rng.next_u64(),
+        },
+        _ => MgmtMsg::ProbeAck {
+            nonce: rng.next_u64(),
+        },
     }
+}
 
-    /// Acks round-trip too.
-    #[test]
-    fn ack_roundtrip(of: u64) {
-        let env = Envelope::Ack { of };
-        prop_assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+/// Every message round-trips through the envelope wire format.
+#[test]
+fn envelope_roundtrip() {
+    let mut rng = SimRng::seed_from(1);
+    for _ in 0..512 {
+        let env = Envelope::Payload {
+            id: rng.next_u64(),
+            needs_ack: rng.chance(0.5),
+            msg: arb_msg(&mut rng),
+        };
+        assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
     }
+}
 
-    /// Decoding arbitrary bytes never panics.
-    #[test]
-    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+/// Acks round-trip too.
+#[test]
+fn ack_roundtrip() {
+    let mut rng = SimRng::seed_from(2);
+    for _ in 0..128 {
+        let env = Envelope::Ack { of: rng.next_u64() };
+        assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+    }
+}
+
+/// Decoding arbitrary bytes never panics.
+#[test]
+fn decode_never_panics() {
+    let mut rng = SimRng::seed_from(3);
+    for _ in 0..512 {
+        let len = rng.range(0, 64) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
         let _ = Envelope::decode(&bytes);
     }
+}
 
-    /// Truncating a valid envelope anywhere yields an error, not garbage.
-    #[test]
-    fn truncation_is_detected(id: u64, msg in arb_msg(), cut in 1usize..20) {
-        let bytes = Envelope::Payload { id, needs_ack: true, msg }.encode();
+/// Truncating a valid envelope anywhere yields an error, not garbage.
+#[test]
+fn truncation_is_detected() {
+    let mut rng = SimRng::seed_from(4);
+    for _ in 0..256 {
+        let bytes = Envelope::Payload {
+            id: rng.next_u64(),
+            needs_ack: true,
+            msg: arb_msg(&mut rng),
+        }
+        .encode();
+        let cut = rng.range(1, 20) as usize;
         if cut < bytes.len() {
             let truncated = &bytes[..bytes.len() - cut];
-            prop_assert!(Envelope::decode(truncated).is_err());
+            assert!(Envelope::decode(truncated).is_err());
         }
     }
+}
 
-    /// Chain role computation invariants, for any chain of distinct hosts:
-    /// indices are sequential, the head is the ungated-predecessor primary,
-    /// exactly the tail lacks a successor, and each predecessor is the
-    /// previous chain member.
-    #[test]
-    fn chain_assignment_invariants(raw in proptest::collection::hash_set(any::<u32>(), 1..8)) {
+/// Chain role computation invariants, for any chain of distinct hosts:
+/// indices are sequential, the head is the ungated-predecessor primary,
+/// exactly the tail lacks a successor, and each predecessor is the
+/// previous chain member.
+#[test]
+fn chain_assignment_invariants() {
+    let mut rng = SimRng::seed_from(5);
+    for _ in 0..256 {
+        let n = rng.range(1, 8) as usize;
+        let mut raw = BTreeSet::new();
+        while raw.len() < n {
+            raw.insert(rng.next_u64() as u32);
+        }
         let chain: Vec<IpAddr> = raw.into_iter().map(IpAddr::from_bits).collect();
         let roles = assignments(&chain);
-        prop_assert_eq!(roles.len(), chain.len());
+        assert_eq!(roles.len(), chain.len());
         for (i, role) in roles.iter().enumerate() {
-            prop_assert_eq!(role.host, chain[i]);
-            prop_assert_eq!(role.index as usize, i);
-            prop_assert_eq!(role.predecessor, if i == 0 { None } else { Some(chain[i - 1]) });
-            prop_assert_eq!(role.has_successor, i + 1 < chain.len());
+            assert_eq!(role.host, chain[i]);
+            assert_eq!(role.index as usize, i);
+            assert_eq!(
+                role.predecessor,
+                if i == 0 { None } else { Some(chain[i - 1]) }
+            );
+            assert_eq!(role.has_successor, i + 1 < chain.len());
         }
         // Exactly one primary; exactly one tail.
-        prop_assert_eq!(roles.iter().filter(|r| r.index == 0).count(), 1);
-        prop_assert_eq!(roles.iter().filter(|r| !r.has_successor).count(), 1);
+        assert_eq!(roles.iter().filter(|r| r.index == 0).count(), 1);
+        assert_eq!(roles.iter().filter(|r| !r.has_successor).count(), 1);
     }
 }

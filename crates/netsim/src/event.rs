@@ -135,7 +135,9 @@ mod tests {
         q.push(SimTime::from_millis(3), start(3));
         q.push(SimTime::from_millis(1), start(1));
         q.push(SimTime::from_millis(2), start(2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.as_nanos()).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_nanos())
+            .collect();
         assert_eq!(order, vec![1_000_000, 2_000_000, 3_000_000]);
     }
 

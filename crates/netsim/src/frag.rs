@@ -323,14 +323,20 @@ mod tests {
         p.header.frag.dont_fragment = true;
         assert!(matches!(
             fragment_packet(p, 1500),
-            Err(FragError::DontFragment { size: 2020, mtu: 1500 })
+            Err(FragError::DontFragment {
+                size: 2020,
+                mtu: 1500
+            })
         ));
     }
 
     #[test]
     fn tiny_mtu_is_rejected() {
         let p = packet(100, 5);
-        assert!(matches!(fragment_packet(p, 24), Err(FragError::MtuTooSmall { mtu: 24 })));
+        assert!(matches!(
+            fragment_packet(p, 24),
+            Err(FragError::MtuTooSmall { mtu: 24 })
+        ));
     }
 
     #[test]

@@ -76,8 +76,8 @@ pub mod prelude {
     pub use crate::link::{LinkId, LinkParams, LossModel};
     pub use crate::node::{Context, IfaceId, Node, NodeId, NodeParams, TimerId, TimerToken};
     pub use crate::packet::{IpAddr, IpPacket, Protocol};
-    pub use crate::routing::{Prefix, RouteTable, RouterNode};
     pub use crate::rng::SimRng;
+    pub use crate::routing::{Prefix, RouteTable, RouterNode};
     pub use crate::sim::Simulator;
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::TopologyBuilder;

@@ -66,8 +66,7 @@ impl Direction {
 }
 
 /// Random-loss model applied per packet as it leaves the transmitter.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum LossModel {
     /// No random loss.
     #[default]
@@ -118,7 +117,6 @@ impl LossModel {
         }
     }
 }
-
 
 /// Static configuration of a link.
 ///

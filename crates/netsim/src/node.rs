@@ -256,7 +256,13 @@ mod tests {
         let mut rng = SimRng::seed_from(0);
         let mut next = 0u64;
         let mut actions = Vec::new();
-        let mut ctx = Context::new(SimTime::from_secs(1), NodeId(3), &mut rng, &mut next, &mut actions);
+        let mut ctx = Context::new(
+            SimTime::from_secs(1),
+            NodeId(3),
+            &mut rng,
+            &mut next,
+            &mut actions,
+        );
         assert_eq!(ctx.now(), SimTime::from_secs(1));
         assert_eq!(ctx.node_id(), NodeId(3));
         let t1 = ctx.set_timer(SimDuration::from_millis(5), TimerToken(7));

@@ -3,9 +3,11 @@
 //! All stochastic behaviour in a simulation (loss models, workload jitter)
 //! draws from a single [`SimRng`] seeded at construction, so a run is a pure
 //! function of its configuration and seed.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is an in-tree xoshiro256++ (public domain algorithm by
+//! Blackman & Vigna), seeded through SplitMix64 — no external dependency,
+//! and the stream for a given seed is stable across toolchains, which keeps
+//! recorded scenario trajectories reproducible.
 
 /// A seeded random number generator owned by the simulator.
 ///
@@ -20,20 +22,46 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step — used only to expand the 64-bit seed into the
+/// generator's 256-bit state, per the xoshiro authors' recommendation.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut s = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
     /// Draws a uniformly distributed 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
     }
 
     /// Draws `true` with probability `p`.
@@ -48,7 +76,7 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen_bool(p)
+            self.unit() < p
         }
     }
 
@@ -59,12 +87,22 @@ impl SimRng {
     /// Panics if `low >= high`.
     pub fn range(&mut self, low: u64, high: u64) -> u64 {
         assert!(low < high, "empty range {low}..{high}");
-        self.inner.gen_range(low..high)
+        let span = high - low;
+        // Rejection sampling to avoid modulo bias: accept draws below the
+        // largest multiple of `span`.
+        let zone = u64::MAX - (u64::MAX % span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return low + v % span;
+            }
+        }
     }
 
     /// Draws a uniformly distributed float in `0.0..1.0`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen_range(0.0..1.0)
+        // 53 random mantissa bits, the standard u64 → f64 construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
@@ -109,6 +147,28 @@ mod tests {
         for _ in 0..1000 {
             let v = rng.range(10, 20);
             assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = SimRng::seed_from(6);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.range(0, 8) as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut rng = SimRng::seed_from(8);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u), "unit out of range: {u}");
         }
     }
 

@@ -240,14 +240,35 @@ mod tests {
     #[test]
     fn longest_prefix_wins_regardless_of_insertion_order() {
         let mut rt = RouteTable::new();
-        rt.add(Prefix::new(IpAddr::new(10, 9, 0, 0), 16), IfaceId::from_index(1));
+        rt.add(
+            Prefix::new(IpAddr::new(10, 9, 0, 0), 16),
+            IfaceId::from_index(1),
+        );
         rt.add(Prefix::DEFAULT, IfaceId::from_index(9));
-        rt.add(Prefix::new(IpAddr::new(10, 0, 0, 0), 8), IfaceId::from_index(0));
-        rt.add(Prefix::host(IpAddr::new(10, 9, 9, 9)), IfaceId::from_index(2));
-        assert_eq!(rt.lookup(IpAddr::new(10, 9, 9, 9)), Some(IfaceId::from_index(2)));
-        assert_eq!(rt.lookup(IpAddr::new(10, 9, 1, 1)), Some(IfaceId::from_index(1)));
-        assert_eq!(rt.lookup(IpAddr::new(10, 8, 1, 1)), Some(IfaceId::from_index(0)));
-        assert_eq!(rt.lookup(IpAddr::new(172, 16, 0, 1)), Some(IfaceId::from_index(9)));
+        rt.add(
+            Prefix::new(IpAddr::new(10, 0, 0, 0), 8),
+            IfaceId::from_index(0),
+        );
+        rt.add(
+            Prefix::host(IpAddr::new(10, 9, 9, 9)),
+            IfaceId::from_index(2),
+        );
+        assert_eq!(
+            rt.lookup(IpAddr::new(10, 9, 9, 9)),
+            Some(IfaceId::from_index(2))
+        );
+        assert_eq!(
+            rt.lookup(IpAddr::new(10, 9, 1, 1)),
+            Some(IfaceId::from_index(1))
+        );
+        assert_eq!(
+            rt.lookup(IpAddr::new(10, 8, 1, 1)),
+            Some(IfaceId::from_index(0))
+        );
+        assert_eq!(
+            rt.lookup(IpAddr::new(172, 16, 0, 1)),
+            Some(IfaceId::from_index(9))
+        );
     }
 
     #[test]
@@ -257,7 +278,10 @@ mod tests {
         rt.add(p, IfaceId::from_index(0));
         rt.add(p, IfaceId::from_index(5));
         assert_eq!(rt.len(), 1);
-        assert_eq!(rt.lookup(IpAddr::new(10, 1, 1, 1)), Some(IfaceId::from_index(5)));
+        assert_eq!(
+            rt.lookup(IpAddr::new(10, 1, 1, 1)),
+            Some(IfaceId::from_index(5))
+        );
     }
 
     #[test]

@@ -9,6 +9,8 @@
 use std::any::Any;
 use std::collections::HashSet;
 
+use hydranet_obs::{kinds, Obs};
+
 use crate::event::{EventKind, EventQueue};
 use crate::frag::fragment_packet;
 use crate::link::{Direction, Link, LinkId};
@@ -77,6 +79,7 @@ pub struct Simulator {
     rng: SimRng,
     stats: SimStats,
     trace: Trace,
+    obs: Obs,
     actions_scratch: Vec<Action>,
 }
 
@@ -103,10 +106,12 @@ impl Simulator {
             rng: SimRng::seed_from(seed),
             stats: SimStats::default(),
             trace: Trace::default(),
+            obs: Obs::disabled(),
             actions_scratch: Vec::new(),
         };
         for i in 0..sim.nodes.len() {
-            sim.events.push(SimTime::ZERO, EventKind::NodeStart(NodeId(i)));
+            sim.events
+                .push(SimTime::ZERO, EventKind::NodeStart(NodeId(i)));
         }
         sim
     }
@@ -126,9 +131,17 @@ impl Simulator {
         self.links.len()
     }
 
-    /// Whole-run counters.
-    pub fn stats(&self) -> &SimStats {
-        &self.stats
+    /// Whole-run counters (trace-ring evictions folded in).
+    pub fn stats(&self) -> SimStats {
+        let mut stats = self.stats;
+        stats.trace_dropped = self.trace.dropped();
+        stats
+    }
+
+    /// Wires telemetry: fault-injection transitions (node crash/recover,
+    /// link down/up) are recorded on the shared timeline.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The trace buffer (enable with [`Trace::set_enabled`]).
@@ -284,7 +297,13 @@ impl Simulator {
             .expect("node callback reentrancy");
         let mut actions = std::mem::take(&mut self.actions_scratch);
         let result = {
-            let mut ctx = Context::new(self.now, id, &mut self.rng, &mut self.next_timer_id, &mut actions);
+            let mut ctx = Context::new(
+                self.now,
+                id,
+                &mut self.rng,
+                &mut self.next_timer_id,
+                &mut actions,
+            );
             let node = (boxed.as_mut() as &mut dyn Any)
                 .downcast_mut::<T>()
                 .unwrap_or_else(|| panic!("node {id} is not a {}", std::any::type_name::<T>()));
@@ -305,7 +324,11 @@ impl Simulator {
             EventKind::NodeStart(node) => {
                 self.dispatch(node, |n, ctx| n.on_start(ctx));
             }
-            EventKind::PacketArrival { node, iface, packet } => {
+            EventKind::PacketArrival {
+                node,
+                iface,
+                packet,
+            } => {
                 self.packet_arrival(node, iface, packet);
             }
             EventKind::PacketDispatch {
@@ -316,11 +339,8 @@ impl Simulator {
             } => {
                 let slot = &self.nodes[node.index()];
                 if slot.crashed || slot.epoch != epoch {
-                    self.trace.record(
-                        self.now,
-                        TracePoint::CrashDrop(node),
-                        summarize(&packet),
-                    );
+                    self.trace
+                        .record(self.now, TracePoint::CrashDrop(node), summarize(&packet));
                     return;
                 }
                 self.trace
@@ -358,6 +378,11 @@ impl Simulator {
                     .as_mut()
                     .expect("node callback reentrancy")
                     .on_crash();
+                self.obs.event(
+                    self.now.as_nanos(),
+                    kinds::NODE_CRASHED,
+                    &[("node", node.to_string())],
+                );
             }
             EventKind::Recover(node) => {
                 let slot = &mut self.nodes[node.index()];
@@ -366,6 +391,11 @@ impl Simulator {
                 }
                 slot.crashed = false;
                 slot.cpu_free_at = self.now;
+                self.obs.event(
+                    self.now.as_nanos(),
+                    kinds::NODE_RECOVERED,
+                    &[("node", node.to_string())],
+                );
                 self.dispatch(node, |n, ctx| n.on_recover(ctx));
             }
             EventKind::LinkDown(link) => {
@@ -381,9 +411,19 @@ impl Simulator {
                     // Invalidate any in-flight dequeue events.
                     dir.epoch += 1;
                 }
+                self.obs.event(
+                    self.now.as_nanos(),
+                    kinds::LINK_DOWN,
+                    &[("link", link.to_string())],
+                );
             }
             EventKind::LinkUp(link) => {
                 self.links[link.index()].up = true;
+                self.obs.event(
+                    self.now.as_nanos(),
+                    kinds::LINK_UP,
+                    &[("link", link.to_string())],
+                );
             }
         }
     }
@@ -399,7 +439,13 @@ impl Simulator {
             .expect("node callback reentrancy");
         let mut actions = std::mem::take(&mut self.actions_scratch);
         {
-            let mut ctx = Context::new(self.now, id, &mut self.rng, &mut self.next_timer_id, &mut actions);
+            let mut ctx = Context::new(
+                self.now,
+                id,
+                &mut self.rng,
+                &mut self.next_timer_id,
+                &mut actions,
+            );
             f(boxed.as_mut(), &mut ctx);
         }
         self.nodes[id.index()].node = Some(boxed);
@@ -569,8 +615,8 @@ fn summarize(packet: &IpPacket) -> String {
 mod tests {
     use super::*;
     use crate::link::LinkParams;
-    use crate::packet::{IpAddr, Protocol};
     use crate::node::TimerToken;
+    use crate::packet::{IpAddr, Protocol};
     use crate::topology::TopologyBuilder;
 
     /// Sends `count` packets of `size` bytes at start, records arrivals.
@@ -621,7 +667,11 @@ mod tests {
         let a = t.add_node(Blaster::new(1, 1230), NodeParams::INSTANT);
         let b = t.add_node(Blaster::new(0, 0), NodeParams::INSTANT);
         // 10 Mb/s, 1 ms propagation; 1250 wire bytes -> 1 ms tx.
-        t.connect(a, b, LinkParams::new(10_000_000, SimDuration::from_millis(1)));
+        t.connect(
+            a,
+            b,
+            LinkParams::new(10_000_000, SimDuration::from_millis(1)),
+        );
         let mut sim = t.into_simulator(1);
         sim.run_until_idle();
         let b_node = sim.node::<Blaster>(b);
@@ -674,7 +724,11 @@ mod tests {
         let mut sim = t.into_simulator(1);
         sim.run_until_idle();
         let (ab, _) = sim.link_stats(link);
-        assert!(ab.delivered >= 3, "expected >= 3 fragments, got {}", ab.delivered);
+        assert!(
+            ab.delivered >= 3,
+            "expected >= 3 fragments, got {}",
+            ab.delivered
+        );
         // Fragments arrive as separate packets; hosts reassemble explicitly
         // (tested in the frag module). Here the raw node just counts them.
         assert_eq!(sim.node::<Blaster>(b).received.len() as u64, ab.delivered);
@@ -685,7 +739,11 @@ mod tests {
         let mut t = TopologyBuilder::new();
         let a = t.add_node(Blaster::new(0, 0), NodeParams::INSTANT);
         let b = t.add_node(Blaster::new(0, 0), NodeParams::INSTANT);
-        t.connect(a, b, LinkParams::new(10_000_000, SimDuration::from_micros(10)));
+        t.connect(
+            a,
+            b,
+            LinkParams::new(10_000_000, SimDuration::from_micros(10)),
+        );
         let mut sim = t.into_simulator(1);
         sim.schedule_crash(b, SimTime::from_millis(10));
         sim.schedule_recover(b, SimTime::from_millis(20));
@@ -751,7 +809,12 @@ mod tests {
         t.connect(a, b, LinkParams::new(1_000_000_000, SimDuration::ZERO));
         let mut sim = t.into_simulator(1);
         sim.run_until_idle();
-        let times: Vec<SimTime> = sim.node::<Blaster>(b).received.iter().map(|(t, _)| *t).collect();
+        let times: Vec<SimTime> = sim
+            .node::<Blaster>(b)
+            .received
+            .iter()
+            .map(|(t, _)| *t)
+            .collect();
         assert_eq!(times.len(), 2);
         // Second packet waits for the first's CPU slot: ~5 ms then ~10 ms.
         assert!(times[0] >= SimTime::from_millis(5));

@@ -1,5 +1,6 @@
 //! Optional packet-level tracing for debugging scenarios.
 
+use std::collections::VecDeque;
 use std::fmt;
 
 use crate::link::LinkId;
@@ -50,13 +51,19 @@ impl fmt::Display for TraceEntry {
     }
 }
 
-/// A bounded in-memory trace buffer; disabled by default.
+/// A bounded in-memory trace ring; disabled by default.
+///
+/// When the buffer is full the **oldest** entry is evicted, so the trace
+/// always holds the run's most recent activity — a crash investigation
+/// wants the window right before the interesting event, not the handshake
+/// from minutes earlier. Evictions are counted in [`dropped`](Self::dropped)
+/// and surfaced in `SimStats::trace_dropped`.
 #[derive(Debug)]
 pub struct Trace {
     enabled: bool,
     capacity: usize,
-    entries: Vec<TraceEntry>,
-    overflowed: bool,
+    entries: VecDeque<TraceEntry>,
+    dropped: u64,
 }
 
 impl Trace {
@@ -65,8 +72,8 @@ impl Trace {
         Trace {
             enabled: false,
             capacity,
-            entries: Vec::new(),
-            overflowed: false,
+            entries: VecDeque::new(),
+            dropped: 0,
         }
     }
 
@@ -80,21 +87,42 @@ impl Trace {
         self.enabled
     }
 
-    /// Whether entries were discarded because the buffer filled up.
-    pub fn overflowed(&self) -> bool {
-        self.overflowed
+    /// Replaces the ring capacity. Shrinking evicts oldest entries (counted
+    /// as dropped).
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.entries.len() > self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
     }
 
-    /// Records an entry if tracing is on and there is room.
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether entries were evicted because the buffer filled up.
+    pub fn overflowed(&self) -> bool {
+        self.dropped > 0
+    }
+
+    /// Entries evicted so far to make room for newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records an entry if tracing is on, evicting the oldest entry when
+    /// the ring is full.
     pub fn record(&mut self, time: SimTime, point: TracePoint, summary: impl Into<String>) {
-        if !self.enabled {
+        if !self.enabled || self.capacity == 0 {
             return;
         }
         if self.entries.len() >= self.capacity {
-            self.overflowed = true;
-            return;
+            self.entries.pop_front();
+            self.dropped += 1;
         }
-        self.entries.push(TraceEntry {
+        self.entries.push_back(TraceEntry {
             time,
             point,
             summary: summary.into(),
@@ -102,14 +130,25 @@ impl Trace {
     }
 
     /// The recorded entries, oldest first.
-    pub fn entries(&self) -> &[TraceEntry] {
-        &self.entries
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
     }
 
-    /// Clears all recorded entries (keeps the enabled flag).
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clears all recorded entries and the drop count (keeps the enabled
+    /// flag and capacity).
     pub fn clear(&mut self) {
         self.entries.clear();
-        self.overflowed = false;
+        self.dropped = 0;
     }
 }
 
@@ -127,22 +166,57 @@ mod tests {
     fn disabled_trace_records_nothing() {
         let mut t = Trace::new(4);
         t.record(SimTime::ZERO, TracePoint::Arrival(NodeId(0)), "x");
-        assert!(t.entries().is_empty());
+        assert!(t.is_empty());
     }
 
     #[test]
-    fn enabled_trace_records_and_caps() {
+    fn ring_keeps_newest_and_counts_evictions() {
         let mut t = Trace::new(2);
         t.set_enabled(true);
         assert!(t.is_enabled());
         for i in 0..5 {
-            t.record(SimTime::from_nanos(i), TracePoint::Dispatch(NodeId(1)), format!("p{i}"));
+            t.record(
+                SimTime::from_nanos(i),
+                TracePoint::Dispatch(NodeId(1)),
+                format!("p{i}"),
+            );
         }
-        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.len(), 2);
         assert!(t.overflowed());
+        assert_eq!(t.dropped(), 3);
+        // The *newest* entries survive, oldest first.
+        let kept: Vec<String> = t.entries().map(|e| e.summary.clone()).collect();
+        assert_eq!(kept, ["p3", "p4"]);
         t.clear();
-        assert!(t.entries().is_empty());
+        assert!(t.is_empty());
         assert!(!t.overflowed());
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_oldest() {
+        let mut t = Trace::new(8);
+        t.set_enabled(true);
+        for i in 0..6 {
+            t.record(
+                SimTime::from_nanos(i),
+                TracePoint::Arrival(NodeId(0)),
+                format!("p{i}"),
+            );
+        }
+        t.set_capacity(2);
+        assert_eq!(t.capacity(), 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 4);
+        let kept: Vec<String> = t.entries().map(|e| e.summary.clone()).collect();
+        assert_eq!(kept, ["p4", "p5"]);
+    }
+
+    #[test]
+    fn zero_capacity_drops_silently() {
+        let mut t = Trace::new(0);
+        t.set_enabled(true);
+        t.record(SimTime::ZERO, TracePoint::Arrival(NodeId(0)), "x");
+        assert!(t.is_empty());
     }
 
     #[test]

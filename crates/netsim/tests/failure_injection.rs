@@ -48,7 +48,11 @@ impl Node for Ticker {
     }
 }
 
-fn ticker_pair(count: u32, interval: SimDuration, link: LinkParams) -> (Simulator, NodeId, NodeId, LinkId) {
+fn ticker_pair(
+    count: u32,
+    interval: SimDuration,
+    link: LinkParams,
+) -> (Simulator, NodeId, NodeId, LinkId) {
     let mut t = TopologyBuilder::new();
     let a = t.add_node(Ticker::new(count, interval), NodeParams::INSTANT);
     let b = t.add_node(Ticker::new(0, interval), NodeParams::INSTANT);
@@ -100,8 +104,7 @@ fn outage_drops_are_accounted() {
 
 #[test]
 fn double_crash_and_recover_are_idempotent() {
-    let (mut sim, a, _b, _l) =
-        ticker_pair(50, SimDuration::from_millis(10), LinkParams::default());
+    let (mut sim, a, _b, _l) = ticker_pair(50, SimDuration::from_millis(10), LinkParams::default());
     // Duplicate crash/recover events must not panic or corrupt state.
     sim.schedule_crash(a, SimTime::from_millis(100));
     sim.schedule_crash(a, SimTime::from_millis(110));
@@ -113,18 +116,27 @@ fn double_crash_and_recover_are_idempotent() {
 
 #[test]
 fn trace_records_pipeline_points() {
-    let (mut sim, _a, _b, _l) =
-        ticker_pair(3, SimDuration::from_millis(10), LinkParams::default());
+    let (mut sim, _a, _b, _l) = ticker_pair(3, SimDuration::from_millis(10), LinkParams::default());
     sim.trace_mut().set_enabled(true);
     sim.run_until_idle();
-    let entries = sim.trace().entries();
+    let entries: Vec<_> = sim.trace().entries().collect();
     assert!(!entries.is_empty());
     use hydranet_netsim::trace::TracePoint;
-    assert!(entries.iter().any(|e| matches!(e.point, TracePoint::Enqueue(_))));
-    assert!(entries.iter().any(|e| matches!(e.point, TracePoint::Arrival(_))));
-    assert!(entries.iter().any(|e| matches!(e.point, TracePoint::Dispatch(_))));
+    assert!(entries
+        .iter()
+        .any(|e| matches!(e.point, TracePoint::Enqueue(_))));
+    assert!(entries
+        .iter()
+        .any(|e| matches!(e.point, TracePoint::Arrival(_))));
+    assert!(entries
+        .iter()
+        .any(|e| matches!(e.point, TracePoint::Dispatch(_))));
     // Summaries are human-readable dotted quads.
-    assert!(entries[0].summary.contains("10.0.0.1 -> 10.0.0.2"), "{}", entries[0].summary);
+    assert!(
+        entries[0].summary.contains("10.0.0.1 -> 10.0.0.2"),
+        "{}",
+        entries[0].summary
+    );
 }
 
 #[test]
@@ -138,7 +150,11 @@ fn gilbert_elliott_losses_are_bursty_end_to_end() {
     let (mut sim, _a, b, l) = ticker_pair(2000, SimDuration::from_millis(1), link);
     sim.run_until_idle();
     let (ab, _) = sim.link_stats(l);
-    assert!(ab.dropped_loss > 50, "bursty model dropped {}", ab.dropped_loss);
+    assert!(
+        ab.dropped_loss > 50,
+        "bursty model dropped {}",
+        ab.dropped_loss
+    );
     assert!(ab.delivered > 500);
     // Burstiness: consecutive receive gaps should include multi-packet
     // holes (>= 3 intervals), not just single-packet losses.

@@ -1,0 +1,71 @@
+//! A minimal hand-rolled JSON writer — just enough to export telemetry
+//! without external dependencies.
+//!
+//! Only the pieces the report format needs: string escaping and number
+//! formatting. Documents are assembled by pushing into a `String`.
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+pub fn push_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number. Non-finite floats become `null` (JSON has
+/// no NaN/Infinity).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{}` on f64 always produces a valid JSON number for finite values.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `v` as a JSON number.
+pub fn push_u64(out: &mut String, v: u64) {
+    out.push_str(&format!("{v}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn string(s: &str) -> String {
+        let mut out = String::new();
+        push_string(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(string("plain"), "\"plain\"");
+        assert_eq!(string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(string("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_format() {
+        let mut out = String::new();
+        push_u64(&mut out, 42);
+        out.push(' ');
+        push_f64(&mut out, 1.5);
+        out.push(' ');
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "42 1.5 null");
+    }
+}

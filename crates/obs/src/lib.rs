@@ -1,0 +1,309 @@
+//! # hydranet-obs
+//!
+//! A zero-dependency, simulation-time-aware telemetry layer for the
+//! HydraNet-FT reproduction. The paper's claims are quantitative —
+//! detection latency vs. retransmission threshold, ack-channel gating
+//! overhead, client-invisible fail-over time — so every layer of the stack
+//! records into a shared [`Obs`] handle:
+//!
+//! - a **metrics registry** ([`metrics`]) of named counters, gauges, and
+//!   fixed-bucket histograms (p50/p90/p99/max), cheap enough for the
+//!   event-loop hot path (handles are `Rc<Cell>`s; a disabled handle is a
+//!   no-op);
+//! - a **structured event timeline** ([`timeline`]) of detector state
+//!   transitions, chain reconfigurations, promotions, and redirector table
+//!   updates, stamped with simulated time, so a fail-over replays as an
+//!   ordered `detect → remove → promote → resume` narrative;
+//! - **JSON export** ([`json`], [`Obs::to_json`]) of registry + timeline
+//!   per scenario run, consumed by the bench binaries.
+//!
+//! Timestamps are plain `u64` nanoseconds of simulated time so this crate
+//! sits below `hydranet-netsim` in the dependency graph (convert with
+//! `SimTime::as_nanos()` at call sites).
+//!
+//! Metric names follow the `layer.component.name` convention documented in
+//! DESIGN.md, e.g. `tcp.conn.10.0.1.1:40000-192.20.225.20:80.rto_us`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod json;
+pub mod metrics;
+pub mod timeline;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use metrics::{Counter, Gauge, Histogram, Registry};
+use timeline::{Timeline, TimelineEvent};
+
+/// Well-known timeline event kinds (the taxonomy documented in DESIGN.md).
+pub mod kinds {
+    /// A duplicate client segment was observed by a backup's detector.
+    pub const DETECTOR_DUPLICATE: &str = "tcp.detector.duplicate";
+    /// The detector crossed its threshold and suspects the primary.
+    pub const DETECTOR_SUSPECTED: &str = "tcp.detector.suspected";
+    /// Forward progress cleared the detector's duplicate window.
+    pub const DETECTOR_CLEARED: &str = "tcp.detector.cleared";
+    /// A deposit gate released bytes that had been stalled in the gated
+    /// receive buffer of a backup.
+    pub const GATE_STALL: &str = "tcp.gate.stall";
+    /// A host daemon forwarded a failure suspicion to its redirectors.
+    pub const FAILURE_REPORTED: &str = "mgmt.daemon.failure_reported";
+    /// A host daemon registered a replica with a redirector.
+    pub const REPLICA_REGISTERED: &str = "mgmt.daemon.registered";
+    /// A host daemon applied a `SetRole(index = 0)` — primary promotion.
+    pub const PROMOTED: &str = "mgmt.daemon.promoted";
+    /// The controller started a probe round after a failure report.
+    pub const PROBE_STARTED: &str = "mgmt.controller.probe_started";
+    /// The controller removed an unresponsive host from a chain.
+    pub const HOST_REMOVED: &str = "mgmt.controller.host_removed";
+    /// The controller committed a reconfigured chain.
+    pub const CHAIN_RECONFIGURED: &str = "mgmt.controller.chain_reconfigured";
+    /// A fault-tolerant entry was installed in a redirector table.
+    pub const TABLE_INSTALLED: &str = "redirect.table.installed";
+    /// An entry was removed from a redirector table.
+    pub const TABLE_REMOVED: &str = "redirect.table.removed";
+    /// A simulated node crashed (fail-stop).
+    pub const NODE_CRASHED: &str = "netsim.node.crashed";
+    /// A simulated node recovered.
+    pub const NODE_RECOVERED: &str = "netsim.node.recovered";
+    /// A link went down.
+    pub const LINK_DOWN: &str = "netsim.link.down";
+    /// A link came back up.
+    pub const LINK_UP: &str = "netsim.link.up";
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    registry: Registry,
+    timeline: Timeline,
+}
+
+/// A shared telemetry handle.
+///
+/// `Obs` is cheap to clone (an `Rc`); all clones record into the same
+/// registry and timeline. The [`Default`] value is **disabled**: every
+/// operation is a no-op and handles it returns are no-ops, so components
+/// can hold an `Obs` unconditionally without wiring overhead when
+/// telemetry is off.
+///
+/// # Examples
+///
+/// ```
+/// use hydranet_obs::Obs;
+///
+/// let obs = Obs::enabled();
+/// let c = obs.counter("tcp.stack.segments_rx");
+/// c.inc();
+/// obs.event(1_000, "tcp.detector.suspected", &[("quad", "a-b".into())]);
+/// assert!(obs.to_json().contains("tcp.detector.suspected"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    inner: Option<Rc<RefCell<Inner>>>,
+}
+
+impl Obs {
+    /// Creates a live telemetry handle.
+    pub fn enabled() -> Self {
+        Obs {
+            inner: Some(Rc::new(RefCell::new(Inner::default()))),
+        }
+    }
+
+    /// A disabled handle (same as `Obs::default()`); every call is a no-op.
+    pub fn disabled() -> Self {
+        Obs::default()
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Returns (creating if needed) the counter handle for `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(rc) => rc.borrow_mut().registry.counter(name),
+            None => Counter::default(),
+        }
+    }
+
+    /// Returns (creating if needed) the gauge handle for `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            Some(rc) => rc.borrow_mut().registry.gauge(name),
+            None => Gauge::default(),
+        }
+    }
+
+    /// Returns (creating if needed) the histogram handle for `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.inner {
+            Some(rc) => rc.borrow_mut().registry.histogram(name),
+            None => Histogram::default(),
+        }
+    }
+
+    /// One-shot counter increment (does a name lookup; prefer holding a
+    /// [`Counter`] handle on hot paths).
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    /// One-shot gauge set.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.gauge(name).set(value);
+    }
+
+    /// One-shot histogram record.
+    pub fn record(&self, name: &str, value: u64) {
+        self.histogram(name).record(value);
+    }
+
+    /// Appends a timeline event at `at_nanos` simulated nanoseconds.
+    ///
+    /// Events recorded at the same instant keep their insertion order.
+    pub fn event(&self, at_nanos: u64, kind: &str, fields: &[(&str, String)]) {
+        if let Some(rc) = &self.inner {
+            rc.borrow_mut().timeline.push(at_nanos, kind, fields);
+        }
+    }
+
+    /// A snapshot of all recorded timeline events, oldest first.
+    pub fn events(&self) -> Vec<TimelineEvent> {
+        match &self.inner {
+            Some(rc) => rc.borrow().timeline.events().to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The instant of the first event with the given kind, if any.
+    pub fn first_event_at(&self, kind: &str) -> Option<u64> {
+        match &self.inner {
+            Some(rc) => rc.borrow().timeline.first_at(kind),
+            None => None,
+        }
+    }
+
+    /// Measured failure-detection latency in nanoseconds: the span from the
+    /// first `tcp.detector.suspected` event to the first subsequent
+    /// `mgmt.daemon.promoted` event — the paper's *detect → promote* window.
+    pub fn detection_latency_nanos(&self) -> Option<u64> {
+        let rc = self.inner.as_ref()?;
+        let inner = rc.borrow();
+        let detect = inner.timeline.first_at(kinds::DETECTOR_SUSPECTED)?;
+        inner
+            .timeline
+            .events()
+            .iter()
+            .find(|e| e.kind == kinds::PROMOTED && e.at_nanos >= detect)
+            .map(|e| e.at_nanos - detect)
+    }
+
+    /// Serialises registry + timeline as a JSON document.
+    pub fn to_json(&self) -> String {
+        self.to_json_with_meta(&[])
+    }
+
+    /// Serialises registry + timeline as JSON, with caller-supplied string
+    /// metadata (scenario name, seed, …) in a leading `"meta"` object.
+    pub fn to_json_with_meta(&self, meta: &[(&str, String)]) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"meta\": {");
+        for (i, (k, v)) in meta.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::push_string(&mut out, k);
+            out.push_str(": ");
+            json::push_string(&mut out, v);
+        }
+        out.push_str("},\n");
+        match &self.inner {
+            Some(rc) => {
+                let inner = rc.borrow();
+                out.push_str("  \"metrics\": ");
+                inner.registry.write_json(&mut out);
+                out.push_str(",\n  \"timeline\": ");
+                inner.timeline.write_json(&mut out);
+            }
+            None => {
+                out.push_str("  \"metrics\": {\"counters\": {}, \"gauges\": {}, \"histograms\": {}},\n  \"timeline\": []");
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_obs_is_a_noop() {
+        let obs = Obs::disabled();
+        obs.add("x", 3);
+        obs.record("h", 9);
+        obs.event(5, kinds::DETECTOR_SUSPECTED, &[]);
+        assert!(!obs.is_enabled());
+        assert!(obs.events().is_empty());
+        assert_eq!(obs.detection_latency_nanos(), None);
+        assert!(obs.to_json().contains("\"timeline\": []"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::enabled();
+        let clone = obs.clone();
+        clone.add("shared.counter", 2);
+        obs.add("shared.counter", 1);
+        assert!(obs.to_json().contains("\"shared.counter\": 3"));
+    }
+
+    #[test]
+    fn detection_latency_spans_detect_to_promote() {
+        let obs = Obs::enabled();
+        obs.event(1_000, kinds::DETECTOR_DUPLICATE, &[]);
+        obs.event(2_000, kinds::DETECTOR_SUSPECTED, &[]);
+        obs.event(3_000, kinds::HOST_REMOVED, &[]);
+        obs.event(7_500, kinds::PROMOTED, &[]);
+        assert_eq!(obs.detection_latency_nanos(), Some(5_500));
+    }
+
+    #[test]
+    fn detection_latency_requires_both_events() {
+        let obs = Obs::enabled();
+        obs.event(2_000, kinds::DETECTOR_SUSPECTED, &[]);
+        assert_eq!(obs.detection_latency_nanos(), None);
+        // A promotion *before* the suspicion does not count.
+        let obs = Obs::enabled();
+        obs.event(1_000, kinds::PROMOTED, &[]);
+        obs.event(2_000, kinds::DETECTOR_SUSPECTED, &[]);
+        assert_eq!(obs.detection_latency_nanos(), None);
+    }
+
+    #[test]
+    fn json_has_all_sections() {
+        let obs = Obs::enabled();
+        obs.add("a.b.count", 1);
+        obs.set_gauge("a.b.level", 0.5);
+        obs.record("a.b.lat_us", 100);
+        obs.event(9, kinds::PROMOTED, &[("host", "10.0.2.1".into())]);
+        let j = obs.to_json_with_meta(&[("scenario", "test".into())]);
+        for needle in [
+            "\"meta\"",
+            "\"scenario\": \"test\"",
+            "\"counters\"",
+            "\"gauges\"",
+            "\"histograms\"",
+            "\"timeline\"",
+            "\"a.b.count\": 1",
+            "mgmt.daemon.promoted",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+    }
+}

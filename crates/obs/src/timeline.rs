@@ -1,0 +1,149 @@
+//! The structured event timeline: an ordered record of what happened to
+//! the replicated service, stamped with simulated time.
+//!
+//! A single fail-over replays from the timeline as the paper's narrative:
+//! `tcp.detector.suspected` → `mgmt.daemon.failure_reported` →
+//! `mgmt.controller.probe_started` → `mgmt.controller.host_removed` →
+//! `mgmt.controller.chain_reconfigured` → `redirect.table.installed` →
+//! `mgmt.daemon.promoted`. Events at the same instant keep their insertion
+//! order (each carries a monotonically increasing `seq`).
+
+use crate::json;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Simulated nanoseconds since simulation start.
+    pub at_nanos: u64,
+    /// Insertion index — total order even at equal timestamps.
+    pub seq: u64,
+    /// Event kind, dotted taxonomy (see [`crate::kinds`]).
+    pub kind: String,
+    /// Free-form key/value detail fields.
+    pub fields: Vec<(String, String)>,
+}
+
+impl TimelineEvent {
+    /// The value of detail field `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An append-only event log.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    events: Vec<TimelineEvent>,
+    next_seq: u64,
+}
+
+impl Timeline {
+    /// Appends an event.
+    pub fn push(&mut self, at_nanos: u64, kind: &str, fields: &[(&str, String)]) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(TimelineEvent {
+            at_nanos,
+            seq,
+            kind: kind.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// All events, oldest first.
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// The timestamp of the first event of `kind`.
+    pub fn first_at(&self, kind: &str) -> Option<u64> {
+        self.events
+            .iter()
+            .find(|e| e.kind == kind)
+            .map(|e| e.at_nanos)
+    }
+
+    /// Serialises the timeline as a JSON array, one object per event.
+    pub fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"at_nanos\": ");
+            json::push_u64(out, e.at_nanos);
+            out.push_str(", \"seq\": ");
+            json::push_u64(out, e.seq);
+            out.push_str(", \"kind\": ");
+            json::push_string(out, &e.kind);
+            for (k, v) in &e.fields {
+                out.push_str(", ");
+                json::push_string(out, k);
+                out.push_str(": ");
+                json::push_string(out, v);
+            }
+            out.push('}');
+        }
+        if !self.events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_timestamps_keep_insertion_order() {
+        let mut t = Timeline::default();
+        t.push(500, "b.second", &[]);
+        t.push(500, "a.first", &[]);
+        t.push(500, "c.third", &[]);
+        let kinds: Vec<&str> = t.events().iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, ["b.second", "a.first", "c.third"]);
+        let seqs: Vec<u64> = t.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [0, 1, 2]);
+    }
+
+    #[test]
+    fn fields_are_queryable() {
+        let mut t = Timeline::default();
+        t.push(1, "x", &[("host", "10.0.2.1".into()), ("idx", "0".into())]);
+        let e = &t.events()[0];
+        assert_eq!(e.field("host"), Some("10.0.2.1"));
+        assert_eq!(e.field("idx"), Some("0"));
+        assert_eq!(e.field("missing"), None);
+    }
+
+    #[test]
+    fn first_at_finds_earliest() {
+        let mut t = Timeline::default();
+        t.push(10, "k", &[]);
+        t.push(20, "k", &[]);
+        assert_eq!(t.first_at("k"), Some(10));
+        assert_eq!(t.first_at("other"), None);
+    }
+
+    #[test]
+    fn json_array_shape() {
+        let mut t = Timeline::default();
+        t.push(7, "a.b", &[("k", "v\"q".into())]);
+        let mut out = String::new();
+        t.write_json(&mut out);
+        assert!(out.starts_with('['));
+        assert!(out.trim_end().ends_with(']'));
+        assert!(out.contains("\"kind\": \"a.b\""));
+        assert!(out.contains("\\\"q"));
+        let mut empty = String::new();
+        Timeline::default().write_json(&mut empty);
+        assert_eq!(empty, "[]");
+    }
+}

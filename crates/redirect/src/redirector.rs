@@ -14,6 +14,8 @@ use hydranet_netsim::node::{Context, IfaceId, Node};
 use hydranet_netsim::packet::{IpAddr, IpPacket, Protocol};
 use hydranet_netsim::routing::RouteTable;
 use hydranet_netsim::time::SimTime;
+use hydranet_obs::metrics::Counter;
+use hydranet_obs::Obs;
 use hydranet_tcp::segment::SockAddr;
 
 use crate::table::RedirectorTable;
@@ -60,6 +62,9 @@ pub struct RedirectorEngine {
     /// reassembled packets — the redirector is a middlebox with per-flow
     /// reassembly state, like any port-matching router.
     reassembler: Reassembler,
+    c_redirected: Counter,
+    c_copies: Counter,
+    c_forwarded: Counter,
 }
 
 impl RedirectorEngine {
@@ -71,7 +76,20 @@ impl RedirectorEngine {
             table: RedirectorTable::new(),
             stats: RedirectorStats::default(),
             reassembler: Reassembler::new(),
+            c_redirected: Counter::default(),
+            c_copies: Counter::default(),
+            c_forwarded: Counter::default(),
         }
+    }
+
+    /// Wires hot-path counters under `redirect.engine.<addr>.*` and the
+    /// embedded table's metrics under `redirect.table.<addr>.*`.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        let scope = format!("redirect.engine.{}", self.addr);
+        self.c_redirected = obs.counter(&format!("{scope}.redirected"));
+        self.c_copies = obs.counter(&format!("{scope}.copies"));
+        self.c_forwarded = obs.counter(&format!("{scope}.forwarded"));
+        self.table.set_obs(obs, &self.addr.to_string());
     }
 
     /// The redirector's own address.
@@ -148,10 +166,12 @@ impl RedirectorEngine {
                 if let Some(entry) = self.table.lookup(sap) {
                     let targets = entry.targets();
                     self.stats.redirected += 1;
+                    self.c_redirected.inc();
                     for host in targets {
                         match self.routes.lookup(host) {
                             Some(iface) => {
                                 self.stats.copies += 1;
+                                self.c_copies.inc();
                                 out.push((iface, encapsulate(&whole, self.addr, host)));
                             }
                             None => self.stats.dropped_no_route += 1,
@@ -166,6 +186,7 @@ impl RedirectorEngine {
         match self.routes.lookup(packet.dst()) {
             Some(iface) => {
                 self.stats.forwarded += 1;
+                self.c_forwarded.inc();
                 out.push((iface, packet));
             }
             None => self.stats.dropped_no_route += 1,
@@ -258,10 +279,20 @@ mod tests {
 
     fn engine() -> RedirectorEngine {
         let mut e = RedirectorEngine::new(RD);
-        e.routes_mut().add(Prefix::new(IpAddr::new(10, 0, 1, 0), 24), IfaceId::from_index(0));
-        e.routes_mut().add(Prefix::new(IpAddr::new(10, 0, 2, 0), 24), IfaceId::from_index(1));
-        e.routes_mut().add(Prefix::new(IpAddr::new(10, 0, 3, 0), 24), IfaceId::from_index(2));
-        e.routes_mut().add(Prefix::host(SERVICE), IfaceId::from_index(3));
+        e.routes_mut().add(
+            Prefix::new(IpAddr::new(10, 0, 1, 0), 24),
+            IfaceId::from_index(0),
+        );
+        e.routes_mut().add(
+            Prefix::new(IpAddr::new(10, 0, 2, 0), 24),
+            IfaceId::from_index(1),
+        );
+        e.routes_mut().add(
+            Prefix::new(IpAddr::new(10, 0, 3, 0), 24),
+            IfaceId::from_index(2),
+        );
+        e.routes_mut()
+            .add(Prefix::host(SERVICE), IfaceId::from_index(3));
         e
     }
 
@@ -270,7 +301,9 @@ mod tests {
         let mut e = engine();
         e.table_mut().install(
             SockAddr::new(SERVICE, 80),
-            ServiceEntry::FaultTolerant { chain: vec![H1, H2] },
+            ServiceEntry::FaultTolerant {
+                chain: vec![H1, H2],
+            },
         );
         let mut out = Vec::new();
         let d = e.process(tcp_packet(80, 100), SimTime::ZERO, &mut out);
@@ -311,8 +344,14 @@ mod tests {
             SockAddr::new(SERVICE, 80),
             ServiceEntry::Scaled {
                 replicas: vec![
-                    crate::table::ReplicaLoc { host: H1, metric: 9 },
-                    crate::table::ReplicaLoc { host: H2, metric: 2 },
+                    crate::table::ReplicaLoc {
+                        host: H1,
+                        metric: 9,
+                    },
+                    crate::table::ReplicaLoc {
+                        host: H2,
+                        metric: 2,
+                    },
                 ],
             },
         );
@@ -355,8 +394,7 @@ mod tests {
         );
         let mut whole = tcp_packet(80, 2000);
         whole.header.id = 42;
-        let frags =
-            hydranet_netsim::frag::fragment_packet(whole.clone(), 600).expect("fragments");
+        let frags = hydranet_netsim::frag::fragment_packet(whole.clone(), 600).expect("fragments");
         assert!(frags.len() >= 4);
         let mut out = Vec::new();
         for f in frags {

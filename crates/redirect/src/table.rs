@@ -10,6 +10,8 @@
 use std::collections::HashMap;
 
 use hydranet_netsim::packet::IpAddr;
+use hydranet_obs::metrics::{Counter, Gauge};
+use hydranet_obs::Obs;
 use hydranet_tcp::segment::SockAddr;
 
 /// A replica location for a scaled (non-fault-tolerant) service, with the
@@ -71,6 +73,9 @@ impl ServiceEntry {
 #[derive(Debug, Clone, Default)]
 pub struct RedirectorTable {
     entries: HashMap<SockAddr, ServiceEntry>,
+    c_installs: Counter,
+    c_removes: Counter,
+    g_entries: Gauge,
 }
 
 impl RedirectorTable {
@@ -79,14 +84,30 @@ impl RedirectorTable {
         RedirectorTable::default()
     }
 
+    /// Wires install/remove counters and an entry-count gauge under
+    /// `redirect.table.<scope>.*`.
+    pub fn set_obs(&mut self, obs: &Obs, scope: &str) {
+        self.c_installs = obs.counter(&format!("redirect.table.{scope}.installs"));
+        self.c_removes = obs.counter(&format!("redirect.table.{scope}.removes"));
+        self.g_entries = obs.gauge(&format!("redirect.table.{scope}.entries"));
+        self.g_entries.set(self.entries.len() as f64);
+    }
+
     /// Installs (or replaces) the entry for a service access point.
     pub fn install(&mut self, sap: SockAddr, entry: ServiceEntry) {
         self.entries.insert(sap, entry);
+        self.c_installs.inc();
+        self.g_entries.set(self.entries.len() as f64);
     }
 
     /// Removes the entry for `sap`, returning it.
     pub fn remove(&mut self, sap: SockAddr) -> Option<ServiceEntry> {
-        self.entries.remove(&sap)
+        let removed = self.entries.remove(&sap);
+        if removed.is_some() {
+            self.c_removes.inc();
+            self.g_entries.set(self.entries.len() as f64);
+        }
+        removed
     }
 
     /// Looks up the entry for `sap`. Packets with no entry "are simply
@@ -155,7 +176,12 @@ mod tests {
     fn install_lookup_remove() {
         let mut t = RedirectorTable::new();
         assert!(t.is_empty());
-        t.install(sap(80), ServiceEntry::FaultTolerant { chain: vec![host(1)] });
+        t.install(
+            sap(80),
+            ServiceEntry::FaultTolerant {
+                chain: vec![host(1)],
+            },
+        );
         assert_eq!(t.len(), 1);
         assert!(t.lookup(sap(80)).is_some());
         assert!(t.lookup(sap(23)).is_none()); // telnet not redirected (Fig. 2)
@@ -175,9 +201,18 @@ mod tests {
     fn scaled_entry_picks_nearest() {
         let e = ServiceEntry::Scaled {
             replicas: vec![
-                ReplicaLoc { host: host(1), metric: 10 },
-                ReplicaLoc { host: host(2), metric: 3 },
-                ReplicaLoc { host: host(3), metric: 7 },
+                ReplicaLoc {
+                    host: host(1),
+                    metric: 10,
+                },
+                ReplicaLoc {
+                    host: host(2),
+                    metric: 3,
+                },
+                ReplicaLoc {
+                    host: host(3),
+                    metric: 7,
+                },
             ],
         };
         assert_eq!(e.targets(), vec![host(2)]);
@@ -205,8 +240,18 @@ mod tests {
     #[test]
     fn distinct_ports_are_distinct_services() {
         let mut t = RedirectorTable::new();
-        t.install(sap(80), ServiceEntry::FaultTolerant { chain: vec![host(1)] });
-        t.install(sap(443), ServiceEntry::FaultTolerant { chain: vec![host(2)] });
+        t.install(
+            sap(80),
+            ServiceEntry::FaultTolerant {
+                chain: vec![host(1)],
+            },
+        );
+        t.install(
+            sap(443),
+            ServiceEntry::FaultTolerant {
+                chain: vec![host(2)],
+            },
+        );
         assert_eq!(t.chain(sap(80)).unwrap(), &[host(1)]);
         assert_eq!(t.chain(sap(443)).unwrap(), &[host(2)]);
     }

@@ -109,8 +109,14 @@ fn static_ft_entry_reaches_both_hosts_tunnelled() {
 fn scaled_entry_reaches_only_nearest() {
     let entry = ServiceEntry::Scaled {
         replicas: vec![
-            ReplicaLoc { host: H1, metric: 5 },
-            ReplicaLoc { host: H2, metric: 1 },
+            ReplicaLoc {
+                host: H1,
+                metric: 5,
+            },
+            ReplicaLoc {
+                host: H2,
+                metric: 1,
+            },
         ],
     };
     let (mut sim, h1, h2) = build(80, 64, entry);

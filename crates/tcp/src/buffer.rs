@@ -254,7 +254,9 @@ impl RecvBuffer {
     /// Panics in debug builds if undeposited data is staged at the slot.
     pub fn consume_slot(&mut self) {
         debug_assert!(
-            self.staged.first_key_value().is_none_or(|(&o, _)| o > self.nxt_off),
+            self.staged
+                .first_key_value()
+                .is_none_or(|(&o, _)| o > self.nxt_off),
             "consume_slot with staged data pending at RCV.NXT"
         );
         self.nxt_seq += 1;
@@ -325,7 +327,7 @@ impl RecvBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use hydranet_netsim::rng::SimRng;
 
     #[test]
     fn send_buffer_write_and_ack() {
@@ -485,15 +487,24 @@ mod tests {
         assert_eq!(rb.read(100), b"gh");
     }
 
-    proptest! {
-        /// Delivering a stream's segments in any order with duplicates
-        /// always reassembles the original stream.
-        #[test]
-        fn reassembly_is_order_insensitive(
-            seed: u64,
-            chunk_sizes in proptest::collection::vec(1usize..50, 1..12),
-        ) {
-            use rand::{seq::SliceRandom, SeedableRng};
+    fn shuffle<T>(items: &mut [T], rng: &mut SimRng) {
+        for i in (1..items.len()).rev() {
+            let j = rng.range(0, i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    // The former proptest properties, as deterministic randomized sweeps.
+
+    /// Delivering a stream's segments in any order with duplicates
+    /// always reassembles the original stream.
+    #[test]
+    fn reassembly_is_order_insensitive() {
+        let mut rng = SimRng::seed_from(0xbf);
+        for _ in 0..64 {
+            let n_chunks = rng.range(1, 12) as usize;
+            let chunk_sizes: Vec<usize> =
+                (0..n_chunks).map(|_| rng.range(1, 50) as usize).collect();
             let total: usize = chunk_sizes.iter().sum();
             let stream: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
             let mut segments = Vec::new();
@@ -503,36 +514,43 @@ mod tests {
                 off += sz;
             }
             // Duplicate everything once and shuffle.
-            let mut wire: Vec<_> = segments.iter().cloned().chain(segments.iter().cloned()).collect();
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-            wire.shuffle(&mut rng);
+            let mut wire: Vec<_> = segments
+                .iter()
+                .cloned()
+                .chain(segments.iter().cloned())
+                .collect();
+            shuffle(&mut wire, &mut rng);
 
             let base = SeqNum::new(0xfff0_0000); // force a wrap mid-stream sometimes
             let mut rb = RecvBuffer::new(base, total + 64);
             for (o, data) in wire {
                 rb.offer(base + o as u32, &data);
             }
-            prop_assert_eq!(rb.rcv_nxt(), base + total as u32);
-            prop_assert_eq!(rb.read(total + 1), stream);
+            assert_eq!(rb.rcv_nxt(), base + total as u32);
+            assert_eq!(rb.read(total + 1), stream);
         }
+    }
 
-        /// The gate: no byte at offset >= limit ever becomes readable.
-        #[test]
-        fn gate_invariant(
-            limit in 0u32..64,
-            offers in proptest::collection::vec((0u32..64, 1usize..16), 1..16),
-        ) {
+    /// The gate: no byte at offset >= limit ever becomes readable.
+    #[test]
+    fn gate_invariant() {
+        let mut rng = SimRng::seed_from(0x9a7e);
+        for _ in 0..128 {
+            let limit = rng.range(0, 64) as u32;
+            let n_offers = rng.range(1, 16) as usize;
             let base = SeqNum::new(500);
             let mut rb = RecvBuffer::new(base, 4096);
             rb.enable_gate();
             rb.gate_deposits_below(base + limit);
-            for (off, len) in offers {
+            for _ in 0..n_offers {
+                let off = rng.range(0, 64) as u32;
+                let len = rng.range(1, 16) as usize;
                 let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
                 rb.offer(base + off, &data);
             }
             // rcv_nxt never passes the gate.
-            prop_assert!((rb.rcv_nxt() - base) <= limit);
-            prop_assert!(rb.readable_len() as u32 <= limit);
+            assert!((rb.rcv_nxt() - base) <= limit);
+            assert!(rb.readable_len() as u32 <= limit);
         }
     }
 }

@@ -22,6 +22,8 @@ pub struct CongestionControl {
     /// Bytes of cwnd credit accumulated toward the next +MSS in congestion
     /// avoidance.
     avoid_acc: u32,
+    fast_recoveries: u64,
+    timeouts: u64,
 }
 
 impl CongestionControl {
@@ -41,6 +43,8 @@ impl CongestionControl {
             dup_acks: 0,
             in_fast_recovery: false,
             avoid_acc: 0,
+            fast_recoveries: 0,
+            timeouts: 0,
         }
     }
 
@@ -114,6 +118,7 @@ impl CongestionControl {
         self.cwnd = self.ssthresh + DUPACK_THRESHOLD * self.mss;
         self.in_fast_recovery = true;
         self.avoid_acc = 0;
+        self.fast_recoveries += 1;
     }
 
     /// Handles a retransmission timeout: collapse to one MSS and restart in
@@ -124,6 +129,17 @@ impl CongestionControl {
         self.dup_acks = 0;
         self.in_fast_recovery = false;
         self.avoid_acc = 0;
+        self.timeouts += 1;
+    }
+
+    /// Fast-recovery episodes entered so far (telemetry).
+    pub fn fast_recoveries(&self) -> u64 {
+        self.fast_recoveries
+    }
+
+    /// Window collapses from retransmission timeouts so far (telemetry).
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
     }
 }
 
@@ -184,6 +200,7 @@ mod tests {
         // Additional dup acks inflate but do not re-fire.
         assert!(!cc.on_dup_ack());
         assert_eq!(cc.cwnd(), cwnd / 2 + 4 * MSS);
+        assert_eq!(cc.fast_recoveries(), 1);
     }
 
     #[test]
@@ -213,6 +230,7 @@ mod tests {
         assert_eq!(cc.ssthresh(), cwnd / 2);
         assert!(cc.in_slow_start());
         assert_eq!(cc.dup_acks(), 0);
+        assert_eq!(cc.timeouts(), 1);
     }
 
     #[test]

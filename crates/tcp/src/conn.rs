@@ -12,6 +12,8 @@
 //! the stack manage them for connections on replicated ports.
 
 use hydranet_netsim::time::{SimDuration, SimTime};
+use hydranet_obs::metrics::{Counter, Histogram};
+use hydranet_obs::{kinds, Obs};
 
 use crate::buffer::{RecvBuffer, SendBuffer};
 use crate::cc::CongestionControl;
@@ -228,6 +230,17 @@ pub struct Connection {
     bytes_acked_total: u64,
     retransmit_count: u64,
     duplicate_data_count: u64,
+
+    // Telemetry (no-op handles unless wired via `set_obs`).
+    obs: Obs,
+    h_srtt_us: Histogram,
+    h_rto_us: Histogram,
+    h_cwnd: Histogram,
+    h_gate_stall_us: Histogram,
+    c_duplicates: Counter,
+    /// When data first became staged behind the deposit gate with nothing
+    /// depositable — the start of an ack-channel gating stall.
+    gate_stall_since: Option<SimTime>,
 }
 
 impl Connection {
@@ -306,7 +319,9 @@ impl Connection {
             self.try_send_synack(now);
             return;
         }
-        if self.state.is_open() || self.state == TcpState::LastAck || self.state == TcpState::Closing
+        if self.state.is_open()
+            || self.state == TcpState::LastAck
+            || self.state == TcpState::Closing
         {
             self.send_pure_ack(now);
             // Anything between SND.UNA and SND.NXT was "sent" while we were
@@ -369,8 +384,29 @@ impl Connection {
             bytes_acked_total: 0,
             retransmit_count: 0,
             duplicate_data_count: 0,
+            obs: Obs::disabled(),
+            h_srtt_us: Histogram::default(),
+            h_rto_us: Histogram::default(),
+            h_cwnd: Histogram::default(),
+            h_gate_stall_us: Histogram::default(),
+            c_duplicates: Counter::default(),
+            gate_stall_since: None,
             cfg,
         }
+    }
+
+    /// Wires per-connection ft-TCP telemetry under `tcp.conn.<quad>.*`:
+    /// srtt/rto/cwnd evolution histograms, a duplicate-segment counter, and
+    /// deposit-gate stall time (how long received data sat staged waiting
+    /// for the chain successor's ack-channel report).
+    pub fn set_obs(&mut self, obs: &Obs) {
+        let scope = format!("tcp.conn.{}", self.quad);
+        self.h_srtt_us = obs.histogram(&format!("{scope}.srtt_us"));
+        self.h_rto_us = obs.histogram(&format!("{scope}.rto_us"));
+        self.h_cwnd = obs.histogram(&format!("{scope}.cwnd"));
+        self.h_gate_stall_us = obs.histogram(&format!("{scope}.gate_stall_us"));
+        self.c_duplicates = obs.counter(&format!("{scope}.duplicate_segments"));
+        self.obs = obs.clone();
     }
 
     // ------------------------------------------------------------------
@@ -524,6 +560,23 @@ impl Connection {
         let fin_done = self.try_process_peer_fin(now);
         if advanced {
             self.events.push(ConnEvent::DataReadable);
+            if let Some(since) = self.gate_stall_since.take() {
+                let stalled = now.duration_since(since);
+                self.h_gate_stall_us.record(stalled.as_nanos() / 1_000);
+                // Only stalls long enough to matter become timeline events;
+                // sub-millisecond gate round trips are steady-state chain
+                // operation and would swamp the timeline.
+                if self.obs.is_enabled() && stalled >= SimDuration::from_millis(1) {
+                    self.obs.event(
+                        now.as_nanos(),
+                        kinds::GATE_STALL,
+                        &[
+                            ("quad", self.quad.to_string()),
+                            ("stalled_us", (stalled.as_nanos() / 1_000).to_string()),
+                        ],
+                    );
+                }
+            }
         }
         if advanced || fin_done {
             self.schedule_ack(now);
@@ -652,13 +705,28 @@ impl Connection {
             TcpState::SynSent => self.on_segment_syn_sent(seg, now),
             _ => self.on_segment_synchronized(seg, now),
         }
+        self.sample_telemetry();
+    }
+
+    /// Samples the srtt/rto/cwnd trajectory once per processed segment.
+    fn sample_telemetry(&mut self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        if let Some(srtt) = self.rtt.srtt() {
+            self.h_srtt_us.record(srtt.as_nanos() / 1_000);
+        }
+        self.h_rto_us.record(self.rtt.rto().as_nanos() / 1_000);
+        self.h_cwnd.record(u64::from(self.cc.cwnd()));
     }
 
     fn on_rst(&mut self, seg: &TcpSegment) {
         // Only accept RSTs that plausibly belong to this connection.
         let ok = match self.state {
             TcpState::SynSent => seg.flags.ack && seg.ack == self.snd.nxt,
-            _ => seg.seq.in_window(self.rcv_nxt(), self.recvbuf.window().max(1)),
+            _ => seg
+                .seq
+                .in_window(self.rcv_nxt(), self.recvbuf.window().max(1)),
         };
         if ok {
             self.enter_closed(ConnEvent::Reset);
@@ -772,7 +840,8 @@ impl Connection {
         }
 
         // Window update (RFC 793 WL1/WL2 check).
-        if self.snd.wl1.before(seg.seq) || (self.snd.wl1 == seg.seq && self.snd.wl2.before_eq(ack)) {
+        if self.snd.wl1.before(seg.seq) || (self.snd.wl1 == seg.seq && self.snd.wl2.before_eq(ack))
+        {
             let was_zero = self.snd.wnd == 0;
             self.snd.wnd = u32::from(seg.window);
             self.snd.wl1 = seg.seq;
@@ -796,6 +865,7 @@ impl Connection {
             let is_duplicate = self.coverage() == coverage_before;
             if is_duplicate {
                 self.duplicate_data_count += 1;
+                self.c_duplicates.inc();
                 self.events.push(ConnEvent::DuplicateData);
                 // Duplicates get an immediate ACK to resynchronise.
                 self.send_pure_ack(now);
@@ -806,6 +876,12 @@ impl Connection {
                 // Out of order (or gated): immediate duplicate ACK so the
                 // sender's fast-retransmit machinery sees it.
                 self.send_pure_ack(now);
+            }
+            if self.gate_stall_since.is_none()
+                && self.recvbuf.is_gated()
+                && self.recvbuf.staged_bytes() > 0
+            {
+                self.gate_stall_since = Some(now);
             }
         }
 
@@ -1415,7 +1491,10 @@ mod tests {
         /// Gathers outbox segments from one side onto the wire.
         fn collect(&mut self, from_server: bool) {
             let segs = if from_server {
-                self.server.as_mut().map(|s| s.take_segments()).unwrap_or_default()
+                self.server
+                    .as_mut()
+                    .map(|s| s.take_segments())
+                    .unwrap_or_default()
             } else {
                 self.client.take_segments()
             };
@@ -1537,7 +1616,11 @@ mod tests {
         }
 
         fn server_write(&mut self, data: &[u8]) -> usize {
-            let n = self.server.as_mut().expect("server up").write(data, self.now);
+            let n = self
+                .server
+                .as_mut()
+                .expect("server up")
+                .write(data, self.now);
             self.collect(true);
             n
         }
@@ -1650,7 +1733,9 @@ mod tests {
         assert!(p.client.retransmit_count() >= 1);
         // Fast retransmit means recovery well before repeated 1 s RTOs
         // would have delivered it.
-        let elapsed = completed_at.expect("transfer completed").duration_since(start);
+        let elapsed = completed_at
+            .expect("transfer completed")
+            .duration_since(start);
         assert!(elapsed < SimDuration::from_secs(5), "took {elapsed}");
     }
 
@@ -1675,7 +1760,9 @@ mod tests {
         // TIME-WAIT expires.
         p.run_until(p.now + SimDuration::from_secs(31));
         assert_eq!(p.client.state(), TcpState::Closed);
-        assert!(p.client_events.contains(&ConnEvent::Closed) || p.client.state() == TcpState::Closed);
+        assert!(
+            p.client_events.contains(&ConnEvent::Closed) || p.client.state() == TcpState::Closed
+        );
     }
 
     #[test]
@@ -1762,7 +1849,10 @@ mod tests {
         assert_eq!(p.server().duplicate_data_count(), 2);
         let events = p.server().take_events();
         assert_eq!(
-            events.iter().filter(|e| **e == ConnEvent::DuplicateData).count(),
+            events
+                .iter()
+                .filter(|e| **e == ConnEvent::DuplicateData)
+                .count(),
             2
         );
     }
@@ -1830,7 +1920,7 @@ mod tests {
         p.collect(true);
         p.run_until(p.now + SimDuration::from_millis(50));
         assert_eq!(p.client_received.len(), 500); // bytes una..una+500
-        // Open fully.
+                                                  // Open fully.
         let now3 = p.now;
         p.server().disable_send_gate(now3);
         p.collect(true);
@@ -2201,7 +2291,10 @@ mod close_tests {
         a.close(t);
         // The FIN must ride with/after the data, never before it.
         let segs = a.take_segments();
-        let data_seg = segs.iter().find(|s| !s.payload.is_empty()).expect("data sent");
+        let data_seg = segs
+            .iter()
+            .find(|s| !s.payload.is_empty())
+            .expect("data sent");
         let fin_seg = segs.iter().find(|s| s.flags.fin).expect("fin sent");
         assert!(fin_seg.seq_end().after_eq(data_seg.seq_end()));
         for seg in segs {

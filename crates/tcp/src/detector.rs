@@ -12,6 +12,7 @@
 //! `detector-parameters` argument of the paper's `setportopt` system call.
 
 use hydranet_netsim::time::{SimDuration, SimTime};
+use hydranet_obs::{kinds, Obs};
 
 /// Tuning for the failure estimator of one replicated port.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +59,10 @@ pub struct FailureDetector {
     /// Latched once the threshold is crossed, until [`reset`](Self::reset).
     suspected: bool,
     duplicates_total: u64,
+    /// Telemetry sink; disabled (no-op) unless wired via [`set_obs`](Self::set_obs).
+    obs: Obs,
+    /// Label identifying this detector in telemetry (usually the quad).
+    scope: String,
 }
 
 impl FailureDetector {
@@ -68,7 +73,16 @@ impl FailureDetector {
             recent: Vec::new(),
             suspected: false,
             duplicates_total: 0,
+            obs: Obs::disabled(),
+            scope: String::new(),
         }
+    }
+
+    /// Wires telemetry: every duplicate observation, suspicion, and clear
+    /// is recorded on the timeline under `scope`.
+    pub fn set_obs(&mut self, obs: Obs, scope: impl Into<String>) {
+        self.obs = obs;
+        self.scope = scope.into();
     }
 
     /// The parameters in force.
@@ -82,8 +96,28 @@ impl FailureDetector {
         self.duplicates_total += 1;
         self.expire(now);
         self.recent.push(now);
+        if self.obs.is_enabled() {
+            self.obs.event(
+                now.as_nanos(),
+                kinds::DETECTOR_DUPLICATE,
+                &[
+                    ("scope", self.scope.clone()),
+                    ("total", self.duplicates_total.to_string()),
+                    ("in_window", self.recent.len().to_string()),
+                ],
+            );
+        }
         if !self.suspected && self.recent.len() as u32 >= self.params.threshold {
             self.suspected = true;
+            self.obs.event(
+                now.as_nanos(),
+                kinds::DETECTOR_SUSPECTED,
+                &[
+                    ("scope", self.scope.clone()),
+                    ("observed", self.duplicates_total.to_string()),
+                    ("threshold", self.params.threshold.to_string()),
+                ],
+            );
             return true;
         }
         false
@@ -91,7 +125,17 @@ impl FailureDetector {
 
     /// Records forward progress (new data or new ACKs): clears accumulated
     /// duplicates since the loop is evidently working.
-    pub fn on_progress(&mut self) {
+    pub fn on_progress(&mut self, now: SimTime) {
+        if !self.recent.is_empty() && self.obs.is_enabled() {
+            self.obs.event(
+                now.as_nanos(),
+                kinds::DETECTOR_CLEARED,
+                &[
+                    ("scope", self.scope.clone()),
+                    ("cleared", self.recent.len().to_string()),
+                ],
+            );
+        }
         self.recent.clear();
     }
 
@@ -142,7 +186,7 @@ mod tests {
         let mut d = FailureDetector::new(DetectorParams::new(3, SimDuration::from_secs(10)));
         d.on_duplicate(at(0));
         d.on_duplicate(at(10));
-        d.on_progress();
+        d.on_progress(at(15));
         assert!(!d.on_duplicate(at(20)));
         assert!(!d.on_duplicate(at(30)));
         assert!(d.on_duplicate(at(40)));
@@ -178,5 +222,41 @@ mod tests {
     #[should_panic(expected = "threshold must be positive")]
     fn zero_threshold_rejected() {
         DetectorParams::new(0, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn telemetry_counts_each_duplicate_observation() {
+        let obs = Obs::enabled();
+        let mut d = FailureDetector::new(DetectorParams::new(3, SimDuration::from_secs(10)));
+        d.set_obs(obs.clone(), "10.0.1.1:40000-10.0.2.1:80");
+        d.on_duplicate(at(0));
+        d.on_duplicate(at(10));
+        d.on_duplicate(at(20)); // crosses the threshold
+        assert_eq!(d.duplicates_total(), 3);
+        let events = obs.events();
+        let duplicates: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == kinds::DETECTOR_DUPLICATE)
+            .collect();
+        assert_eq!(duplicates.len(), 3, "one event per observation");
+        // The trajectory carries the running totals.
+        let totals: Vec<&str> = duplicates
+            .iter()
+            .map(|e| e.field("total").unwrap())
+            .collect();
+        assert_eq!(totals, ["1", "2", "3"]);
+        // Suspicion fired exactly once, at the third duplicate's instant.
+        let suspected: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == kinds::DETECTOR_SUSPECTED)
+            .collect();
+        assert_eq!(suspected.len(), 1);
+        assert_eq!(suspected[0].at_nanos, at(20).as_nanos());
+        // Progress after suspicion records the clear.
+        d.on_progress(at(30));
+        assert_eq!(
+            obs.first_event_at(kinds::DETECTOR_CLEARED),
+            Some(at(30).as_nanos())
+        );
     }
 }

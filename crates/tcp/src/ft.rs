@@ -45,6 +45,14 @@ impl ReplicaMode {
     pub fn is_primary(self) -> bool {
         matches!(self, ReplicaMode::Primary)
     }
+
+    /// A short static label for metric scopes ("primary" / "backup").
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplicaMode::Primary => "primary",
+            ReplicaMode::Backup { .. } => "backup",
+        }
+    }
 }
 
 impl fmt::Display for ReplicaMode {
@@ -157,7 +165,8 @@ impl AckChanMsg {
         if bytes[0] != ACK_CHAN_TAG {
             return Err(DecodeError::BadVersion(bytes[0]));
         }
-        let rd_u32 = |i: usize| u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
+        let rd_u32 =
+            |i: usize| u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
         let rd_u16 = |i: usize| u16::from_be_bytes([bytes[i], bytes[i + 1]]);
         Ok(AckChanMsg {
             client: SockAddr::new(IpAddr::from_bits(rd_u32(1)), rd_u16(5)),

@@ -27,6 +27,8 @@ pub struct RttEstimator {
     backoff_shift: u32,
     min_rto: SimDuration,
     max_rto: SimDuration,
+    samples_taken: u64,
+    timeouts: u64,
 }
 
 /// Initial RTO before any sample, per RFC 6298 (adapted: BSD-era stacks of
@@ -55,6 +57,8 @@ impl RttEstimator {
             backoff_shift: 0,
             min_rto,
             max_rto,
+            samples_taken: 0,
+            timeouts: 0,
         }
     }
 
@@ -89,16 +93,28 @@ impl RttEstimator {
         let candidate = srtt + (self.rttvar * 4).max(SimDuration::from_millis(10));
         self.rto = candidate.max(self.min_rto).min(self.max_rto);
         self.backoff_shift = 0;
+        self.samples_taken += 1;
     }
 
     /// Doubles the RTO after a retransmission timeout (capped).
     pub fn on_timeout(&mut self) {
         self.backoff_shift = (self.backoff_shift + 1).min(16);
+        self.timeouts += 1;
     }
 
     /// Current backoff exponent (0 when no consecutive timeouts).
     pub fn backoff(&self) -> u32 {
         self.backoff_shift
+    }
+
+    /// RTT measurements fed so far (telemetry).
+    pub fn samples_taken(&self) -> u64 {
+        self.samples_taken
+    }
+
+    /// Retransmission timeouts suffered so far (telemetry).
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
     }
 }
 
@@ -159,6 +175,8 @@ mod tests {
         est.sample(SimDuration::from_millis(500));
         assert_eq!(est.backoff(), 0);
         assert!(est.rto() <= base * 2);
+        assert_eq!(est.samples_taken(), 2);
+        assert_eq!(est.timeouts(), 2);
     }
 
     #[test]

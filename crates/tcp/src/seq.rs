@@ -119,7 +119,7 @@ impl fmt::Display for SeqNum {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use hydranet_netsim::rng::SimRng;
 
     #[test]
     fn basic_ordering() {
@@ -168,55 +168,74 @@ mod tests {
         assert_eq!(s.raw(), 1);
     }
 
-    proptest! {
-        /// Adding then measuring the distance recovers the addend.
-        #[test]
-        fn add_sub_roundtrip(base: u32, delta: u32) {
-            let a = SeqNum::new(base);
-            let b = a + delta;
-            prop_assert_eq!(b - a, delta);
-        }
+    // The former proptest properties, as deterministic randomized sweeps.
 
-        /// For distances within half the space, before/after are a strict
-        /// total order antisymmetric pair.
-        #[test]
-        fn before_after_antisymmetry(base: u32, delta in 1u32..0x7fff_ffff) {
-            let a = SeqNum::new(base);
+    /// Adding then measuring the distance recovers the addend.
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..1000 {
+            let a = SeqNum::new(rng.next_u64() as u32);
+            let delta = rng.next_u64() as u32;
             let b = a + delta;
-            prop_assert!(a.before(b));
-            prop_assert!(!b.before(a));
-            prop_assert!(b.after(a));
-            prop_assert!(!a.after(b));
+            assert_eq!(b - a, delta);
         }
+    }
 
-        /// Window membership matches the arithmetic definition.
-        #[test]
-        fn window_matches_offset(base: u32, off: u32, len in 1u32..u32::MAX) {
-            let start = SeqNum::new(base);
+    /// For distances within half the space, before/after are a strict
+    /// total order antisymmetric pair.
+    #[test]
+    fn before_after_antisymmetry() {
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..1000 {
+            let a = SeqNum::new(rng.next_u64() as u32);
+            let delta = rng.range(1, 0x7fff_ffff) as u32;
+            let b = a + delta;
+            assert!(a.before(b));
+            assert!(!b.before(a));
+            assert!(b.after(a));
+            assert!(!a.after(b));
+        }
+    }
+
+    /// Window membership matches the arithmetic definition.
+    #[test]
+    fn window_matches_offset() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..1000 {
+            let start = SeqNum::new(rng.next_u64() as u32);
+            let off = rng.next_u64() as u32;
+            let len = rng.range(1, u32::MAX as u64) as u32;
             let x = start + off;
-            prop_assert_eq!(x.in_window(start, len), off < len);
+            assert_eq!(x.in_window(start, len), off < len);
         }
+    }
 
-        /// before() is transitive for points within a common half-space
-        /// window.
-        #[test]
-        fn before_transitive(base: u32, d1 in 1u32..0x3fff_ffff, d2 in 1u32..0x3fff_ffff) {
-            let a = SeqNum::new(base);
-            let b = a + d1;
-            let c = b + d2;
-            prop_assert!(a.before(b) && b.before(c));
-            prop_assert!(a.before(c));
+    /// before() is transitive for points within a common half-space
+    /// window.
+    #[test]
+    fn before_transitive() {
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..1000 {
+            let a = SeqNum::new(rng.next_u64() as u32);
+            let b = a + rng.range(1, 0x3fff_ffff) as u32;
+            let c = b + rng.range(1, 0x3fff_ffff) as u32;
+            assert!(a.before(b) && b.before(c));
+            assert!(a.before(c));
         }
+    }
 
-        /// min/max are consistent with before().
-        #[test]
-        fn min_max_consistent(base: u32, delta in 1u32..0x7fff_ffff) {
-            let a = SeqNum::new(base);
-            let b = a + delta;
-            prop_assert_eq!(a.min_seq(b), a);
-            prop_assert_eq!(a.max_seq(b), b);
-            prop_assert_eq!(b.min_seq(a), a);
-            prop_assert_eq!(b.max_seq(a), b);
+    /// min/max are consistent with before().
+    #[test]
+    fn min_max_consistent() {
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            let a = SeqNum::new(rng.next_u64() as u32);
+            let b = a + rng.range(1, 0x7fff_ffff) as u32;
+            assert_eq!(a.min_seq(b), a);
+            assert_eq!(a.max_seq(b), b);
+            assert_eq!(b.min_seq(a), a);
+            assert_eq!(b.max_seq(a), b);
         }
     }
 }

@@ -23,6 +23,8 @@ use std::collections::BTreeMap;
 use hydranet_netsim::frag::Reassembler;
 use hydranet_netsim::packet::{IpAddr, IpPacket, Protocol};
 use hydranet_netsim::time::SimTime;
+use hydranet_obs::metrics::Counter;
+use hydranet_obs::Obs;
 
 use crate::conn::{ConnEvent, Connection, TcpConfig, TcpState};
 use crate::detector::FailureDetector;
@@ -185,6 +187,9 @@ pub struct TcpStack {
     out: Vec<IpPacket>,
     events: Vec<StackEvent>,
     stats: StackStats,
+    obs: Obs,
+    c_ackchan_tx: Counter,
+    c_ackchan_rx: Counter,
 }
 
 impl std::fmt::Debug for TcpStack {
@@ -214,7 +219,28 @@ impl TcpStack {
             out: Vec::new(),
             events: Vec::new(),
             stats: StackStats::default(),
+            obs: Obs::disabled(),
+            c_ackchan_tx: Counter::default(),
+            c_ackchan_rx: Counter::default(),
         }
+    }
+
+    /// Wires telemetry for this stack and every connection it creates from
+    /// now on: ack-channel traffic counters under
+    /// `tcp.stack.<addr>.*`, per-connection histograms under
+    /// `tcp.conn.<quad>.*`, and detector timeline events. Existing
+    /// connections are re-wired too.
+    pub fn set_obs(&mut self, obs: Obs) {
+        let scope = format!("tcp.stack.{}", self.addrs[0]);
+        self.c_ackchan_tx = obs.counter(&format!("{scope}.ackchan_tx"));
+        self.c_ackchan_rx = obs.counter(&format!("{scope}.ackchan_rx"));
+        for (quad, entry) in self.conns.iter_mut() {
+            entry.conn.set_obs(&obs);
+            if let Some(d) = entry.detector.as_mut() {
+                d.set_obs(obs.clone(), quad.to_string());
+            }
+        }
+        self.obs = obs;
     }
 
     /// The host's primary address.
@@ -329,7 +355,8 @@ impl TcpStack {
         let local = SockAddr::new(self.addrs[0], self.alloc_ephemeral(remote));
         let quad = Quad::new(local, remote);
         let iss = deterministic_iss(quad);
-        let conn = Connection::connect(quad, self.cfg.clone(), iss, now);
+        let mut conn = Connection::connect(quad, self.cfg.clone(), iss, now);
+        conn.set_obs(&self.obs);
         let entry = ConnEntry {
             conn,
             app,
@@ -521,7 +548,9 @@ impl TcpStack {
         if seg.flags.syn && !seg.flags.ack && self.listeners.contains_key(&seg.dst_port) {
             let replication = self.replicated.get(&seg.dst_port).cloned();
             let iss = deterministic_iss(quad);
-            let gated = replication.as_ref().is_some_and(ReplicatedPortConfig::gated);
+            let gated = replication
+                .as_ref()
+                .is_some_and(ReplicatedPortConfig::gated);
             let mut conn_cfg = self.cfg.clone();
             if replication.is_some() {
                 // Replica connections forward their flow-control fields
@@ -530,22 +559,18 @@ impl TcpStack {
                 // stage onto the client's ACK path and race its RTO.
                 conn_cfg.delayed_ack = false;
             }
-            let conn = Connection::accept_replicated(
-                quad,
-                conn_cfg,
-                iss,
-                &seg,
-                now,
-                gated,
-                gated,
-            );
+            let mut conn =
+                Connection::accept_replicated(quad, conn_cfg, iss, &seg, now, gated, gated);
+            conn.set_obs(&self.obs);
             let app = self
                 .listeners
                 .get_mut(&seg.dst_port)
                 .expect("listener checked above")(quad);
-            let detector = replication
-                .as_ref()
-                .map(|r| FailureDetector::new(r.detector));
+            let detector = replication.as_ref().map(|r| {
+                let mut d = FailureDetector::new(r.detector);
+                d.set_obs(self.obs.clone(), quad.to_string());
+                d
+            });
             let entry = ConnEntry {
                 conn,
                 app,
@@ -568,7 +593,11 @@ impl TcpStack {
             let rst = TcpSegment {
                 src_port: quad.local.port,
                 dst_port: quad.remote.port,
-                seq: if seg.flags.ack { seg.ack } else { crate::seq::SeqNum::new(0) },
+                seq: if seg.flags.ack {
+                    seg.ack
+                } else {
+                    crate::seq::SeqNum::new(0)
+                },
                 ack: seg.seq_end(),
                 flags: TcpFlags {
                     rst: true,
@@ -578,7 +607,12 @@ impl TcpStack {
                 window: 0,
                 payload: Vec::new(),
             };
-            self.push_packet(quad.local.addr, quad.remote.addr, Protocol::TCP, rst.encode());
+            self.push_packet(
+                quad.local.addr,
+                quad.remote.addr,
+                Protocol::TCP,
+                rst.encode(),
+            );
         }
     }
 
@@ -602,6 +636,7 @@ impl TcpStack {
     /// matching connection's send gate (SEQ) and deposit gate (ACK).
     fn on_ack_chan(&mut self, msg: AckChanMsg, now: SimTime) {
         self.stats.ackchan_rx += 1;
+        self.c_ackchan_rx.inc();
         let quad = msg.quad();
         if let Some(mut entry) = self.conns.remove(&quad) {
             entry.conn.raise_send_gate(msg.seq, now);
@@ -641,7 +676,7 @@ impl TcpStack {
                     }
                     ConnEvent::DataReadable => {
                         if let Some(d) = entry.detector.as_mut() {
-                            d.on_progress();
+                            d.on_progress(now);
                         }
                         let mut io = SocketIo {
                             conn: &mut entry.conn,
@@ -684,7 +719,7 @@ impl TcpStack {
                     }
                     ConnEvent::AckProgress => {
                         if let Some(d) = entry.detector.as_mut() {
-                            d.on_progress();
+                            d.on_progress(now);
                         }
                     }
                     ConnEvent::RetransmitTimeout => {
@@ -726,6 +761,7 @@ impl TcpStack {
                             ack: seg.ack,
                         };
                         self.stats.ackchan_tx += 1;
+                        self.c_ackchan_tx.inc();
                         let datagram = UdpDatagram {
                             src_port: ACK_CHANNEL_PORT,
                             dst_port: ACK_CHANNEL_PORT,

@@ -109,11 +109,13 @@ fn start_client(chain: &mut Chain, payload: Vec<u8>) -> common::Collected {
         received: received.clone(),
         close_after: None,
     };
-    chain.sim.with_node_ctx::<StackHost, _>(chain.client, |host, ctx| {
-        host.stack
-            .connect(SockAddr::new(SERVICE_ADDR, PORT), Box::new(app), ctx.now());
-        host.flush(ctx);
-    });
+    chain
+        .sim
+        .with_node_ctx::<StackHost, _>(chain.client, |host, ctx| {
+            host.stack
+                .connect(SockAddr::new(SERVICE_ADDR, PORT), Box::new(app), ctx.now());
+            host.flush(ctx);
+        });
     received
 }
 
@@ -140,9 +142,15 @@ fn two_replicas_deliver_atomically_and_echo_once() {
     assert_eq!(*echo_rx.borrow(), payload, "client echo");
     // The backup really did route its output into the ack channel.
     let backup = chain.sim.node::<StackHost>(chain.replicas[1]);
-    assert!(backup.stack.stats().ackchan_tx > 0, "no ack-channel traffic");
+    assert!(
+        backup.stack.stats().ackchan_tx > 0,
+        "no ack-channel traffic"
+    );
     let primary = chain.sim.node::<StackHost>(chain.replicas[0]);
-    assert!(primary.stack.stats().ackchan_rx > 0, "primary heard nothing");
+    assert!(
+        primary.stack.stats().ackchan_rx > 0,
+        "primary heard nothing"
+    );
 }
 
 #[test]
@@ -214,7 +222,9 @@ fn reconfiguration_after_backup_failure_resumes_service() {
     let payload = pattern(600_000);
     let _ = start_client(&mut chain, payload.clone());
     chain.sim.run_until(SimTime::from_millis(60));
-    chain.sim.schedule_crash(chain.replicas[1], SimTime::from_millis(80));
+    chain
+        .sim
+        .schedule_crash(chain.replicas[1], SimTime::from_millis(80));
     // Wait until the primary suspects the failure, then reconfigure it as a
     // sole primary (what the management protocol will do).
     let mut reconfigured = false;
@@ -253,7 +263,9 @@ fn primary_failure_with_promotion_is_client_transparent() {
     let payload = pattern(400_000);
     let echo_rx = start_client(&mut chain, payload.clone());
     chain.sim.run_until(SimTime::from_millis(60));
-    chain.sim.schedule_crash(chain.replicas[0], SimTime::from_millis(80));
+    chain
+        .sim
+        .schedule_crash(chain.replicas[0], SimTime::from_millis(80));
     // Wait for the backup to suspect the failure, then promote it (the
     // management protocol's reconfiguration, done by hand here).
     let mut promoted = false;
@@ -293,4 +305,3 @@ fn primary_failure_with_promotion_is_client_transparent() {
         .iter()
         .all(|e| !matches!(e, StackEvent::ConnClosed(_))));
 }
-

@@ -77,9 +77,9 @@ fn reset_volatile_drops_connections_keeps_listeners() {
     let (mut sim, a, b) = pair();
     let rx = Rc::new(RefCell::new(Vec::new()));
     let handle = rx.clone();
-    sim.node_mut::<StackHost>(b)
-        .stack
-        .listen(80, move |_q| Box::new(CollectApp::new(handle.clone(), false)));
+    sim.node_mut::<StackHost>(b).stack.listen(80, move |_q| {
+        Box::new(CollectApp::new(handle.clone(), false))
+    });
     let payload = pattern(5_000);
     let sent = Rc::new(RefCell::new(Vec::new()));
     let app = SendOnceApp {
@@ -111,7 +111,11 @@ fn reset_volatile_drops_connections_keeps_listeners() {
         host.flush(ctx);
     });
     sim.run_for(SimDuration::from_secs(1));
-    assert_eq!(rx.borrow().len(), payload.len() + 5, "new connection served");
+    assert_eq!(
+        rx.borrow().len(),
+        payload.len() + 5,
+        "new connection served"
+    );
 }
 
 /// An echo app that reciprocates the peer's close (full four-way).
@@ -147,8 +151,16 @@ fn graceful_close_reaps_both_ends() {
     // Run long enough for the FIN exchange plus TIME_WAIT expiry (30 s).
     sim.run_until(SimTime::from_secs(40));
     assert_eq!(*replies.borrow(), b"goodbye");
-    assert_eq!(sim.node::<StackHost>(b).stack.conn_count(), 0, "server reaped");
-    assert_eq!(sim.node::<StackHost>(a).stack.conn_count(), 0, "client reaped");
+    assert_eq!(
+        sim.node::<StackHost>(b).stack.conn_count(),
+        0,
+        "server reaped"
+    );
+    assert_eq!(
+        sim.node::<StackHost>(a).stack.conn_count(),
+        0,
+        "client reaped"
+    );
 }
 
 #[test]

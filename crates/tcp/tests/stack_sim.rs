@@ -30,9 +30,11 @@ fn two_hosts(link: LinkParams) -> (Simulator, NodeId, NodeId) {
 fn start_echo_server(sim: &mut Simulator, server: NodeId, port: u16) -> common::Collected {
     let received = Rc::new(RefCell::new(Vec::new()));
     let handle = received.clone();
-    sim.node_mut::<StackHost>(server).stack.listen(port, move |_quad| {
-        Box::new(CollectApp::new(handle.clone(), true))
-    });
+    sim.node_mut::<StackHost>(server)
+        .stack
+        .listen(port, move |_quad| {
+            Box::new(CollectApp::new(handle.clone(), true))
+        });
     received
 }
 
@@ -60,7 +62,12 @@ fn echo_round_trip_over_simulated_link() {
     let (mut sim, client, server) = two_hosts(LinkParams::default());
     let server_rx = start_echo_server(&mut sim, server, 80);
     let payload = pattern(10_000);
-    let client_rx = start_client(&mut sim, client, SockAddr::new(SERVER_ADDR, 80), payload.clone());
+    let client_rx = start_client(
+        &mut sim,
+        client,
+        SockAddr::new(SERVER_ADDR, 80),
+        payload.clone(),
+    );
     sim.run_until(SimTime::from_secs(30));
     assert_eq!(*server_rx.borrow(), payload);
     assert_eq!(*client_rx.borrow(), payload);
@@ -72,7 +79,12 @@ fn echo_survives_link_loss() {
     let (mut sim, client, server) = two_hosts(link);
     let server_rx = start_echo_server(&mut sim, server, 80);
     let payload = pattern(20_000);
-    let client_rx = start_client(&mut sim, client, SockAddr::new(SERVER_ADDR, 80), payload.clone());
+    let client_rx = start_client(
+        &mut sim,
+        client,
+        SockAddr::new(SERVER_ADDR, 80),
+        payload.clone(),
+    );
     sim.run_until(SimTime::from_secs(120));
     assert_eq!(*server_rx.borrow(), payload, "upstream corrupted");
     assert_eq!(*client_rx.borrow(), payload, "echo corrupted");
@@ -100,7 +112,12 @@ fn transfer_through_router_hop() {
     let mut sim = t.into_simulator(9);
     let server_rx = start_echo_server(&mut sim, server, 8080);
     let payload = pattern(5_000);
-    let client_rx = start_client(&mut sim, client, SockAddr::new(SERVER_ADDR, 8080), payload.clone());
+    let client_rx = start_client(
+        &mut sim,
+        client,
+        SockAddr::new(SERVER_ADDR, 8080),
+        payload.clone(),
+    );
     sim.run_until(SimTime::from_secs(10));
     assert_eq!(*server_rx.borrow(), payload);
     assert_eq!(*client_rx.borrow(), payload);
@@ -116,7 +133,9 @@ fn syn_to_closed_port_gets_rst() {
     assert_eq!(sim.node::<StackHost>(client).stack.conn_count(), 0);
     let events = &sim.node::<StackHost>(client).events;
     assert!(
-        events.iter().any(|e| matches!(e, StackEvent::ConnClosed(_))),
+        events
+            .iter()
+            .any(|e| matches!(e, StackEvent::ConnClosed(_))),
         "no close event: {events:?}"
     );
 }
@@ -146,8 +165,12 @@ fn many_concurrent_connections() {
 fn server_crash_resets_nothing_but_stops_service() {
     let (mut sim, client, server) = two_hosts(LinkParams::default());
     let _server_rx = start_echo_server(&mut sim, server, 80);
-    let client_rx =
-        start_client(&mut sim, client, SockAddr::new(SERVER_ADDR, 80), pattern(500_000));
+    let client_rx = start_client(
+        &mut sim,
+        client,
+        SockAddr::new(SERVER_ADDR, 80),
+        pattern(500_000),
+    );
     sim.schedule_crash(server, SimTime::from_millis(60));
     sim.run_until(SimTime::from_secs(10));
     // Mid-transfer crash: the client can only have part of the echo.
@@ -167,7 +190,12 @@ fn fragmentation_on_small_mtu_path_is_transparent() {
     let (mut sim, client, server) = two_hosts(link);
     let server_rx = start_echo_server(&mut sim, server, 80);
     let payload = pattern(30_000);
-    let client_rx = start_client(&mut sim, client, SockAddr::new(SERVER_ADDR, 80), payload.clone());
+    let client_rx = start_client(
+        &mut sim,
+        client,
+        SockAddr::new(SERVER_ADDR, 80),
+        payload.clone(),
+    );
     sim.run_until(SimTime::from_secs(60));
     assert_eq!(*server_rx.borrow(), payload);
     assert_eq!(*client_rx.borrow(), payload);

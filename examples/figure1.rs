@@ -46,7 +46,11 @@ fn main() {
     let far = LinkParams::new(1_500_000, SimDuration::from_millis(25));
     b.link(client_sw, rd_sw, near.clone());
     b.link(client_ne, rd_ne, near.clone());
-    b.link(rd_sw, rd_ne, LinkParams::new(45_000_000, SimDuration::from_millis(4)));
+    b.link(
+        rd_sw,
+        rd_ne,
+        LinkParams::new(45_000_000, SimDuration::from_millis(4)),
+    );
     b.link(rd_ne, hs_ne, near.clone());
     b.link(rd_sw, hs_sw, near);
     b.link(rd_sw, origin, far); // the long haul to northwest.com
@@ -57,8 +61,9 @@ fn main() {
         let served = origin_served.clone();
         b.configure::<hydranet::core::host::ClientHost>(origin, move |host| {
             let served = served.clone();
-            host.stack_mut()
-                .listen(80, move |_q| Box::new(LineReplyApp::new(12_000, served.clone())));
+            host.stack_mut().listen(80, move |_q| {
+                Box::new(LineReplyApp::new(12_000, served.clone()))
+            });
         });
     }
     // northeast.net hosts a replica of the web service near its clients.
@@ -83,7 +88,11 @@ fn main() {
         spec.registration_start = SimTime::from_millis(1 + 25 * i as u64);
         b.deploy_ft_service(&spec, move |_q| {
             let frames: Vec<u8> = (0..STREAM).map(|i| (i % 249) as u8).collect();
-            Box::new(StreamSenderApp::new(frames, false, shared(SenderState::default())))
+            Box::new(StreamSenderApp::new(
+                frames,
+                false,
+                shared(SenderState::default()),
+            ))
         });
     }
 
@@ -109,7 +118,10 @@ fn main() {
     system.connect_client(client_ne, audio, Box::new(EchoApp::sink(listener.clone())));
 
     // Kill the audio primary mid-broadcast.
-    let crash_at = system.sim.now().saturating_add(SimDuration::from_millis(120));
+    let crash_at = system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(120));
     system.sim.schedule_crash(hs_sw, crash_at);
 
     let deadline = SimTime::from_secs(180);
@@ -125,8 +137,12 @@ fn main() {
         system.sim.run_until(step);
     }
 
-    println!("northeast web exchanges: {} (replica served {}, origin served {})",
-        web_ne.borrow().completed, *replica_served.borrow(), *origin_served.borrow());
+    println!(
+        "northeast web exchanges: {} (replica served {}, origin served {})",
+        web_ne.borrow().completed,
+        *replica_served.borrow(),
+        *origin_served.borrow()
+    );
     println!("southwest web exchanges: {}", web_sw.borrow().completed);
     println!(
         "audio broadcast: {} / {STREAM} bytes, stall across fail-over: {}",
@@ -138,7 +154,11 @@ fn main() {
     );
     assert_eq!(web_ne.borrow().completed, 10);
     assert_eq!(web_sw.borrow().completed, 10);
-    assert_eq!(*replica_served.borrow(), 10, "NE web should hit the replica");
+    assert_eq!(
+        *replica_served.borrow(),
+        10,
+        "NE web should hit the replica"
+    );
     assert_eq!(*origin_served.borrow(), 10, "SW web should hit the origin");
     assert_eq!(listener.borrow().len(), STREAM, "broadcast incomplete");
     let expected: Vec<u8> = (0..STREAM).map(|i| (i % 249) as u8).collect();

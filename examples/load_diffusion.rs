@@ -35,11 +35,13 @@ fn main() {
         let telnet = origin_telnet.clone();
         b.configure::<ClientHost>(origin, move |host| {
             let web = web.clone();
-            host.stack_mut()
-                .listen(80, move |_q| Box::new(LineReplyApp::new(16_000, web.clone())));
+            host.stack_mut().listen(80, move |_q| {
+                Box::new(LineReplyApp::new(16_000, web.clone()))
+            });
             let telnet = telnet.clone();
-            host.stack_mut()
-                .listen(23, move |_q| Box::new(LineReplyApp::new(200, telnet.clone())));
+            host.stack_mut().listen(23, move |_q| {
+                Box::new(LineReplyApp::new(200, telnet.clone()))
+            });
         });
     }
 
@@ -74,7 +76,10 @@ fn main() {
     system.sim.run_until(SimTime::from_secs(30));
 
     println!("client A web exchanges: {}", web_session.borrow().completed);
-    println!("client B telnet exchanges: {}", telnet_session.borrow().completed);
+    println!(
+        "client B telnet exchanges: {}",
+        telnet_session.borrow().completed
+    );
     println!(
         "web requests served by the nearby replica: {}",
         *replica_web.borrow()

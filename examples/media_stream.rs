@@ -44,7 +44,11 @@ fn main() {
     // space.
     b.deploy_ft_service(&spec, move |_q| {
         let frames: Vec<u8> = (0..STREAM_BYTES).map(|i| (i % 251) as u8).collect();
-        Box::new(StreamSenderApp::new(frames, false, shared(SenderState::default())))
+        Box::new(StreamSenderApp::new(
+            frames,
+            false,
+            shared(SenderState::default()),
+        ))
     });
     let mut system = b.build(13);
     assert!(system.wait_for_chain(rd, service, 2, SimTime::from_secs(2)));
@@ -54,7 +58,10 @@ fn main() {
     let app = EchoApp::sink(viewer.clone());
     system.connect_client(client, service, Box::new(app));
 
-    let crash_at = system.sim.now().saturating_add(SimDuration::from_millis(100));
+    let crash_at = system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(100));
     system.sim.schedule_crash(hs1, crash_at);
     println!("media1 (streaming primary) dies at {crash_at}");
 

@@ -44,7 +44,10 @@ fn main() {
     system.connect_client(client, service, Box::new(app));
 
     // --- crash the primary mid-transfer -----------------------------------
-    let crash_at = system.sim.now().saturating_add(SimDuration::from_millis(60));
+    let crash_at = system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(60));
     system.sim.schedule_crash(hs1, crash_at);
     println!("primary hs1 will crash at {crash_at}");
 
@@ -60,7 +63,10 @@ fn main() {
 
     // --- results ----------------------------------------------------------
     let st = replies.borrow();
-    assert_eq!(st.replies.data, payload, "echo stream corrupted or incomplete");
+    assert_eq!(
+        st.replies.data, payload,
+        "echo stream corrupted or incomplete"
+    );
     println!(
         "client received the full {} byte echo at {} — connection never reset: {}",
         st.replies.data.len(),

@@ -49,7 +49,10 @@ fn main() {
     system.connect_client(client, service, Box::new(app));
 
     // Let the session get going, then kill the primary.
-    let crash_at = system.sim.now().saturating_add(SimDuration::from_millis(150));
+    let crash_at = system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(150));
     system.sim.schedule_crash(hs1, crash_at);
 
     let deadline = SimTime::from_secs(180);

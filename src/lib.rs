@@ -8,6 +8,7 @@
 //!
 //! | Crate | Contents |
 //! |---|---|
+//! | [`obs`] | unified telemetry: metrics registry, failover timeline, JSON export |
 //! | [`netsim`] | deterministic discrete-event internetwork simulator |
 //! | [`tcp`] | user-space TCP + ft-TCP (replicated ports, ack channel, failure estimator) |
 //! | [`redirect`] | redirector tables, IP-in-IP tunnelling, request replication |
@@ -23,6 +24,7 @@
 pub use hydranet_core as core;
 pub use hydranet_mgmt as mgmt;
 pub use hydranet_netsim as netsim;
+pub use hydranet_obs as obs;
 pub use hydranet_redirect as redirect;
 pub use hydranet_tcp as tcp;
 

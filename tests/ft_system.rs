@@ -58,8 +58,9 @@ fn deploy(n: usize, echo: bool, seed: u64) -> Deployment {
             ..spec.clone()
         };
         let mut one = one;
-        one.registration_start =
-            spec.registration_start.saturating_add(spec.registration_stagger * i as u64);
+        one.registration_start = spec
+            .registration_start
+            .saturating_add(spec.registration_stagger * i as u64);
         b.deploy_ft_service(&one, move |_quad| {
             if echo {
                 Box::new(EchoApp::new(sink.clone()))
@@ -88,7 +89,9 @@ fn start_sender(d: &mut Deployment, payload: Vec<u8>) -> Shared<SenderState> {
 #[test]
 fn registration_forms_chain_in_stagger_order() {
     let mut d = deploy(3, false, 1);
-    assert!(d.system.wait_for_chain(d.rd, service(), 3, SimTime::from_secs(2)));
+    assert!(d
+        .system
+        .wait_for_chain(d.rd, service(), 3, SimTime::from_secs(2)));
     let chain = d
         .system
         .redirector(d.rd)
@@ -112,7 +115,9 @@ fn registration_forms_chain_in_stagger_order() {
 #[test]
 fn replicated_echo_end_to_end() {
     let mut d = deploy(2, true, 2);
-    assert!(d.system.wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
+    assert!(d
+        .system
+        .wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
     let payload = pattern(25_000);
     let state = start_sender(&mut d, payload.clone());
     d.system.sim.run_until(SimTime::from_secs(20));
@@ -124,11 +129,17 @@ fn replicated_echo_end_to_end() {
 #[test]
 fn automatic_failover_on_primary_crash_is_client_transparent() {
     let mut d = deploy(2, true, 3);
-    assert!(d.system.wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
+    assert!(d
+        .system
+        .wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
     let payload = pattern(400_000);
     let state = start_sender(&mut d, payload.clone());
     // Crash the primary mid-transfer.
-    let crash_at = d.system.sim.now().saturating_add(SimDuration::from_millis(50));
+    let crash_at = d
+        .system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(50));
     d.system.sim.schedule_crash(d.replicas[0], crash_at);
     // Run: detector -> FailureReport -> probes -> reconfiguration ->
     // SetRole(promote) all happen inside the system, no hand-holding.
@@ -160,10 +171,16 @@ fn automatic_failover_on_primary_crash_is_client_transparent() {
 #[test]
 fn automatic_reconfiguration_on_backup_crash() {
     let mut d = deploy(2, false, 4);
-    assert!(d.system.wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
+    assert!(d
+        .system
+        .wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
     let payload = pattern(300_000);
     let _state = start_sender(&mut d, payload.clone());
-    let crash_at = d.system.sim.now().saturating_add(SimDuration::from_millis(50));
+    let crash_at = d
+        .system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(50));
     d.system.sim.schedule_crash(d.replicas[1], crash_at);
     let deadline = SimTime::from_secs(180);
     let mut step = d.system.sim.now();
@@ -185,10 +202,16 @@ fn automatic_reconfiguration_on_backup_crash() {
 #[test]
 fn middle_backup_crash_rechains_three_replicas() {
     let mut d = deploy(3, false, 5);
-    assert!(d.system.wait_for_chain(d.rd, service(), 3, SimTime::from_secs(2)));
+    assert!(d
+        .system
+        .wait_for_chain(d.rd, service(), 3, SimTime::from_secs(2)));
     let payload = pattern(300_000);
     let _state = start_sender(&mut d, payload.clone());
-    let crash_at = d.system.sim.now().saturating_add(SimDuration::from_millis(50));
+    let crash_at = d
+        .system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(50));
     d.system.sim.schedule_crash(d.replicas[1], crash_at);
     let deadline = SimTime::from_secs(180);
     let mut step = d.system.sim.now();
@@ -213,13 +236,19 @@ fn middle_backup_crash_rechains_three_replicas() {
 #[test]
 fn recovered_host_can_rejoin_as_backup() {
     let mut d = deploy(2, false, 6);
-    assert!(d.system.wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
+    assert!(d
+        .system
+        .wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
     // Kill the backup mid-transfer and let the system reconfigure down to
     // one (detection needs traffic: an idle chain has no flow-control loop
     // to observe breaking).
     let payload = pattern(600_000);
     let _ = start_sender(&mut d, payload);
-    let crash_at = d.system.sim.now().saturating_add(SimDuration::from_millis(100));
+    let crash_at = d
+        .system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(100));
     d.system.sim.schedule_crash(d.replicas[1], crash_at);
     let mut step = d.system.sim.now();
     while d.system.sim.now() < SimTime::from_secs(120) {
@@ -236,7 +265,11 @@ fn recovered_host_can_rejoin_as_backup() {
         }
     }
     assert_eq!(
-        d.system.redirector(d.rd).controller().chain(service()).unwrap(),
+        d.system
+            .redirector(d.rd)
+            .controller()
+            .chain(service())
+            .unwrap(),
         &[HS1]
     );
     // Recover the host: its restarted daemon re-registers automatically
@@ -244,11 +277,18 @@ fn recovered_host_can_rejoin_as_backup() {
     let now = d.system.sim.now();
     let rejoin_at = now.saturating_add(SimDuration::from_millis(10));
     d.system.sim.schedule_recover(d.replicas[1], rejoin_at);
-    assert!(d
-        .system
-        .wait_for_chain(d.rd, service(), 2, rejoin_at.saturating_add(SimDuration::from_secs(5))));
+    assert!(d.system.wait_for_chain(
+        d.rd,
+        service(),
+        2,
+        rejoin_at.saturating_add(SimDuration::from_secs(5))
+    ));
     assert_eq!(
-        d.system.redirector(d.rd).controller().chain(service()).unwrap(),
+        d.system
+            .redirector(d.rd)
+            .controller()
+            .chain(service())
+            .unwrap(),
         &[HS1, HS2]
     );
 }
@@ -285,7 +325,10 @@ fn request_reply_service_survives_failover() {
     let state = shared(RequestLoopState::default());
     let app = RequestLoopApp::new(50, state.clone());
     system.connect_client(client, service(), Box::new(app));
-    let crash_at = system.sim.now().saturating_add(SimDuration::from_millis(100));
+    let crash_at = system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(100));
     system.sim.schedule_crash(hs1, crash_at);
     let mut step = system.sim.now();
     while system.sim.now() < SimTime::from_secs(180) && state.borrow().completed < 50 {
@@ -300,9 +343,15 @@ fn request_reply_service_survives_failover() {
 fn deterministic_replay() {
     let run = |seed: u64| {
         let mut d = deploy(2, true, seed);
-        assert!(d.system.wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
+        assert!(d
+            .system
+            .wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
         let state = start_sender(&mut d, pattern(50_000));
-        let crash_at = d.system.sim.now().saturating_add(SimDuration::from_millis(40));
+        let crash_at = d
+            .system
+            .sim
+            .now()
+            .saturating_add(SimDuration::from_millis(40));
         d.system.sim.schedule_crash(d.replicas[0], crash_at);
         d.system.sim.run_until(SimTime::from_secs(30));
         let received = state.borrow().replies.data.len();
@@ -317,11 +366,17 @@ fn two_successive_failures_on_one_connection() {
     // reconfiguration, or a second failure on the same long-lived
     // connection goes unreported and the service stalls forever.
     let mut d = deploy(3, true, 8);
-    assert!(d.system.wait_for_chain(d.rd, service(), 3, SimTime::from_secs(2)));
+    assert!(d
+        .system
+        .wait_for_chain(d.rd, service(), 3, SimTime::from_secs(2)));
     let payload = pattern(1_200_000);
     let state = start_sender(&mut d, payload.clone());
     // First failure: the primary.
-    let crash1 = d.system.sim.now().saturating_add(SimDuration::from_millis(50));
+    let crash1 = d
+        .system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(50));
     d.system.sim.schedule_crash(d.replicas[0], crash1);
     // Second failure: the promoted replica, once the first reconfiguration
     // has happened and traffic resumed.
@@ -335,7 +390,11 @@ fn two_successive_failures_on_one_connection() {
             && d.system.redirector(d.rd).controller().reconfigurations() >= 1
             && !state.borrow().replies.data.is_empty()
         {
-            let at = d.system.sim.now().saturating_add(SimDuration::from_millis(100));
+            let at = d
+                .system
+                .sim
+                .now()
+                .saturating_add(SimDuration::from_millis(100));
             d.system.sim.schedule_crash(d.replicas[1], at);
             second_crash_done = true;
         }
@@ -348,7 +407,11 @@ fn two_successive_failures_on_one_connection() {
     );
     assert_eq!(state.borrow().replies.data, payload);
     assert_eq!(
-        d.system.redirector(d.rd).controller().chain(service()).unwrap(),
+        d.system
+            .redirector(d.rd)
+            .controller()
+            .chain(service())
+            .unwrap(),
         &[HS3],
         "chain should have shed both failed replicas"
     );
@@ -360,22 +423,33 @@ fn link_outage_and_restore_keeps_stream_correct() {
     // rides it out; the chain must not be reconfigured spuriously once the
     // link returns and traffic resumes (the paper's congestion scenario).
     let mut d = deploy(2, true, 9);
-    assert!(d.system.wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
+    assert!(d
+        .system
+        .wait_for_chain(d.rd, service(), 2, SimTime::from_secs(2)));
     let payload = pattern(300_000);
     let state = start_sender(&mut d, payload.clone());
     // The client link is link 0 (first created in deploy()).
     let client_link = hydranet::netsim::link::LinkId::from_index(0);
-    let down_at = d.system.sim.now().saturating_add(SimDuration::from_millis(60));
-    d.system.sim.schedule_link_down(client_link, down_at);
-    d.system
+    let down_at = d
+        .system
         .sim
-        .schedule_link_up(client_link, down_at.saturating_add(SimDuration::from_millis(700)));
+        .now()
+        .saturating_add(SimDuration::from_millis(60));
+    d.system.sim.schedule_link_down(client_link, down_at);
+    d.system.sim.schedule_link_up(
+        client_link,
+        down_at.saturating_add(SimDuration::from_millis(700)),
+    );
     let deadline = SimTime::from_secs(240);
     let mut step = d.system.sim.now();
     while d.system.sim.now() < deadline && state.borrow().replies.data.len() < payload.len() {
         step = step.saturating_add(SimDuration::from_millis(50));
         d.system.sim.run_until(step);
     }
-    assert_eq!(state.borrow().replies.data, payload, "stream broken by outage");
+    assert_eq!(
+        state.borrow().replies.data,
+        payload,
+        "stream broken by outage"
+    );
     assert!(!state.borrow().replies.reset);
 }

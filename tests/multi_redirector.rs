@@ -51,7 +51,11 @@ fn build(seed: u64) -> Net {
     b.link(client_sw, rd_sw, LinkParams::default());
     b.link(client_ne, rd_ne, LinkParams::default());
     // Backbone between the ISPs.
-    b.link(rd_sw, rd_ne, LinkParams::new(100_000_000, SimDuration::from_millis(2)));
+    b.link(
+        rd_sw,
+        rd_ne,
+        LinkParams::new(100_000_000, SimDuration::from_millis(2)),
+    );
     // Each redirector reaches each host server directly.
     b.link(rd_sw, hs1, LinkParams::default());
     b.link(rd_ne, hs2, LinkParams::default());
@@ -137,7 +141,11 @@ fn failover_converges_on_both_redirectors() {
         service(),
         Box::new(StreamSenderApp::new(pb.clone(), false, rb.clone())),
     );
-    let crash_at = net.system.sim.now().saturating_add(SimDuration::from_millis(80));
+    let crash_at = net
+        .system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(80));
     net.system.sim.schedule_crash(net.hs1, crash_at);
     let deadline = SimTime::from_secs(240);
     let mut step = net.system.sim.now();
@@ -149,11 +157,23 @@ fn failover_converges_on_both_redirectors() {
         step = step.saturating_add(SimDuration::from_millis(50));
         net.system.sim.run_until(step);
     }
-    assert_eq!(ra.borrow().replies.data, pa, "southwest stream across fail-over");
-    assert_eq!(rb.borrow().replies.data, pb, "northeast stream across fail-over");
+    assert_eq!(
+        ra.borrow().replies.data,
+        pa,
+        "southwest stream across fail-over"
+    );
+    assert_eq!(
+        rb.borrow().replies.data,
+        pb,
+        "northeast stream across fail-over"
+    );
     for rd in [net.rd_sw, net.rd_ne] {
         assert_eq!(
-            net.system.redirector(rd).controller().chain(service()).unwrap(),
+            net.system
+                .redirector(rd)
+                .controller()
+                .chain(service())
+                .unwrap(),
             &[HS2],
             "redirector {rd:?} did not converge"
         );

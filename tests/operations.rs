@@ -84,7 +84,11 @@ fn graceful_primary_departure_promotes_backup() {
     rig.system.connect_client(
         rig.client,
         service(80),
-        Box::new(StreamSenderApp::new(payload.clone(), false, replies.clone())),
+        Box::new(StreamSenderApp::new(
+            payload.clone(),
+            false,
+            replies.clone(),
+        )),
     );
     rig.system.sim.run_for(SimDuration::from_millis(50));
     // The primary announces its departure, then (a moment later, having
@@ -95,7 +99,11 @@ fn graceful_primary_departure_promotes_backup() {
         .with_node_ctx::<HostServer, _>(hs1, |host, ctx| {
             host.deregister(ctx, service(80));
         });
-    let leave_at = rig.system.sim.now().saturating_add(SimDuration::from_millis(200));
+    let leave_at = rig
+        .system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(200));
     rig.system.sim.schedule_crash(rig.hs1, leave_at);
 
     let deadline = SimTime::from_secs(60);
@@ -115,7 +123,11 @@ fn graceful_primary_departure_promotes_backup() {
         "graceful leave stalled {stall} — should not need failure detection"
     );
     assert_eq!(
-        rig.system.redirector(rig.rd).controller().chain(service(80)).unwrap(),
+        rig.system
+            .redirector(rig.rd)
+            .controller()
+            .chain(service(80))
+            .unwrap(),
         &[HS2]
     );
 }
@@ -159,20 +171,26 @@ fn congested_backup_is_shed_then_recommissioned() {
         }
     }
     assert_eq!(
-        rig.system.redirector(rig.rd).controller().chain(service(80)).unwrap(),
+        rig.system
+            .redirector(rig.rd)
+            .controller()
+            .chain(service(80))
+            .unwrap(),
         &[HS1],
         "congested backup was not shed"
     );
     // Service resumes for the ongoing transfer: the client's own echo
     // stream completes (per-connection signal, immune to sink sharing).
     let mut step = rig.system.sim.now();
-    while rig.system.sim.now() < deadline
-        && sender.borrow().replies.data.len() < payload.len()
-    {
+    while rig.system.sim.now() < deadline && sender.borrow().replies.data.len() < payload.len() {
         step = step.saturating_add(SimDuration::from_millis(50));
         rig.system.sim.run_until(step);
     }
-    assert_eq!(sender.borrow().replies.data, payload, "service did not recover");
+    assert_eq!(
+        sender.borrow().replies.data,
+        payload,
+        "service did not recover"
+    );
 
     // Congestion clears; the operator re-commissions the backup.
     rig.system.sim.set_link_loss(backup_link, LossModel::None);
@@ -180,15 +198,28 @@ fn congested_backup_is_shed_then_recommissioned() {
     rig.system
         .sim
         .with_node_ctx::<HostServer, _>(hs2, |host, ctx| {
-            host.register_now(ctx, service(80), DetectorParams::new(4, SimDuration::from_secs(30)));
+            host.register_now(
+                ctx,
+                service(80),
+                DetectorParams::new(4, SimDuration::from_secs(30)),
+            );
         });
-    let rejoin_deadline = rig.system.sim.now().saturating_add(SimDuration::from_secs(5));
+    let rejoin_deadline = rig
+        .system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_secs(5));
     assert!(
-        rig.system.wait_for_chain(rig.rd, service(80), 2, rejoin_deadline),
+        rig.system
+            .wait_for_chain(rig.rd, service(80), 2, rejoin_deadline),
         "backup did not rejoin after congestion cleared"
     );
     assert_eq!(
-        rig.system.redirector(rig.rd).controller().chain(service(80)).unwrap(),
+        rig.system
+            .redirector(rig.rd)
+            .controller()
+            .chain(service(80))
+            .unwrap(),
         &[HS1, HS2]
     );
 
@@ -200,12 +231,19 @@ fn congested_backup_is_shed_then_recommissioned() {
     rig.system.connect_client(
         rig.client2,
         service(80),
-        Box::new(StreamSenderApp::new(payload2.clone(), false, replies2.clone())),
+        Box::new(StreamSenderApp::new(
+            payload2.clone(),
+            false,
+            replies2.clone(),
+        )),
     );
     let mut step = rig.system.sim.now();
-    let deadline2 = rig.system.sim.now().saturating_add(SimDuration::from_secs(60));
-    while rig.system.sim.now() < deadline2
-        && replies2.borrow().replies.data.len() < payload2.len()
+    let deadline2 = rig
+        .system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_secs(60));
+    while rig.system.sim.now() < deadline2 && replies2.borrow().replies.data.len() < payload2.len()
     {
         step = step.saturating_add(SimDuration::from_millis(20));
         rig.system.sim.run_until(step);
@@ -236,7 +274,11 @@ fn two_clients_share_a_failover() {
         service(80),
         Box::new(StreamSenderApp::new(p2.clone(), false, r2.clone())),
     );
-    let crash_at = rig.system.sim.now().saturating_add(SimDuration::from_millis(60));
+    let crash_at = rig
+        .system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(60));
     rig.system.sim.schedule_crash(rig.hs1, crash_at);
     let deadline = SimTime::from_secs(180);
     let mut step = rig.system.sim.now();
@@ -301,7 +343,10 @@ fn two_services_on_one_chain_fail_over_together() {
         service(8080),
         Box::new(StreamSenderApp::new(pb.clone(), false, rb.clone())),
     );
-    let crash_at = system.sim.now().saturating_add(SimDuration::from_millis(60));
+    let crash_at = system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(60));
     system.sim.schedule_crash(hs1, crash_at);
     let deadline = SimTime::from_secs(180);
     let mut step = system.sim.now();
@@ -316,11 +361,19 @@ fn two_services_on_one_chain_fail_over_together() {
     assert_eq!(ra.borrow().replies.data, pa, "service :80 stream");
     assert_eq!(rb.borrow().replies.data, pb, "service :8080 stream");
     assert_eq!(
-        system.redirector(rd).controller().chain(service(80)).unwrap(),
+        system
+            .redirector(rd)
+            .controller()
+            .chain(service(80))
+            .unwrap(),
         &[HS2]
     );
     assert_eq!(
-        system.redirector(rd).controller().chain(service(8080)).unwrap(),
+        system
+            .redirector(rd)
+            .controller()
+            .chain(service(8080))
+            .unwrap(),
         &[HS2]
     );
 }
