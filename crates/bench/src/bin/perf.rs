@@ -1,0 +1,463 @@
+//! Wall-clock performance of the multicast data path, measured in *real*
+//! time rather than simulated time, at two levels:
+//!
+//! 1. **End-to-end**: the fig4 `ttcp` scenario at chain lengths 1–4 —
+//!    events/sec (simulator events per wall-clock second) and receiver
+//!    goodput per wall-clock second. Dominated by event-queue and dispatch
+//!    overhead, so it bounds any *regression* from the buffer work more
+//!    than it exhibits the win.
+//! 2. **Redirector hot loop**: `RedirectorEngine::process` driven
+//!    directly, no simulator — packets/sec and forwarded payload bytes/sec
+//!    through the N-replica multicast path. This is where the paper's own
+//!    bottleneck lives (its Figure 6 measures redirector forwarding
+//!    overhead) and where per-replica encode/copy costs show up
+//!    undiluted.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf --save-baseline   # record crates/bench/data/perf_baseline.json
+//! perf                   # measure, pair with the saved baseline, write
+//!                        # BENCH_perf.json (before/after + ratios)
+//! perf --smoke           # quick CI variant (small transfer, one iteration)
+//! ```
+//!
+//! Every run prints a table; the default mode writes `BENCH_perf.json` in
+//! the current directory so the perf trajectory is recorded per PR.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use hydranet_bench::ablations::{build_star, service};
+use hydranet_bench::render_table;
+use hydranet_core::prelude::*;
+use hydranet_obs::json::{push_f64, push_string, push_u64};
+use hydranet_redirect::redirector::RedirectorEngine;
+use hydranet_redirect::table::ServiceEntry;
+use hydranet_tcp::segment::{TcpFlags, TcpSegment};
+use hydranet_tcp::seq::SeqNum;
+
+const SEED: u64 = 11;
+const CHAINS: [usize; 4] = [1, 2, 3, 4];
+/// Per-packet application payload in the hot-loop bench: a full MSS, the
+/// steady-state segment size of a bulk `ttcp` transfer.
+const RD_PAYLOAD: usize = 1460;
+
+/// One measured configuration (best-of-`iters` wall clock).
+#[derive(Debug, Clone)]
+struct PerfPoint {
+    chain: usize,
+    wall_secs: f64,
+    events: u64,
+    events_per_sec: f64,
+    goodput_wall_mbps: f64,
+    sim_throughput_kbps: f64,
+    completed: bool,
+}
+
+/// Measurement knobs (shrunk by `--smoke` for CI).
+#[derive(Debug, Clone, Copy)]
+struct PerfConfig {
+    total_bytes: usize,
+    rd_packets: usize,
+    iters: usize,
+}
+
+/// One measured hot-loop configuration (best-of-`iters` wall clock).
+#[derive(Debug, Clone)]
+struct RdPoint {
+    chain: usize,
+    wall_secs: f64,
+    packets: u64,
+    packets_per_sec: f64,
+    goodput_wall_mbps: f64,
+}
+
+/// Builds a redirector engine with an `n`-member fault-tolerant chain and
+/// pushes MSS-sized TCP packets through [`RedirectorEngine::process`],
+/// measuring the multicast fast path with no simulator around it.
+fn measure_redirector(chain: usize, cfg: PerfConfig) -> RdPoint {
+    use hydranet_netsim::node::IfaceId;
+    use hydranet_netsim::packet::{IpPacket, Protocol};
+    use hydranet_netsim::routing::Prefix;
+
+    let rd = IpAddr::new(10, 9, 0, 1);
+    let client = IpAddr::new(10, 0, 1, 1);
+    let svc = service();
+    let mut engine = RedirectorEngine::new(rd);
+    let mut hosts = Vec::new();
+    for i in 0..chain {
+        let host = IpAddr::new(10, 0, 2 + i as u8, 1);
+        engine
+            .routes_mut()
+            .add(Prefix::host(host), IfaceId::from_index(i));
+        hosts.push(host);
+    }
+    engine
+        .table_mut()
+        .install(svc, ServiceEntry::FaultTolerant { chain: hosts });
+
+    let seg = TcpSegment {
+        src_port: 40_000,
+        dst_port: svc.port,
+        seq: SeqNum::new(1),
+        ack: SeqNum::new(0),
+        flags: TcpFlags::ACK,
+        window: 65_000,
+        payload: vec![9u8; RD_PAYLOAD].into(),
+    };
+    let template = IpPacket::new(client, svc.addr, Protocol::TCP, seg.encode());
+
+    let packets = cfg.rd_packets as u64;
+    let mut best: Option<RdPoint> = None;
+    for _ in 0..cfg.iters {
+        let mut out = Vec::with_capacity(chain);
+        let started = Instant::now();
+        for _ in 0..packets {
+            out.clear();
+            let _ = engine.process(template.clone(), SimTime::ZERO, &mut out);
+            black_box(&out);
+        }
+        let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
+        let point = RdPoint {
+            chain,
+            wall_secs,
+            packets,
+            packets_per_sec: packets as f64 / wall_secs,
+            goodput_wall_mbps: (packets as usize * RD_PAYLOAD) as f64 / wall_secs / 1e6,
+        };
+        let better = best.as_ref().is_none_or(|b| point.wall_secs < b.wall_secs);
+        if better {
+            best = Some(point);
+        }
+    }
+    let best = best.expect("at least one iteration");
+    assert_eq!(
+        engine.stats().copies,
+        packets * chain as u64 * cfg.iters as u64,
+        "every packet must be multicast to the full chain"
+    );
+    best
+}
+
+fn measure_chain(chain: usize, cfg: PerfConfig) -> PerfPoint {
+    let mut best: Option<PerfPoint> = None;
+    for _ in 0..cfg.iters {
+        // Build + convergence excluded: the hot loop under test is the
+        // steady-state data path, not topology setup.
+        let mut star = build_star(chain, DetectorParams::DEFAULT, false, SEED);
+        let ttcp = TtcpConfig {
+            total_bytes: cfg.total_bytes,
+            write_size: 1024,
+            deadline: SimTime::from_secs(120),
+        };
+        let sink = star.sinks[0].clone();
+        let events_before = star.system.sim.stats().events_processed;
+        let started = Instant::now();
+        let result = run_ttcp(&mut star.system, star.client, service(), &sink, &ttcp);
+        let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
+        let events = star.system.sim.stats().events_processed - events_before;
+        let point = PerfPoint {
+            chain,
+            wall_secs,
+            events,
+            events_per_sec: events as f64 / wall_secs,
+            goodput_wall_mbps: result.bytes_received as f64 / wall_secs / 1e6,
+            sim_throughput_kbps: result.throughput_kbps,
+            completed: result.completed,
+        };
+        let better = best.as_ref().is_none_or(|b| point.wall_secs < b.wall_secs);
+        if better {
+            best = Some(point);
+        }
+    }
+    best.expect("at least one iteration")
+}
+
+// ----------------------------------------------------------------------
+// JSON (hand-rolled, no deps) — one point per line so the pairing step
+// can read a baseline back without a full parser.
+// ----------------------------------------------------------------------
+
+fn push_point(out: &mut String, p: &PerfPoint) {
+    out.push_str("    {\"chain\": ");
+    push_u64(out, p.chain as u64);
+    out.push_str(", \"wall_secs\": ");
+    push_f64(out, p.wall_secs);
+    out.push_str(", \"events\": ");
+    push_u64(out, p.events);
+    out.push_str(", \"events_per_sec\": ");
+    push_f64(out, p.events_per_sec);
+    out.push_str(", \"goodput_wall_mbps\": ");
+    push_f64(out, p.goodput_wall_mbps);
+    out.push_str(", \"sim_throughput_kbps\": ");
+    push_f64(out, p.sim_throughput_kbps);
+    out.push_str(", \"completed\": ");
+    out.push_str(if p.completed { "true" } else { "false" });
+    out.push('}');
+}
+
+fn push_rd_point(out: &mut String, p: &RdPoint) {
+    out.push_str("    {\"rd_chain\": ");
+    push_u64(out, p.chain as u64);
+    out.push_str(", \"wall_secs\": ");
+    push_f64(out, p.wall_secs);
+    out.push_str(", \"packets\": ");
+    push_u64(out, p.packets);
+    out.push_str(", \"packets_per_sec\": ");
+    push_f64(out, p.packets_per_sec);
+    out.push_str(", \"goodput_wall_mbps\": ");
+    push_f64(out, p.goodput_wall_mbps);
+    out.push('}');
+}
+
+fn run_json(label: &str, cfg: PerfConfig, points: &[PerfPoint], rd_points: &[RdPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"label\": ");
+    push_string(&mut out, label);
+    out.push_str(",\n  \"scenario\": ");
+    push_string(
+        &mut out,
+        "fig4 ttcp upstream end-to-end + redirector multicast hot loop, chain lengths 1-4",
+    );
+    out.push_str(",\n  \"total_bytes\": ");
+    push_u64(&mut out, cfg.total_bytes as u64);
+    out.push_str(",\n  \"rd_packets\": ");
+    push_u64(&mut out, cfg.rd_packets as u64);
+    out.push_str(",\n  \"iters\": ");
+    push_u64(&mut out, cfg.iters as u64);
+    out.push_str(",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        push_point(&mut out, p);
+        if i + 1 < points.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"redirector_mcast\": [\n");
+    for (i, p) in rd_points.iter().enumerate() {
+        push_rd_point(&mut out, p);
+        if i + 1 < rd_points.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
+/// Extracts `"key": <number>` from one JSON point line (the format written
+/// by [`push_point`] — this is a pairing convenience, not a JSON parser).
+fn extract_f64(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Reads `(chain, events_per_sec, goodput_wall_mbps)` triples back out of a
+/// previously written run document.
+fn baseline_points(doc: &str) -> Vec<(usize, f64, f64)> {
+    doc.lines()
+        .filter(|l| l.contains("\"chain\": ") && !l.contains("\"rd_chain\": "))
+        .filter_map(|l| {
+            Some((
+                extract_f64(l, "chain")? as usize,
+                extract_f64(l, "events_per_sec")?,
+                extract_f64(l, "goodput_wall_mbps")?,
+            ))
+        })
+        .collect()
+}
+
+/// Reads `(chain, packets_per_sec, goodput_wall_mbps)` triples for the
+/// redirector hot-loop section of a previously written run document.
+fn baseline_rd_points(doc: &str) -> Vec<(usize, f64, f64)> {
+    doc.lines()
+        .filter(|l| l.contains("\"rd_chain\": "))
+        .filter_map(|l| {
+            Some((
+                extract_f64(l, "rd_chain")? as usize,
+                extract_f64(l, "packets_per_sec")?,
+                extract_f64(l, "goodput_wall_mbps")?,
+            ))
+        })
+        .collect()
+}
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("data")
+        .join("perf_baseline.json")
+}
+
+fn print_rd_points(points: &[RdPoint]) {
+    let header = vec![
+        "chain".to_string(),
+        "wall (s)".to_string(),
+        "packets".to_string(),
+        "packets/sec".to_string(),
+        "goodput (MB/s wall)".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.chain.to_string(),
+                format!("{:.3}", p.wall_secs),
+                p.packets.to_string(),
+                format!("{:.0}", p.packets_per_sec),
+                format!("{:.2}", p.goodput_wall_mbps),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &rows));
+}
+
+fn print_points(points: &[PerfPoint]) {
+    let header = vec![
+        "chain".to_string(),
+        "wall (s)".to_string(),
+        "events".to_string(),
+        "events/sec".to_string(),
+        "goodput (MB/s wall)".to_string(),
+        "sim kB/s".to_string(),
+        "completed".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.chain.to_string(),
+                format!("{:.3}", p.wall_secs),
+                p.events.to_string(),
+                format!("{:.0}", p.events_per_sec),
+                format!("{:.2}", p.goodput_wall_mbps),
+                format!("{:.1}", p.sim_throughput_kbps),
+                p.completed.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &rows));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let save_baseline = args.iter().any(|a| a == "--save-baseline");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        PerfConfig {
+            total_bytes: 64 * 1024,
+            rd_packets: 5_000,
+            iters: 1,
+        }
+    } else {
+        PerfConfig {
+            total_bytes: 1024 * 1024,
+            rd_packets: 100_000,
+            iters: 5,
+        }
+    };
+
+    println!(
+        "HydraNet-FT reproduction — wall-clock perf (best of {})\n",
+        cfg.iters
+    );
+    println!(
+        "fig4 ttcp end-to-end ({} KiB transfer):",
+        cfg.total_bytes / 1024
+    );
+    let points: Vec<PerfPoint> = CHAINS.iter().map(|&n| measure_chain(n, cfg)).collect();
+    print_points(&points);
+    println!(
+        "\nredirector multicast hot loop ({} packets x {} B):",
+        cfg.rd_packets, RD_PAYLOAD
+    );
+    let rd_points: Vec<RdPoint> = CHAINS.iter().map(|&n| measure_redirector(n, cfg)).collect();
+    print_rd_points(&rd_points);
+
+    if save_baseline {
+        let path = baseline_path();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create baseline dir");
+        }
+        let doc = run_json("before (Vec<u8> copy path)", cfg, &points, &rd_points);
+        std::fs::write(&path, doc).expect("write baseline");
+        println!("baseline written to {}", path.display());
+        return;
+    }
+
+    // Pair with the recorded baseline (if any) and report ratios.
+    let after = run_json("after (PacketBuf zero-copy path)", cfg, &points, &rd_points);
+    let before = std::fs::read_to_string(baseline_path()).ok();
+    let mut out = String::new();
+    out.push_str("{\n\"bench\": \"perf\",\n\"before\": ");
+    match &before {
+        Some(doc) => out.push_str(doc),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\n\"after\": ");
+    out.push_str(&after);
+    out.push_str(",\n\"improvement\": ");
+    match &before {
+        Some(doc) => {
+            let base = baseline_points(doc);
+            let rd_base = baseline_rd_points(doc);
+            out.push_str("[\n");
+            let mut first = true;
+            println!("vs. baseline:");
+            for p in &points {
+                let Some(&(_, base_eps, base_goodput)) =
+                    base.iter().find(|(c, _, _)| *c == p.chain)
+                else {
+                    continue;
+                };
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                let eps_ratio = p.events_per_sec / base_eps;
+                let goodput_ratio = p.goodput_wall_mbps / base_goodput;
+                out.push_str("    {\"chain\": ");
+                push_u64(&mut out, p.chain as u64);
+                out.push_str(", \"events_per_sec_ratio\": ");
+                push_f64(&mut out, eps_ratio);
+                out.push_str(", \"goodput_ratio\": ");
+                push_f64(&mut out, goodput_ratio);
+                print!(
+                    "  chain {}: end-to-end events/sec x{:.2}, wall goodput x{:.2}",
+                    p.chain, eps_ratio, goodput_ratio
+                );
+                if let Some((rp, &(_, base_pps, base_rd_goodput))) = rd_points
+                    .iter()
+                    .find(|r| r.chain == p.chain)
+                    .zip(rd_base.iter().find(|(c, _, _)| *c == p.chain))
+                {
+                    let pps_ratio = rp.packets_per_sec / base_pps;
+                    let rd_goodput_ratio = rp.goodput_wall_mbps / base_rd_goodput;
+                    out.push_str(", \"redirector_packets_per_sec_ratio\": ");
+                    push_f64(&mut out, pps_ratio);
+                    out.push_str(", \"redirector_goodput_ratio\": ");
+                    push_f64(&mut out, rd_goodput_ratio);
+                    print!(
+                        "; redirector packets/sec x{pps_ratio:.2}, goodput x{rd_goodput_ratio:.2}"
+                    );
+                }
+                out.push('}');
+                println!();
+            }
+            out.push_str("\n  ]");
+        }
+        None => {
+            out.push_str("null");
+            println!(
+                "(no baseline at {} — ratios omitted)",
+                baseline_path().display()
+            );
+        }
+    }
+    out.push_str("\n}\n");
+    std::fs::write("BENCH_perf.json", &out).expect("write BENCH_perf.json");
+    println!("\nwritten to BENCH_perf.json");
+}

@@ -1,0 +1,83 @@
+//! Determinism guard for the zero-copy packet path.
+//!
+//! The shared-buffer refactor must not perturb event ordering: these
+//! fingerprints were captured on the pre-refactor `Vec<u8>` copy path and
+//! every number — fig4 throughput down to the f64 bit pattern, event
+//! counts, and the fail-over detect→promote latency in nanoseconds — must
+//! stay bit-identical afterwards. A mismatch means the refactor changed
+//! *behaviour*, not just speed.
+//!
+//! The fingerprint covers the interesting paths:
+//! - `Clean` (no redirection, plain TCP) — baseline encode/decode;
+//! - `PrimaryBackup` at write size 1480 — multicast + IP-in-IP tunnelling,
+//!   where encapsulation pushes packets over the 1500-byte MTU and forces
+//!   fragmentation/reassembly on the replica branches;
+//! - a primary crash — timer cancellation, crash-epoch filtering, and the
+//!   detector path feeding reconfiguration.
+
+use hydranet_bench::ablations::{build_star, service};
+use hydranet_bench::fig4::{run_point, Fig4Config, Fig4Params};
+use hydranet_core::prelude::*;
+
+const SEED: u64 = 21;
+
+/// fig4 `Clean` @ 512 B writes: plain TCP end-to-end, no redirector.
+const PINNED_CLEAN: &str = "clean tput=0x407350f1d241914f retx=0 completed=true";
+/// fig4 `PrimaryBackup` @ 1480 B writes: multicast + tunnel + fragmentation.
+const PINNED_PRIMARY_BACKUP: &str = "pb tput=0x40738040d73dfee1 retx=0 completed=true";
+/// Primary crash under load: detection latency and total event count.
+const PINNED_FAILOVER: &str = "failover detect_ns=401125600 events=3623 bytes=200000";
+
+fn fig4_fingerprint(config: Fig4Config, tag: &str, write_size: usize) -> String {
+    let p = run_point(config, write_size, &Fig4Params::default(), SEED);
+    format!(
+        "{tag} tput={:#018x} retx={} completed={}",
+        p.throughput_kbps.to_bits(),
+        p.retransmits,
+        p.completed
+    )
+}
+
+fn failover_fingerprint() -> String {
+    let detector = DetectorParams::new(4, SimDuration::from_secs(60));
+    let mut star = build_star(2, detector, false, SEED);
+    let total = 200_000usize;
+    let payload: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+    let state = shared(SenderState::default());
+    let app = StreamSenderApp::new(payload, false, state);
+    star.system
+        .connect_client(star.client, service(), Box::new(app));
+    let crash_at = star
+        .system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(50));
+    star.system.sim.schedule_crash(star.replicas[0], crash_at);
+    star.system.sim.run_until(SimTime::from_secs(30));
+    let detect_ns = star.system.detection_latency_nanos().unwrap_or(0);
+    let events = star.system.sim.stats().events_processed;
+    // After the fail-over the backup (now primary) must hold the stream.
+    let bytes: usize = star.sinks.iter().map(|s| s.borrow().len()).max().unwrap();
+    format!("failover detect_ns={detect_ns} events={events} bytes={bytes}")
+}
+
+#[test]
+fn fig4_clean_is_bit_identical() {
+    assert_eq!(
+        fig4_fingerprint(Fig4Config::Clean, "clean", 512),
+        PINNED_CLEAN
+    );
+}
+
+#[test]
+fn fig4_primary_backup_is_bit_identical() {
+    assert_eq!(
+        fig4_fingerprint(Fig4Config::PrimaryBackup, "pb", 1480),
+        PINNED_PRIMARY_BACKUP
+    );
+}
+
+#[test]
+fn failover_latency_is_bit_identical() {
+    assert_eq!(failover_fingerprint(), PINNED_FAILOVER);
+}

@@ -1,0 +1,328 @@
+//! A cheaply clonable, sliceable byte buffer — the zero-copy backbone of
+//! the packet path.
+//!
+//! [`PacketBuf`] is a hand-rolled, dependency-free take on the `bytes`
+//! crate's `Bytes`: a reference-counted backing store plus an offset/length
+//! view. `clone` and [`slice`](PacketBuf::slice) are O(1) and never touch
+//! the bytes, so the redirector can multicast one encoded packet to an
+//! N-replica daisy chain with a single payload copy in total, and decoders
+//! can hand out payload views without copying them out of the packet.
+//!
+//! Equality, ordering, and hashing are **content-based** (two buffers with
+//! the same visible bytes are equal regardless of backing store), so types
+//! embedding a `PacketBuf` behave exactly as they did with `Vec<u8>`.
+//!
+//! Determinism note: sharing is pure bookkeeping. The visible bytes of
+//! every buffer are identical to what the old copying path produced, so
+//! packet sizes — and therefore serialisation times, CPU costs, and event
+//! ordering — are bit-for-bit unchanged.
+//!
+//! # Examples
+//!
+//! ```
+//! use hydranet_netsim::buf::PacketBuf;
+//!
+//! let b = PacketBuf::from(vec![1u8, 2, 3, 4, 5]);
+//! let mid = b.slice(1..4);          // O(1): no bytes move
+//! assert_eq!(&mid[..], &[2, 3, 4]);
+//! assert!(PacketBuf::same_backing(&b, &mid));
+//!
+//! let tail = mid.slice(1..);        // slices of slices compose
+//! assert_eq!(&tail[..], &[3, 4]);
+//! ```
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::{Arc, OnceLock};
+
+/// A shared, immutable byte buffer with O(1) `clone` and `slice`.
+///
+/// See the [module docs](self) for the design rationale.
+#[derive(Clone)]
+pub struct PacketBuf {
+    /// Backing store, shared between every clone and slice of this buffer.
+    ///
+    /// `Arc<Vec<u8>>` rather than `Arc<[u8]>`: converting a `Vec` into an
+    /// `Arc<[u8]>` must reallocate and copy (the refcounts precede the data
+    /// in the same allocation), while `Arc::new(vec)` just moves the Vec's
+    /// pointer — so `From<Vec<u8>>` stays copy-free.
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+/// All empty buffers share one backing store, so empty payloads (pure ACKs
+/// are the bulk of reverse-path traffic) never allocate.
+fn empty_backing() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
+}
+
+impl PacketBuf {
+    /// Creates an empty buffer (no allocation; all empties share a backing).
+    pub fn new() -> Self {
+        PacketBuf {
+            data: empty_backing(),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of visible bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer has no visible bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The visible bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+
+    /// Returns a view of a sub-range of this buffer — O(1), shares the
+    /// backing store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted, matching slice
+    /// indexing semantics.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> PacketBuf {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds for PacketBuf of {} bytes",
+            self.len
+        );
+        PacketBuf {
+            data: self.data.clone(),
+            off: self.off + start,
+            len: end - start,
+        }
+    }
+
+    /// Copies the visible bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Whether two buffers share one backing store (regardless of the
+    /// ranges they view). This is how tests prove a path is zero-copy.
+    pub fn same_backing(a: &PacketBuf, b: &PacketBuf) -> bool {
+        Arc::ptr_eq(&a.data, &b.data)
+    }
+}
+
+impl Default for PacketBuf {
+    fn default() -> Self {
+        PacketBuf::new()
+    }
+}
+
+impl Deref for PacketBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for PacketBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for PacketBuf {
+    /// Takes ownership of the Vec without copying its bytes.
+    fn from(v: Vec<u8>) -> Self {
+        if v.is_empty() {
+            return PacketBuf::new();
+        }
+        let len = v.len();
+        PacketBuf {
+            data: Arc::new(v),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for PacketBuf {
+    /// Copies the slice into a fresh buffer.
+    fn from(s: &[u8]) -> Self {
+        PacketBuf::from(s.to_vec())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for PacketBuf {
+    fn from(a: [u8; N]) -> Self {
+        PacketBuf::from(a.to_vec())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for PacketBuf {
+    fn from(a: &[u8; N]) -> Self {
+        PacketBuf::from(a.to_vec())
+    }
+}
+
+impl FromIterator<u8> for PacketBuf {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        PacketBuf::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+impl PartialEq for PacketBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PacketBuf {}
+
+impl PartialEq<[u8]> for PacketBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for PacketBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<PacketBuf> for Vec<u8> {
+    fn eq(&self, other: &PacketBuf) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Hash for PacketBuf {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hash like `[u8]`/`Vec<u8>` so content-equal buffers collide.
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for PacketBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Print like the Vec<u8> this replaced, so assertion diffs and
+        // derived Debug impls on packet types look unchanged.
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![1u8, 2, 3];
+        let ptr = v.as_ptr();
+        let b = PacketBuf::from(v);
+        assert_eq!(b.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn clone_and_slice_share_backing() {
+        let b = PacketBuf::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let c = b.clone();
+        let s = b.slice(2..6);
+        assert!(PacketBuf::same_backing(&b, &c));
+        assert!(PacketBuf::same_backing(&b, &s));
+        assert_eq!(&s[..], &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn slice_of_slice_composes() {
+        let b = PacketBuf::from((0u8..100).collect::<Vec<u8>>());
+        let s1 = b.slice(10..90);
+        let s2 = s1.slice(5..15);
+        assert_eq!(s2.as_slice(), (15u8..25).collect::<Vec<u8>>().as_slice());
+        assert!(PacketBuf::same_backing(&b, &s2));
+        // Range forms.
+        assert_eq!(s1.slice(..).len(), 80);
+        assert_eq!(s1.slice(..=4).as_slice(), &[10, 11, 12, 13, 14]);
+        assert_eq!(s1.slice(78..).as_slice(), &[88, 89]);
+    }
+
+    #[test]
+    fn empty_buffers_share_one_backing_and_compare_equal() {
+        let a = PacketBuf::new();
+        let b = PacketBuf::from(Vec::new());
+        let c = PacketBuf::default();
+        assert!(a.is_empty() && b.is_empty() && c.is_empty());
+        assert!(PacketBuf::same_backing(&a, &b));
+        assert!(PacketBuf::same_backing(&a, &c));
+        assert_eq!(a, b);
+        // An empty slice of a non-empty buffer is also empty and equal.
+        let d = PacketBuf::from(vec![1u8, 2, 3]).slice(3..3);
+        assert_eq!(a, d);
+    }
+
+    #[test]
+    fn equality_and_hash_are_content_based() {
+        let a = PacketBuf::from(vec![9u8, 8, 7]);
+        let b = PacketBuf::from(vec![0u8, 9, 8, 7, 0]).slice(1..4);
+        assert!(!PacketBuf::same_backing(&a, &b));
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_eq!(a, vec![9u8, 8, 7]);
+        assert_eq!(vec![9u8, 8, 7], a);
+        assert_eq!(a, *[9u8, 8, 7].as_slice());
+    }
+
+    #[test]
+    fn deref_gives_slice_methods() {
+        let b = PacketBuf::from(vec![1u8, 2, 3, 4]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b[0], 1);
+        assert_eq!(&b[1..3], &[2, 3]);
+        assert_eq!(b.iter().sum::<u8>(), 10);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn debug_formats_like_a_byte_slice() {
+        let b = PacketBuf::from(vec![1u8, 2]);
+        assert_eq!(format!("{b:?}"), "[1, 2]");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_slice_panics() {
+        let b = PacketBuf::from(vec![1u8, 2, 3]);
+        let _ = b.slice(1..5);
+    }
+
+    #[test]
+    fn from_array_and_iterator() {
+        assert_eq!(PacketBuf::from([1u8, 2, 3]).as_slice(), &[1, 2, 3]);
+        assert_eq!(PacketBuf::from(b"ab").as_slice(), b"ab");
+        let collected: PacketBuf = (0u8..4).collect();
+        assert_eq!(collected.as_slice(), &[0, 1, 2, 3]);
+    }
+}

@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use crate::buf::PacketBuf;
 use crate::packet::{FragInfo, IpAddr, IpPacket, IP_HEADER_LEN};
 use crate::time::{SimDuration, SimTime};
 
@@ -68,7 +69,9 @@ pub fn fragment_packet(packet: IpPacket, mtu: usize) -> Result<Vec<IpPacket>, Fr
         let last = end == payload.len();
         let mut frag = IpPacket {
             header: packet.header.clone(),
-            payload: payload[cursor..end].to_vec(),
+            // O(1) view into the original payload: fragmentation shares
+            // the backing store instead of copying each piece.
+            payload: payload.slice(cursor..end),
         };
         frag.header.frag = FragInfo {
             offset: base_offset + cursor as u32,
@@ -124,7 +127,9 @@ struct DatagramKey {
 #[derive(Debug)]
 struct PartialDatagram {
     /// Received `(offset, payload)` runs, kept sorted and non-overlapping.
-    runs: Vec<(u32, Vec<u8>)>,
+    /// Each run is a shared view of the fragment it arrived in; bytes are
+    /// copied exactly once, into the assembled datagram.
+    runs: Vec<(u32, PacketBuf)>,
     /// Total payload length, known once the final fragment arrives.
     total_len: Option<u32>,
     /// Header template from the first fragment seen.
@@ -134,7 +139,7 @@ struct PartialDatagram {
 }
 
 impl PartialDatagram {
-    fn insert(&mut self, offset: u32, payload: Vec<u8>) {
+    fn insert(&mut self, offset: u32, payload: PacketBuf) {
         // Drop exact duplicates; keep it simple for partial overlaps by
         // accepting the first copy of any byte (fragments in this simulator
         // are never partially overlapping because they come from one source).
@@ -144,8 +149,16 @@ impl PartialDatagram {
         }
     }
 
-    fn try_assemble(&self) -> Option<Vec<u8>> {
+    fn try_assemble(&self) -> Option<PacketBuf> {
         let total = self.total_len?;
+        // Single-run fast path: the whole datagram arrived in one piece,
+        // so its payload can be returned as-is without assembly.
+        if let [(0, payload)] = self.runs.as_slice() {
+            if payload.len() as u32 >= total {
+                return Some(payload.slice(..total as usize));
+            }
+            return None;
+        }
         let mut assembled = Vec::with_capacity(total as usize);
         let mut next = 0u32;
         for (offset, payload) in &self.runs {
@@ -167,7 +180,7 @@ impl PartialDatagram {
         }
         (next >= total).then(|| {
             assembled.truncate(total as usize);
-            assembled
+            assembled.into()
         })
     }
 }
@@ -182,7 +195,7 @@ impl PartialDatagram {
 /// use hydranet_netsim::time::SimTime;
 ///
 /// let mut p = IpPacket::new(IpAddr::new(1, 1, 1, 1), IpAddr::new(2, 2, 2, 2),
-///                           Protocol::UDP, (0..200u8).collect());
+///                           Protocol::UDP, (0..200u8).collect::<Vec<u8>>());
 /// p.header.id = 9;
 /// let mut r = Reassembler::new();
 /// let mut whole = None;
@@ -234,7 +247,7 @@ impl Reassembler {
             total_len: None,
             template: IpPacket {
                 header: packet.header.clone(),
-                payload: Vec::new(),
+                payload: PacketBuf::new(),
             },
             expires_at: now.saturating_add(self.timeout),
         });
@@ -276,7 +289,7 @@ mod tests {
             IpAddr::new(10, 0, 0, 1),
             IpAddr::new(10, 0, 0, 2),
             Protocol::UDP,
-            (0..len).map(|i| (i % 251) as u8).collect(),
+            (0..len).map(|i| (i % 251) as u8).collect::<Vec<u8>>(),
         );
         p.header.id = id;
         p

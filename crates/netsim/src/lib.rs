@@ -7,7 +7,8 @@
 //! The simulator models:
 //!
 //! - **Packets** ([`packet`]) with an IPv4-style 20-byte header, real byte
-//!   payloads, and IP-in-IP encapsulation support.
+//!   payloads held in cheaply shareable buffers ([`buf::PacketBuf`]), and
+//!   IP-in-IP encapsulation support.
 //! - **Links** ([`link`]) with bandwidth, propagation delay, MTU, drop-tail
 //!   queues, Bernoulli/Gilbert–Elliott loss, and scheduled outages.
 //! - **Fragmentation and reassembly** ([`frag`]) when packets exceed a
@@ -58,6 +59,7 @@
 
 mod event;
 
+pub mod buf;
 pub mod frag;
 pub mod link;
 pub mod node;
@@ -72,6 +74,7 @@ pub mod trace;
 
 /// Convenient glob-import of the types most simulations need.
 pub mod prelude {
+    pub use crate::buf::PacketBuf;
     pub use crate::frag::Reassembler;
     pub use crate::link::{LinkId, LinkParams, LossModel};
     pub use crate::node::{Context, IfaceId, Node, NodeId, NodeParams, TimerId, TimerToken};

@@ -9,6 +9,8 @@
 use std::fmt;
 use std::str::FromStr;
 
+use crate::buf::PacketBuf;
+
 /// An IPv4-style network address.
 ///
 /// # Examples
@@ -216,13 +218,19 @@ pub const DEFAULT_TTL: u8 = 64;
 pub struct IpPacket {
     /// The IP header.
     pub header: IpHeader,
-    /// Transport payload (or an encoded inner packet for IP-in-IP).
-    pub payload: Vec<u8>,
+    /// Transport payload (or an encoded inner packet for IP-in-IP), held in
+    /// a shared buffer so clones and decoded views never copy the bytes.
+    pub payload: PacketBuf,
 }
 
 impl IpPacket {
     /// Creates a packet with default TTL and no fragmentation.
-    pub fn new(src: IpAddr, dst: IpAddr, protocol: Protocol, payload: Vec<u8>) -> Self {
+    pub fn new(
+        src: IpAddr,
+        dst: IpAddr,
+        protocol: Protocol,
+        payload: impl Into<PacketBuf>,
+    ) -> Self {
         IpPacket {
             header: IpHeader {
                 src,
@@ -232,7 +240,7 @@ impl IpPacket {
                 id: 0,
                 frag: FragInfo::UNFRAGMENTED,
             },
-            payload,
+            payload: payload.into(),
         }
     }
 
@@ -270,7 +278,13 @@ impl IpPacket {
     ///
     /// Panics if the payload exceeds 65515 bytes (the length field is 16
     /// bits, as in real IPv4).
-    pub fn encode(&self) -> Vec<u8> {
+    pub fn encode(&self) -> PacketBuf {
+        self.encode_vec().into()
+    }
+
+    /// [`encode`](Self::encode) into a plain `Vec` (one header-plus-payload
+    /// write; the shared-buffer conversion above is free).
+    fn encode_vec(&self) -> Vec<u8> {
         let total = self.total_len();
         assert!(
             total <= u16::MAX as usize,
@@ -300,12 +314,40 @@ impl IpPacket {
 
     /// Parses a packet previously produced by [`encode`](Self::encode).
     ///
+    /// The decoded payload is an O(1) slice of `buf`'s backing store — no
+    /// bytes are copied. Use [`decode_slice`](Self::decode_slice) when only
+    /// a borrowed `&[u8]` is available.
+    ///
     /// # Errors
     ///
     /// Returns [`DecodeError`] if the buffer is shorter than a header, the
     /// version nibble is wrong, or the length field disagrees with the
     /// buffer.
-    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+    pub fn decode(buf: &PacketBuf) -> Result<Self, DecodeError> {
+        let (header, total_len) = Self::decode_header(buf)?;
+        Ok(IpPacket {
+            header,
+            payload: buf.slice(IP_HEADER_LEN..total_len),
+        })
+    }
+
+    /// Parses a packet from borrowed bytes, copying the payload into a
+    /// fresh buffer (the copying fallback to [`decode`](Self::decode)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`decode`](Self::decode).
+    pub fn decode_slice(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let (header, total_len) = Self::decode_header(bytes)?;
+        Ok(IpPacket {
+            header,
+            payload: PacketBuf::from(&bytes[IP_HEADER_LEN..total_len]),
+        })
+    }
+
+    /// Parses the 20-byte header, returning it with the validated total
+    /// length.
+    fn decode_header(bytes: &[u8]) -> Result<(IpHeader, usize), DecodeError> {
         if bytes.len() < IP_HEADER_LEN {
             return Err(DecodeError::Truncated {
                 needed: IP_HEADER_LEN,
@@ -333,9 +375,8 @@ impl IpPacket {
         let dst = IpAddr::from_bits(u32::from_be_bytes([
             bytes[16], bytes[17], bytes[18], bytes[19],
         ]));
-        let payload = bytes[IP_HEADER_LEN..total_len].to_vec();
-        Ok(IpPacket {
-            header: IpHeader {
+        Ok((
+            IpHeader {
                 src,
                 dst,
                 protocol,
@@ -347,8 +388,8 @@ impl IpPacket {
                     dont_fragment: flags & 0x02 != 0,
                 },
             },
-            payload,
-        })
+            total_len,
+        ))
     }
 }
 
@@ -457,6 +498,9 @@ mod tests {
         let bytes = p.encode();
         let q = IpPacket::decode(&bytes).unwrap();
         assert_eq!(p, q);
+        // The decoded payload is a view of the encoded buffer, not a copy.
+        assert!(crate::buf::PacketBuf::same_backing(&bytes, &q.payload));
+        assert_eq!(IpPacket::decode_slice(&bytes).unwrap(), p);
     }
 
     #[test]
@@ -473,28 +517,28 @@ mod tests {
 
     #[test]
     fn decode_rejects_truncated() {
-        let err = IpPacket::decode(&[0u8; 4]).unwrap_err();
+        let err = IpPacket::decode_slice(&[0u8; 4]).unwrap_err();
         assert!(matches!(err, DecodeError::Truncated { .. }));
     }
 
     #[test]
     fn decode_rejects_bad_version() {
-        let mut bytes = sample().encode();
+        let mut bytes = sample().encode().to_vec();
         bytes[0] = 0x60;
         assert!(matches!(
-            IpPacket::decode(&bytes),
+            IpPacket::decode_slice(&bytes),
             Err(DecodeError::BadVersion(0x60))
         ));
     }
 
     #[test]
     fn decode_rejects_bad_length() {
-        let mut bytes = sample().encode();
+        let mut bytes = sample().encode().to_vec();
         // Declare a length longer than the buffer.
         let huge = (bytes.len() as u32 + 100).to_be_bytes();
         bytes[4..8].copy_from_slice(&huge);
         assert!(matches!(
-            IpPacket::decode(&bytes),
+            IpPacket::decode_slice(&bytes),
             Err(DecodeError::BadLength { .. })
         ));
     }
@@ -577,7 +621,7 @@ mod prop_tests {
         for _ in 0..512 {
             let len = rng.range(0, 128) as usize;
             let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
-            let _ = IpPacket::decode(&bytes);
+            let _ = IpPacket::decode_slice(&bytes);
         }
     }
 }

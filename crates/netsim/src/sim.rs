@@ -7,7 +7,7 @@
 //! [`node`](Simulator::node).
 
 use std::any::Any;
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 use hydranet_obs::{kinds, Obs};
 
@@ -73,7 +73,11 @@ pub struct Simulator {
     now: SimTime,
     events: EventQueue,
     next_timer_id: u64,
-    cancelled_timers: HashSet<u64>,
+    /// Cancelled-but-not-yet-popped timer ids, keyed to the node that
+    /// cancelled them so a crash can purge its pending entries (otherwise
+    /// an id whose event the crash-epoch check discards would be retained
+    /// forever).
+    cancelled_timers: HashMap<u64, NodeId>,
     pub(crate) nodes: Vec<NodeSlot>,
     pub(crate) links: Vec<Link>,
     rng: SimRng,
@@ -100,7 +104,7 @@ impl Simulator {
             now: SimTime::ZERO,
             events: EventQueue::new(),
             next_timer_id: 0,
-            cancelled_timers: HashSet::new(),
+            cancelled_timers: HashMap::new(),
             nodes,
             links,
             rng: SimRng::seed_from(seed),
@@ -340,11 +344,11 @@ impl Simulator {
                 let slot = &self.nodes[node.index()];
                 if slot.crashed || slot.epoch != epoch {
                     self.trace
-                        .record(self.now, TracePoint::CrashDrop(node), summarize(&packet));
+                        .record_with(self.now, TracePoint::CrashDrop(node), || summarize(&packet));
                     return;
                 }
                 self.trace
-                    .record(self.now, TracePoint::Dispatch(node), summarize(&packet));
+                    .record_with(self.now, TracePoint::Dispatch(node), || summarize(&packet));
                 self.dispatch(node, |n, ctx| n.on_packet(ctx, IfaceId(iface), packet));
             }
             EventKind::LinkDequeue { link, dir, epoch } => {
@@ -356,7 +360,7 @@ impl Simulator {
                 token,
                 epoch,
             } => {
-                if self.cancelled_timers.remove(&id.0) {
+                if self.cancelled_timers.remove(&id.0).is_some() {
                     self.stats.timers_cancelled += 1;
                     return;
                 }
@@ -378,6 +382,10 @@ impl Simulator {
                     .as_mut()
                     .expect("node callback reentrancy")
                     .on_crash();
+                // The epoch bump already invalidates this node's pending
+                // timers, so its cancellation entries will never be
+                // consumed — drop them rather than leak the ids.
+                self.cancelled_timers.retain(|_, by| *by != node);
                 self.obs.event(
                     self.now.as_nanos(),
                     kinds::NODE_CRASHED,
@@ -476,7 +484,7 @@ impl Simulator {
                     );
                 }
                 Action::CancelTimer { id: tid } => {
-                    self.cancelled_timers.insert(tid.0);
+                    self.cancelled_timers.insert(tid.0, id);
                 }
             }
         }
@@ -487,7 +495,9 @@ impl Simulator {
         if !link.up {
             link.dirs[dir.index()].stats.dropped_down += 1;
             self.trace
-                .record(self.now, TracePoint::LinkDrop(link_id), summarize(&packet));
+                .record_with(self.now, TracePoint::LinkDrop(link_id), || {
+                    summarize(&packet)
+                });
             return;
         }
         let fragments = match fragment_packet(packet, link.params.mtu) {
@@ -503,12 +513,12 @@ impl Simulator {
             if state.queue.len() >= limit {
                 state.stats.dropped_queue += 1;
                 self.trace
-                    .record(self.now, TracePoint::LinkDrop(link_id), summarize(&frag));
+                    .record_with(self.now, TracePoint::LinkDrop(link_id), || summarize(&frag));
                 continue;
             }
             state.stats.enqueued += 1;
             self.trace
-                .record(self.now, TracePoint::Enqueue(link_id), summarize(&frag));
+                .record_with(self.now, TracePoint::Enqueue(link_id), || summarize(&frag));
             state.queue.push_back(frag);
             if !state.transmitting {
                 state.transmitting = true;
@@ -555,7 +565,9 @@ impl Simulator {
         if lost {
             state.stats.dropped_loss += 1;
             self.trace
-                .record(self.now, TracePoint::LinkDrop(link_id), summarize(&packet));
+                .record_with(self.now, TracePoint::LinkDrop(link_id), || {
+                    summarize(&packet)
+                });
             return;
         }
         state.stats.delivered += 1;
@@ -577,11 +589,11 @@ impl Simulator {
         if slot.crashed {
             slot.stats.dropped_crashed += 1;
             self.trace
-                .record(self.now, TracePoint::CrashDrop(node), summarize(&packet));
+                .record_with(self.now, TracePoint::CrashDrop(node), || summarize(&packet));
             return;
         }
         self.trace
-            .record(self.now, TracePoint::Arrival(node), summarize(&packet));
+            .record_with(self.now, TracePoint::Arrival(node), || summarize(&packet));
         let cost = slot.params.cost_for(packet.total_len());
         let start = self.now.max(slot.cpu_free_at);
         let done = start.saturating_add(cost);
@@ -846,6 +858,30 @@ mod tests {
         assert_eq!(sim.node::<TimerNode>(n).fired, vec![1, 3]);
         assert_eq!(sim.stats().timers_fired, 2);
         assert_eq!(sim.stats().timers_cancelled, 1);
+        assert!(sim.cancelled_timers.is_empty(), "cancellation id leaked");
+    }
+
+    #[test]
+    fn crash_purges_pending_cancellations() {
+        struct CancelThenCrash;
+        impl Node for CancelThenCrash {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let t = ctx.set_timer(SimDuration::from_secs(1), TimerToken(7));
+                ctx.cancel_timer(t);
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _iface: IfaceId, _p: IpPacket) {}
+        }
+        let mut t = TopologyBuilder::new();
+        let n = t.add_node(CancelThenCrash, NodeParams::INSTANT);
+        let mut sim = t.into_simulator(1);
+        // Crash before the cancelled timer's event pops: the epoch bump
+        // orphans the cancellation entry, which the crash must purge.
+        sim.schedule_crash(n, SimTime::from_millis(1));
+        sim.run_until(SimTime::from_millis(2));
+        assert_eq!(sim.cancelled_timers.len(), 0, "cancellation id leaked");
+        // The timer's event is still queued but must not fire.
+        sim.run_until_idle();
+        assert_eq!(sim.stats().timers_fired, 0);
     }
 
     #[test]

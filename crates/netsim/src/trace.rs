@@ -115,6 +115,20 @@ impl Trace {
     /// Records an entry if tracing is on, evicting the oldest entry when
     /// the ring is full.
     pub fn record(&mut self, time: SimTime, point: TracePoint, summary: impl Into<String>) {
+        self.record_with(time, point, || summary.into());
+    }
+
+    /// Like [`record`](Self::record), but builds the summary lazily —
+    /// `summary()` runs only when the entry will actually be retained.
+    ///
+    /// The simulator's hot path calls this per packet hop; with tracing off
+    /// (the default) no summary string is ever formatted or allocated.
+    pub fn record_with(
+        &mut self,
+        time: SimTime,
+        point: TracePoint,
+        summary: impl FnOnce() -> String,
+    ) {
         if !self.enabled || self.capacity == 0 {
             return;
         }
@@ -125,7 +139,7 @@ impl Trace {
         self.entries.push_back(TraceEntry {
             time,
             point,
-            summary: summary.into(),
+            summary: summary(),
         });
     }
 

@@ -19,7 +19,7 @@ use hydranet_obs::Obs;
 use hydranet_tcp::segment::SockAddr;
 
 use crate::table::RedirectorTable;
-use crate::tunnel::encapsulate;
+use crate::tunnel::encapsulate_buf;
 
 /// Counters kept by a redirector.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -62,6 +62,9 @@ pub struct RedirectorEngine {
     /// reassembled packets — the redirector is a middlebox with per-flow
     /// reassembly state, like any port-matching router.
     reassembler: Reassembler,
+    /// Reused per-packet scratch for resolved (egress, host) pairs, so the
+    /// multicast fast path allocates nothing after warm-up.
+    routed_scratch: Vec<(IfaceId, IpAddr)>,
     c_redirected: Counter,
     c_copies: Counter,
     c_forwarded: Counter,
@@ -76,6 +79,7 @@ impl RedirectorEngine {
             table: RedirectorTable::new(),
             stats: RedirectorStats::default(),
             reassembler: Reassembler::new(),
+            routed_scratch: Vec::new(),
             c_redirected: Counter::default(),
             c_copies: Counter::default(),
             c_forwarded: Counter::default(),
@@ -164,19 +168,42 @@ impl RedirectorEngine {
             if let Some(port) = peek_tcp_dst_port(&whole.payload) {
                 let sap = SockAddr::new(whole.dst(), port);
                 if let Some(entry) = self.table.lookup(sap) {
-                    let targets = entry.targets();
                     self.stats.redirected += 1;
                     self.c_redirected.inc();
-                    for host in targets {
-                        match self.routes.lookup(host) {
-                            Some(iface) => {
-                                self.stats.copies += 1;
-                                self.c_copies.inc();
-                                out.push((iface, encapsulate(&whole, self.addr, host)));
-                            }
-                            None => self.stats.dropped_no_route += 1,
+                    // Encode the inner packet ONCE; each tunnelled copy is
+                    // an O(1) handle onto the same bytes, and the last
+                    // routable chain member takes the buffer by move — a
+                    // singleton chain (the scaled-service case) costs zero
+                    // clones. `routed_scratch` is reused across packets so
+                    // the fast path does not allocate.
+                    let inner_id = whole.header.id;
+                    let mut routed = std::mem::take(&mut self.routed_scratch);
+                    routed.clear();
+                    let routes = &self.routes;
+                    let stats = &mut self.stats;
+                    entry.for_each_target(|host| match routes.lookup(host) {
+                        Some(iface) => routed.push((iface, host)),
+                        None => stats.dropped_no_route += 1,
+                    });
+                    if let Some((&(last_iface, last_host), rest)) = routed.split_last() {
+                        let encoded = whole.encode();
+                        for &(iface, host) in rest {
+                            self.stats.copies += 1;
+                            self.c_copies.inc();
+                            out.push((
+                                iface,
+                                encapsulate_buf(encoded.clone(), inner_id, self.addr, host),
+                            ));
                         }
+                        self.stats.copies += 1;
+                        self.c_copies.inc();
+                        out.push((
+                            last_iface,
+                            encapsulate_buf(encoded, inner_id, self.addr, last_host),
+                        ));
                     }
+                    routed.clear();
+                    self.routed_scratch = routed;
                     return Disposition::Handled;
                 }
             }
@@ -272,7 +299,7 @@ mod tests {
             ack: SeqNum::new(0),
             flags: TcpFlags::ACK,
             window: 1000,
-            payload: vec![9; payload_len],
+            payload: vec![9; payload_len].into(),
         };
         IpPacket::new(CLIENT, SERVICE, Protocol::TCP, seg.encode())
     }
@@ -316,6 +343,12 @@ mod tests {
             let inner = crate::tunnel::decapsulate(p).unwrap();
             assert_eq!(inner.dst(), SERVICE);
         }
+        // Zero-copy proof: every chain member's tunnel payload is a handle
+        // onto the SAME encoded bytes — the inner packet was encoded once.
+        assert!(hydranet_netsim::buf::PacketBuf::same_backing(
+            &out[0].1.payload,
+            &out[1].1.payload
+        ));
         assert_eq!(e.stats().redirected, 1);
         assert_eq!(e.stats().copies, 2);
     }

@@ -43,13 +43,28 @@ pub enum ServiceEntry {
 impl ServiceEntry {
     /// All host addresses a matching packet must be delivered to.
     pub fn targets(&self) -> Vec<IpAddr> {
+        let mut out = Vec::new();
+        self.for_each_target(|host| out.push(host));
+        out
+    }
+
+    /// Visits each host address a matching packet must be delivered to, in
+    /// delivery order — the allocation-free form of [`targets`] used on the
+    /// redirector's per-packet fast path.
+    ///
+    /// [`targets`]: Self::targets
+    pub fn for_each_target(&self, mut f: impl FnMut(IpAddr)) {
         match self {
-            ServiceEntry::Scaled { replicas } => replicas
-                .iter()
-                .min_by_key(|r| r.metric)
-                .map(|r| vec![r.host])
-                .unwrap_or_default(),
-            ServiceEntry::FaultTolerant { chain } => chain.clone(),
+            ServiceEntry::Scaled { replicas } => {
+                if let Some(r) = replicas.iter().min_by_key(|r| r.metric) {
+                    f(r.host);
+                }
+            }
+            ServiceEntry::FaultTolerant { chain } => {
+                for &host in chain {
+                    f(host);
+                }
+            }
         }
     }
 }

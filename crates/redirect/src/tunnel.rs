@@ -7,6 +7,7 @@
 //! (`hydranet_tcp::stack`); this module provides encapsulation and a
 //! decode helper.
 
+use hydranet_netsim::buf::PacketBuf;
 use hydranet_netsim::packet::{DecodeError, IpAddr, IpPacket, Protocol};
 
 /// Encapsulates `inner` for delivery to `host_server`, from `redirector`.
@@ -15,8 +16,24 @@ use hydranet_netsim::packet::{DecodeError, IpAddr, IpPacket, Protocol};
 /// service's destination address), so the host server's virtual-host
 /// matching works unchanged.
 pub fn encapsulate(inner: &IpPacket, redirector: IpAddr, host_server: IpAddr) -> IpPacket {
-    let mut outer = IpPacket::new(redirector, host_server, Protocol::IP_IN_IP, inner.encode());
-    outer.header.id = inner.header.id;
+    encapsulate_buf(inner.encode(), inner.header.id, redirector, host_server)
+}
+
+/// Encapsulates an *already-encoded* inner packet — the zero-copy fast
+/// path. The buffer becomes the outer payload as-is: no re-encode, no
+/// copy. The redirector's multicast loop encodes the inner packet once and
+/// hands each chain member a cheap clone of the same buffer.
+///
+/// `inner_id` is the inner packet's IP identification field, propagated to
+/// the outer header so fragment correlation survives tunnelling.
+pub fn encapsulate_buf(
+    inner_encoded: PacketBuf,
+    inner_id: u16,
+    redirector: IpAddr,
+    host_server: IpAddr,
+) -> IpPacket {
+    let mut outer = IpPacket::new(redirector, host_server, Protocol::IP_IN_IP, inner_encoded);
+    outer.header.id = inner_id;
     outer
 }
 
@@ -54,6 +71,31 @@ mod tests {
         assert_eq!(outer.dst(), IpAddr::new(10, 0, 2, 1));
         assert_eq!(outer.total_len(), inner.total_len() + TUNNEL_OVERHEAD);
         assert_eq!(decapsulate(&outer).unwrap(), inner);
+    }
+
+    #[test]
+    fn encap_buf_is_zero_copy_and_decap_is_a_view() {
+        let inner = IpPacket::new(
+            IpAddr::new(10, 0, 1, 1),
+            IpAddr::new(192, 20, 225, 20),
+            Protocol::TCP,
+            vec![5u8; 64],
+        );
+        let encoded = inner.encode();
+        let outer = encapsulate_buf(
+            encoded.clone(),
+            inner.header.id,
+            IpAddr::new(10, 9, 9, 9),
+            IpAddr::new(10, 0, 2, 1),
+        );
+        // The outer payload IS the encoded buffer — no copy on encap.
+        assert!(PacketBuf::same_backing(&encoded, &outer.payload));
+        assert_eq!(outer.header.id, inner.header.id);
+        // Decapsulation slices the outer payload in place — no copy there
+        // either, two levels deep into the original encode.
+        let back = decapsulate(&outer).unwrap();
+        assert_eq!(back, inner);
+        assert!(PacketBuf::same_backing(&encoded, &back.payload));
     }
 
     #[test]

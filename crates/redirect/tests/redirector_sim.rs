@@ -49,7 +49,7 @@ impl Node for OneShot {
             ack: SeqNum::new(0),
             flags: TcpFlags::ACK,
             window: 100,
-            payload: vec![7u8; self.payload_len],
+            payload: vec![7u8; self.payload_len].into(),
         };
         let p = IpPacket::new(CLIENT, SERVICE, Protocol::TCP, seg.encode());
         ctx.send(IfaceId::from_index(0), p);

@@ -1,0 +1,218 @@
+//! Property tests for the zero-copy packet path.
+//!
+//! Driven by the in-tree deterministic [`SimRng`] (no external proptest
+//! dependency): hundreds of randomized payloads are pushed through the full
+//! pipeline — TCP encode → IP encode → fragmentation → reassembly → tunnel
+//! encap/decap → TCP decode — and every intermediate is checked against the
+//! old `Vec<u8>` copying semantics (byte equality) while the zero-copy
+//! invariants (`same_backing`) prove no bytes actually moved.
+
+use hydranet_netsim::buf::PacketBuf;
+use hydranet_netsim::frag::{fragment_packet, Reassembler};
+use hydranet_netsim::packet::{IpAddr, IpPacket, Protocol, IP_HEADER_LEN};
+use hydranet_netsim::rng::SimRng;
+use hydranet_netsim::time::SimTime;
+use hydranet_redirect::tunnel::{decapsulate, encapsulate, encapsulate_buf, TUNNEL_OVERHEAD};
+use hydranet_tcp::segment::{TcpFlags, TcpSegment, TCP_HEADER_LEN};
+use hydranet_tcp::seq::SeqNum;
+
+const CLIENT: IpAddr = IpAddr::new(10, 0, 1, 1);
+const SERVICE: IpAddr = IpAddr::new(192, 20, 225, 20);
+const REDIRECTOR: IpAddr = IpAddr::new(10, 9, 0, 1);
+const HOST: IpAddr = IpAddr::new(10, 0, 2, 1);
+
+/// A random payload whose length distribution covers the interesting
+/// boundaries: empty, tiny, around one MTU, and multi-fragment.
+fn random_payload(rng: &mut SimRng) -> Vec<u8> {
+    let len = match rng.range(0, 4) {
+        0 => 0,
+        1 => rng.range(1, 64) as usize,
+        2 => rng.range(1400, 1600) as usize,
+        _ => rng.range(3000, 6000) as usize,
+    };
+    (0..len).map(|_| rng.range(0, 256) as u8).collect()
+}
+
+fn random_segment(rng: &mut SimRng, payload: impl Into<PacketBuf>) -> TcpSegment {
+    TcpSegment {
+        src_port: rng.range(1024, 65536) as u16,
+        dst_port: rng.range(1, 1024) as u16,
+        seq: SeqNum::new(rng.next_u64() as u32),
+        ack: SeqNum::new(rng.next_u64() as u32),
+        flags: if rng.chance(0.5) {
+            TcpFlags::ACK
+        } else {
+            TcpFlags::SYN
+        },
+        window: rng.range(0, 65536) as u16,
+        payload: payload.into(),
+    }
+}
+
+/// encode → decode round-trips byte-identically AND the decoded payload is
+/// a view into the encoded buffer, not a copy.
+#[test]
+fn prop_segment_roundtrip_is_zero_copy() {
+    let mut rng = SimRng::seed_from(0xD00D);
+    for _ in 0..200 {
+        let bytes = random_payload(&mut rng);
+        let seg = random_segment(&mut rng, bytes.clone());
+        let wire = seg.encode();
+        assert_eq!(wire.len(), TCP_HEADER_LEN + bytes.len());
+        let back = TcpSegment::decode(&wire).expect("decode");
+        assert_eq!(back, seg);
+        // Old Vec semantics: payload bytes identical.
+        assert_eq!(back.payload, bytes);
+        // Zero-copy: non-empty payloads are slices of the wire buffer.
+        if !bytes.is_empty() {
+            assert!(PacketBuf::same_backing(&wire, &back.payload));
+        }
+        // decode_slice (the copying fallback) agrees with decode.
+        assert_eq!(TcpSegment::decode_slice(&wire).expect("slice"), back);
+    }
+}
+
+/// IP encode → fragment → reassemble → decode round-trips byte-identically
+/// for every (payload, mtu) pair, and single-fragment reassembly is O(1).
+#[test]
+fn prop_fragment_reassemble_roundtrip() {
+    let mut rng = SimRng::seed_from(0xF00D);
+    for i in 0..200 {
+        let bytes = random_payload(&mut rng);
+        let mut packet = IpPacket::new(CLIENT, SERVICE, Protocol::TCP, bytes.clone());
+        packet.header.id = i as u16;
+        let mtu = rng.range(100, 2000) as usize;
+        let frags = fragment_packet(packet.clone(), mtu).expect("fragment");
+        // Every fragment fits the MTU and slices the original payload
+        // without copying it.
+        let mut covered = 0usize;
+        for f in &frags {
+            assert!(f.total_len() <= mtu, "fragment exceeds mtu {mtu}");
+            covered += f.payload.len();
+            if !bytes.is_empty() && frags.len() > 1 {
+                assert!(PacketBuf::same_backing(&packet.payload, &f.payload));
+            }
+        }
+        assert_eq!(covered, bytes.len());
+        // Reassembly restores the exact original bytes.
+        let mut reasm = Reassembler::new();
+        let mut whole = None;
+        for f in frags {
+            if let Some(w) = reasm.push(SimTime::ZERO, f) {
+                whole = Some(w);
+            }
+        }
+        let whole = whole.expect("reassembled");
+        assert_eq!(whole.payload, bytes);
+        assert_eq!(whole.src(), CLIENT);
+        assert_eq!(whole.dst(), SERVICE);
+    }
+}
+
+/// The full pipeline: TCP encode → IP packet → tunnel encap → (fragment →
+/// reassemble) → decap → TCP decode, randomized. Visible bytes match the
+/// old copying semantics at every step; backing stores are shared wherever
+/// the path claims to be zero-copy.
+#[test]
+fn prop_full_pipeline_roundtrip() {
+    let mut rng = SimRng::seed_from(0xBEEF);
+    for i in 0..100 {
+        let bytes = random_payload(&mut rng);
+        let seg = random_segment(&mut rng, bytes.clone());
+        let mut inner = IpPacket::new(CLIENT, SERVICE, Protocol::TCP, seg.encode());
+        inner.header.id = i as u16;
+
+        // Encap via the zero-copy fast path, exactly as the redirector does.
+        let encoded = inner.encode();
+        let outer = encapsulate_buf(encoded.clone(), inner.header.id, REDIRECTOR, HOST);
+        assert!(PacketBuf::same_backing(&encoded, &outer.payload));
+        assert_eq!(outer.total_len(), inner.total_len() + TUNNEL_OVERHEAD);
+        // The convenience wrapper produces identical bytes.
+        assert_eq!(encapsulate(&inner, REDIRECTOR, HOST), outer);
+
+        // Maybe the tunnel link fragments the outer packet.
+        let arrived = if rng.chance(0.5) {
+            let mtu = rng.range(200, 1600) as usize;
+            let frags = fragment_packet(outer.clone(), mtu).expect("fragment outer");
+            let mut reasm = Reassembler::new();
+            let mut whole = None;
+            for f in frags {
+                if let Some(w) = reasm.push(SimTime::ZERO, f) {
+                    whole = Some(w);
+                }
+            }
+            whole.expect("reassembled outer")
+        } else {
+            outer
+        };
+
+        let back_inner = decapsulate(&arrived).expect("decap");
+        assert_eq!(back_inner, inner);
+        let back_seg = TcpSegment::decode(&back_inner.payload).expect("tcp decode");
+        assert_eq!(back_seg, seg);
+        assert_eq!(back_seg.payload, bytes);
+    }
+}
+
+/// Slice-of-slice views survive the pipeline: a segment whose payload is a
+/// sub-slice of a larger shared buffer encodes/decodes exactly like a
+/// freshly-allocated copy of those bytes.
+#[test]
+fn prop_slice_of_slice_payloads() {
+    let mut rng = SimRng::seed_from(0xCAFE);
+    for _ in 0..100 {
+        let big: PacketBuf = (0..4096).map(|_| rng.range(0, 256) as u8).collect();
+        let a = rng.range(0, 4096) as usize;
+        let b = rng.range(a as u64, 4096) as usize;
+        let view = big.slice(a..b);
+        // Slice deeper once more when there is room.
+        let view = if view.len() >= 2 {
+            view.slice(1..view.len() - 1)
+        } else {
+            view
+        };
+        assert!(PacketBuf::same_backing(&big, &view));
+        let expected = view.to_vec();
+
+        let seg = random_segment(&mut rng, view);
+        let wire = seg.encode();
+        let back = TcpSegment::decode(&wire).expect("decode");
+        assert_eq!(back.payload, expected);
+
+        let packet = IpPacket::new(CLIENT, SERVICE, Protocol::TCP, wire);
+        let ip_wire = packet.encode();
+        let back_packet = IpPacket::decode(&ip_wire).expect("ip decode");
+        assert_eq!(back_packet, packet);
+        assert_eq!(
+            back_packet.payload.to_vec(),
+            packet.encode().slice(IP_HEADER_LEN..).to_vec()
+        );
+    }
+}
+
+/// Empty payloads (pure ACKs — the bulk of reverse-path traffic) never
+/// allocate and round-trip through every layer.
+#[test]
+fn prop_empty_payload_edge_cases() {
+    let mut rng = SimRng::seed_from(0xACED);
+    for _ in 0..50 {
+        let seg = random_segment(&mut rng, PacketBuf::new());
+        assert!(PacketBuf::same_backing(&seg.payload, &PacketBuf::new()));
+        let wire = seg.encode();
+        assert_eq!(wire.len(), TCP_HEADER_LEN);
+        let back = TcpSegment::decode(&wire).expect("decode");
+        assert_eq!(back, seg);
+        assert!(back.payload.is_empty());
+
+        // An IP packet with a completely empty payload survives encap/decap.
+        let inner = IpPacket::new(CLIENT, SERVICE, Protocol::TCP, PacketBuf::new());
+        let outer = encapsulate(&inner, REDIRECTOR, HOST);
+        assert_eq!(outer.total_len(), IP_HEADER_LEN + TUNNEL_OVERHEAD);
+        assert_eq!(decapsulate(&outer).expect("decap"), inner);
+
+        // Fragmenting an empty-payload packet is a no-op single "fragment".
+        let frags = fragment_packet(inner.clone(), 1500).expect("fragment");
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0], inner);
+    }
+}

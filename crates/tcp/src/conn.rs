@@ -11,6 +11,7 @@
 //! are inert (`None`/cleared) for ordinary connections; the `ft` module and
 //! the stack manage them for connections on replicated ports.
 
+use hydranet_netsim::buf::PacketBuf;
 use hydranet_netsim::time::{SimDuration, SimTime};
 use hydranet_obs::metrics::{Counter, Histogram};
 use hydranet_obs::{kinds, Obs};
@@ -255,7 +256,7 @@ impl Connection {
                 ack: SeqNum::new(0),
                 flags: TcpFlags::SYN,
                 window: conn.advertised_window(),
-                payload: Vec::new(),
+                payload: PacketBuf::new(),
             },
             now,
         );
@@ -654,7 +655,7 @@ impl Connection {
                         ..TcpFlags::default()
                     },
                     window: 0,
-                    payload: Vec::new(),
+                    payload: PacketBuf::new(),
                 },
                 now,
             );
@@ -1056,7 +1057,7 @@ impl Connection {
                 ack: self.rcv_nxt(),
                 flags: TcpFlags::ACK,
                 window: self.advertised_window(),
-                payload: Vec::new(),
+                payload: PacketBuf::new(),
             },
             now,
         );
@@ -1085,7 +1086,7 @@ impl Connection {
                         ack: SeqNum::new(0),
                         flags: TcpFlags::SYN,
                         window: self.advertised_window(),
-                        payload: Vec::new(),
+                        payload: PacketBuf::new(),
                     },
                     now,
                 );
@@ -1143,7 +1144,7 @@ impl Connection {
             if let Some(fin) = self.fin_seq {
                 if una.before_eq(fin) && !self.gate_blocks(fin) {
                     self.retransmit_count += 1;
-                    self.emit_data_segment(fin, Vec::new(), true, now);
+                    self.emit_data_segment(fin, PacketBuf::new(), true, now);
                 }
             }
             return;
@@ -1168,7 +1169,7 @@ impl Connection {
             .map(|f| f == una + payload.len() as u32 && !self.gate_blocks(f))
             .unwrap_or(false);
         self.retransmit_count += 1;
-        self.emit_data_segment(una, payload, fin_here, now);
+        self.emit_data_segment(una, payload.into(), fin_here, now);
     }
 
     fn send_window_probe(&mut self, now: SimTime) {
@@ -1185,7 +1186,7 @@ impl Connection {
             return;
         }
         let seq = self.snd.nxt;
-        self.emit_data_segment(seq, probe, false, now);
+        self.emit_data_segment(seq, probe.into(), false, now);
         self.snd.nxt = seq + 1;
         self.arm_rto(now);
         self.persist_deadline = Some(now + self.rtt.rto());
@@ -1259,7 +1260,7 @@ impl Connection {
                 break;
             }
 
-            let payload = self.sendbuf.slice(self.snd.nxt, len);
+            let payload: PacketBuf = self.sendbuf.slice(self.snd.nxt, len).into();
             debug_assert_eq!(payload.len(), len);
             let seq = self.snd.nxt;
             let is_retransmission = self.recover.is_some_and(|r| seq.before(r));
@@ -1308,13 +1309,13 @@ impl Connection {
                 ack: self.rcv_nxt(),
                 flags: TcpFlags::SYN_ACK,
                 window: self.advertised_window(),
-                payload: Vec::new(),
+                payload: PacketBuf::new(),
             },
             now,
         );
     }
 
-    fn emit_data_segment(&mut self, seq: SeqNum, payload: Vec<u8>, fin: bool, now: SimTime) {
+    fn emit_data_segment(&mut self, seq: SeqNum, payload: PacketBuf, fin: bool, now: SimTime) {
         self.bytes_sent += payload.len() as u64;
         let psh = !payload.is_empty();
         self.delack_deadline = None; // this segment carries our ACK
@@ -1348,7 +1349,7 @@ impl Connection {
                 ack: self.rcv_nxt(),
                 flags: TcpFlags::ACK,
                 window: self.advertised_window(),
-                payload: Vec::new(),
+                payload: PacketBuf::new(),
             },
             now,
         );
@@ -1841,7 +1842,7 @@ mod tests {
                 ..TcpFlags::default()
             },
             window: 65535,
-            payload: b"payload!".to_vec(),
+            payload: b"payload!".to_vec().into(),
         };
         let now = p.now;
         p.server().on_segment(dup.clone(), now);

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use hydranet_netsim::buf::PacketBuf;
 use hydranet_netsim::packet::{DecodeError, IpAddr};
 
 use crate::seq::SeqNum;
@@ -178,7 +179,7 @@ impl fmt::Display for TcpFlags {
 ///     ack: SeqNum::new(0),
 ///     flags: TcpFlags::SYN,
 ///     window: 65535,
-///     payload: Vec::new(),
+///     payload: Default::default(),
 /// };
 /// let bytes = seg.encode();
 /// assert_eq!(TcpSegment::decode(&bytes)?, seg);
@@ -198,8 +199,9 @@ pub struct TcpSegment {
     pub flags: TcpFlags,
     /// Advertised receive window in bytes.
     pub window: u16,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes, held in a shared buffer: retransmission-queue clones
+    /// and decoded views all reference one copy.
+    pub payload: PacketBuf,
 }
 
 impl TcpSegment {
@@ -224,7 +226,10 @@ impl TcpSegment {
     /// Layout (big-endian, 20-byte header):
     /// `src_port (2) | dst_port (2) | seq (4) | ack (4) | flags (1) |
     ///  reserved (1) | window (2) | checksum (2) | payload_len (2)`.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// Header and payload are written into one contiguous buffer in a
+    /// single pass — the only payload copy on the transmit path.
+    pub fn encode(&self) -> PacketBuf {
         let mut out = Vec::with_capacity(self.wire_len());
         out.extend_from_slice(&self.src_port.to_be_bytes());
         out.extend_from_slice(&self.dst_port.to_be_bytes());
@@ -236,10 +241,15 @@ impl TcpSegment {
         out.extend_from_slice(&checksum(&self.payload).to_be_bytes());
         out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
         out.extend_from_slice(&self.payload);
-        out
+        out.into()
     }
 
     /// Parses a segment previously produced by [`encode`](Self::encode).
+    ///
+    /// The decoded payload is an O(1) slice of `buf`'s backing store — the
+    /// receive path hands the bytes to the connection without copying them
+    /// out of the packet. Use [`decode_slice`](Self::decode_slice) when
+    /// only a borrowed `&[u8]` is available.
     ///
     /// # Errors
     ///
@@ -247,7 +257,27 @@ impl TcpSegment {
     /// payload checksum mismatch (reported as `BadLength` with the checksum
     /// interpreted as corruption — corrupted segments must be dropped, not
     /// delivered).
-    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+    pub fn decode(buf: &PacketBuf) -> Result<Self, DecodeError> {
+        let (mut seg, payload_len, declared_sum) = Self::decode_header(buf)?;
+        seg.payload = buf.slice(TCP_HEADER_LEN..TCP_HEADER_LEN + payload_len);
+        Self::verify_checksum(seg, declared_sum)
+    }
+
+    /// Parses a segment from borrowed bytes, copying the payload into a
+    /// fresh buffer (the copying fallback to [`decode`](Self::decode)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`decode`](Self::decode).
+    pub fn decode_slice(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let (mut seg, payload_len, declared_sum) = Self::decode_header(bytes)?;
+        seg.payload = PacketBuf::from(&bytes[TCP_HEADER_LEN..TCP_HEADER_LEN + payload_len]);
+        Self::verify_checksum(seg, declared_sum)
+    }
+
+    /// Parses the 20-byte header, returning the segment (payload still
+    /// empty) plus the bounds-checked payload length and declared checksum.
+    fn decode_header(bytes: &[u8]) -> Result<(Self, usize, u16), DecodeError> {
         if bytes.len() < TCP_HEADER_LEN {
             return Err(DecodeError::Truncated {
                 needed: TCP_HEADER_LEN,
@@ -270,22 +300,31 @@ impl TcpSegment {
                 available: bytes.len(),
             });
         }
-        let payload = bytes[TCP_HEADER_LEN..TCP_HEADER_LEN + payload_len].to_vec();
-        if checksum(&payload) != declared_sum {
+        Ok((
+            TcpSegment {
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                flags,
+                window,
+                payload: PacketBuf::new(),
+            },
+            payload_len,
+            declared_sum,
+        ))
+    }
+
+    /// Validates the declared checksum against the attached payload.
+    fn verify_checksum(seg: TcpSegment, declared_sum: u16) -> Result<Self, DecodeError> {
+        let actual = checksum(&seg.payload);
+        if actual != declared_sum {
             return Err(DecodeError::BadLength {
                 declared: declared_sum as usize,
-                available: checksum(&payload) as usize,
+                available: actual as usize,
             });
         }
-        Ok(TcpSegment {
-            src_port,
-            dst_port,
-            seq,
-            ack,
-            flags,
-            window,
-            payload,
-        })
+        Ok(seg)
     }
 }
 
@@ -326,7 +365,7 @@ mod tests {
     use super::*;
     use hydranet_netsim::rng::SimRng;
 
-    fn sample(payload: Vec<u8>) -> TcpSegment {
+    fn sample(payload: impl Into<PacketBuf>) -> TcpSegment {
         TcpSegment {
             src_port: 40000,
             dst_port: 80,
@@ -340,7 +379,7 @@ mod tests {
                 psh: true,
             },
             window: 8192,
-            payload,
+            payload: payload.into(),
         }
     }
 
@@ -382,17 +421,17 @@ mod tests {
     fn decode_rejects_truncation() {
         let seg = sample(vec![9u8; 50]);
         let bytes = seg.encode();
-        assert!(TcpSegment::decode(&bytes[..10]).is_err());
-        assert!(TcpSegment::decode(&bytes[..TCP_HEADER_LEN + 10]).is_err());
+        assert!(TcpSegment::decode_slice(&bytes[..10]).is_err());
+        assert!(TcpSegment::decode_slice(&bytes[..TCP_HEADER_LEN + 10]).is_err());
     }
 
     #[test]
     fn decode_rejects_corrupted_payload() {
         let seg = sample(vec![7u8; 32]);
-        let mut bytes = seg.encode();
+        let mut bytes = seg.encode().to_vec();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
-        assert!(TcpSegment::decode(&bytes).is_err());
+        assert!(TcpSegment::decode_slice(&bytes).is_err());
     }
 
     #[test]
@@ -434,7 +473,10 @@ mod tests {
                 ack: SeqNum::new(rng.next_u64() as u32),
                 flags: TcpFlags::from_byte(rng.range(0, 32) as u8),
                 window: rng.next_u64() as u16,
-                payload: (0..len).map(|_| rng.next_u64() as u8).collect(),
+                payload: (0..len)
+                    .map(|_| rng.next_u64() as u8)
+                    .collect::<Vec<u8>>()
+                    .into(),
             };
             assert_eq!(TcpSegment::decode(&seg.encode()).unwrap(), seg);
         }
@@ -450,11 +492,11 @@ mod tests {
             let payload: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
             let bit = rng.range(0, 8);
             let seg = sample(payload);
-            let mut bytes = seg.encode();
+            let mut bytes = seg.encode().to_vec();
             // Flip one bit somewhere in the payload region.
             let idx = TCP_HEADER_LEN + (bytes.len() - TCP_HEADER_LEN) / 2;
             bytes[idx] ^= 1 << bit;
-            assert!(TcpSegment::decode(&bytes).is_err());
+            assert!(TcpSegment::decode_slice(&bytes).is_err());
         }
     }
 }

@@ -20,6 +20,7 @@
 
 use std::collections::BTreeMap;
 
+use hydranet_netsim::buf::PacketBuf;
 use hydranet_netsim::frag::Reassembler;
 use hydranet_netsim::packet::{IpAddr, IpPacket, Protocol};
 use hydranet_netsim::time::SimTime;
@@ -605,7 +606,7 @@ impl TcpStack {
                     ..TcpFlags::default()
                 },
                 window: 0,
-                payload: Vec::new(),
+                payload: PacketBuf::new(),
             };
             self.push_packet(
                 quad.local.addr,
@@ -793,7 +794,13 @@ impl TcpStack {
         self.conns.insert(quad, entry);
     }
 
-    fn push_packet(&mut self, src: IpAddr, dst: IpAddr, proto: Protocol, payload: Vec<u8>) {
+    fn push_packet(
+        &mut self,
+        src: IpAddr,
+        dst: IpAddr,
+        proto: Protocol,
+        payload: impl Into<PacketBuf>,
+    ) {
         let mut packet = IpPacket::new(src, dst, proto, payload);
         packet.header.id = self.ip_id;
         self.ip_id = self.ip_id.wrapping_add(1);

@@ -51,7 +51,7 @@ fn replicated_port_never_rsts_unknown_connections() {
             ack: SeqNum::new(2000),
             flags: TcpFlags::ACK,
             window: 1000,
-            payload: b"mid-stream".to_vec(),
+            payload: b"mid-stream".to_vec().into(),
         };
         let packet = hydranet_netsim::packet::IpPacket::new(
             A_ADDR,
