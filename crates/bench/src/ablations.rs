@@ -9,6 +9,8 @@
 use hydranet_core::prelude::*;
 use hydranet_netsim::link::LinkId;
 
+use crate::runner::{run_tasks, RunnerStats, Task};
+
 const CLIENT: IpAddr = IpAddr::new(10, 0, 1, 1);
 const RD: IpAddr = IpAddr::new(10, 9, 0, 1);
 const HS: [IpAddr; 4] = [
@@ -105,7 +107,7 @@ pub fn build_star(n_replicas: usize, detector: DetectorParams, echo: bool, seed:
 // --------------------------------------------------------------------
 
 /// One detector-threshold measurement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DetectorPoint {
     /// Retransmission threshold swept.
     pub threshold: u32,
@@ -120,84 +122,152 @@ pub struct DetectorPoint {
     pub false_reconfigurations: u64,
 }
 
+/// Workload knobs for the A1 sweep. The default reproduces the historical
+/// `detector_sweep` sizes; tests and the deterministic-equivalence guard
+/// use a scaled-down grid via [`DetectorSweepConfig::quick`].
+#[derive(Debug, Clone)]
+pub struct DetectorSweepConfig {
+    /// Bytes streamed in the crash run (a).
+    pub crash_payload: usize,
+    /// Deadline for detecting the crash in run (a).
+    pub crash_deadline: SimTime,
+    /// Bytes streamed in the lossy-but-healthy run (b).
+    pub lossy_payload: usize,
+    /// Simulated end time of run (b).
+    pub lossy_deadline: SimTime,
+    /// Bernoulli loss probability on the primary's branch in run (b).
+    pub loss_p: f64,
+}
+
+impl Default for DetectorSweepConfig {
+    fn default() -> Self {
+        DetectorSweepConfig {
+            crash_payload: 200_000,
+            crash_deadline: SimTime::from_secs(120),
+            lossy_payload: 400_000,
+            lossy_deadline: SimTime::from_secs(60),
+            loss_p: 0.03,
+        }
+    }
+}
+
+impl DetectorSweepConfig {
+    /// A scaled-down grid for fast tests (~4× smaller payloads).
+    pub fn quick() -> Self {
+        DetectorSweepConfig {
+            crash_payload: 60_000,
+            crash_deadline: SimTime::from_secs(60),
+            lossy_payload: 100_000,
+            lossy_deadline: SimTime::from_secs(20),
+            loss_p: 0.03,
+        }
+    }
+}
+
+/// One A1 grid cell: both measurement runs for a single threshold value.
+/// Pure function of `(threshold, cfg, seed)` — the unit of parallel work.
+pub fn detector_point(threshold: u32, cfg: &DetectorSweepConfig, seed: u64) -> DetectorPoint {
+    let detector = DetectorParams::new(threshold, SimDuration::from_secs(60));
+
+    // (a) real crash: measure reconfiguration latency.
+    let mut star = build_star(2, detector, false, seed);
+    let payload: Vec<u8> = (0..cfg.crash_payload).map(|i| (i % 251) as u8).collect();
+    let state = shared(SenderState::default());
+    let app = StreamSenderApp::new(payload, false, state);
+    star.system
+        .connect_client(star.client, service(), Box::new(app));
+    let crash_at = star
+        .system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(50));
+    star.system.sim.schedule_crash(star.replicas[0], crash_at);
+    let mut detection_latency = None;
+    while star.system.sim.now() < cfg.crash_deadline {
+        if star
+            .system
+            .redirector(star.rd)
+            .controller()
+            .reconfigurations()
+            > 0
+        {
+            detection_latency = Some(star.system.sim.now().duration_since(crash_at));
+            break;
+        }
+        let next = star
+            .system
+            .sim
+            .now()
+            .saturating_add(SimDuration::from_millis(10));
+        star.system.sim.run_until(next);
+    }
+
+    // (b) healthy but lossy: count spurious reconfigurations.
+    // The loss sits on the *primary's* branch: packets the backup
+    // received but the primary lost make the client retransmit,
+    // and those retransmissions are exactly the duplicates the
+    // backup's estimator counts — ordinary congestion loss looking
+    // like a failure (§4.3's false-positive risk).
+    let mut star = build_star(2, detector, false, seed + 1);
+    star.system.sim.set_link_loss(
+        star.replica_links[0],
+        LossModel::Bernoulli { p: cfg.loss_p },
+    );
+    let payload: Vec<u8> = (0..cfg.lossy_payload).map(|i| (i % 251) as u8).collect();
+    let state = shared(SenderState::default());
+    let app = StreamSenderApp::new(payload, false, state);
+    star.system
+        .connect_client(star.client, service(), Box::new(app));
+    star.system.sim.run_until(cfg.lossy_deadline);
+    let false_reports: u64 = star
+        .replicas
+        .iter()
+        .map(|&r| star.system.host_server(r).daemon().reports_sent())
+        .sum();
+    let false_reconfigurations = star
+        .system
+        .redirector(star.rd)
+        .controller()
+        .reconfigurations();
+
+    DetectorPoint {
+        threshold,
+        detection_latency,
+        false_reports,
+        false_reconfigurations,
+    }
+}
+
 /// A1: sweeps the detector threshold. For each value, measures (a) crash →
 /// reconfiguration latency, and (b) reconfigurations triggered by a healthy
-/// run over a 2 %-lossy client link (false positives).
+/// run over a lossy primary branch (false positives).
 pub fn detector_sweep(thresholds: &[u32], seed: u64) -> Vec<DetectorPoint> {
+    let cfg = DetectorSweepConfig::default();
     thresholds
         .iter()
-        .map(|&threshold| {
-            let detector = DetectorParams::new(threshold, SimDuration::from_secs(60));
-
-            // (a) real crash: measure reconfiguration latency.
-            let mut star = build_star(2, detector, false, seed);
-            let payload: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
-            let state = shared(SenderState::default());
-            let app = StreamSenderApp::new(payload, false, state);
-            star.system
-                .connect_client(star.client, service(), Box::new(app));
-            let crash_at = star
-                .system
-                .sim
-                .now()
-                .saturating_add(SimDuration::from_millis(50));
-            star.system.sim.schedule_crash(star.replicas[0], crash_at);
-            let deadline = SimTime::from_secs(120);
-            let mut detection_latency = None;
-            while star.system.sim.now() < deadline {
-                if star
-                    .system
-                    .redirector(star.rd)
-                    .controller()
-                    .reconfigurations()
-                    > 0
-                {
-                    detection_latency = Some(star.system.sim.now().duration_since(crash_at));
-                    break;
-                }
-                let next = star
-                    .system
-                    .sim
-                    .now()
-                    .saturating_add(SimDuration::from_millis(10));
-                star.system.sim.run_until(next);
-            }
-
-            // (b) healthy but lossy: count spurious reconfigurations.
-            // The loss sits on the *primary's* branch: packets the backup
-            // received but the primary lost make the client retransmit,
-            // and those retransmissions are exactly the duplicates the
-            // backup's estimator counts — ordinary congestion loss looking
-            // like a failure (§4.3's false-positive risk).
-            let mut star = build_star(2, detector, false, seed + 1);
-            star.system
-                .sim
-                .set_link_loss(star.replica_links[0], LossModel::Bernoulli { p: 0.03 });
-            let payload: Vec<u8> = (0..400_000).map(|i| (i % 251) as u8).collect();
-            let state = shared(SenderState::default());
-            let app = StreamSenderApp::new(payload, false, state);
-            star.system
-                .connect_client(star.client, service(), Box::new(app));
-            star.system.sim.run_until(SimTime::from_secs(60));
-            let false_reports: u64 = star
-                .replicas
-                .iter()
-                .map(|&r| star.system.host_server(r).daemon().reports_sent())
-                .sum();
-            let false_reconfigurations = star
-                .system
-                .redirector(star.rd)
-                .controller()
-                .reconfigurations();
-
-            DetectorPoint {
-                threshold,
-                detection_latency,
-                false_reports,
-                false_reconfigurations,
-            }
-        })
+        .map(|&threshold| detector_point(threshold, &cfg, seed))
         .collect()
+}
+
+/// [`detector_sweep`] fanned out across the experiment engine: each grid
+/// cell is an independent task, results come back in threshold order
+/// regardless of thread count.
+pub fn detector_sweep_threads(
+    thresholds: &[u32],
+    cfg: &DetectorSweepConfig,
+    seed: u64,
+    threads: usize,
+) -> (Vec<DetectorPoint>, RunnerStats) {
+    let tasks: Vec<Task<DetectorPoint>> = thresholds
+        .iter()
+        .map(|&threshold| {
+            let cfg = cfg.clone();
+            Task::new(format!("a1-threshold-{threshold}"), seed, move || {
+                detector_point(threshold, &cfg, seed)
+            })
+        })
+        .collect();
+    run_tasks(tasks, threads)
 }
 
 // --------------------------------------------------------------------
@@ -205,7 +275,7 @@ pub fn detector_sweep(thresholds: &[u32], seed: u64) -> Vec<DetectorPoint> {
 // --------------------------------------------------------------------
 
 /// One fail-over measurement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FailoverPoint {
     /// Scenario label.
     pub scenario: &'static str,
@@ -223,59 +293,87 @@ pub struct FailoverPoint {
     pub telemetry: String,
 }
 
+/// The A2 scenario grid: `(label, replica count, crash the primary?)`.
+pub const FAILOVER_SCENARIOS: [(&str, usize, bool); 3] = [
+    ("no failure (2 replicas)", 2, false),
+    ("primary crash (1 backup)", 2, true),
+    ("server crash (no backup)", 1, true),
+];
+
+/// One A2 scenario run. Pure function of its arguments — the unit of
+/// parallel work for [`failover_disruption_threads`].
+pub fn failover_point(
+    scenario: &'static str,
+    replicas: usize,
+    crash: bool,
+    total: usize,
+    seed: u64,
+) -> FailoverPoint {
+    let detector = DetectorParams::new(4, SimDuration::from_secs(60));
+    let payload: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+    let deadline = SimTime::from_secs(120);
+
+    let mut star = build_star(replicas, detector, true, seed);
+    let state = shared(SenderState::default());
+    let app = StreamSenderApp::new(payload, false, state.clone());
+    star.system
+        .connect_client(star.client, service(), Box::new(app));
+    if crash {
+        let at = star
+            .system
+            .sim
+            .now()
+            .saturating_add(SimDuration::from_millis(50));
+        star.system.sim.schedule_crash(star.replicas[0], at);
+    }
+    let mut step = star.system.sim.now();
+    while star.system.sim.now() < deadline {
+        if state.borrow().replies.data.len() >= total {
+            break;
+        }
+        step = step.saturating_add(SimDuration::from_millis(20));
+        star.system.sim.run_until(step);
+    }
+    let detection_latency = star
+        .system
+        .detection_latency_nanos()
+        .map(SimDuration::from_nanos);
+    let telemetry = star.system.telemetry_json(scenario);
+    let st = state.borrow();
+    FailoverPoint {
+        scenario,
+        completed: st.replies.data.len() >= total,
+        stall: st.replies.max_gap_duration(),
+        bytes: st.replies.data.len(),
+        detection_latency,
+        telemetry,
+    }
+}
+
 /// A2: measures client-visible disruption for (i) a baseline run without
 /// failure, (ii) a primary crash with one backup, and (iii) a primary crash
 /// with **no** backup (plain single server) — the paper's motivating
 /// disaster case.
 pub fn failover_disruption(seed: u64) -> Vec<FailoverPoint> {
-    let detector = DetectorParams::new(4, SimDuration::from_secs(60));
-    let total = 600_000usize;
-    let payload: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
-    let deadline = SimTime::from_secs(120);
-    let mut results = Vec::new();
+    FAILOVER_SCENARIOS
+        .iter()
+        .map(|&(scenario, replicas, crash)| {
+            failover_point(scenario, replicas, crash, 600_000, seed)
+        })
+        .collect()
+}
 
-    for (scenario, replicas, crash) in [
-        ("no failure (2 replicas)", 2usize, false),
-        ("primary crash (1 backup)", 2, true),
-        ("server crash (no backup)", 1, true),
-    ] {
-        let mut star = build_star(replicas, detector, true, seed);
-        let state = shared(SenderState::default());
-        let app = StreamSenderApp::new(payload.clone(), false, state.clone());
-        star.system
-            .connect_client(star.client, service(), Box::new(app));
-        if crash {
-            let at = star
-                .system
-                .sim
-                .now()
-                .saturating_add(SimDuration::from_millis(50));
-            star.system.sim.schedule_crash(star.replicas[0], at);
-        }
-        let mut step = star.system.sim.now();
-        while star.system.sim.now() < deadline {
-            if state.borrow().replies.data.len() >= total {
-                break;
-            }
-            step = step.saturating_add(SimDuration::from_millis(20));
-            star.system.sim.run_until(step);
-        }
-        let detection_latency = star
-            .system
-            .detection_latency_nanos()
-            .map(SimDuration::from_nanos);
-        let telemetry = star.system.telemetry_json(scenario);
-        let st = state.borrow();
-        results.push(FailoverPoint {
-            scenario,
-            completed: st.replies.data.len() >= total,
-            stall: st.replies.max_gap_duration(),
-            bytes: st.replies.data.len(),
-            detection_latency,
-            telemetry,
-        });
-    }
-    results
+/// [`failover_disruption`] fanned out across the experiment engine.
+pub fn failover_disruption_threads(seed: u64, threads: usize) -> (Vec<FailoverPoint>, RunnerStats) {
+    let tasks: Vec<Task<FailoverPoint>> = FAILOVER_SCENARIOS
+        .iter()
+        .map(|&(scenario, replicas, crash)| {
+            Task::new(format!("a2-{scenario}"), seed, move || {
+                failover_point(scenario, replicas, crash, 600_000, seed)
+            })
+        })
+        .collect();
+    run_tasks(tasks, threads)
 }
 
 // --------------------------------------------------------------------
@@ -283,7 +381,7 @@ pub fn failover_disruption(seed: u64) -> Vec<FailoverPoint> {
 // --------------------------------------------------------------------
 
 /// One chain-length measurement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChainPoint {
     /// Number of replicas (1 = sole primary).
     pub replicas: usize,
@@ -293,25 +391,39 @@ pub struct ChainPoint {
     pub completed: bool,
 }
 
+/// One A3 chain-length point: `ttcp` through an `n`-replica chain. Pure
+/// function of `(n, seed)` — the unit of parallel work.
+pub fn chain_point(n: usize, seed: u64) -> ChainPoint {
+    let mut star = build_star(n, DetectorParams::DEFAULT, false, seed);
+    let cfg = TtcpConfig {
+        total_bytes: 256 * 1024,
+        write_size: 1024,
+        deadline: SimTime::from_secs(120),
+    };
+    let sink = star.sinks[0].clone();
+    let result = run_ttcp(&mut star.system, star.client, service(), &sink, &cfg);
+    ChainPoint {
+        replicas: n,
+        throughput_kbps: result.throughput_kbps,
+        completed: result.completed,
+    }
+}
+
 /// A3: upstream `ttcp` throughput vs. number of chained replicas.
 pub fn chain_scaling(max_replicas: usize, seed: u64) -> Vec<ChainPoint> {
-    (1..=max_replicas)
-        .map(|n| {
-            let mut star = build_star(n, DetectorParams::DEFAULT, false, seed);
-            let cfg = TtcpConfig {
-                total_bytes: 256 * 1024,
-                write_size: 1024,
-                deadline: SimTime::from_secs(120),
-            };
-            let sink = star.sinks[0].clone();
-            let result = run_ttcp(&mut star.system, star.client, service(), &sink, &cfg);
-            ChainPoint {
-                replicas: n,
-                throughput_kbps: result.throughput_kbps,
-                completed: result.completed,
-            }
-        })
-        .collect()
+    (1..=max_replicas).map(|n| chain_point(n, seed)).collect()
+}
+
+/// [`chain_scaling`] fanned out across the experiment engine.
+pub fn chain_scaling_threads(
+    max_replicas: usize,
+    seed: u64,
+    threads: usize,
+) -> (Vec<ChainPoint>, RunnerStats) {
+    let tasks: Vec<Task<ChainPoint>> = (1..=max_replicas)
+        .map(|n| Task::new(format!("a3-chain-{n}"), seed, move || chain_point(n, seed)))
+        .collect();
+    run_tasks(tasks, threads)
 }
 
 // --------------------------------------------------------------------

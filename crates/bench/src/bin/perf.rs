@@ -13,24 +13,41 @@
 //!    overhead) and where per-replica encode/copy costs show up
 //!    undiluted.
 //!
+//! 3. **Event-calendar microbench**: timer-churn workloads driven straight
+//!    through `Simulator::run_until` — one with heavy pending
+//!    cancellations (tombstone pops), one that cancels only already-fired
+//!    timers (the historical `cancelled_timers` leak). Quantifies the
+//!    calendar fast path in events/sec.
+//! 4. **Parallel runner**: the seed-sweep workload at 1/2/4 threads —
+//!    aggregate events/sec and speedup through the experiment engine
+//!    (`hydranet_bench::runner`). Speedup is hardware-bound: on a 1-CPU
+//!    host it stays ~1.0x by construction.
+//!
 //! Usage:
 //!
 //! ```text
-//! perf --save-baseline   # record crates/bench/data/perf_baseline.json
-//! perf                   # measure, pair with the saved baseline, write
-//!                        # BENCH_perf.json (before/after + ratios)
-//! perf --smoke           # quick CI variant (small transfer, one iteration)
+//! perf --save-baseline     # record crates/bench/data/perf_baseline.json
+//! perf                     # measure, pair with the saved baseline, write
+//!                          # BENCH_perf.json (before/after + ratios)
+//! perf --smoke             # quick CI variant (small transfer, one iteration)
+//! perf --require-baseline  # fail (exit 1) instead of continuing without
+//!                          # a baseline file — CI uses this so a missing
+//!                          # baseline is loud, not silent
 //! ```
 //!
 //! Every run prints a table; the default mode writes `BENCH_perf.json` in
 //! the current directory so the perf trajectory is recorded per PR.
 
+use std::collections::VecDeque;
 use std::hint::black_box;
 use std::time::Instant;
 
 use hydranet_bench::ablations::{build_star, service};
 use hydranet_bench::render_table;
+use hydranet_bench::sweep::{run_seed_sweep, total_events, SweepConfig};
 use hydranet_core::prelude::*;
+use hydranet_netsim::node::{Context as NetCtx, IfaceId as NetIface, Node, TimerId, TimerToken};
+use hydranet_netsim::topology::TopologyBuilder;
 use hydranet_obs::json::{push_f64, push_string, push_u64};
 use hydranet_redirect::redirector::RedirectorEngine;
 use hydranet_redirect::table::ServiceEntry;
@@ -61,6 +78,10 @@ struct PerfConfig {
     total_bytes: usize,
     rd_packets: usize,
     iters: usize,
+    /// Timer fires per calendar-microbench run.
+    cal_fires: u64,
+    /// Seeds in the runner speedup workload.
+    runner_seeds: u64,
 }
 
 /// One measured hot-loop configuration (best-of-`iters` wall clock).
@@ -140,6 +161,180 @@ fn measure_redirector(chain: usize, cfg: PerfConfig) -> RdPoint {
     best
 }
 
+// ----------------------------------------------------------------------
+// Event-calendar microbench
+// ----------------------------------------------------------------------
+
+/// Which side of the calendar a churn run stresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChurnMode {
+    /// Every fire sets two timers and cancels one *before* it fires: the
+    /// calendar constantly pops tombstoned events, so the
+    /// `cancelled_timers` probe-and-remove path runs hot.
+    PendingCancel,
+    /// Every fire cancels a timer that *already fired*: semantically a
+    /// no-op, but historically each such cancel left a permanent entry in
+    /// `cancelled_timers` — the unbounded-growth case the pop-side purge
+    /// fixes.
+    StaleCancel,
+}
+
+impl ChurnMode {
+    fn name(self) -> &'static str {
+        match self {
+            ChurnMode::PendingCancel => "pending_cancel",
+            ChurnMode::StaleCancel => "stale_cancel",
+        }
+    }
+}
+
+/// A self-driving timer workload: a chain of short timers that reschedules
+/// itself `max_fires` times, plus mode-specific cancellation churn.
+struct TimerChurn {
+    mode: ChurnMode,
+    fires: u64,
+    max_fires: u64,
+    /// Ids this node has set, oldest first (the chain fires in set order,
+    /// so entries more than one step behind the tail have already fired).
+    history: VecDeque<TimerId>,
+}
+
+impl TimerChurn {
+    fn new(mode: ChurnMode, max_fires: u64) -> Self {
+        TimerChurn {
+            mode,
+            fires: 0,
+            max_fires,
+            history: VecDeque::new(),
+        }
+    }
+}
+
+impl Node for TimerChurn {
+    fn on_start(&mut self, ctx: &mut NetCtx<'_>) {
+        // A resting population of far-future timers gives the heap
+        // realistic depth under the churn.
+        for i in 0..1024u64 {
+            ctx.set_timer(SimDuration::from_millis(10_000 + i), TimerToken(u64::MAX));
+        }
+        let id = ctx.set_timer(SimDuration::from_micros(1), TimerToken(0));
+        self.history.push_back(id);
+    }
+
+    fn on_packet(
+        &mut self,
+        _ctx: &mut NetCtx<'_>,
+        _iface: NetIface,
+        _p: hydranet_netsim::packet::IpPacket,
+    ) {
+    }
+
+    fn on_timer(&mut self, ctx: &mut NetCtx<'_>, token: TimerToken) {
+        if token == TimerToken(u64::MAX) {
+            return; // resting-population timer draining at the end
+        }
+        self.fires += 1;
+        if self.fires >= self.max_fires {
+            return;
+        }
+        match self.mode {
+            ChurnMode::PendingCancel => {
+                let _keep = ctx.set_timer(SimDuration::from_micros(1), TimerToken(0));
+                let doomed = ctx.set_timer(SimDuration::from_micros(2), TimerToken(1));
+                ctx.cancel_timer(doomed);
+            }
+            ChurnMode::StaleCancel => {
+                let id = ctx.set_timer(SimDuration::from_micros(1), TimerToken(0));
+                self.history.push_back(id);
+                // Everything more than a few entries behind the tail fired
+                // long ago; cancelling it is a no-op — or a leak.
+                if self.history.len() > 4 {
+                    let old = self.history.pop_front().expect("history non-empty");
+                    ctx.cancel_timer(old);
+                }
+            }
+        }
+    }
+}
+
+/// One measured calendar workload (best-of-`iters` wall clock).
+#[derive(Debug, Clone)]
+struct CalPoint {
+    name: &'static str,
+    wall_secs: f64,
+    events: u64,
+    events_per_sec: f64,
+}
+
+fn measure_calendar(mode: ChurnMode, cfg: PerfConfig) -> CalPoint {
+    let mut best: Option<CalPoint> = None;
+    for _ in 0..cfg.iters {
+        let mut t = TopologyBuilder::new();
+        t.add_node(TimerChurn::new(mode, cfg.cal_fires), NodeParams::INSTANT);
+        let mut sim = t.into_simulator(SEED);
+        let started = Instant::now();
+        sim.run_until(SimTime::from_secs(3_600));
+        let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
+        let events = sim.stats().events_processed;
+        assert!(
+            sim.stats().timers_fired >= cfg.cal_fires,
+            "churn chain ended early: {} fires",
+            sim.stats().timers_fired
+        );
+        let point = CalPoint {
+            name: mode.name(),
+            wall_secs,
+            events,
+            events_per_sec: events as f64 / wall_secs,
+        };
+        let better = best.as_ref().is_none_or(|b| point.wall_secs < b.wall_secs);
+        if better {
+            best = Some(point);
+        }
+    }
+    best.expect("at least one iteration")
+}
+
+// ----------------------------------------------------------------------
+// Parallel runner speedup
+// ----------------------------------------------------------------------
+
+/// One measured runner configuration.
+#[derive(Debug, Clone)]
+struct RunnerPoint {
+    threads: usize,
+    wall_secs: f64,
+    events: u64,
+    events_per_sec: f64,
+    speedup_vs_1: f64,
+}
+
+fn measure_runner(cfg: PerfConfig) -> Vec<RunnerPoint> {
+    let sweep_cfg = SweepConfig {
+        seeds: cfg.runner_seeds,
+        crash_payload: 60_000,
+        lossy_payload: 60_000,
+        lossy_deadline: SimTime::from_secs(15),
+        ..SweepConfig::default()
+    };
+    let mut points = Vec::new();
+    let mut base_wall = None;
+    for threads in [1usize, 2, 4] {
+        let (outcomes, stats) = run_seed_sweep(&sweep_cfg, threads);
+        let events = total_events(&outcomes);
+        let wall_secs = (stats.wall_nanos as f64 / 1e9).max(1e-9);
+        let base = *base_wall.get_or_insert(wall_secs);
+        points.push(RunnerPoint {
+            threads,
+            wall_secs,
+            events,
+            events_per_sec: events as f64 / wall_secs,
+            speedup_vs_1: base / wall_secs,
+        });
+    }
+    points
+}
+
 fn measure_chain(chain: usize, cfg: PerfConfig) -> PerfPoint {
     let mut best: Option<PerfPoint> = None;
     for _ in 0..cfg.iters {
@@ -211,7 +406,40 @@ fn push_rd_point(out: &mut String, p: &RdPoint) {
     out.push('}');
 }
 
-fn run_json(label: &str, cfg: PerfConfig, points: &[PerfPoint], rd_points: &[RdPoint]) -> String {
+fn push_cal_point(out: &mut String, p: &CalPoint) {
+    out.push_str("    {\"calendar\": ");
+    push_string(out, p.name);
+    out.push_str(", \"wall_secs\": ");
+    push_f64(out, p.wall_secs);
+    out.push_str(", \"events\": ");
+    push_u64(out, p.events);
+    out.push_str(", \"events_per_sec\": ");
+    push_f64(out, p.events_per_sec);
+    out.push('}');
+}
+
+fn push_runner_point(out: &mut String, p: &RunnerPoint) {
+    out.push_str("    {\"runner_threads\": ");
+    push_u64(out, p.threads as u64);
+    out.push_str(", \"wall_secs\": ");
+    push_f64(out, p.wall_secs);
+    out.push_str(", \"events\": ");
+    push_u64(out, p.events);
+    out.push_str(", \"events_per_sec\": ");
+    push_f64(out, p.events_per_sec);
+    out.push_str(", \"speedup_vs_1\": ");
+    push_f64(out, p.speedup_vs_1);
+    out.push('}');
+}
+
+fn run_json(
+    label: &str,
+    cfg: PerfConfig,
+    points: &[PerfPoint],
+    rd_points: &[RdPoint],
+    cal_points: &[CalPoint],
+    runner_points: &[RunnerPoint],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"label\": ");
     push_string(&mut out, label);
@@ -238,6 +466,22 @@ fn run_json(label: &str, cfg: PerfConfig, points: &[PerfPoint], rd_points: &[RdP
     for (i, p) in rd_points.iter().enumerate() {
         push_rd_point(&mut out, p);
         if i + 1 < rd_points.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"calendar\": [\n");
+    for (i, p) in cal_points.iter().enumerate() {
+        push_cal_point(&mut out, p);
+        if i + 1 < cal_points.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"runner\": [\n");
+    for (i, p) in runner_points.iter().enumerate() {
+        push_runner_point(&mut out, p);
+        if i + 1 < runner_points.len() {
             out.push(',');
         }
         out.push('\n');
@@ -284,6 +528,26 @@ fn baseline_rd_points(doc: &str) -> Vec<(usize, f64, f64)> {
             ))
         })
         .collect()
+}
+
+/// Reads `(events_per_sec)` for a named calendar workload back out of a
+/// previously written run document.
+fn baseline_cal_eps(doc: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"calendar\": \"{name}\"");
+    doc.lines()
+        .find(|l| l.contains(&needle))
+        .and_then(|l| extract_f64(l, "events_per_sec"))
+}
+
+/// Reads `(events_per_sec, speedup_vs_1)` for a runner thread count from a
+/// previously written run document.
+fn baseline_runner_point(doc: &str, threads: usize) -> Option<(f64, f64)> {
+    let needle = format!("\"runner_threads\": {threads},");
+    let line = doc.lines().find(|l| l.contains(&needle))?;
+    Some((
+        extract_f64(line, "events_per_sec")?,
+        extract_f64(line, "speedup_vs_1")?,
+    ))
 }
 
 fn baseline_path() -> std::path::PathBuf {
@@ -342,23 +606,80 @@ fn print_points(points: &[PerfPoint]) {
     println!("{}", render_table(&header, &rows));
 }
 
+fn print_cal_points(points: &[CalPoint]) {
+    let header = vec![
+        "workload".to_string(),
+        "wall (s)".to_string(),
+        "events".to_string(),
+        "events/sec".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.to_string(),
+                format!("{:.3}", p.wall_secs),
+                p.events.to_string(),
+                format!("{:.0}", p.events_per_sec),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &rows));
+}
+
+fn print_runner_points(points: &[RunnerPoint]) {
+    let header = vec![
+        "threads".to_string(),
+        "wall (s)".to_string(),
+        "events".to_string(),
+        "events/sec".to_string(),
+        "speedup".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.threads.to_string(),
+                format!("{:.3}", p.wall_secs),
+                p.events.to_string(),
+                format!("{:.0}", p.events_per_sec),
+                format!("{:.2}x", p.speedup_vs_1),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &rows));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let save_baseline = args.iter().any(|a| a == "--save-baseline");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let require_baseline = args.iter().any(|a| a == "--require-baseline");
     let cfg = if smoke {
         PerfConfig {
             total_bytes: 64 * 1024,
             rd_packets: 5_000,
             iters: 1,
+            cal_fires: 30_000,
+            runner_seeds: 8,
         }
     } else {
         PerfConfig {
             total_bytes: 1024 * 1024,
             rd_packets: 100_000,
             iters: 5,
+            cal_fires: 300_000,
+            runner_seeds: 32,
         }
     };
+
+    if require_baseline && !save_baseline && !baseline_path().exists() {
+        eprintln!(
+            "error: --require-baseline set but no baseline at {} — run `perf --save-baseline` and commit the file",
+            baseline_path().display()
+        );
+        std::process::exit(1);
+    }
 
     println!(
         "HydraNet-FT reproduction — wall-clock perf (best of {})\n",
@@ -376,20 +697,52 @@ fn main() {
     );
     let rd_points: Vec<RdPoint> = CHAINS.iter().map(|&n| measure_redirector(n, cfg)).collect();
     print_rd_points(&rd_points);
+    println!(
+        "\nevent-calendar microbench ({} timer fires):",
+        cfg.cal_fires
+    );
+    let cal_points = vec![
+        measure_calendar(ChurnMode::PendingCancel, cfg),
+        measure_calendar(ChurnMode::StaleCancel, cfg),
+    ];
+    print_cal_points(&cal_points);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "\nparallel runner, seed-sweep workload ({} seeds; host has {} cpu(s)):",
+        cfg.runner_seeds, host_cpus
+    );
+    let runner_points = measure_runner(cfg);
+    print_runner_points(&runner_points);
 
     if save_baseline {
         let path = baseline_path();
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir).expect("create baseline dir");
         }
-        let doc = run_json("before (Vec<u8> copy path)", cfg, &points, &rd_points);
+        let doc = run_json(
+            "baseline (pre event-calendar fast path)",
+            cfg,
+            &points,
+            &rd_points,
+            &cal_points,
+            &runner_points,
+        );
         std::fs::write(&path, doc).expect("write baseline");
         println!("baseline written to {}", path.display());
         return;
     }
 
     // Pair with the recorded baseline (if any) and report ratios.
-    let after = run_json("after (PacketBuf zero-copy path)", cfg, &points, &rd_points);
+    let after = run_json(
+        "after (event-calendar fast path + parallel runner)",
+        cfg,
+        &points,
+        &rd_points,
+        &cal_points,
+        &runner_points,
+    );
     let before = std::fs::read_to_string(baseline_path()).ok();
     let mut out = String::new();
     out.push_str("{\n\"bench\": \"perf\",\n\"before\": ");
@@ -457,6 +810,63 @@ fn main() {
             );
         }
     }
+    out.push_str(",\n\"calendar_improvement\": ");
+    match &before {
+        Some(doc) => {
+            out.push_str("[\n");
+            for (i, p) in cal_points.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str("    {\"calendar\": ");
+                push_string(&mut out, p.name);
+                out.push_str(", \"events_per_sec_ratio\": ");
+                match baseline_cal_eps(doc, p.name) {
+                    Some(base) => {
+                        let ratio = p.events_per_sec / base;
+                        push_f64(&mut out, ratio);
+                        println!("  calendar {}: events/sec x{ratio:.2}", p.name);
+                    }
+                    None => out.push_str("null"),
+                }
+                out.push('}');
+            }
+            out.push_str("\n  ]");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\n\"runner_improvement\": ");
+    match &before {
+        Some(doc) => {
+            out.push_str("[\n");
+            for (i, p) in runner_points.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str("    {\"runner_threads\": ");
+                push_u64(&mut out, p.threads as u64);
+                out.push_str(", \"speedup_vs_1\": ");
+                push_f64(&mut out, p.speedup_vs_1);
+                out.push_str(", \"events_per_sec_ratio\": ");
+                match baseline_runner_point(doc, p.threads) {
+                    Some((base_eps, _)) => {
+                        let ratio = p.events_per_sec / base_eps;
+                        push_f64(&mut out, ratio);
+                        println!(
+                            "  runner threads={}: events/sec x{ratio:.2} vs baseline, speedup x{:.2} vs 1 thread",
+                            p.threads, p.speedup_vs_1
+                        );
+                    }
+                    None => out.push_str("null"),
+                }
+                out.push('}');
+            }
+            out.push_str("\n  ]");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\n\"host_cpus\": ");
+    push_u64(&mut out, host_cpus as u64);
     out.push_str("\n}\n");
     std::fs::write("BENCH_perf.json", &out).expect("write BENCH_perf.json");
     println!("\nwritten to BENCH_perf.json");

@@ -1,0 +1,212 @@
+//! Seed-sweep driver: distributions of fail-over behaviour over hundreds
+//! of seeds, fanned out across the parallel experiment engine.
+//!
+//! ```text
+//! sweep [--smoke] [--seeds N] [--threads N]
+//! ```
+//!
+//! - `--smoke`    scaled-down workload for CI (16 seeds, small payloads);
+//! - `--seeds N`  override the seed count;
+//! - `--threads N` measure at 1 and N threads (default: 1, 2, and 4).
+//!
+//! The sweep runs once per thread count, asserts every merged report is
+//! **byte-identical** to the single-threaded one (the engine's determinism
+//! contract), prints distribution summaries, and writes `BENCH_sweep.json`:
+//! the deterministic report plus wall-clock timing (aggregate events/sec
+//! and speedup per thread count — kept *outside* the merged report, which
+//! must not contain wall-clock data).
+
+use std::fmt::Write as _;
+
+use hydranet_bench::sweep::{merged_report, run_seed_sweep, total_events, SweepConfig};
+use hydranet_bench::{render_table, RunnerStats};
+use hydranet_obs::Obs;
+
+struct Measurement {
+    threads: usize,
+    stats: RunnerStats,
+    events: u64,
+}
+
+impl Measurement {
+    fn events_per_sec(&self) -> f64 {
+        if self.stats.wall_nanos == 0 {
+            0.0
+        } else {
+            self.events as f64 * 1e9 / self.stats.wall_nanos as f64
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = SweepConfig::default();
+    let mut thread_counts: Vec<usize> = vec![1, 2, 4];
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => cfg = SweepConfig::smoke(),
+            "--seeds" => {
+                i += 1;
+                cfg.seeds = args[i].parse().expect("--seeds takes a number");
+            }
+            "--threads" => {
+                i += 1;
+                let n: usize = args[i].parse().expect("--threads takes a number");
+                thread_counts = if n <= 1 { vec![1] } else { vec![1, n] };
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --smoke, --seeds N, --threads N)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "seed sweep: {} seeds, threshold {}, host has {} cpu(s)",
+        cfg.seeds, cfg.threshold, host_cpus
+    );
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let mut reference: Option<(Vec<hydranet_bench::sweep::SeedOutcome>, String)> = None;
+    for &threads in &thread_counts {
+        let (outcomes, stats) = run_seed_sweep(&cfg, threads);
+        let events = total_events(&outcomes);
+        let report = merged_report(&cfg, &outcomes);
+        match &reference {
+            None => reference = Some((outcomes, report)),
+            Some((ref_outcomes, ref_report)) => {
+                assert_eq!(
+                    ref_outcomes, &outcomes,
+                    "outcomes diverged between threads={} and threads={threads}",
+                    thread_counts[0]
+                );
+                assert_eq!(
+                    ref_report, &report,
+                    "merged report not byte-identical at threads={threads}"
+                );
+            }
+        }
+        println!(
+            "  threads={threads}: {:.1} ms wall, {:.0} events/sec, utilization {:.2}",
+            stats.wall_nanos as f64 / 1e6,
+            events as f64 * 1e9 / stats.wall_nanos.max(1) as f64,
+            stats.utilization()
+        );
+        measurements.push(Measurement {
+            threads,
+            stats,
+            events,
+        });
+    }
+    let (outcomes, report) = reference.expect("at least one thread count");
+
+    // Distribution summary table from the deterministic outcomes.
+    let detected: Vec<u64> = outcomes
+        .iter()
+        .filter_map(|o| o.detection_latency_ns)
+        .collect();
+    let completed = outcomes.iter().filter(|o| o.completed).count();
+    let spurious: u64 = outcomes.iter().map(|o| o.false_reconfigurations).sum();
+    println!();
+    println!(
+        "crash runs: {}/{} completed, {}/{} detected, {} spurious reconfigurations in lossy runs",
+        completed,
+        outcomes.len(),
+        detected.len(),
+        outcomes.len(),
+        spurious
+    );
+    let print_dist = |label: &str, values: &[u64]| {
+        if values.is_empty() {
+            return;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize] as f64 / 1e6;
+        println!(
+            "{label} ms: p50 {:.1}  p90 {:.1}  p99 {:.1}  max {:.1}",
+            q(0.50),
+            q(0.90),
+            q(0.99),
+            sorted[sorted.len() - 1] as f64 / 1e6
+        );
+    };
+    print_dist(
+        "crash→detect",
+        &outcomes
+            .iter()
+            .filter_map(|o| o.crash_to_detect_ns)
+            .collect::<Vec<_>>(),
+    );
+    print_dist("detect→promote", &detected);
+    print_dist(
+        "client stall",
+        &outcomes
+            .iter()
+            .filter_map(|o| o.stall_ns)
+            .collect::<Vec<_>>(),
+    );
+
+    // Speedup table (wall-clock; honest about the host).
+    let base_wall = measurements[0].stats.wall_nanos.max(1) as f64;
+    let header: Vec<String> = ["threads", "wall ms", "events/sec", "speedup", "util"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            vec![
+                m.threads.to_string(),
+                format!("{:.1}", m.stats.wall_nanos as f64 / 1e6),
+                format!("{:.0}", m.events_per_sec()),
+                format!("{:.2}x", base_wall / m.stats.wall_nanos.max(1) as f64),
+                format!("{:.2}", m.stats.utilization()),
+            ]
+        })
+        .collect();
+    println!();
+    println!("{}", render_table(&header, &rows));
+
+    // Engine telemetry through the obs registry (runner.* metrics).
+    let obs = Obs::enabled();
+    if let Some(last) = measurements.last() {
+        last.stats.publish(&obs, last.events);
+    }
+
+    let mut json = String::with_capacity(report.len() + 4096);
+    json.push_str("{\n\"bench\": \"seed_sweep\",\n");
+    let _ = write!(json, "\"host_cpus\": {host_cpus},\n\"timing\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "  {{\"threads\": {}, \"wall_nanos\": {}, \"worker_busy_nanos\": {}, \"tasks\": {}, \"events\": {}, \"events_per_sec\": {:.1}, \"speedup_vs_1\": {:.3}, \"utilization\": {:.3}}}",
+            m.threads,
+            m.stats.wall_nanos,
+            m.stats.worker_busy_nanos,
+            m.stats.tasks_completed,
+            m.events,
+            m.events_per_sec(),
+            base_wall / m.stats.wall_nanos.max(1) as f64,
+            m.stats.utilization()
+        );
+    }
+    json.push_str("\n],\n\"runner_telemetry\": ");
+    json.push_str(obs.to_json().trim_end());
+    json.push_str(",\n\"report\": ");
+    json.push_str(report.trim_end());
+    json.push_str("\n}\n");
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!(
+        "wrote BENCH_sweep.json ({} seeds, byte-identical across {thread_counts:?} threads)",
+        outcomes.len()
+    );
+}

@@ -18,6 +18,10 @@
 
 pub mod ablations;
 pub mod fig4;
+pub mod runner;
+pub mod sweep;
+
+pub use runner::{run_tasks, RunnerStats, Task};
 
 /// Renders a simple aligned table: a header row then data rows.
 pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {

@@ -1,0 +1,386 @@
+//! Seed-sweep workload: fail-over behaviour as a *distribution*, not a
+//! single anecdote.
+//!
+//! The paper reports point measurements (one detection latency, one
+//! disruption window). A reproduction can do better: run the same two
+//! scenarios under hundreds of seeds and report p50/p90/p99 of detection
+//! latency, client-visible stall, and false-positive counts. Each seed is
+//! an independent deterministic simulation, so the sweep is embarrassingly
+//! parallel — it rides the experiment engine ([`crate::runner`]) and its
+//! merged report is **byte-identical at any thread count**: every number in
+//! it derives from simulated time or seed-determined state, never from
+//! wall-clock, and outcomes are merged in seed order.
+//!
+//! Per seed:
+//! - **(a) crash run** — 2-replica star, primary crashes 50 ms after the
+//!   client connects; measures detect→promote latency (telemetry
+//!   timeline), the largest client-visible reply gap, and completion.
+//! - **(b) lossy-healthy run** — same star, nobody crashes, but the
+//!   primary's branch drops packets; measures spurious failure reports and
+//!   reconfigurations (the detector's false-positive side).
+//!
+//! [`merged_report`] aggregates outcomes into `obs` histograms
+//! (`sweep.detection_latency_ns`, `sweep.stall_ns`, …) plus a per-seed
+//! array; the `sweep` binary wraps it in `BENCH_sweep.json` together with
+//! wall-clock timing at 1/2/4 threads (timing lives *outside* the merged
+//! report so the byte-identity contract holds).
+
+use hydranet_core::prelude::*;
+use hydranet_obs::{json, Obs};
+
+use crate::ablations::{build_star, service, DetectorPoint};
+use crate::runner::{run_tasks, RunnerStats, Task};
+
+/// Knobs for the seed sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Number of seeds (the full sweep uses ≥ 200).
+    pub seeds: u64,
+    /// First seed; seed *i* runs with `base_seed + 2 i` (crash run) and
+    /// `base_seed + 2 i + 1` (lossy run), mirroring the A1 convention.
+    pub base_seed: u64,
+    /// Detector retransmission threshold for both runs.
+    pub threshold: u32,
+    /// Bytes streamed in the crash run.
+    pub crash_payload: usize,
+    /// Deadline for the crash run.
+    pub crash_deadline: SimTime,
+    /// Bytes streamed in the lossy-healthy run.
+    pub lossy_payload: usize,
+    /// Simulated end time of the lossy-healthy run.
+    pub lossy_deadline: SimTime,
+    /// Bernoulli loss probability on the primary branch in the lossy run.
+    pub loss_p: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            seeds: 200,
+            base_seed: 1000,
+            threshold: 4,
+            crash_payload: 120_000,
+            crash_deadline: SimTime::from_secs(60),
+            lossy_payload: 150_000,
+            lossy_deadline: SimTime::from_secs(30),
+            loss_p: 0.03,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A scaled-down sweep for CI smoke runs and tests.
+    pub fn smoke() -> Self {
+        SweepConfig {
+            seeds: 16,
+            crash_payload: 60_000,
+            lossy_payload: 60_000,
+            lossy_deadline: SimTime::from_secs(15),
+            ..SweepConfig::default()
+        }
+    }
+}
+
+/// Everything one seed measured. All fields derive from simulated time or
+/// seed-determined state — nothing wall-clock — so outcome vectors compare
+/// bit-identical across thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedOutcome {
+    /// The sweep index's base seed (crash run seed).
+    pub seed: u64,
+    /// Detect→promote latency in the crash run, if a fail-over ran.
+    pub detection_latency_ns: Option<u64>,
+    /// Crash→first-suspicion span in the crash run — the part of the
+    /// fail-over window that depends on where the crash landed relative to
+    /// the client's retransmission schedule (the seed-varying part).
+    pub crash_to_detect_ns: Option<u64>,
+    /// Largest client-visible gap between reply bytes in the crash run.
+    pub stall_ns: Option<u64>,
+    /// Whether the crash-run transfer completed before the deadline.
+    pub completed: bool,
+    /// Bytes the client received in the crash run.
+    pub bytes: usize,
+    /// Spurious failure reports in the lossy-healthy run.
+    pub false_reports: u64,
+    /// Spurious reconfigurations in the lossy-healthy run.
+    pub false_reconfigurations: u64,
+    /// Simulated events processed across both runs.
+    pub events: u64,
+}
+
+/// Runs both measurement runs for one seed. Pure function of
+/// `(cfg, seed)` — the unit of parallel work.
+pub fn seed_point(cfg: &SweepConfig, seed: u64) -> SeedOutcome {
+    let detector = DetectorParams::new(cfg.threshold, SimDuration::from_secs(60));
+
+    // (a) crash run: primary fails mid-transfer, echo service so the
+    // client observes the disruption window in its reply stream.
+    let mut star = build_star(2, detector, true, seed);
+    let payload: Vec<u8> = (0..cfg.crash_payload).map(|i| (i % 251) as u8).collect();
+    let state = shared(SenderState::default());
+    let app = StreamSenderApp::new(payload, false, state.clone());
+    star.system
+        .connect_client(star.client, service(), Box::new(app));
+    // The crash instant is jittered per seed (deterministically, from the
+    // seed itself) across a 40 ms window, so the crash lands at different
+    // phases of the transfer — connection ramp-up, steady state, mid-burst
+    // — and detection latency / stall become genuine distributions rather
+    // than one repeated anecdote.
+    let jitter_ns = hydranet_netsim::rng::SimRng::seed_from(seed).next_u64() % 40_000_000;
+    let crash_at = star
+        .system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(50))
+        .saturating_add(SimDuration::from_nanos(jitter_ns));
+    star.system.sim.schedule_crash(star.replicas[0], crash_at);
+    let mut step = star.system.sim.now();
+    while star.system.sim.now() < cfg.crash_deadline {
+        if state.borrow().replies.data.len() >= cfg.crash_payload {
+            break;
+        }
+        step = step.saturating_add(SimDuration::from_millis(20));
+        star.system.sim.run_until(step);
+    }
+    let detection_latency_ns = star.system.detection_latency_nanos();
+    let crash_to_detect_ns = star
+        .system
+        .obs()
+        .first_event_at(hydranet_obs::kinds::DETECTOR_SUSPECTED)
+        .map(|at| at.saturating_sub(crash_at.as_nanos()));
+    let (completed, bytes, stall_ns) = {
+        let st = state.borrow();
+        (
+            st.replies.data.len() >= cfg.crash_payload,
+            st.replies.data.len(),
+            st.replies.max_gap_duration().map(|d| d.as_nanos()),
+        )
+    };
+    let mut events = star.system.sim.stats().events_processed;
+
+    // (b) lossy-healthy run: same topology, no crash, loss on the
+    // primary's branch provokes the detector's false positives.
+    let mut star = build_star(2, detector, false, seed + 1);
+    star.system.sim.set_link_loss(
+        star.replica_links[0],
+        LossModel::Bernoulli { p: cfg.loss_p },
+    );
+    let payload: Vec<u8> = (0..cfg.lossy_payload).map(|i| (i % 251) as u8).collect();
+    let lossy_state = shared(SenderState::default());
+    let app = StreamSenderApp::new(payload, false, lossy_state);
+    star.system
+        .connect_client(star.client, service(), Box::new(app));
+    star.system.sim.run_until(cfg.lossy_deadline);
+    let false_reports: u64 = star
+        .replicas
+        .iter()
+        .map(|&r| star.system.host_server(r).daemon().reports_sent())
+        .sum();
+    let false_reconfigurations = star
+        .system
+        .redirector(star.rd)
+        .controller()
+        .reconfigurations();
+    events += star.system.sim.stats().events_processed;
+
+    SeedOutcome {
+        seed,
+        detection_latency_ns,
+        crash_to_detect_ns,
+        stall_ns,
+        completed,
+        bytes,
+        false_reports,
+        false_reconfigurations,
+        events,
+    }
+}
+
+/// Runs the seed sweep across the experiment engine. Outcomes come back in
+/// seed order regardless of `threads`.
+pub fn run_seed_sweep(cfg: &SweepConfig, threads: usize) -> (Vec<SeedOutcome>, RunnerStats) {
+    let tasks: Vec<Task<SeedOutcome>> = (0..cfg.seeds)
+        .map(|i| {
+            let seed = cfg.base_seed + 2 * i;
+            let cfg = cfg.clone();
+            Task::new(format!("sweep-seed-{seed}"), seed, move || {
+                seed_point(&cfg, seed)
+            })
+        })
+        .collect();
+    run_tasks(tasks, threads)
+}
+
+/// Total simulated events across a set of outcomes.
+pub fn total_events(outcomes: &[SeedOutcome]) -> u64 {
+    outcomes.iter().map(|o| o.events).sum()
+}
+
+/// Builds the deterministic merged report: distribution summaries
+/// (p50/p90/p99 via the `obs` histogram buckets) plus the per-seed array.
+///
+/// Contains **no wall-clock data**, so for a fixed `cfg` the string is
+/// byte-identical however the sweep was scheduled (`determinism_guard.rs`
+/// pins threads=1 ≡ threads=4).
+pub fn merged_report(cfg: &SweepConfig, outcomes: &[SeedOutcome]) -> String {
+    let obs = Obs::enabled();
+    let runs = obs.counter("sweep.runs");
+    let completed = obs.counter("sweep.completed");
+    let detected = obs.counter("sweep.detected");
+    let events = obs.counter("sweep.total_events");
+    let bytes = obs.counter("sweep.bytes_delivered");
+    let h_detect = obs.histogram("sweep.detection_latency_ns");
+    let h_crash_detect = obs.histogram("sweep.crash_to_detect_ns");
+    let h_stall = obs.histogram("sweep.stall_ns");
+    let h_reports = obs.histogram("sweep.false_reports");
+    let h_reconf = obs.histogram("sweep.false_reconfigurations");
+    for o in outcomes {
+        runs.inc();
+        if o.completed {
+            completed.inc();
+        }
+        events.add(o.events);
+        bytes.add(o.bytes as u64);
+        if let Some(ns) = o.detection_latency_ns {
+            detected.inc();
+            h_detect.record(ns);
+        }
+        if let Some(ns) = o.crash_to_detect_ns {
+            h_crash_detect.record(ns);
+        }
+        if let Some(ns) = o.stall_ns {
+            h_stall.record(ns);
+        }
+        h_reports.record(o.false_reports);
+        h_reconf.record(o.false_reconfigurations);
+    }
+    let summary = obs.to_json_with_meta(&[
+        ("workload", "seed_sweep".into()),
+        ("seeds", cfg.seeds.to_string()),
+        ("base_seed", cfg.base_seed.to_string()),
+        ("threshold", cfg.threshold.to_string()),
+        ("crash_payload", cfg.crash_payload.to_string()),
+        ("lossy_payload", cfg.lossy_payload.to_string()),
+        ("loss_p", format!("{}", cfg.loss_p)),
+    ]);
+
+    let mut out = String::with_capacity(summary.len() + outcomes.len() * 128);
+    out.push_str("{\n\"summary\": ");
+    out.push_str(summary.trim_end());
+    out.push_str(",\n\"seeds\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  {\"seed\": ");
+        json::push_u64(&mut out, o.seed);
+        out.push_str(", \"detection_latency_ns\": ");
+        push_opt_u64(&mut out, o.detection_latency_ns);
+        out.push_str(", \"crash_to_detect_ns\": ");
+        push_opt_u64(&mut out, o.crash_to_detect_ns);
+        out.push_str(", \"stall_ns\": ");
+        push_opt_u64(&mut out, o.stall_ns);
+        out.push_str(", \"completed\": ");
+        out.push_str(if o.completed { "true" } else { "false" });
+        out.push_str(", \"bytes\": ");
+        json::push_u64(&mut out, o.bytes as u64);
+        out.push_str(", \"false_reports\": ");
+        json::push_u64(&mut out, o.false_reports);
+        out.push_str(", \"false_reconfigurations\": ");
+        json::push_u64(&mut out, o.false_reconfigurations);
+        out.push_str(", \"events\": ");
+        json::push_u64(&mut out, o.events);
+        out.push('}');
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
+/// Serialises an A1 detector grid deterministically (used by the
+/// threads-equivalence guard alongside [`merged_report`]).
+pub fn detector_grid_json(points: &[DetectorPoint]) -> String {
+    let mut out = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  {\"threshold\": ");
+        json::push_u64(&mut out, u64::from(p.threshold));
+        out.push_str(", \"detection_latency_ns\": ");
+        push_opt_u64(&mut out, p.detection_latency.map(|d| d.as_nanos()));
+        out.push_str(", \"false_reports\": ");
+        json::push_u64(&mut out, p.false_reports);
+        out.push_str(", \"false_reconfigurations\": ");
+        json::push_u64(&mut out, p.false_reconfigurations);
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn push_opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(n) => json::push_u64(out, n),
+        None => out.push_str("null"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepConfig {
+        SweepConfig {
+            seeds: 3,
+            // Large enough that no seed's transfer finishes before the
+            // jittered crash instant (50–90 ms) — every crash run must
+            // actually have a crash to detect.
+            crash_payload: 80_000,
+            lossy_payload: 30_000,
+            lossy_deadline: SimTime::from_secs(10),
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn crash_runs_detect_and_complete() {
+        let (outcomes, stats) = run_seed_sweep(&tiny(), 1);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(stats.tasks_completed, 3);
+        for o in &outcomes {
+            assert!(o.completed, "seed {} did not complete", o.seed);
+            assert!(
+                o.detection_latency_ns.is_some(),
+                "seed {} never detected the crash",
+                o.seed
+            );
+            assert!(o.events > 0);
+        }
+    }
+
+    #[test]
+    fn merged_report_is_thread_count_invariant() {
+        let cfg = tiny();
+        let (seq, _) = run_seed_sweep(&cfg, 1);
+        let (par, _) = run_seed_sweep(&cfg, 3);
+        assert_eq!(seq, par);
+        assert_eq!(merged_report(&cfg, &seq), merged_report(&cfg, &par));
+    }
+
+    #[test]
+    fn merged_report_has_distribution_sections() {
+        let cfg = tiny();
+        let (outcomes, _) = run_seed_sweep(&cfg, 2);
+        let report = merged_report(&cfg, &outcomes);
+        for needle in [
+            "\"workload\": \"seed_sweep\"",
+            "\"sweep.runs\": 3",
+            "sweep.detection_latency_ns",
+            "\"p99\"",
+            "\"seeds\": [",
+            "\"false_reconfigurations\"",
+        ] {
+            assert!(report.contains(needle), "missing {needle} in {report}");
+        }
+    }
+}

@@ -14,9 +14,15 @@
 //!   fragmentation/reassembly on the replica branches;
 //! - a primary crash — timer cancellation, crash-epoch filtering, and the
 //!   detector path feeding reconfiguration.
+//!
+//! The thread-equivalence tests extend the same contract to the parallel
+//! experiment engine: an ablation grid or a seed sweep fanned out over N
+//! workers must merge to the byte-identical JSON the single-threaded run
+//! produces — thread count is a wall-clock knob, never a results knob.
 
-use hydranet_bench::ablations::{build_star, service};
+use hydranet_bench::ablations::{build_star, detector_sweep_threads, service, DetectorSweepConfig};
 use hydranet_bench::fig4::{run_point, Fig4Config, Fig4Params};
+use hydranet_bench::sweep::{detector_grid_json, merged_report, run_seed_sweep, SweepConfig};
 use hydranet_core::prelude::*;
 
 const SEED: u64 = 21;
@@ -80,4 +86,40 @@ fn fig4_primary_backup_is_bit_identical() {
 #[test]
 fn failover_latency_is_bit_identical() {
     assert_eq!(failover_fingerprint(), PINNED_FAILOVER);
+}
+
+#[test]
+fn ablation_grid_is_thread_count_invariant() {
+    let cfg = DetectorSweepConfig::quick();
+    let thresholds = [3u32, 4];
+    let (seq, seq_stats) = detector_sweep_threads(&thresholds, &cfg, SEED, 1);
+    let (par, par_stats) = detector_sweep_threads(&thresholds, &cfg, SEED, 4);
+    assert_eq!(seq, par, "A1 grid points diverged between 1 and 4 threads");
+    assert_eq!(
+        detector_grid_json(&seq),
+        detector_grid_json(&par),
+        "A1 grid JSON not byte-identical across thread counts"
+    );
+    // Both runs did all the work, whatever the worker layout.
+    assert_eq!(seq_stats.tasks_completed, thresholds.len() as u64);
+    assert_eq!(par_stats.tasks_completed, thresholds.len() as u64);
+}
+
+#[test]
+fn seed_sweep_is_thread_count_invariant() {
+    let cfg = SweepConfig {
+        seeds: 6,
+        crash_payload: 80_000,
+        lossy_payload: 30_000,
+        lossy_deadline: SimTime::from_secs(10),
+        ..SweepConfig::default()
+    };
+    let (seq, _) = run_seed_sweep(&cfg, 1);
+    let (par, _) = run_seed_sweep(&cfg, 4);
+    assert_eq!(seq, par, "seed outcomes diverged between 1 and 4 threads");
+    assert_eq!(
+        merged_report(&cfg, &seq),
+        merged_report(&cfg, &par),
+        "merged sweep report not byte-identical across thread counts"
+    );
 }

@@ -107,6 +107,19 @@ impl EventQueue {
         self.heap.pop()
     }
 
+    /// Pops the earliest event only if it is due at or before `deadline` —
+    /// one peek-and-pop instead of the separate `peek_time` + `pop` the
+    /// `run_until` loop used to do per event (the heap's sift-down runs
+    /// once either way, but the bounds check and branch happen on the
+    /// already-fetched peek rather than re-entering the heap).
+    pub fn pop_if_at_or_before(&mut self, deadline: SimTime) -> Option<Event> {
+        if self.heap.peek()?.time > deadline {
+            return None;
+        }
+        self.heap.pop()
+    }
+
+    #[cfg(test)]
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
     }
@@ -154,6 +167,21 @@ mod tests {
             }
             last_seq = Some(e.seq);
         }
+    }
+
+    #[test]
+    fn pop_if_at_or_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        assert!(q.pop_if_at_or_before(SimTime::from_secs(1)).is_none());
+        q.push(SimTime::from_millis(5), start(0));
+        q.push(SimTime::from_millis(10), start(1));
+        assert!(q.pop_if_at_or_before(SimTime::from_millis(4)).is_none());
+        assert_eq!(q.len(), 2);
+        let e = q.pop_if_at_or_before(SimTime::from_millis(5)).unwrap();
+        assert_eq!(e.time, SimTime::from_millis(5));
+        assert!(q.pop_if_at_or_before(SimTime::from_millis(9)).is_none());
+        assert!(q.pop_if_at_or_before(SimTime::from_millis(10)).is_some());
+        assert!(q.is_empty());
     }
 
     #[test]

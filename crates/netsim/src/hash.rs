@@ -1,0 +1,108 @@
+//! A fast hasher for the simulator's integer-keyed maps.
+//!
+//! The calendar's timer bookkeeping ([`sim::Simulator`](crate::sim::Simulator))
+//! keys its maps by monotonically assigned `u64` timer ids, touched on every
+//! timer set/fire. Std's default SipHash is DoS-resistant but costs far more
+//! than the surrounding heap operation; these keys are engine-internal and
+//! never attacker-controlled, so a single Fibonacci multiply suffices to
+//! spread consecutive ids across buckets.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 2^64 / φ, the classic Fibonacci-hashing multiplier: one `wrapping_mul`
+/// diffuses low-bit-only differences (consecutive ids) into the high bits
+/// that hashbrown's control bytes are drawn from.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Multiply-only hasher for integer keys.
+///
+/// Not DoS-resistant — use only for keys the engine itself assigns.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IntHasher(u64);
+
+impl Hasher for IntHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path for composite keys: fold 8-byte chunks. The engine's
+        // maps use `write_u64`/`write_usize`, so this is rarely exercised.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.0 = (self.0 ^ u64::from_le_bytes(buf)).wrapping_mul(FIB);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(FIB);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+}
+
+/// [`BuildHasher`](std::hash::BuildHasher) for [`IntHasher`].
+pub type IntBuildHasher = BuildHasherDefault<IntHasher>;
+
+/// A `HashMap` keyed by engine-assigned integers.
+pub type IntMap<K, V> = HashMap<K, V, IntBuildHasher>;
+
+/// A `HashSet` of engine-assigned integers.
+pub type IntSet<K> = HashSet<K, IntBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_keys_spread_across_buckets() {
+        // The high byte (hashbrown's control byte source) must differ for
+        // consecutive ids, else every probe degenerates to a linear scan.
+        let mut high_bytes = HashSet::new();
+        for id in 0u64..256 {
+            let mut h = IntHasher::default();
+            h.write_u64(id);
+            high_bytes.insert((h.finish() >> 56) as u8);
+        }
+        assert!(
+            high_bytes.len() > 200,
+            "only {} distinct control bytes over 256 consecutive ids",
+            high_bytes.len()
+        );
+    }
+
+    #[test]
+    fn map_and_set_roundtrip() {
+        let mut m: IntMap<u64, u32> = IntMap::default();
+        let mut s: IntSet<u64> = IntSet::default();
+        for i in 0..1000u64 {
+            m.insert(i, i as u32 * 2);
+            s.insert(i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&(i as u32 * 2)));
+            assert!(s.contains(&i));
+        }
+        assert!(!s.contains(&1000));
+    }
+
+    #[test]
+    fn generic_write_path_is_consistent() {
+        let mut a = IntHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = IntHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = IntHasher::default();
+        c.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a.finish(), c.finish());
+    }
+}

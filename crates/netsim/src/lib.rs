@@ -61,6 +61,7 @@ mod event;
 
 pub mod buf;
 pub mod frag;
+pub mod hash;
 pub mod link;
 pub mod node;
 pub mod packet;

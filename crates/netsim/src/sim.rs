@@ -7,12 +7,12 @@
 //! [`node`](Simulator::node).
 
 use std::any::Any;
-use std::collections::HashMap;
 
 use hydranet_obs::{kinds, Obs};
 
 use crate::event::{EventKind, EventQueue};
 use crate::frag::fragment_packet;
+use crate::hash::{IntMap, IntSet};
 use crate::link::{Direction, Link, LinkId};
 use crate::node::{Action, Context, IfaceId, Node, NodeId, NodeParams};
 use crate::packet::IpPacket;
@@ -77,7 +77,14 @@ pub struct Simulator {
     /// cancelled them so a crash can purge its pending entries (otherwise
     /// an id whose event the crash-epoch check discards would be retained
     /// forever).
-    cancelled_timers: HashMap<u64, NodeId>,
+    cancelled_timers: IntMap<u64, NodeId>,
+    /// Ids of timer events still in the calendar. A cancellation is only
+    /// tombstoned while its id is live; cancelling an already-popped timer
+    /// is a pure no-op (historically it inserted an entry into
+    /// `cancelled_timers` that nothing would ever pop — unbounded growth
+    /// over a long healthy run). Each id leaves this set exactly when its
+    /// event pops, so the set is bounded by the calendar size.
+    live_timers: IntSet<u64>,
     pub(crate) nodes: Vec<NodeSlot>,
     pub(crate) links: Vec<Link>,
     rng: SimRng,
@@ -104,7 +111,8 @@ impl Simulator {
             now: SimTime::ZERO,
             events: EventQueue::new(),
             next_timer_id: 0,
-            cancelled_timers: HashMap::new(),
+            cancelled_timers: IntMap::default(),
+            live_timers: IntSet::default(),
             nodes,
             links,
             rng: SimRng::seed_from(seed),
@@ -177,11 +185,13 @@ impl Simulator {
     /// Processes all events with timestamps `<= deadline`, then sets the
     /// clock to `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(t) = self.events.peek_time() {
-            if t > deadline {
-                break;
-            }
-            self.step();
+        // Single peek-and-pop per event instead of peek_time + step's
+        // separate pop — this loop is the hot path of every benchmark.
+        while let Some(ev) = self.events.pop_if_at_or_before(deadline) {
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            self.stats.events_processed += 1;
+            self.process(ev.kind);
         }
         if self.now < deadline {
             self.now = deadline;
@@ -224,6 +234,13 @@ impl Simulator {
     /// Schedules a link restoration at `at`.
     pub fn schedule_link_up(&mut self, link: LinkId, at: SimTime) {
         self.events.push(at, EventKind::LinkUp(link));
+    }
+
+    /// Number of lazily-cancelled timer ids awaiting their tombstoned
+    /// event. Bounded by the calendar size: ids enter only while their
+    /// timer event is live and leave when it pops (or a crash purges them).
+    pub fn pending_cancellations(&self) -> usize {
+        self.cancelled_timers.len()
     }
 
     /// Whether `node` is currently crashed.
@@ -360,7 +377,12 @@ impl Simulator {
                 token,
                 epoch,
             } => {
-                if self.cancelled_timers.remove(&id.0).is_some() {
+                self.live_timers.remove(&id.0);
+                // Fast path: with no cancellations pending (the common case
+                // on a healthy run) skip the tombstone map probe entirely.
+                if !self.cancelled_timers.is_empty()
+                    && self.cancelled_timers.remove(&id.0).is_some()
+                {
                     self.stats.timers_cancelled += 1;
                     return;
                 }
@@ -473,6 +495,7 @@ impl Simulator {
                 }
                 Action::SetTimer { id: tid, at, token } => {
                     let epoch = self.nodes[id.index()].epoch;
+                    self.live_timers.insert(tid.0);
                     self.events.push(
                         at,
                         EventKind::Timer {
@@ -484,7 +507,12 @@ impl Simulator {
                     );
                 }
                 Action::CancelTimer { id: tid } => {
-                    self.cancelled_timers.insert(tid.0, id);
+                    // Only tombstone ids whose event is still in the
+                    // calendar; cancelling an already-fired timer is a
+                    // documented no-op and must not grow the map.
+                    if self.live_timers.contains(&tid.0) {
+                        self.cancelled_timers.insert(tid.0, id);
+                    }
                 }
             }
         }
@@ -882,6 +910,88 @@ mod tests {
         // The timer's event is still queued but must not fire.
         sim.run_until_idle();
         assert_eq!(sim.stats().timers_fired, 0);
+    }
+
+    #[test]
+    fn cancelling_fired_timer_does_not_leak() {
+        // A node that keeps a handle to a timer that has already fired and
+        // cancels it later — the documented no-op. Historically each such
+        // cancel inserted a tombstone into `cancelled_timers` that no event
+        // would ever pop, so the map grew without bound.
+        struct StaleCanceller {
+            history: Vec<crate::node::TimerId>,
+            fires: u32,
+        }
+        impl Node for StaleCanceller {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let id = ctx.set_timer(SimDuration::from_millis(1), TimerToken(0));
+                self.history.push(id);
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _iface: IfaceId, _p: IpPacket) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _token: TimerToken) {
+                self.fires += 1;
+                if self.fires >= 64 {
+                    return;
+                }
+                let id = ctx.set_timer(SimDuration::from_millis(1), TimerToken(0));
+                self.history.push(id);
+                // Cancel a timer that fired long ago: must be a pure no-op.
+                if self.history.len() > 4 {
+                    let stale = self.history.remove(0);
+                    ctx.cancel_timer(stale);
+                }
+            }
+        }
+        let mut t = TopologyBuilder::new();
+        let n = t.add_node(
+            StaleCanceller {
+                history: vec![],
+                fires: 0,
+            },
+            NodeParams::INSTANT,
+        );
+        let mut sim = t.into_simulator(1);
+        sim.run_until_idle();
+        assert_eq!(sim.node::<StaleCanceller>(n).fires, 64);
+        assert_eq!(sim.stats().timers_cancelled, 0);
+        assert_eq!(
+            sim.pending_cancellations(),
+            0,
+            "stale cancellations leaked into the tombstone map"
+        );
+        assert!(sim.live_timers.is_empty(), "live-timer set leaked");
+    }
+
+    #[test]
+    fn timer_churn_drains_cancellation_map() {
+        // Heavy set-and-cancel churn: every pending cancellation must be
+        // consumed (and counted) by the time its tombstoned event pops.
+        struct Churner {
+            rounds: u32,
+        }
+        impl Node for Churner {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(1), TimerToken(0));
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _iface: IfaceId, _p: IpPacket) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, token: TimerToken) {
+                if token.0 != 0 || self.rounds >= 100 {
+                    return;
+                }
+                self.rounds += 1;
+                ctx.set_timer(SimDuration::from_millis(1), TimerToken(0));
+                let doomed = ctx.set_timer(SimDuration::from_millis(2), TimerToken(1));
+                ctx.cancel_timer(doomed);
+            }
+        }
+        let mut t = TopologyBuilder::new();
+        let n = t.add_node(Churner { rounds: 0 }, NodeParams::INSTANT);
+        let mut sim = t.into_simulator(1);
+        sim.run_until_idle();
+        assert_eq!(sim.node::<Churner>(n).rounds, 100);
+        assert_eq!(sim.stats().timers_cancelled, 100);
+        assert_eq!(sim.pending_cancellations(), 0, "tombstone map not drained");
+        assert!(sim.live_timers.is_empty(), "live-timer set leaked");
     }
 
     #[test]

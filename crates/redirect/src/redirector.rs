@@ -18,7 +18,7 @@ use hydranet_obs::metrics::Counter;
 use hydranet_obs::Obs;
 use hydranet_tcp::segment::SockAddr;
 
-use crate::table::RedirectorTable;
+use crate::table::{RedirectorTable, ServiceEntry};
 use crate::tunnel::encapsulate_buf;
 
 /// Counters kept by a redirector.
@@ -106,8 +106,12 @@ impl RedirectorEngine {
         &self.routes
     }
 
-    /// The routing table, mutable.
+    /// The routing table, mutable. Conservatively drops the table's
+    /// memoized scaled targets: a route change can change which replica is
+    /// nearest-routable, and the borrow rules guarantee any mutation through
+    /// the returned reference completes before the next packet is processed.
     pub fn routes_mut(&mut self) -> &mut RouteTable {
+        self.table.invalidate_targets();
         &mut self.routes
     }
 
@@ -181,10 +185,24 @@ impl RedirectorEngine {
                     routed.clear();
                     let routes = &self.routes;
                     let stats = &mut self.stats;
-                    entry.for_each_target(|host| match routes.lookup(host) {
-                        Some(iface) => routed.push((iface, host)),
-                        None => stats.dropped_no_route += 1,
-                    });
+                    match entry {
+                        ServiceEntry::Scaled { replicas } => {
+                            // Memoized nearest-routable pick: the min-metric
+                            // scan and its routing lookups run once per
+                            // (table, routes) generation, not per packet.
+                            match self.table.scaled_target(sap, |host| routes.lookup(host)) {
+                                Some((host, iface)) => routed.push((iface, host)),
+                                None if replicas.is_empty() => {}
+                                None => stats.dropped_no_route += 1,
+                            }
+                        }
+                        ServiceEntry::FaultTolerant { .. } => {
+                            entry.for_each_target(|host| match routes.lookup(host) {
+                                Some(iface) => routed.push((iface, host)),
+                                None => stats.dropped_no_route += 1,
+                            });
+                        }
+                    }
                     if let Some((&(last_iface, last_host), rest)) = routed.split_last() {
                         let encoded = whole.encode();
                         for &(iface, host) in rest {
@@ -392,6 +410,68 @@ mod tests {
         e.process(tcp_packet(80, 0), SimTime::ZERO, &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, IfaceId::from_index(2)); // H2 is nearer
+    }
+
+    #[test]
+    fn scaled_reinstall_does_not_serve_stale_cached_target() {
+        let mut e = engine();
+        let sap = SockAddr::new(SERVICE, 80);
+        let replicas = |m1, m2| ServiceEntry::Scaled {
+            replicas: vec![
+                crate::table::ReplicaLoc {
+                    host: H1,
+                    metric: m1,
+                },
+                crate::table::ReplicaLoc {
+                    host: H2,
+                    metric: m2,
+                },
+            ],
+        };
+        e.table_mut().install(sap, replicas(1, 5));
+        let mut out = Vec::new();
+        e.process(tcp_packet(80, 0), SimTime::ZERO, &mut out);
+        assert_eq!(out.last().unwrap().0, IfaceId::from_index(1)); // H1
+                                                                   // Swap the metrics: the cached pick must be dropped with the entry.
+        e.table_mut().install(sap, replicas(5, 1));
+        e.process(tcp_packet(80, 0), SimTime::ZERO, &mut out);
+        assert_eq!(out.last().unwrap().0, IfaceId::from_index(2)); // H2
+    }
+
+    #[test]
+    fn route_change_does_not_serve_stale_cached_target() {
+        let mut e = RedirectorEngine::new(RD);
+        e.routes_mut().add(
+            Prefix::new(IpAddr::new(10, 0, 2, 0), 24),
+            IfaceId::from_index(1),
+        );
+        e.table_mut().install(
+            SockAddr::new(SERVICE, 80),
+            ServiceEntry::Scaled {
+                replicas: vec![
+                    crate::table::ReplicaLoc {
+                        host: H2,
+                        metric: 1,
+                    },
+                    crate::table::ReplicaLoc {
+                        host: H1,
+                        metric: 9,
+                    },
+                ],
+            },
+        );
+        // Nearest replica H2 is unroutable: fall back to H1 (and cache it).
+        let mut out = Vec::new();
+        e.process(tcp_packet(80, 0), SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, IfaceId::from_index(1));
+        // Adding the missing route invalidates the memoized fallback.
+        e.routes_mut().add(
+            Prefix::new(IpAddr::new(10, 0, 3, 0), 24),
+            IfaceId::from_index(2),
+        );
+        e.process(tcp_packet(80, 0), SimTime::ZERO, &mut out);
+        assert_eq!(out.last().unwrap().0, IfaceId::from_index(2));
     }
 
     #[test]

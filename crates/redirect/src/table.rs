@@ -7,8 +7,10 @@
 //! the entry holds the whole replica chain: "the redirector maintains the
 //! location of the primary server and of all the backup servers" (§4.2).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
+use hydranet_netsim::node::IfaceId;
 use hydranet_netsim::packet::IpAddr;
 use hydranet_obs::metrics::{Counter, Gauge};
 use hydranet_obs::Obs;
@@ -88,8 +90,17 @@ impl ServiceEntry {
 #[derive(Debug, Clone, Default)]
 pub struct RedirectorTable {
     entries: HashMap<SockAddr, ServiceEntry>,
+    /// Memoized nearest-routable pick per scaled service, filled lazily by
+    /// [`scaled_target`](Self::scaled_target) so the per-packet fast path
+    /// skips the `min_by_key` scan and routing lookups. `None` records "no
+    /// routable replica" (also worth caching — the scan is the expensive
+    /// part either way). Every table mutation drops the affected entry;
+    /// routing changes must call [`invalidate_targets`](Self::invalidate_targets).
+    target_cache: RefCell<HashMap<SockAddr, Option<(IpAddr, IfaceId)>>>,
     c_installs: Counter,
     c_removes: Counter,
+    c_cache_hits: Counter,
+    c_cache_misses: Counter,
     g_entries: Gauge,
 }
 
@@ -104,6 +115,8 @@ impl RedirectorTable {
     pub fn set_obs(&mut self, obs: &Obs, scope: &str) {
         self.c_installs = obs.counter(&format!("redirect.table.{scope}.installs"));
         self.c_removes = obs.counter(&format!("redirect.table.{scope}.removes"));
+        self.c_cache_hits = obs.counter(&format!("redirect.table.{scope}.target_cache_hits"));
+        self.c_cache_misses = obs.counter(&format!("redirect.table.{scope}.target_cache_misses"));
         self.g_entries = obs.gauge(&format!("redirect.table.{scope}.entries"));
         self.g_entries.set(self.entries.len() as f64);
     }
@@ -111,6 +124,7 @@ impl RedirectorTable {
     /// Installs (or replaces) the entry for a service access point.
     pub fn install(&mut self, sap: SockAddr, entry: ServiceEntry) {
         self.entries.insert(sap, entry);
+        self.target_cache.get_mut().remove(&sap);
         self.c_installs.inc();
         self.g_entries.set(self.entries.len() as f64);
     }
@@ -119,10 +133,53 @@ impl RedirectorTable {
     pub fn remove(&mut self, sap: SockAddr) -> Option<ServiceEntry> {
         let removed = self.entries.remove(&sap);
         if removed.is_some() {
+            self.target_cache.get_mut().remove(&sap);
             self.c_removes.inc();
             self.g_entries.set(self.entries.len() as f64);
         }
         removed
+    }
+
+    /// The nearest *routable* replica for a scaled service, memoized.
+    ///
+    /// On a cache miss the replicas are scanned in order, keeping the first
+    /// strictly-lowest-metric host for which `routable` yields an egress
+    /// interface (so ties break identically to the uncached `min_by_key`
+    /// scan). The result — including "nothing routable" — is cached until
+    /// the entry is mutated or [`invalidate_targets`](Self::invalidate_targets)
+    /// is called. Returns `None` for missing or fault-tolerant entries.
+    pub fn scaled_target(
+        &self,
+        sap: SockAddr,
+        mut routable: impl FnMut(IpAddr) -> Option<IfaceId>,
+    ) -> Option<(IpAddr, IfaceId)> {
+        let replicas = match self.entries.get(&sap) {
+            Some(ServiceEntry::Scaled { replicas }) => replicas,
+            _ => return None,
+        };
+        if let Some(&cached) = self.target_cache.borrow().get(&sap) {
+            self.c_cache_hits.inc();
+            return cached;
+        }
+        self.c_cache_misses.inc();
+        let mut best: Option<(u32, IpAddr, IfaceId)> = None;
+        for r in replicas {
+            if best.is_some_and(|(m, _, _)| m <= r.metric) {
+                continue;
+            }
+            if let Some(iface) = routable(r.host) {
+                best = Some((r.metric, r.host, iface));
+            }
+        }
+        let picked = best.map(|(_, host, iface)| (host, iface));
+        self.target_cache.borrow_mut().insert(sap, picked);
+        picked
+    }
+
+    /// Drops every memoized target. Call after anything *outside* the table
+    /// changes which replicas are routable (i.e. the routing table).
+    pub fn invalidate_targets(&mut self) {
+        self.target_cache.get_mut().clear();
     }
 
     /// Looks up the entry for `sap`. Packets with no entry "are simply
@@ -141,6 +198,9 @@ impl RedirectorTable {
 
     /// Mutable access to the FT chain for `sap` (used by reconfiguration).
     pub fn chain_mut(&mut self, sap: SockAddr) -> Option<&mut Vec<IpAddr>> {
+        // FT entries never populate the scaled-target cache, but an entry
+        // handed out mutably is an entry we can no longer vouch for.
+        self.target_cache.get_mut().remove(&sap);
         match self.entries.get_mut(&sap) {
             Some(ServiceEntry::FaultTolerant { chain }) => Some(chain),
             _ => None,
@@ -233,6 +293,107 @@ mod tests {
         assert_eq!(e.targets(), vec![host(2)]);
         let empty = ServiceEntry::Scaled { replicas: vec![] };
         assert!(empty.targets().is_empty());
+    }
+
+    fn scaled(pairs: &[(u8, u32)]) -> ServiceEntry {
+        ServiceEntry::Scaled {
+            replicas: pairs
+                .iter()
+                .map(|&(n, metric)| ReplicaLoc {
+                    host: host(n),
+                    metric,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn scaled_target_memoizes_the_scan() {
+        let mut t = RedirectorTable::new();
+        t.install(sap(80), scaled(&[(1, 10), (2, 3), (3, 7)]));
+        let probes = std::cell::Cell::new(0);
+        let routable = |_h: IpAddr| {
+            probes.set(probes.get() + 1);
+            Some(IfaceId::from_index(0))
+        };
+        assert_eq!(
+            t.scaled_target(sap(80), routable),
+            Some((host(2), IfaceId::from_index(0)))
+        );
+        // Only improving candidates are probed: hosts 1 and 2, not 3.
+        assert_eq!(probes.get(), 2);
+        // Second lookup is served from the cache: no routing probes at all.
+        assert_eq!(
+            t.scaled_target(sap(80), routable),
+            Some((host(2), IfaceId::from_index(0)))
+        );
+        assert_eq!(probes.get(), 2);
+    }
+
+    #[test]
+    fn scaled_target_skips_unroutable_nearest() {
+        let t = {
+            let mut t = RedirectorTable::new();
+            t.install(sap(80), scaled(&[(1, 1), (2, 2), (3, 3)]));
+            t
+        };
+        // Nearest replica has no route: the next-nearest routable one wins.
+        let got = t.scaled_target(sap(80), |h| (h != host(1)).then(|| IfaceId::from_index(9)));
+        assert_eq!(got, Some((host(2), IfaceId::from_index(9))));
+        // Nothing routable: the negative result is cached too.
+        let mut t2 = RedirectorTable::new();
+        t2.install(sap(80), scaled(&[(1, 1)]));
+        assert_eq!(t2.scaled_target(sap(80), |_| None::<IfaceId>), None);
+        let mut probes = 0;
+        assert_eq!(
+            t2.scaled_target(sap(80), |_| {
+                probes += 1;
+                Some(IfaceId::from_index(0))
+            }),
+            None,
+            "negative result must be served from the cache"
+        );
+        assert_eq!(probes, 0);
+        // ... until the caller declares routing changed.
+        t2.invalidate_targets();
+        assert_eq!(
+            t2.scaled_target(sap(80), |_| Some(IfaceId::from_index(0))),
+            Some((host(1), IfaceId::from_index(0)))
+        );
+    }
+
+    #[test]
+    fn install_and_remove_invalidate_cached_target() {
+        let mut t = RedirectorTable::new();
+        t.install(sap(80), scaled(&[(1, 5), (2, 9)]));
+        let routable = |_h: IpAddr| Some(IfaceId::from_index(0));
+        assert_eq!(t.scaled_target(sap(80), routable).unwrap().0, host(1));
+        // Replacing the entry must not serve the stale pick.
+        t.install(sap(80), scaled(&[(1, 5), (2, 2)]));
+        assert_eq!(t.scaled_target(sap(80), routable).unwrap().0, host(2));
+        // A different service's cache entry is untouched by the mutation.
+        t.install(sap(443), scaled(&[(3, 1)]));
+        assert_eq!(t.scaled_target(sap(443), routable).unwrap().0, host(3));
+        t.install(sap(80), scaled(&[(1, 0)]));
+        assert_eq!(t.scaled_target(sap(443), routable).unwrap().0, host(3));
+        // Removal clears the pick along with the entry.
+        t.remove(sap(80));
+        assert_eq!(t.scaled_target(sap(80), routable), None);
+    }
+
+    #[test]
+    fn scaled_target_ignores_ft_entries() {
+        let mut t = RedirectorTable::new();
+        t.install(
+            sap(80),
+            ServiceEntry::FaultTolerant {
+                chain: vec![host(1), host(2)],
+            },
+        );
+        assert_eq!(
+            t.scaled_target(sap(80), |_| Some(IfaceId::from_index(0))),
+            None
+        );
     }
 
     #[test]

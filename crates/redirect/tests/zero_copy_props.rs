@@ -9,11 +9,15 @@
 
 use hydranet_netsim::buf::PacketBuf;
 use hydranet_netsim::frag::{fragment_packet, Reassembler};
+use hydranet_netsim::node::IfaceId;
 use hydranet_netsim::packet::{IpAddr, IpPacket, Protocol, IP_HEADER_LEN};
 use hydranet_netsim::rng::SimRng;
+use hydranet_netsim::routing::Prefix;
 use hydranet_netsim::time::SimTime;
+use hydranet_redirect::redirector::RedirectorEngine;
+use hydranet_redirect::table::{ReplicaLoc, ServiceEntry};
 use hydranet_redirect::tunnel::{decapsulate, encapsulate, encapsulate_buf, TUNNEL_OVERHEAD};
-use hydranet_tcp::segment::{TcpFlags, TcpSegment, TCP_HEADER_LEN};
+use hydranet_tcp::segment::{SockAddr, TcpFlags, TcpSegment, TCP_HEADER_LEN};
 use hydranet_tcp::seq::SeqNum;
 
 const CLIENT: IpAddr = IpAddr::new(10, 0, 1, 1);
@@ -187,6 +191,84 @@ fn prop_slice_of_slice_payloads() {
             back_packet.payload.to_vec(),
             packet.encode().slice(IP_HEADER_LEN..).to_vec()
         );
+    }
+}
+
+/// The redirector's memoized scaled-target pick is never stale: after every
+/// random table install/remove or route addition, the packet the engine
+/// emits goes exactly where a fresh (uncached) nearest-routable scan says
+/// it should.
+#[test]
+fn prop_scaled_target_cache_is_never_stale() {
+    let mut rng = SimRng::seed_from(0x5CA1ED);
+    let hosts: Vec<IpAddr> = (2..10).map(|k| IpAddr::new(10, 0, k, 1)).collect();
+    let sap = SockAddr::new(SERVICE, 80);
+    let packet = || {
+        let seg = TcpSegment {
+            src_port: 40_000,
+            dst_port: 80,
+            seq: SeqNum::new(1),
+            ack: SeqNum::new(0),
+            flags: TcpFlags::ACK,
+            window: 1000,
+            payload: vec![7u8; 16].into(),
+        };
+        IpPacket::new(CLIENT, SERVICE, Protocol::TCP, seg.encode())
+    };
+
+    let mut e = RedirectorEngine::new(REDIRECTOR);
+    let mut routed = vec![false; hosts.len()];
+    for _ in 0..400 {
+        // Random mutation: reinstall the entry, drop it, or grow routing.
+        match rng.range(0, 4) {
+            0 | 1 => {
+                let n = rng.range(1, hosts.len() as u64) as usize;
+                let replicas: Vec<ReplicaLoc> = (0..n)
+                    .map(|_| ReplicaLoc {
+                        host: hosts[rng.range(0, hosts.len() as u64) as usize],
+                        metric: rng.range(0, 6) as u32,
+                    })
+                    .collect();
+                e.table_mut()
+                    .install(sap, ServiceEntry::Scaled { replicas });
+            }
+            2 => {
+                e.table_mut().remove(sap);
+            }
+            _ => {
+                let k = rng.range(0, hosts.len() as u64) as usize;
+                if !routed[k] {
+                    routed[k] = true;
+                    e.routes_mut()
+                        .add(Prefix::host(hosts[k]), IfaceId::from_index(k + 1));
+                }
+            }
+        }
+
+        // Reference pick: an uncached first-wins min-metric scan over the
+        // currently-routable replicas.
+        let expected = match e.table().lookup(sap) {
+            Some(ServiceEntry::Scaled { replicas }) => replicas
+                .iter()
+                .filter(|r| e.routes().lookup(r.host).is_some())
+                .fold(None::<ReplicaLoc>, |best, r| match best {
+                    Some(b) if b.metric <= r.metric => Some(b),
+                    _ => Some(*r),
+                }),
+            _ => None,
+        };
+
+        let mut out = Vec::new();
+        e.process(packet(), SimTime::ZERO, &mut out);
+        match expected {
+            Some(r) => {
+                assert_eq!(out.len(), 1, "expected one tunnelled copy");
+                let (iface, p) = &out[0];
+                assert_eq!(p.dst(), r.host, "stale cached target");
+                assert_eq!(*iface, e.routes().lookup(r.host).unwrap());
+            }
+            None => assert!(out.is_empty(), "emitted despite no routable replica"),
+        }
     }
 }
 
