@@ -1,0 +1,216 @@
+//! Chaos-soak driver: scripted fault plans swept over seeds, fanned out
+//! across the parallel experiment engine, with hard invariants asserted on
+//! every run.
+//!
+//! ```text
+//! chaos [--smoke] [--seeds N] [--threads N]
+//! ```
+//!
+//! - `--smoke`     scaled-down soak for CI (4 seeds per fault class);
+//! - `--seeds N`   override the per-class seed count;
+//! - `--threads N` measure at 1 and N threads (default: 1, 2, and 4).
+//!
+//! The soak runs once per thread count, asserts every merged report is
+//! **byte-identical** to the single-threaded one, asserts the chaos
+//! invariants (client stream intact and exactly-once, survivor replicas
+//! intact, chain reconverged) over every `(class, seed)` run, prints
+//! per-class recovery-latency distributions, and writes `BENCH_chaos.json`.
+
+use std::fmt::Write as _;
+
+use hydranet_bench::chaos::{
+    merged_report, run_chaos_soak, total_events, violations, ChaosConfig, ChaosOutcome, CLASSES,
+};
+use hydranet_bench::{render_table, RunnerStats};
+use hydranet_obs::Obs;
+
+struct Measurement {
+    threads: usize,
+    stats: RunnerStats,
+    events: u64,
+}
+
+impl Measurement {
+    fn events_per_sec(&self) -> f64 {
+        if self.stats.wall_nanos == 0 {
+            0.0
+        } else {
+            self.events as f64 * 1e9 / self.stats.wall_nanos as f64
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ChaosConfig::default();
+    let mut thread_counts: Vec<usize> = vec![1, 2, 4];
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => cfg = ChaosConfig::smoke(),
+            "--seeds" => {
+                i += 1;
+                cfg.seeds_per_class = args[i].parse().expect("--seeds takes a number");
+            }
+            "--threads" => {
+                i += 1;
+                let n: usize = args[i].parse().expect("--threads takes a number");
+                thread_counts = if n <= 1 { vec![1] } else { vec![1, n] };
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --smoke, --seeds N, --threads N)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "chaos soak: {} classes x {} seeds, threshold {}, host has {} cpu(s)",
+        CLASSES.len(),
+        cfg.seeds_per_class,
+        cfg.threshold,
+        host_cpus
+    );
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let mut reference: Option<(Vec<ChaosOutcome>, String)> = None;
+    for &threads in &thread_counts {
+        let (outcomes, stats) = run_chaos_soak(&cfg, threads);
+        let events = total_events(&outcomes);
+        let report = merged_report(&cfg, &outcomes);
+        match &reference {
+            None => reference = Some((outcomes, report)),
+            Some((ref_outcomes, ref_report)) => {
+                assert_eq!(
+                    ref_outcomes, &outcomes,
+                    "outcomes diverged between threads={} and threads={threads}",
+                    thread_counts[0]
+                );
+                assert_eq!(
+                    ref_report, &report,
+                    "merged report not byte-identical at threads={threads}"
+                );
+            }
+        }
+        println!(
+            "  threads={threads}: {:.1} ms wall, {:.0} events/sec, utilization {:.2}",
+            stats.wall_nanos as f64 / 1e6,
+            events as f64 * 1e9 / stats.wall_nanos.max(1) as f64,
+            stats.utilization()
+        );
+        measurements.push(Measurement {
+            threads,
+            stats,
+            events,
+        });
+    }
+    let (outcomes, report) = reference.expect("at least one thread count");
+
+    // The soak's point: every run must satisfy the invariants.
+    let bad = violations(&outcomes);
+    assert!(
+        bad.is_empty(),
+        "{} invariant violation(s):\n{}",
+        bad.len(),
+        bad.join("\n")
+    );
+    println!();
+    println!(
+        "invariants held on all {} runs ({} classes x {} seeds)",
+        outcomes.len(),
+        CLASSES.len(),
+        cfg.seeds_per_class
+    );
+
+    // Per-class recovery-latency distribution table.
+    let q = |sorted: &[u64], p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize] as f64 / 1e6;
+    let header: Vec<String> = ["class", "runs", "p50 ms", "p90 ms", "p99 ms", "max ms"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = CLASSES
+        .iter()
+        .filter_map(|&class| {
+            let mut vals: Vec<u64> = outcomes
+                .iter()
+                .filter(|o| o.class == class.name())
+                .filter_map(|o| o.recovery_ns)
+                .collect();
+            if vals.is_empty() {
+                return None;
+            }
+            vals.sort_unstable();
+            Some(vec![
+                class.name().to_string(),
+                vals.len().to_string(),
+                format!("{:.1}", q(&vals, 0.50)),
+                format!("{:.1}", q(&vals, 0.90)),
+                format!("{:.1}", q(&vals, 0.99)),
+                format!("{:.1}", vals[vals.len() - 1] as f64 / 1e6),
+            ])
+        })
+        .collect();
+    println!("client-visible recovery latency per fault class:");
+    println!("{}", render_table(&header, &rows));
+
+    // Speedup table (wall-clock; honest about the host).
+    let base_wall = measurements[0].stats.wall_nanos.max(1) as f64;
+    let header: Vec<String> = ["threads", "wall ms", "events/sec", "speedup", "util"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            vec![
+                m.threads.to_string(),
+                format!("{:.1}", m.stats.wall_nanos as f64 / 1e6),
+                format!("{:.0}", m.events_per_sec()),
+                format!("{:.2}x", base_wall / m.stats.wall_nanos.max(1) as f64),
+                format!("{:.2}", m.stats.utilization()),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &rows));
+
+    // Engine telemetry through the obs registry (runner.* metrics).
+    let obs = Obs::enabled();
+    if let Some(last) = measurements.last() {
+        last.stats.publish(&obs, last.events);
+    }
+
+    let mut json = String::with_capacity(report.len() + 4096);
+    json.push_str("{\n\"bench\": \"chaos_soak\",\n");
+    let _ = write!(json, "\"host_cpus\": {host_cpus},\n\"timing\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "  {{\"threads\": {}, \"wall_nanos\": {}, \"worker_busy_nanos\": {}, \"tasks\": {}, \"events\": {}, \"events_per_sec\": {:.1}, \"speedup_vs_1\": {:.3}, \"utilization\": {:.3}}}",
+            m.threads,
+            m.stats.wall_nanos,
+            m.stats.worker_busy_nanos,
+            m.stats.tasks_completed,
+            m.events,
+            m.events_per_sec(),
+            base_wall / m.stats.wall_nanos.max(1) as f64,
+            m.stats.utilization()
+        );
+    }
+    json.push_str("\n],\n\"runner_telemetry\": ");
+    json.push_str(obs.to_json().trim_end());
+    json.push_str(",\n\"report\": ");
+    json.push_str(report.trim_end());
+    json.push_str("\n}\n");
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!(
+        "wrote BENCH_chaos.json ({} runs, byte-identical across {thread_counts:?} threads)",
+        outcomes.len()
+    );
+}

@@ -1,0 +1,512 @@
+//! Chaos soak: scripted fault plans swept over many seeds, with hard
+//! invariants instead of point measurements.
+//!
+//! Each *fault class* is a [`FaultPlan`] template — primary / mid-chain /
+//! tail crash with recovery, a redirector outage, a client-link flap, an
+//! impaired-link window (loss + reordering + duplication + corruption), a
+//! group partition, and an ack-channel loss burst. Per `(class, seed)` the
+//! soak builds a star deployment, streams an echo transfer through it,
+//! applies the plan, and checks the properties that must survive *any* of
+//! these faults:
+//!
+//! - **stream intact, exactly once** — the client's reply stream equals the
+//!   sent payload byte for byte (detects loss, duplication, and corrupt
+//!   segments sneaking past a checksum);
+//! - **survivor replicas intact** — every replica that never crashed
+//!   consumed the full client stream (a permanently gated deposit buffer
+//!   would leave a survivor short);
+//! - **chain reconverges** — after recovery the redirector's chain is back
+//!   to full strength with a single primary at its head.
+//!
+//! Each run is a pure function of `(config, class, seed)` on the parallel
+//! experiment engine ([`crate::runner`]), so outcomes and the merged report
+//! are byte-identical at any thread count. The `chaos` binary wraps the
+//! report in `BENCH_chaos.json` with per-class recovery-latency
+//! distributions (p50/p90/p99 from the client's largest reply gap).
+
+use hydranet_core::faults::FaultPlan;
+use hydranet_core::prelude::*;
+use hydranet_netsim::link::Impairments;
+use hydranet_obs::{json, Obs};
+
+use crate::ablations::{build_star, service, Star};
+use crate::runner::{run_tasks, RunnerStats, Task};
+
+/// The scripted fault classes the soak sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Crash the chain head mid-transfer; recover it later.
+    PrimaryCrash,
+    /// Crash the middle backup of a 3-chain mid-transfer; recover it later.
+    MidChainCrash,
+    /// Crash the chain tail of a 3-chain mid-transfer; recover it later.
+    TailCrash,
+    /// Crash the redirector briefly (its tables survive, traffic does not).
+    RedirectorOutage,
+    /// Take the client's access link down briefly.
+    ClientLinkFlap,
+    /// A window of loss + reordering + duplication + corruption on the
+    /// client link.
+    ImpairedLinks,
+    /// Partition both backups of a 3-chain from the redirector, then heal.
+    Partition,
+    /// A Bernoulli loss burst on the first backup's link — the path that
+    /// carries its §4.3 acknowledgement channel.
+    AckChannelBurst,
+}
+
+/// Every class, in report order.
+pub const CLASSES: [FaultClass; 8] = [
+    FaultClass::PrimaryCrash,
+    FaultClass::MidChainCrash,
+    FaultClass::TailCrash,
+    FaultClass::RedirectorOutage,
+    FaultClass::ClientLinkFlap,
+    FaultClass::ImpairedLinks,
+    FaultClass::Partition,
+    FaultClass::AckChannelBurst,
+];
+
+impl FaultClass {
+    /// Stable name used in task labels, metrics, and the JSON report.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::PrimaryCrash => "primary_crash",
+            FaultClass::MidChainCrash => "midchain_crash",
+            FaultClass::TailCrash => "tail_crash",
+            FaultClass::RedirectorOutage => "redirector_outage",
+            FaultClass::ClientLinkFlap => "client_link_flap",
+            FaultClass::ImpairedLinks => "impaired_links",
+            FaultClass::Partition => "partition",
+            FaultClass::AckChannelBurst => "ackchan_burst",
+        }
+    }
+
+    /// Chain length the class deploys (crash position needs a 3-chain for
+    /// the mid-chain and tail cases).
+    pub fn replicas(self) -> usize {
+        match self {
+            FaultClass::MidChainCrash | FaultClass::TailCrash | FaultClass::Partition => 3,
+            _ => 2,
+        }
+    }
+
+    /// The replica (chain index) this class crashes, if any.
+    fn crashed_replica(self) -> Option<usize> {
+        match self {
+            FaultClass::PrimaryCrash => Some(0),
+            FaultClass::MidChainCrash => Some(1),
+            FaultClass::TailCrash => Some(2),
+            _ => None,
+        }
+    }
+
+    /// Builds the class's fault plan against a deployed star, starting at
+    /// `t0`.
+    fn plan(self, star: &Star, t0: SimTime, cfg: &ChaosConfig) -> FaultPlan {
+        match self {
+            FaultClass::PrimaryCrash | FaultClass::MidChainCrash | FaultClass::TailCrash => {
+                let victim = star.replicas[self.crashed_replica().expect("crash class")];
+                FaultPlan::new().crash_for(victim, t0, cfg.crash_downtime)
+            }
+            FaultClass::RedirectorOutage => {
+                // Short: the engine's tables survive the crash, but every
+                // packet through it blackholes until recovery.
+                FaultPlan::new().crash_for(star.rd, t0, SimDuration::from_millis(100))
+            }
+            FaultClass::ClientLinkFlap => {
+                FaultPlan::new().link_flap(star.client_link, t0, SimDuration::from_millis(100))
+            }
+            FaultClass::ImpairedLinks => {
+                let imp = Impairments::NONE
+                    .with_loss(LossModel::Bernoulli { p: 0.02 })
+                    .with_reordering(0.2, SimDuration::from_millis(2))
+                    .with_duplication(0.05)
+                    .with_corruption(0.05);
+                FaultPlan::new().impair_for(
+                    star.client_link,
+                    imp,
+                    t0,
+                    SimDuration::from_millis(500),
+                )
+            }
+            FaultClass::Partition => {
+                // Cut both backups off (their links to the redirector);
+                // heal before the controller's probe round can conclude
+                // they are dead.
+                let group: Vec<NodeId> = star.replicas[1..].to_vec();
+                FaultPlan::new().partition(
+                    &star.system.sim,
+                    &group,
+                    t0,
+                    SimDuration::from_millis(150),
+                )
+            }
+            FaultClass::AckChannelBurst => FaultPlan::new().loss_burst(
+                star.replica_links[1],
+                0.3,
+                t0,
+                SimDuration::from_millis(250),
+            ),
+        }
+    }
+}
+
+/// Knobs for the chaos soak.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seeds per fault class (the full soak uses ≥ 100).
+    pub seeds_per_class: u64,
+    /// First seed; class *c*, index *i* runs seed `base_seed + 1000 c + i`.
+    pub base_seed: u64,
+    /// Detector retransmission threshold.
+    pub threshold: u32,
+    /// Bytes the client streams (echoed back).
+    pub payload: usize,
+    /// Give-up deadline per run (simulated).
+    pub deadline: SimTime,
+    /// How long crashed nodes stay down. Long enough that detection,
+    /// probing, and splicing finish first, so recovery is a clean re-join.
+    pub crash_downtime: SimDuration,
+    /// Extra simulated time after transfer completion for the chain to
+    /// reconverge (recovered replicas re-register).
+    pub converge_grace: SimDuration,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seeds_per_class: 100,
+            base_seed: 7000,
+            threshold: 4,
+            payload: 90_000,
+            deadline: SimTime::from_secs(60),
+            crash_downtime: SimDuration::from_secs(8),
+            converge_grace: SimDuration::from_secs(10),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A scaled-down soak for CI smoke runs and tests.
+    pub fn smoke() -> Self {
+        ChaosConfig {
+            seeds_per_class: 4,
+            payload: 60_000,
+            ..ChaosConfig::default()
+        }
+    }
+}
+
+/// Everything one `(class, seed)` run measured. Derives only from simulated
+/// time and seed-determined state — bit-identical across thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosOutcome {
+    /// Fault class name.
+    pub class: &'static str,
+    /// The run's seed.
+    pub seed: u64,
+    /// Faults the plan injected.
+    pub faults: u64,
+    /// Whether the echo transfer completed before the deadline.
+    pub completed: bool,
+    /// Whether the client's reply stream equals the payload byte-for-byte.
+    pub intact: bool,
+    /// Whether every never-crashed replica consumed the full stream (the
+    /// observable form of "no permanently gated deposit buffer").
+    pub survivors_intact: bool,
+    /// Final chain length at the redirector (expected: the class's full
+    /// replica count after recovery).
+    pub chain_len: usize,
+    /// Chain length the class should reconverge to.
+    pub chain_expected: usize,
+    /// Largest client-visible gap between reply bytes — the recovery
+    /// latency the client experienced.
+    pub recovery_ns: Option<u64>,
+    /// Detect→promote latency, when the run involved a fail-over.
+    pub detection_latency_ns: Option<u64>,
+    /// Bytes the client received.
+    pub bytes: usize,
+    /// Simulated events processed.
+    pub events: u64,
+}
+
+impl ChaosOutcome {
+    /// The soak's hard invariants for this run.
+    pub fn invariants_hold(&self) -> bool {
+        self.completed
+            && self.intact
+            && self.survivors_intact
+            && self.chain_len == self.chain_expected
+    }
+}
+
+/// Runs one `(class, seed)` chaos run. Pure function of its arguments —
+/// the unit of parallel work.
+pub fn chaos_point(cfg: &ChaosConfig, class: FaultClass, seed: u64) -> ChaosOutcome {
+    let detector = DetectorParams::new(cfg.threshold, SimDuration::from_secs(60));
+    let n = class.replicas();
+    let mut star = build_star(n, detector, true, seed);
+
+    let payload: Vec<u8> = (0..cfg.payload).map(|i| (i % 251) as u8).collect();
+    let state = shared(SenderState::default());
+    let app = StreamSenderApp::new(payload.clone(), false, state.clone());
+    star.system
+        .connect_client(star.client, service(), Box::new(app));
+
+    // The fault lands 50 ms in, jittered across a 40 ms window per seed so
+    // it hits different phases of the transfer.
+    let jitter_ns = hydranet_netsim::rng::SimRng::seed_from(seed).next_u64() % 40_000_000;
+    let t0 = star
+        .system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(50))
+        .saturating_add(SimDuration::from_nanos(jitter_ns));
+    let plan = class.plan(&star, t0, cfg);
+    plan.apply(&mut star.system);
+
+    let mut step = star.system.sim.now();
+    while star.system.sim.now() < cfg.deadline {
+        if state.borrow().replies.data.len() >= cfg.payload {
+            break;
+        }
+        step = step.saturating_add(SimDuration::from_millis(20));
+        star.system.sim.run_until(step);
+    }
+    let (completed, intact, bytes, recovery_ns) = {
+        let st = state.borrow();
+        (
+            st.replies.data.len() >= cfg.payload,
+            st.replies.data == payload,
+            st.replies.data.len(),
+            st.replies.max_gap_duration().map(|d| d.as_nanos()),
+        )
+    };
+
+    // Survivors (replicas the plan never crashed) must have consumed the
+    // whole stream — a stuck deposit gate would leave one short.
+    let crashed = class.crashed_replica();
+    let survivors_intact = star
+        .sinks
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| Some(i) != crashed)
+        .all(|(_, sink)| sink.borrow().data == payload);
+
+    // Reconvergence: recovered replicas re-register, so the chain must be
+    // back to full strength.
+    let converge_deadline = star.system.sim.now().saturating_add(cfg.converge_grace);
+    star.system
+        .wait_for_chain(star.rd, service(), n, converge_deadline);
+    let chain_len = star
+        .system
+        .redirector(star.rd)
+        .controller()
+        .chain(service())
+        .map_or(0, <[IpAddr]>::len);
+
+    ChaosOutcome {
+        class: class.name(),
+        seed,
+        faults: plan.len() as u64,
+        completed,
+        intact,
+        survivors_intact,
+        chain_len,
+        chain_expected: n,
+        recovery_ns,
+        detection_latency_ns: star.system.detection_latency_nanos(),
+        bytes,
+        events: star.system.sim.stats().events_processed,
+    }
+}
+
+/// Runs the full soak (every class × every seed) across the experiment
+/// engine. Outcomes come back in (class, seed) order regardless of
+/// `threads`.
+pub fn run_chaos_soak(cfg: &ChaosConfig, threads: usize) -> (Vec<ChaosOutcome>, RunnerStats) {
+    let tasks: Vec<Task<ChaosOutcome>> = CLASSES
+        .iter()
+        .flat_map(|&class| (0..cfg.seeds_per_class).map(move |i| (class, i)))
+        .map(|(class, i)| {
+            let seed = cfg.base_seed + 1000 * class_index(class) + i;
+            let cfg = cfg.clone();
+            Task::new(format!("chaos-{}-{seed}", class.name()), seed, move || {
+                chaos_point(&cfg, class, seed)
+            })
+        })
+        .collect();
+    run_tasks(tasks, threads)
+}
+
+fn class_index(class: FaultClass) -> u64 {
+    CLASSES
+        .iter()
+        .position(|&c| c == class)
+        .expect("known class") as u64
+}
+
+/// Violation descriptions for any outcome whose invariants failed (empty
+/// when the soak is clean).
+pub fn violations(outcomes: &[ChaosOutcome]) -> Vec<String> {
+    outcomes
+        .iter()
+        .filter(|o| !o.invariants_hold())
+        .map(|o| {
+            format!(
+                "{} seed {}: completed={} intact={} survivors_intact={} chain={}/{}",
+                o.class,
+                o.seed,
+                o.completed,
+                o.intact,
+                o.survivors_intact,
+                o.chain_len,
+                o.chain_expected
+            )
+        })
+        .collect()
+}
+
+/// Total simulated events across outcomes.
+pub fn total_events(outcomes: &[ChaosOutcome]) -> u64 {
+    outcomes.iter().map(|o| o.events).sum()
+}
+
+/// Builds the deterministic merged report: per-class recovery-latency and
+/// detection-latency distributions (p50/p90/p99 via `obs` histograms) plus
+/// the per-run array. Contains no wall-clock data — byte-identical however
+/// the soak was scheduled.
+pub fn merged_report(cfg: &ChaosConfig, outcomes: &[ChaosOutcome]) -> String {
+    let obs = Obs::enabled();
+    let runs = obs.counter("chaos.runs");
+    let ok = obs.counter("chaos.invariants_ok");
+    let faults = obs.counter("chaos.faults_injected");
+    let events = obs.counter("chaos.total_events");
+    for o in outcomes {
+        runs.inc();
+        if o.invariants_hold() {
+            ok.inc();
+        }
+        faults.add(o.faults);
+        events.add(o.events);
+        if let Some(ns) = o.recovery_ns {
+            obs.histogram(&format!("chaos.{}.recovery_ns", o.class))
+                .record(ns);
+        }
+        if let Some(ns) = o.detection_latency_ns {
+            obs.histogram(&format!("chaos.{}.detection_latency_ns", o.class))
+                .record(ns);
+        }
+    }
+    let summary = obs.to_json_with_meta(&[
+        ("workload", "chaos_soak".into()),
+        ("classes", CLASSES.len().to_string()),
+        ("seeds_per_class", cfg.seeds_per_class.to_string()),
+        ("base_seed", cfg.base_seed.to_string()),
+        ("threshold", cfg.threshold.to_string()),
+        ("payload", cfg.payload.to_string()),
+    ]);
+
+    let mut out = String::with_capacity(summary.len() + outcomes.len() * 160);
+    out.push_str("{\n\"summary\": ");
+    out.push_str(summary.trim_end());
+    out.push_str(",\n\"runs\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("  {\"class\": \"");
+        out.push_str(o.class);
+        out.push_str("\", \"seed\": ");
+        json::push_u64(&mut out, o.seed);
+        out.push_str(", \"faults\": ");
+        json::push_u64(&mut out, o.faults);
+        out.push_str(", \"completed\": ");
+        out.push_str(if o.completed { "true" } else { "false" });
+        out.push_str(", \"intact\": ");
+        out.push_str(if o.intact { "true" } else { "false" });
+        out.push_str(", \"survivors_intact\": ");
+        out.push_str(if o.survivors_intact { "true" } else { "false" });
+        out.push_str(", \"chain_len\": ");
+        json::push_u64(&mut out, o.chain_len as u64);
+        out.push_str(", \"recovery_ns\": ");
+        push_opt_u64(&mut out, o.recovery_ns);
+        out.push_str(", \"detection_latency_ns\": ");
+        push_opt_u64(&mut out, o.detection_latency_ns);
+        out.push_str(", \"bytes\": ");
+        json::push_u64(&mut out, o.bytes as u64);
+        out.push_str(", \"events\": ");
+        json::push_u64(&mut out, o.events);
+        out.push('}');
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
+fn push_opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(n) => json::push_u64(out, n),
+        None => out.push_str("null"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ChaosConfig {
+        ChaosConfig {
+            seeds_per_class: 1,
+            payload: 60_000,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_class_passes_invariants_for_one_seed() {
+        let cfg = tiny();
+        let (outcomes, stats) = run_chaos_soak(&cfg, 2);
+        assert_eq!(outcomes.len(), CLASSES.len());
+        assert_eq!(stats.tasks_completed, CLASSES.len() as u64);
+        let bad = violations(&outcomes);
+        assert!(bad.is_empty(), "invariant violations: {bad:#?}");
+    }
+
+    #[test]
+    fn crash_classes_measure_a_failover() {
+        let cfg = tiny();
+        let o = chaos_point(&cfg, FaultClass::PrimaryCrash, cfg.base_seed);
+        assert!(o.completed && o.intact);
+        assert!(
+            o.detection_latency_ns.is_some(),
+            "primary crash must be detected and promoted"
+        );
+        assert!(o.recovery_ns.is_some());
+    }
+
+    #[test]
+    fn outcomes_are_thread_count_invariant() {
+        let cfg = tiny();
+        let (seq, _) = run_chaos_soak(&cfg, 1);
+        let (par, _) = run_chaos_soak(&cfg, 4);
+        assert_eq!(seq, par);
+        assert_eq!(merged_report(&cfg, &seq), merged_report(&cfg, &par));
+    }
+
+    #[test]
+    fn report_has_per_class_distributions() {
+        let cfg = tiny();
+        let (outcomes, _) = run_chaos_soak(&cfg, 2);
+        let report = merged_report(&cfg, &outcomes);
+        for needle in [
+            "\"workload\": \"chaos_soak\"",
+            "chaos.primary_crash.recovery_ns",
+            "\"p99\"",
+            "\"runs\": [",
+            "\"survivors_intact\"",
+        ] {
+            assert!(report.contains(needle), "missing {needle}");
+        }
+    }
+}

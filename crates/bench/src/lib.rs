@@ -8,6 +8,9 @@
 //! - [`ablations`] — design-space experiments the paper discusses in prose:
 //!   detector-threshold trade-off (A1), fail-over disruption (A2), chain
 //!   length scaling (A3), and ack-channel loss (A4).
+//! - [`sweep`] — fail-over behaviour as a seed-swept distribution.
+//! - [`chaos`] — scripted fault plans swept over seeds, with hard
+//!   invariants (stream intact, survivors intact, chain reconverges).
 //!
 //! Binaries (`fig4`, `detector_sweep`, `failover_latency`, `chain_scaling`,
 //! `ackchan_loss`) print paper-style tables; the Criterion benches wrap the
@@ -17,6 +20,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;
+pub mod chaos;
 pub mod fig4;
 pub mod runner;
 pub mod sweep;

@@ -21,6 +21,7 @@
 //! produces — thread count is a wall-clock knob, never a results knob.
 
 use hydranet_bench::ablations::{build_star, detector_sweep_threads, service, DetectorSweepConfig};
+use hydranet_bench::chaos::{self, ChaosConfig};
 use hydranet_bench::fig4::{run_point, Fig4Config, Fig4Params};
 use hydranet_bench::sweep::{detector_grid_json, merged_report, run_seed_sweep, SweepConfig};
 use hydranet_core::prelude::*;
@@ -103,6 +104,43 @@ fn ablation_grid_is_thread_count_invariant() {
     // Both runs did all the work, whatever the worker layout.
     assert_eq!(seq_stats.tasks_completed, thresholds.len() as u64);
     assert_eq!(par_stats.tasks_completed, thresholds.len() as u64);
+}
+
+/// Pinned fingerprint of the chaos partition run at the default base seed:
+/// the class whose recovery depends on the gate-starvation probe refreshing
+/// ack state after the partition heals. Captured at 1 thread; the soak must
+/// reproduce it bit-identically at 4.
+const PINNED_CHAOS_PARTITION: &str =
+    "partition seed=13000 events=4533 bytes=60000 recovery_ns=436484006";
+
+#[test]
+fn chaos_soak_is_thread_count_invariant_and_pinned() {
+    let cfg = ChaosConfig {
+        seeds_per_class: 1,
+        payload: 60_000,
+        ..ChaosConfig::default()
+    };
+    let (seq, _) = chaos::run_chaos_soak(&cfg, 1);
+    let (par, _) = chaos::run_chaos_soak(&cfg, 4);
+    assert_eq!(seq, par, "chaos outcomes diverged between 1 and 4 threads");
+    assert_eq!(
+        chaos::merged_report(&cfg, &seq),
+        chaos::merged_report(&cfg, &par),
+        "merged chaos report not byte-identical across thread counts"
+    );
+    assert!(chaos::violations(&seq).is_empty());
+    let o = seq
+        .iter()
+        .find(|o| o.class == "partition")
+        .expect("partition class present");
+    let fp = format!(
+        "partition seed={} events={} bytes={} recovery_ns={}",
+        o.seed,
+        o.events,
+        o.bytes,
+        o.recovery_ns.unwrap_or(0)
+    );
+    assert_eq!(fp, PINNED_CHAOS_PARTITION);
 }
 
 #[test]

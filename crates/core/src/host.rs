@@ -9,7 +9,7 @@ use hydranet_obs::Obs;
 use hydranet_tcp::conn::TcpConfig;
 use hydranet_tcp::detector::DetectorParams;
 use hydranet_tcp::segment::{Quad, SockAddr};
-use hydranet_tcp::stack::{SocketApp, StackEvent, TcpStack};
+use hydranet_tcp::stack::{EphemeralPortsExhausted, SocketApp, StackEvent, TcpStack};
 
 /// An ordinary, unmodified client host: one interface, one [`TcpStack`],
 /// no HydraNet software at all — "neither the client application, nor the
@@ -59,15 +59,20 @@ impl ClientHost {
     }
 
     /// Opens a connection to `remote` running `app`.
+    ///
+    /// # Errors
+    ///
+    /// Fails cleanly when the stack's ephemeral-port space to `remote` is
+    /// exhausted (no state created, nothing sent).
     pub fn connect(
         &mut self,
         ctx: &mut Context<'_>,
         remote: SockAddr,
         app: Box<dyn SocketApp>,
-    ) -> Quad {
-        let quad = self.stack.connect(remote, app, ctx.now());
+    ) -> Result<Quad, EphemeralPortsExhausted> {
+        let quad = self.stack.connect(remote, app, ctx.now())?;
         self.flush(ctx);
-        quad
+        Ok(quad)
     }
 
     /// Sends queued packets, collects events, and (re)arms the stack timer.

@@ -56,6 +56,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod apps;
+pub mod faults;
 pub mod host;
 pub mod redirector;
 pub mod scenario;
@@ -67,17 +68,18 @@ pub mod prelude {
         shared, EchoApp, LineReplyApp, RequestLoopApp, RequestLoopState, SenderState, Shared,
         SinkRegistry, SinkState, StreamSenderApp,
     };
+    pub use crate::faults::{FaultAction, FaultEvent, FaultPlan};
     pub use crate::host::{ClientHost, HostServer};
     pub use crate::redirector::ManagedRedirector;
     pub use crate::scenario::{measure_failover, run_ttcp, FailoverResult, TtcpConfig, TtcpResult};
     pub use crate::system::{FtServiceSpec, NodeKind, System, SystemBuilder};
     pub use hydranet_mgmt::failover::ProbeParams;
-    pub use hydranet_netsim::link::{LinkParams, LossModel};
+    pub use hydranet_netsim::link::{Impairments, LinkParams, LossModel};
     pub use hydranet_netsim::node::{NodeId, NodeParams};
     pub use hydranet_netsim::packet::IpAddr;
     pub use hydranet_netsim::time::{SimDuration, SimTime};
     pub use hydranet_tcp::conn::{KeepaliveConfig, TcpConfig};
     pub use hydranet_tcp::detector::DetectorParams;
     pub use hydranet_tcp::segment::{Quad, SockAddr};
-    pub use hydranet_tcp::stack::{SocketApp, SocketIo};
+    pub use hydranet_tcp::stack::{EphemeralPortsExhausted, SocketApp, SocketIo};
 }

@@ -15,7 +15,7 @@ use hydranet_obs::Obs;
 use hydranet_tcp::conn::TcpConfig;
 use hydranet_tcp::detector::DetectorParams;
 use hydranet_tcp::segment::{Quad, SockAddr};
-use hydranet_tcp::stack::SocketApp;
+use hydranet_tcp::stack::{EphemeralPortsExhausted, SocketApp};
 
 use crate::host::{ClientHost, HostServer};
 use crate::redirector::ManagedRedirector;
@@ -480,12 +480,35 @@ impl System {
     }
 
     /// Opens a client connection to `remote`, running `app`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client's ephemeral-port space to `remote` is
+    /// exhausted; use [`try_connect_client`](Self::try_connect_client) to
+    /// handle that recoverably.
     pub fn connect_client(
         &mut self,
         client: NodeId,
         remote: SockAddr,
         app: Box<dyn SocketApp>,
     ) -> Quad {
+        self.try_connect_client(client, remote, app)
+            .expect("client ephemeral ports exhausted")
+    }
+
+    /// Opens a client connection to `remote`, running `app`, failing
+    /// cleanly when the client's ephemeral-port space to `remote` is
+    /// exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EphemeralPortsExhausted`] without creating any state.
+    pub fn try_connect_client(
+        &mut self,
+        client: NodeId,
+        remote: SockAddr,
+        app: Box<dyn SocketApp>,
+    ) -> Result<Quad, EphemeralPortsExhausted> {
         self.sim
             .with_node_ctx::<ClientHost, _>(client, |host, ctx| host.connect(ctx, remote, app))
     }

@@ -3,7 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::link::{Direction, LinkId};
+use crate::link::{Direction, Impairments, LinkId};
 use crate::node::{NodeId, TimerId, TimerToken};
 use crate::packet::IpPacket;
 use crate::time::SimTime;
@@ -50,6 +50,10 @@ pub(crate) enum EventKind {
     LinkDown(LinkId),
     /// Restore a link to service.
     LinkUp(LinkId),
+    /// Replace a link's impairment set (both directions) at a scheduled
+    /// time — the mechanism behind timed loss bursts and impairment
+    /// windows in fault plans.
+    SetImpairments { link: LinkId, imp: Impairments },
 }
 
 #[derive(Debug)]

@@ -77,7 +77,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::buf::PacketBuf;
     pub use crate::frag::Reassembler;
-    pub use crate::link::{LinkId, LinkParams, LossModel};
+    pub use crate::link::{Impairments, LinkId, LinkParams, LossModel};
     pub use crate::node::{Context, IfaceId, Node, NodeId, NodeParams, TimerId, TimerToken};
     pub use crate::packet::{IpAddr, IpPacket, Protocol};
     pub use crate::rng::SimRng;

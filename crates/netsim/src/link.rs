@@ -93,28 +93,102 @@ pub enum LossModel {
 
 impl LossModel {
     fn validate(&self) -> Result<(), String> {
-        let check = |name: &str, v: f64| {
-            if (0.0..=1.0).contains(&v) {
-                Ok(())
-            } else {
-                Err(format!("{name} out of range: {v}"))
-            }
-        };
         match self {
             LossModel::None => Ok(()),
-            LossModel::Bernoulli { p } => check("p", *p),
+            LossModel::Bernoulli { p } => check_prob("p", *p),
             LossModel::GilbertElliott {
                 p_good,
                 p_bad,
                 p_good_to_bad,
                 p_bad_to_good,
             } => {
-                check("p_good", *p_good)?;
-                check("p_bad", *p_bad)?;
-                check("p_good_to_bad", *p_good_to_bad)?;
-                check("p_bad_to_good", *p_bad_to_good)
+                check_prob("p_good", *p_good)?;
+                check_prob("p_bad", *p_bad)?;
+                check_prob("p_good_to_bad", *p_good_to_bad)?;
+                check_prob("p_bad_to_good", *p_bad_to_good)
             }
         }
+    }
+}
+
+fn check_prob(name: &str, v: f64) -> Result<(), String> {
+    if (0.0..=1.0).contains(&v) {
+        Ok(())
+    } else {
+        Err(format!("{name} out of range: {v}"))
+    }
+}
+
+/// The full per-link impairment set: random loss plus reordering,
+/// duplication, and single-bit payload corruption.
+///
+/// Every stochastic decision draws from the simulation's single [`SimRng`]
+/// at the transmitter, in a fixed order, so a run's behaviour — including
+/// every injected fault — is a pure function of the seed. A probability of
+/// zero draws nothing from the RNG, so links without an impairment leave
+/// the random stream exactly as it was before impairments existed.
+///
+/// Corruption flips one uniformly-chosen bit of the *IP payload* (the
+/// transport segment), never the IP header: real IP protects its header
+/// with a dedicated checksum, so modelled corruption always lands on bytes
+/// the TCP/UDP checksum is responsible for catching.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Impairments {
+    /// Random loss model (per direction, independent draws).
+    pub loss: LossModel,
+    /// Probability a delivered packet receives extra propagation delay,
+    /// letting later packets overtake it (reordering).
+    pub reorder_p: f64,
+    /// Upper bound on the extra delay of a reordered packet (inclusive;
+    /// the draw is uniform in `1 ns ..= reorder_jitter`).
+    pub reorder_jitter: SimDuration,
+    /// Probability a delivered packet is delivered twice.
+    pub duplicate_p: f64,
+    /// Probability one payload bit of a delivered packet is flipped.
+    pub corrupt_p: f64,
+}
+
+impl Impairments {
+    /// No impairments at all (also the `Default`).
+    pub const NONE: Impairments = Impairments {
+        loss: LossModel::None,
+        reorder_p: 0.0,
+        reorder_jitter: SimDuration::ZERO,
+        duplicate_p: 0.0,
+        corrupt_p: 0.0,
+    };
+
+    /// Sets the loss model (builder style).
+    pub fn with_loss(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets reordering: with probability `p` a delivered packet is held
+    /// back by up to `jitter` extra delay (builder style).
+    pub fn with_reordering(mut self, p: f64, jitter: SimDuration) -> Self {
+        self.reorder_p = p;
+        self.reorder_jitter = jitter;
+        self
+    }
+
+    /// Sets the duplication probability (builder style).
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        self.duplicate_p = p;
+        self
+    }
+
+    /// Sets the single-bit corruption probability (builder style).
+    pub fn with_corruption(mut self, p: f64) -> Self {
+        self.corrupt_p = p;
+        self
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        self.loss.validate()?;
+        check_prob("reorder_p", self.reorder_p)?;
+        check_prob("duplicate_p", self.duplicate_p)?;
+        check_prob("corrupt_p", self.corrupt_p)
     }
 }
 
@@ -139,8 +213,8 @@ pub struct LinkParams {
     pub mtu: usize,
     /// Drop-tail queue capacity in packets (per direction).
     pub queue_packets: usize,
-    /// Random loss model (per direction, independent draws).
-    pub loss: LossModel,
+    /// Impairment set: loss, reordering, duplication, corruption.
+    pub impairments: Impairments,
 }
 
 impl LinkParams {
@@ -157,7 +231,7 @@ impl LinkParams {
             delay,
             mtu: 1500,
             queue_packets: 64,
-            loss: LossModel::None,
+            impairments: Impairments::NONE,
         }
     }
 
@@ -173,7 +247,8 @@ impl LinkParams {
         self
     }
 
-    /// Sets the loss model (builder style).
+    /// Sets the loss model (builder style), leaving the other impairments
+    /// untouched.
     ///
     /// # Panics
     ///
@@ -182,7 +257,20 @@ impl LinkParams {
         if let Err(msg) = loss.validate() {
             panic!("invalid loss model: {msg}");
         }
-        self.loss = loss;
+        self.impairments.loss = loss;
+        self
+    }
+
+    /// Replaces the whole impairment set (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability in the set is outside `0.0..=1.0`.
+    pub fn with_impairments(mut self, imp: Impairments) -> Self {
+        if let Err(msg) = imp.validate() {
+            panic!("invalid impairments: {msg}");
+        }
+        self.impairments = imp;
         self
     }
 
@@ -263,7 +351,7 @@ impl Link {
     /// Draws from the loss model; `true` means the packet is lost.
     pub(crate) fn draw_loss(&mut self, dir: Direction, rng: &mut SimRng) -> bool {
         let state = &mut self.dirs[dir.index()];
-        match &self.params.loss {
+        match &self.params.impairments.loss {
             LossModel::None => false,
             LossModel::Bernoulli { p } => rng.chance(*p),
             LossModel::GilbertElliott {
@@ -306,7 +394,21 @@ mod tests {
             .with_loss(LossModel::Bernoulli { p: 0.01 });
         assert_eq!(p.mtu, 576);
         assert_eq!(p.queue_packets, 10);
-        assert_eq!(p.loss, LossModel::Bernoulli { p: 0.01 });
+        assert_eq!(p.impairments.loss, LossModel::Bernoulli { p: 0.01 });
+        // `with_loss` leaves the rest of an impairment set untouched.
+        let p = p
+            .with_impairments(
+                Impairments::NONE
+                    .with_reordering(0.1, SimDuration::from_millis(2))
+                    .with_duplication(0.05)
+                    .with_corruption(0.01),
+            )
+            .with_loss(LossModel::Bernoulli { p: 0.02 });
+        assert_eq!(p.impairments.loss, LossModel::Bernoulli { p: 0.02 });
+        assert_eq!(p.impairments.reorder_p, 0.1);
+        assert_eq!(p.impairments.reorder_jitter, SimDuration::from_millis(2));
+        assert_eq!(p.impairments.duplicate_p, 0.05);
+        assert_eq!(p.impairments.corrupt_p, 0.01);
     }
 
     #[test]
@@ -319,6 +421,18 @@ mod tests {
     #[should_panic(expected = "invalid loss model")]
     fn bad_loss_probability_rejected() {
         let _ = LinkParams::default().with_loss(LossModel::Bernoulli { p: 1.5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid impairments")]
+    fn bad_impairment_probability_rejected() {
+        let _ = LinkParams::default().with_impairments(Impairments::NONE.with_duplication(-0.1));
+    }
+
+    #[test]
+    fn impairments_default_is_none() {
+        assert_eq!(Impairments::default(), Impairments::NONE);
+        assert_eq!(LinkParams::default().impairments, Impairments::NONE);
     }
 
     #[test]

@@ -412,6 +412,15 @@ pub enum DecodeError {
         /// Bytes actually available.
         available: usize,
     },
+    /// A transport checksum did not match — the payload was corrupted in
+    /// flight. Distinct from [`BadLength`](DecodeError::BadLength) so
+    /// receivers can count corruption separately from malformed framing.
+    BadChecksum {
+        /// Checksum carried in the header.
+        declared: u16,
+        /// Checksum computed over the received bytes.
+        actual: u16,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -428,6 +437,12 @@ impl fmt::Display for DecodeError {
                 write!(
                     f,
                     "bad length field: declared {declared}, available {available}"
+                )
+            }
+            DecodeError::BadChecksum { declared, actual } => {
+                write!(
+                    f,
+                    "checksum mismatch: declared {declared:#06x}, computed {actual:#06x}"
                 )
             }
         }

@@ -13,7 +13,7 @@ use hydranet_obs::{kinds, Obs};
 use crate::event::{EventKind, EventQueue};
 use crate::frag::fragment_packet;
 use crate::hash::{IntMap, IntSet};
-use crate::link::{Direction, Link, LinkId};
+use crate::link::{Direction, Impairments, Link, LinkId};
 use crate::node::{Action, Context, IfaceId, Node, NodeId, NodeParams};
 use crate::packet::IpPacket;
 use crate::rng::SimRng;
@@ -248,7 +248,8 @@ impl Simulator {
         self.nodes[node.index()].crashed
     }
 
-    /// Immediately replaces the loss model of `link` (both directions).
+    /// Immediately replaces the loss model of `link` (both directions),
+    /// leaving the other impairments in place.
     ///
     /// # Panics
     ///
@@ -256,6 +257,41 @@ impl Simulator {
     pub fn set_link_loss(&mut self, link: LinkId, loss: crate::link::LossModel) {
         let params = self.links[link.index()].params.clone().with_loss(loss);
         self.links[link.index()].params = params;
+    }
+
+    /// Immediately replaces the full impairment set of `link` (both
+    /// directions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability in the set is out of range.
+    pub fn set_link_impairments(&mut self, link: LinkId, imp: Impairments) {
+        let params = self.links[link.index()]
+            .params
+            .clone()
+            .with_impairments(imp);
+        self.links[link.index()].params = params;
+    }
+
+    /// Schedules a replacement of `link`'s impairment set at time `at` —
+    /// the building block for timed loss bursts and impairment windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics (when the event fires) if any probability is out of range.
+    pub fn schedule_impairments(&mut self, link: LinkId, imp: Impairments, at: SimTime) {
+        self.events
+            .push(at, EventKind::SetImpairments { link, imp });
+    }
+
+    /// The current impairment set of `link`.
+    pub fn link_impairments(&self, link: LinkId) -> &Impairments {
+        &self.links[link.index()].params.impairments
+    }
+
+    /// The two nodes `link` joins, in endpoint order.
+    pub fn link_endpoints(&self, link: LinkId) -> [NodeId; 2] {
+        self.links[link.index()].endpoints
     }
 
     /// Borrows a node, downcast to its concrete type.
@@ -455,6 +491,18 @@ impl Simulator {
                     &[("link", link.to_string())],
                 );
             }
+            EventKind::SetImpairments { link, imp } => {
+                let desc = format!(
+                    "loss={:?} reorder_p={} dup_p={} corrupt_p={}",
+                    imp.loss, imp.reorder_p, imp.duplicate_p, imp.corrupt_p
+                );
+                self.set_link_impairments(link, imp);
+                self.obs.event(
+                    self.now.as_nanos(),
+                    kinds::LINK_IMPAIRED,
+                    &[("link", link.to_string()), ("impairments", desc)],
+                );
+            }
         }
     }
 
@@ -589,19 +637,71 @@ impl Simulator {
         );
 
         let lost = link.draw_loss(dir, &mut self.rng);
-        let state = &mut link.dirs[dir.index()];
         if lost {
-            state.stats.dropped_loss += 1;
+            link.dirs[dir.index()].stats.dropped_loss += 1;
             self.trace
                 .record_with(self.now, TracePoint::LinkDrop(link_id), || {
                     summarize(&packet)
                 });
             return;
         }
-        state.stats.delivered += 1;
-        state.stats.bytes_delivered += packet.total_len() as u64;
+        {
+            let state = &mut link.dirs[dir.index()];
+            state.stats.delivered += 1;
+            state.stats.bytes_delivered += packet.total_len() as u64;
+        }
+
+        // The remaining impairments draw in a fixed order — corrupt,
+        // duplicate, reorder(copy), reorder(original) — so the RNG stream
+        // (and with it every downstream event) is a pure function of the
+        // seed. A probability of zero draws nothing, leaving impairment-free
+        // links byte-identical to runs from before impairments existed.
+        let corrupt_p = link.params.impairments.corrupt_p;
+        let duplicate_p = link.params.impairments.duplicate_p;
+        let reorder_p = link.params.impairments.reorder_p;
+        let jitter_nanos = link.params.impairments.reorder_jitter.as_nanos();
+
+        let mut packet = packet;
+        if corrupt_p > 0.0 && self.rng.chance(corrupt_p) && !packet.payload.is_empty() {
+            // Flip one uniformly-chosen bit of the IP *payload*. The IP
+            // header stays intact (real IP guards it with a header
+            // checksum), so corruption always lands on transport bytes the
+            // TCP/UDP checksum is responsible for catching.
+            let bit = self.rng.range(0, packet.payload.len() as u64 * 8) as usize;
+            let mut bytes = packet.payload.to_vec();
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            packet.payload = bytes.into();
+            link.dirs[dir.index()].stats.corrupted += 1;
+        }
+
         let (rx_node, rx_iface) = link.receiver(dir);
-        let arrive_at = ready_at + link.params.delay;
+        let base_arrive = ready_at + link.params.delay;
+        // Duplication delivers at most one extra copy per packet.
+        if duplicate_p > 0.0 && self.rng.chance(duplicate_p) {
+            link.dirs[dir.index()].stats.duplicated += 1;
+            let copy_at = match draw_jitter(&mut self.rng, reorder_p, jitter_nanos) {
+                Some(extra) => {
+                    link.dirs[dir.index()].stats.reordered += 1;
+                    base_arrive.saturating_add(extra)
+                }
+                None => base_arrive,
+            };
+            self.events.push(
+                copy_at,
+                EventKind::PacketArrival {
+                    node: rx_node,
+                    iface: rx_iface,
+                    packet: packet.clone(),
+                },
+            );
+        }
+        let arrive_at = match draw_jitter(&mut self.rng, reorder_p, jitter_nanos) {
+            Some(extra) => {
+                link.dirs[dir.index()].stats.reordered += 1;
+                base_arrive.saturating_add(extra)
+            }
+            None => base_arrive,
+        };
         self.events.push(
             arrive_at,
             EventKind::PacketArrival {
@@ -638,6 +738,18 @@ impl Simulator {
                 epoch,
             },
         );
+    }
+}
+
+/// One reordering decision: with probability `p`, an extra delay uniform in
+/// `1 ns ..= jitter_nanos`. Draws nothing when `p` is zero; draws the
+/// chance but no jitter when the jitter bound is zero (a configured-off
+/// no-op that keeps the stream shape stable).
+fn draw_jitter(rng: &mut SimRng, p: f64, jitter_nanos: u64) -> Option<SimDuration> {
+    if p > 0.0 && rng.chance(p) && jitter_nanos > 0 {
+        Some(SimDuration::from_nanos(rng.range(1, jitter_nanos + 1)))
+    } else {
+        None
     }
 }
 
@@ -1032,6 +1144,168 @@ mod tests {
                 LinkParams::default().with_loss(crate::link::LossModel::Bernoulli { p: 0.2 }),
             );
             let mut sim = t.into_simulator(99);
+            sim.run_until_idle();
+            sim.node::<Blaster>(b).received.clone()
+        };
+        assert_eq!(build(), build());
+    }
+
+    /// Sends `sizes.len()` packets whose payload lengths encode their send
+    /// order, so the receiver can check delivery as a multiset.
+    fn blast_sizes(sim: &mut Simulator, a: NodeId, sizes: &[usize]) {
+        let payloads: Vec<usize> = sizes.to_vec();
+        sim.with_node_ctx::<Blaster, _>(a, |_, ctx| {
+            for &size in &payloads {
+                let p = IpPacket::new(
+                    IpAddr::new(10, 0, 0, 1),
+                    IpAddr::new(10, 0, 0, 2),
+                    Protocol::UDP,
+                    vec![0u8; size],
+                );
+                ctx.send(IfaceId::from_index(0), p);
+            }
+        });
+    }
+
+    /// Property: reordering shuffles arrival *times* but never creates,
+    /// destroys, or resizes packets — the delivered multiset equals the
+    /// sent multiset.
+    #[test]
+    fn reordering_preserves_delivered_multiset() {
+        let imp = Impairments::NONE.with_reordering(0.5, SimDuration::from_millis(4));
+        let (mut sim, a, b, link) = two_nodes(
+            LinkParams::new(50_000_000, SimDuration::from_micros(50))
+                .with_queue(1024)
+                .with_impairments(imp),
+        );
+        let sizes: Vec<usize> = (1..=200).collect();
+        blast_sizes(&mut sim, a, &sizes);
+        sim.run_until_idle();
+        let mut got: Vec<usize> = sim
+            .node::<Blaster>(b)
+            .received
+            .iter()
+            .map(|&(_, len)| len)
+            .collect();
+        got.sort_unstable();
+        assert_eq!(
+            got, sizes,
+            "reordering must not add, drop, or resize packets"
+        );
+        let (ab, _) = sim.link_stats(link);
+        assert!(
+            ab.reordered > 0,
+            "with p=0.5 over 200 packets some must reorder"
+        );
+        // And arrival order must actually differ from send order somewhere.
+        let order: Vec<usize> = sim
+            .node::<Blaster>(b)
+            .received
+            .iter()
+            .map(|&(_, len)| len)
+            .collect();
+        assert_ne!(order, sizes, "jittered copies should arrive out of order");
+    }
+
+    /// Property: duplication injects at most one extra copy per packet, and
+    /// every delivered packet is a copy of a sent one.
+    #[test]
+    fn duplication_bounded_one_extra_copy_per_packet() {
+        let imp = Impairments::NONE.with_duplication(0.3);
+        let (mut sim, a, b, link) = two_nodes(
+            LinkParams::new(50_000_000, SimDuration::from_micros(50))
+                .with_queue(1024)
+                .with_impairments(imp),
+        );
+        let sizes: Vec<usize> = (1..=150).collect();
+        blast_sizes(&mut sim, a, &sizes);
+        sim.run_until_idle();
+        let got: Vec<usize> = sim
+            .node::<Blaster>(b)
+            .received
+            .iter()
+            .map(|&(_, len)| len)
+            .collect();
+        let (ab, _) = sim.link_stats(link);
+        assert!(
+            ab.duplicated > 0,
+            "with p=0.3 over 150 packets some must duplicate"
+        );
+        assert!(ab.duplicated <= sizes.len() as u64);
+        assert_eq!(got.len(), sizes.len() + ab.duplicated as usize);
+        // Each size appears once or twice, never more; none is missing.
+        for &s in &sizes {
+            let n = got.iter().filter(|&&g| g == s).count();
+            assert!((1..=2).contains(&n), "size {s} delivered {n} times");
+        }
+    }
+
+    /// Property: corruption flips payload bits but preserves packet count
+    /// and length — damage is detectable only by a transport checksum.
+    #[test]
+    fn corruption_preserves_count_and_length() {
+        let imp = Impairments::NONE.with_corruption(0.5);
+        let (mut sim, a, b, link) = two_nodes(
+            LinkParams::new(50_000_000, SimDuration::from_micros(50))
+                .with_queue(1024)
+                .with_impairments(imp),
+        );
+        // Non-zero payloads so a flipped bit is observable as a non-zero byte.
+        sim.with_node_ctx::<Blaster, _>(a, |_, ctx| {
+            for _ in 0..100 {
+                let p = IpPacket::new(
+                    IpAddr::new(10, 0, 0, 1),
+                    IpAddr::new(10, 0, 0, 2),
+                    Protocol::UDP,
+                    vec![0u8; 64],
+                );
+                ctx.send(IfaceId::from_index(0), p);
+            }
+        });
+        sim.run_until_idle();
+        let received = sim.node::<Blaster>(b).received.clone();
+        assert_eq!(received.len(), 100, "corruption must not drop packets");
+        assert!(received.iter().all(|&(_, len)| len == 64));
+        let (ab, _) = sim.link_stats(link);
+        assert!(
+            ab.corrupted > 0,
+            "with p=0.5 over 100 packets some must corrupt"
+        );
+        assert_eq!(ab.delivered, 100);
+    }
+
+    #[test]
+    fn scheduled_impairments_take_effect_at_time() {
+        let (mut sim, _a, _b, link) = two_nodes(LinkParams::default());
+        let imp = Impairments::NONE.with_duplication(0.9);
+        sim.schedule_impairments(link, imp, SimTime::from_millis(5));
+        sim.run_until(SimTime::from_millis(4));
+        assert_eq!(sim.link_impairments(link).duplicate_p, 0.0);
+        sim.run_until(SimTime::from_millis(6));
+        assert_eq!(sim.link_impairments(link).duplicate_p, 0.9);
+    }
+
+    #[test]
+    fn link_endpoints_reports_both_nodes() {
+        let (sim, a, b, link) = two_nodes(LinkParams::default());
+        assert_eq!(sim.link_endpoints(link), [a, b]);
+    }
+
+    #[test]
+    fn impaired_links_deterministic_across_runs() {
+        let build = || {
+            let imp = Impairments::NONE
+                .with_loss(crate::link::LossModel::Bernoulli { p: 0.05 })
+                .with_reordering(0.3, SimDuration::from_millis(2))
+                .with_duplication(0.1)
+                .with_corruption(0.1);
+            let (mut sim, a, b, _link) = two_nodes(
+                LinkParams::new(20_000_000, SimDuration::from_micros(100))
+                    .with_queue(1024)
+                    .with_impairments(imp),
+            );
+            let sizes: Vec<usize> = (1..=120).collect();
+            blast_sizes(&mut sim, a, &sizes);
             sim.run_until_idle();
             sim.node::<Blaster>(b).received.clone()
         };

@@ -17,6 +17,14 @@ pub struct LinkStats {
     pub dropped_down: u64,
     /// Packets dropped because they exceeded the MTU with DF set.
     pub dropped_mtu: u64,
+    /// Delivered packets that were delivered a second time by the
+    /// duplication impairment (counts extra copies, not originals).
+    pub duplicated: u64,
+    /// Delivered packets that had one payload bit flipped by the
+    /// corruption impairment.
+    pub corrupted: u64,
+    /// Delivered packets held back by reordering jitter.
+    pub reordered: u64,
 }
 
 impl LinkStats {

@@ -72,6 +72,10 @@ pub mod kinds {
     pub const LINK_DOWN: &str = "netsim.link.down";
     /// A link came back up.
     pub const LINK_UP: &str = "netsim.link.up";
+    /// A link's impairment set was replaced (scheduled or immediate).
+    pub const LINK_IMPAIRED: &str = "netsim.link.impaired";
+    /// A fault plan injected a fault (one event per plan action).
+    pub const FAULT_INJECTED: &str = "faults.injected";
 }
 
 /// Well-known metric names published by the parallel experiment engine

@@ -157,6 +157,14 @@ pub enum ConnEvent {
     /// The peer acknowledged new data — forward progress that resets the
     /// failure estimator.
     AckProgress,
+    /// The ft send gate has blocked ready-to-transmit work for a full RTO
+    /// without the successor reporting progress. Retransmission counting
+    /// cannot see this stall — gated bytes are never transmitted, so no
+    /// retransmission timer ever arms — yet it is the same broken
+    /// flow-control loop §4.3's estimator watches: a crashed *successor*
+    /// (e.g. a dead chain tail) starves the gate silently while every byte
+    /// of client data stays acknowledged.
+    GateStarved,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -195,6 +203,10 @@ pub struct Connection {
     /// reported; `None` when ungated.
     send_gate: Option<SeqNum>,
     send_gated: bool,
+    /// Starvation watchdog for the send gate: armed while the gate blocks
+    /// ready work, fires [`ConnEvent::GateStarved`] once per RTO of stall.
+    gate_starved_deadline: Option<SimTime>,
+    gate_starved_count: u64,
 
     rto_deadline: Option<SimTime>,
     delack_deadline: Option<SimTime>,
@@ -364,6 +376,8 @@ impl Connection {
             peer_fin_processed: false,
             send_gate: None,
             send_gated: false,
+            gate_starved_deadline: None,
+            gate_starved_count: 0,
             rto_deadline: None,
             delack_deadline: None,
             timewait_deadline: None,
@@ -485,6 +499,12 @@ impl Connection {
         self.duplicate_data_count
     }
 
+    /// Times the send-gate starvation watchdog fired: the gate blocked
+    /// ready-to-transmit work for a full RTO without successor progress.
+    pub fn gate_starved_count(&self) -> u64 {
+        self.gate_starved_count
+    }
+
     /// The congestion controller (for diagnostics).
     pub fn congestion(&self) -> &CongestionControl {
         &self.cc
@@ -553,6 +573,34 @@ impl Connection {
         match self.send_gate {
             None => true,
             Some(g) => !seq.before(g),
+        }
+    }
+
+    /// Whether the send gate is the thing standing between ready work and
+    /// the wire: an unsent SYN-ACK, buffered data, or a queued FIN whose
+    /// next slot the gate refuses.
+    fn gate_blocked_work(&self) -> bool {
+        if !self.send_gated {
+            return false;
+        }
+        if self.state == TcpState::SynRcvd {
+            return self.gate_blocks(self.snd.iss);
+        }
+        let pending =
+            self.snd.nxt.before(self.sendbuf.end()) || (self.fin_queued && self.fin_seq.is_none());
+        pending && self.gate_blocks(self.snd.nxt)
+    }
+
+    /// Arms the starvation watchdog while the gate blocks ready work and
+    /// clears it the moment it does not. One RTO of uninterrupted blockage
+    /// fires [`ConnEvent::GateStarved`] (see [`Self::on_tick`]).
+    fn update_gate_starvation(&mut self, now: SimTime) {
+        if self.gate_blocked_work() {
+            if self.gate_starved_deadline.is_none() {
+                self.gate_starved_deadline = Some(now + self.rtt.rto());
+            }
+        } else {
+            self.gate_starved_deadline = None;
         }
     }
 
@@ -681,6 +729,7 @@ impl Connection {
             self.timewait_deadline,
             self.persist_deadline,
             self.keepalive_deadline,
+            self.gate_starved_deadline,
         ]
         .into_iter()
         .flatten()
@@ -1024,6 +1073,51 @@ impl Connection {
                 self.on_keepalive(now);
             }
         }
+        if let Some(t) = self.gate_starved_deadline {
+            if now >= t {
+                self.gate_starved_deadline = None;
+                if self.gate_blocked_work() {
+                    self.gate_starved_count += 1;
+                    self.events.push(ConnEvent::GateStarved);
+                    if self.obs.is_enabled() {
+                        self.obs.event(
+                            now.as_nanos(),
+                            kinds::GATE_STALL,
+                            &[
+                                ("quad", self.quad.to_string()),
+                                ("starved", "send_gate".to_string()),
+                            ],
+                        );
+                    }
+                    // Solicit a fresh cumulative ACK from the client with a
+                    // keepalive-shaped probe. The redirector replicates the
+                    // client's answer to every replica, restoring ack state
+                    // that a partition may have dropped on the backup
+                    // branches — without it, backups wedge with SND.UNA
+                    // frozen at a stale value (their retransmissions divert
+                    // into the ack channel, so the client can never refresh
+                    // them on its own) and the whole chain deadlocks on a
+                    // quiescent connection.
+                    if self.state.is_open() && self.state != TcpState::SynRcvd {
+                        self.emit(
+                            TcpSegment {
+                                src_port: self.quad.local.port,
+                                dst_port: self.quad.remote.port,
+                                seq: self.snd.nxt - 1,
+                                ack: self.rcv_nxt(),
+                                flags: TcpFlags::ACK,
+                                window: self.advertised_window(),
+                                payload: PacketBuf::new(),
+                            },
+                            now,
+                        );
+                    }
+                    // Keep firing once per RTO while the stall persists so
+                    // the failure estimator can accumulate to its threshold.
+                    self.gate_starved_deadline = Some(now + self.rtt.rto());
+                }
+            }
+        }
     }
 
     fn rearm_keepalive(&mut self, now: SimTime) {
@@ -1280,6 +1374,7 @@ impl Connection {
                 break;
             }
         }
+        self.update_gate_starvation(now);
     }
 
     /// Whether the FIN can ride after `extra` bytes we are about to send.
@@ -1298,6 +1393,7 @@ impl Connection {
         if self.state != TcpState::SynRcvd {
             return;
         }
+        self.update_gate_starvation(now);
         if self.gate_blocks(self.snd.iss) {
             return; // held until the chain successor reports its SYN-ACK
         }

@@ -228,7 +228,9 @@ impl TcpSegment {
     ///  reserved (1) | window (2) | checksum (2) | payload_len (2)`.
     ///
     /// Header and payload are written into one contiguous buffer in a
-    /// single pass — the only payload copy on the transmit path.
+    /// single pass — the only payload copy on the transmit path — then the
+    /// checksum (which covers the whole segment, header included, with the
+    /// checksum field itself as zero) is patched in.
     pub fn encode(&self) -> PacketBuf {
         let mut out = Vec::with_capacity(self.wire_len());
         out.extend_from_slice(&self.src_port.to_be_bytes());
@@ -238,9 +240,11 @@ impl TcpSegment {
         out.push(self.flags.to_byte());
         out.push(0);
         out.extend_from_slice(&self.window.to_be_bytes());
-        out.extend_from_slice(&checksum(&self.payload).to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
         out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
         out.extend_from_slice(&self.payload);
+        let sum = segment_checksum(&out);
+        out[16..18].copy_from_slice(&sum.to_be_bytes());
         out.into()
     }
 
@@ -254,13 +258,15 @@ impl TcpSegment {
     /// # Errors
     ///
     /// Returns a [`DecodeError`] on truncation, inconsistent length, or a
-    /// payload checksum mismatch (reported as `BadLength` with the checksum
-    /// interpreted as corruption — corrupted segments must be dropped, not
-    /// delivered).
+    /// checksum mismatch (`BadChecksum` — corrupted segments must be
+    /// dropped, not delivered). Because the checksum covers the header too
+    /// and the length check is exact, a bit flip *anywhere* in the segment
+    /// is rejected.
     pub fn decode(buf: &PacketBuf) -> Result<Self, DecodeError> {
         let (mut seg, payload_len, declared_sum) = Self::decode_header(buf)?;
+        Self::verify_checksum(buf, declared_sum)?;
         seg.payload = buf.slice(TCP_HEADER_LEN..TCP_HEADER_LEN + payload_len);
-        Self::verify_checksum(seg, declared_sum)
+        Ok(seg)
     }
 
     /// Parses a segment from borrowed bytes, copying the payload into a
@@ -271,8 +277,9 @@ impl TcpSegment {
     /// Same as [`decode`](Self::decode).
     pub fn decode_slice(bytes: &[u8]) -> Result<Self, DecodeError> {
         let (mut seg, payload_len, declared_sum) = Self::decode_header(bytes)?;
+        Self::verify_checksum(bytes, declared_sum)?;
         seg.payload = PacketBuf::from(&bytes[TCP_HEADER_LEN..TCP_HEADER_LEN + payload_len]);
-        Self::verify_checksum(seg, declared_sum)
+        Ok(seg)
     }
 
     /// Parses the 20-byte header, returning the segment (payload still
@@ -294,7 +301,10 @@ impl TcpSegment {
         let window = u16::from_be_bytes([bytes[14], bytes[15]]);
         let declared_sum = u16::from_be_bytes([bytes[16], bytes[17]]);
         let payload_len = u16::from_be_bytes([bytes[18], bytes[19]]) as usize;
-        if bytes.len() < TCP_HEADER_LEN + payload_len {
+        // Exact-length check: a flipped bit in the payload_len field must
+        // not silently re-frame the segment, so surplus bytes are as fatal
+        // as missing ones.
+        if bytes.len() != TCP_HEADER_LEN + payload_len {
             return Err(DecodeError::BadLength {
                 declared: TCP_HEADER_LEN + payload_len,
                 available: bytes.len(),
@@ -315,16 +325,17 @@ impl TcpSegment {
         ))
     }
 
-    /// Validates the declared checksum against the attached payload.
-    fn verify_checksum(seg: TcpSegment, declared_sum: u16) -> Result<Self, DecodeError> {
-        let actual = checksum(&seg.payload);
+    /// Validates the declared checksum against the received segment bytes
+    /// (header with the checksum field zeroed, plus payload).
+    fn verify_checksum(bytes: &[u8], declared_sum: u16) -> Result<(), DecodeError> {
+        let actual = segment_checksum(bytes);
         if actual != declared_sum {
-            return Err(DecodeError::BadLength {
-                declared: declared_sum as usize,
-                available: actual as usize,
+            return Err(DecodeError::BadChecksum {
+                declared: declared_sum,
+                actual,
             });
         }
-        Ok(seg)
+        Ok(())
     }
 }
 
@@ -344,9 +355,27 @@ impl fmt::Display for TcpSegment {
     }
 }
 
-/// 16-bit ones'-complement sum over the payload, RFC 1071 style.
+/// 16-bit ones'-complement sum over `data`, RFC 1071 style.
 pub fn checksum(data: &[u8]) -> u16 {
-    let mut sum: u32 = 0;
+    fold_sum(raw_sum(data, 0))
+}
+
+/// Checksum over an encoded TCP segment: every header byte except the
+/// checksum field itself (offsets 16–17, treated as zero), plus the
+/// payload. Covering the header means flipped ports, sequence numbers,
+/// flags, or lengths are as detectable as flipped payload bytes.
+pub fn segment_checksum(bytes: &[u8]) -> u16 {
+    debug_assert!(bytes.len() >= TCP_HEADER_LEN);
+    // Both regions start on an even offset, so word alignment is preserved
+    // across the split and the two partial sums compose.
+    let sum = raw_sum(&bytes[..16], 0);
+    fold_sum(raw_sum(&bytes[18..], sum))
+}
+
+/// Accumulates the unfolded ones'-complement word sum of `data` onto `acc`.
+/// Only the final region of a composed sum may have odd length.
+pub(crate) fn raw_sum(data: &[u8], acc: u32) -> u32 {
+    let mut sum = acc;
     let mut chunks = data.chunks_exact(2);
     for pair in &mut chunks {
         sum += u32::from(u16::from_be_bytes([pair[0], pair[1]]));
@@ -354,6 +383,11 @@ pub fn checksum(data: &[u8]) -> u16 {
     if let [last] = chunks.remainder() {
         sum += u32::from(u16::from_be_bytes([*last, 0]));
     }
+    sum
+}
+
+/// Folds carries and complements, finishing an RFC 1071 sum.
+pub(crate) fn fold_sum(mut sum: u32) -> u16 {
     while sum > 0xffff {
         sum = (sum & 0xffff) + (sum >> 16);
     }
@@ -482,21 +516,53 @@ mod tests {
         }
     }
 
-    /// A single flipped payload bit is always caught by the checksum — a
-    /// one-bit flip can never cancel in a ones'-complement sum.
+    /// A single flipped bit anywhere in the segment — header or payload —
+    /// is always caught: a one-bit flip can never cancel in a
+    /// ones'-complement sum, a payload_len flip fails the exact-length
+    /// check, and a checksum-field flip mismatches the recomputed sum.
     #[test]
     fn single_bit_corruption_detected() {
         let mut rng = SimRng::seed_from(0xb17);
-        for _ in 0..128 {
+        for _ in 0..512 {
             let len = rng.range(1, 256) as usize;
             let payload: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
-            let bit = rng.range(0, 8);
             let seg = sample(payload);
             let mut bytes = seg.encode().to_vec();
-            // Flip one bit somewhere in the payload region.
-            let idx = TCP_HEADER_LEN + (bytes.len() - TCP_HEADER_LEN) / 2;
-            bytes[idx] ^= 1 << bit;
-            assert!(TcpSegment::decode_slice(&bytes).is_err());
+            let bit = rng.range(0, bytes.len() as u64 * 8) as usize;
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                TcpSegment::decode_slice(&bytes).is_err(),
+                "flip of bit {bit} went undetected"
+            );
         }
+    }
+
+    /// Corruption that passes framing surfaces as the distinct
+    /// `BadChecksum` error, not `BadLength`.
+    #[test]
+    fn corruption_reports_bad_checksum() {
+        let seg = sample(vec![7u8; 32]);
+        let mut bytes = seg.encode().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        match TcpSegment::decode_slice(&bytes) {
+            Err(DecodeError::BadChecksum { declared, actual }) => {
+                assert_ne!(declared, actual);
+            }
+            other => panic!("expected BadChecksum, got {other:?}"),
+        }
+    }
+
+    /// Surplus trailing bytes are rejected: the exact-length check keeps a
+    /// flipped payload_len from silently re-framing a longer buffer.
+    #[test]
+    fn decode_rejects_surplus_bytes() {
+        let seg = sample(vec![3u8; 8]);
+        let mut bytes = seg.encode().to_vec();
+        bytes.push(0);
+        assert!(matches!(
+            TcpSegment::decode_slice(&bytes),
+            Err(DecodeError::BadLength { .. })
+        ));
     }
 }

@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 
 use hydranet_netsim::buf::PacketBuf;
 use hydranet_netsim::frag::Reassembler;
-use hydranet_netsim::packet::{IpAddr, IpPacket, Protocol};
+use hydranet_netsim::packet::{DecodeError, IpAddr, IpPacket, Protocol};
 use hydranet_netsim::time::SimTime;
 use hydranet_obs::metrics::Counter;
 use hydranet_obs::Obs;
@@ -58,6 +58,23 @@ pub trait SocketApp {
 pub struct NullApp;
 
 impl SocketApp for NullApp {}
+
+/// Error returned by [`TcpStack::connect`] when every ephemeral port to the
+/// remote endpoint is held by a live connection. The connect fails cleanly:
+/// no connection state is created and nothing is sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EphemeralPortsExhausted {
+    /// The remote endpoint whose port space is exhausted.
+    pub remote: SockAddr,
+}
+
+impl std::fmt::Display for EphemeralPortsExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ephemeral port space to {} exhausted", self.remote)
+    }
+}
+
+impl std::error::Error for EphemeralPortsExhausted {}
 
 /// The application's handle to its connection during a callback.
 #[derive(Debug)]
@@ -151,8 +168,13 @@ pub struct StackStats {
     pub tcp_rx: u64,
     /// UDP datagrams accepted.
     pub udp_rx: u64,
-    /// Packets dropped (bad checksum/decode, unknown address).
+    /// Packets dropped (bad decode, unknown address; includes corrupt).
     pub dropped: u64,
+    /// TCP segments and UDP datagrams rejected by their checksum —
+    /// in-flight corruption. Counted separately from framing errors so
+    /// corruption injection is observable, and never delivered, so the
+    /// duplicate-segment failure detector cannot see corrupt segments.
+    pub rx_corrupt: u64,
     /// RSTs emitted for segments with no matching socket.
     pub rst_sent: u64,
     /// Ack-channel messages sent (backup output diversion).
@@ -185,12 +207,16 @@ pub struct TcpStack {
     reassembler: Reassembler,
     ip_id: u16,
     next_ephemeral: u16,
+    /// Inclusive ephemeral-port range; shrinkable so exhaustion is testable
+    /// without tens of thousands of live connections.
+    ephemeral_range: (u16, u16),
     out: Vec<IpPacket>,
     events: Vec<StackEvent>,
     stats: StackStats,
     obs: Obs,
     c_ackchan_tx: Counter,
     c_ackchan_rx: Counter,
+    c_rx_corrupt: Counter,
 }
 
 impl std::fmt::Debug for TcpStack {
@@ -217,12 +243,14 @@ impl TcpStack {
             reassembler: Reassembler::new(),
             ip_id: 1,
             next_ephemeral: 40_000,
+            ephemeral_range: (40_000, u16::MAX),
             out: Vec::new(),
             events: Vec::new(),
             stats: StackStats::default(),
             obs: Obs::disabled(),
             c_ackchan_tx: Counter::default(),
             c_ackchan_rx: Counter::default(),
+            c_rx_corrupt: Counter::default(),
         }
     }
 
@@ -235,6 +263,7 @@ impl TcpStack {
         let scope = format!("tcp.stack.{}", self.addrs[0]);
         self.c_ackchan_tx = obs.counter(&format!("{scope}.ackchan_tx"));
         self.c_ackchan_rx = obs.counter(&format!("{scope}.ackchan_rx"));
+        self.c_rx_corrupt = obs.counter(&format!("{scope}.rx_corrupt"));
         for (quad, entry) in self.conns.iter_mut() {
             entry.conn.set_obs(&obs);
             if let Some(d) = entry.detector.as_mut() {
@@ -352,8 +381,18 @@ impl TcpStack {
 
     /// Opens a connection from this host to `remote`, attaching `app`.
     /// Returns the connection's four-tuple.
-    pub fn connect(&mut self, remote: SockAddr, app: Box<dyn SocketApp>, now: SimTime) -> Quad {
-        let local = SockAddr::new(self.addrs[0], self.alloc_ephemeral(remote));
+    ///
+    /// # Errors
+    ///
+    /// Fails cleanly (no state created, no packet sent) when every
+    /// ephemeral port to `remote` is held by a live connection.
+    pub fn connect(
+        &mut self,
+        remote: SockAddr,
+        app: Box<dyn SocketApp>,
+        now: SimTime,
+    ) -> Result<Quad, EphemeralPortsExhausted> {
+        let local = SockAddr::new(self.addrs[0], self.alloc_ephemeral(remote)?);
         let quad = Quad::new(local, remote);
         let iss = deterministic_iss(quad);
         let mut conn = Connection::connect(quad, self.cfg.clone(), iss, now);
@@ -364,7 +403,21 @@ impl TcpStack {
             detector: None,
         };
         self.finish_entry(quad, entry, now);
-        quad
+        Ok(quad)
+    }
+
+    /// Restricts the ephemeral-port range to `lo..=hi` (default
+    /// `40_000..=65_535`) and resets the allocation cursor. Mainly for
+    /// tests exercising port exhaustion without tens of thousands of
+    /// connections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn set_ephemeral_range(&mut self, lo: u16, hi: u16) {
+        assert!(lo <= hi, "empty ephemeral range");
+        self.ephemeral_range = (lo, hi);
+        self.next_ephemeral = lo;
     }
 
     /// Drops all connection state and replicated-port configuration, as a
@@ -461,7 +514,7 @@ impl TcpStack {
                 }
                 match TcpSegment::decode(&packet.payload) {
                     Ok(seg) => self.handle_tcp(packet.src(), packet.dst(), seg, now),
-                    Err(_) => self.stats.dropped += 1,
+                    Err(e) => self.drop_undecodable(e),
                 }
             }
             Protocol::UDP => {
@@ -471,10 +524,22 @@ impl TcpStack {
                 }
                 match UdpDatagram::decode(&packet.payload) {
                     Ok(dgram) => self.handle_udp(packet.src(), packet.dst(), dgram, now),
-                    Err(_) => self.stats.dropped += 1,
+                    Err(e) => self.drop_undecodable(e),
                 }
             }
             _ => self.stats.dropped += 1,
+        }
+    }
+
+    /// Drops a transport PDU that failed to decode, counting checksum
+    /// failures (in-flight corruption) separately. Corrupt segments never
+    /// reach a connection — and therefore can never feed the
+    /// duplicate-segment failure detector.
+    fn drop_undecodable(&mut self, err: DecodeError) {
+        self.stats.dropped += 1;
+        if matches!(err, DecodeError::BadChecksum { .. }) {
+            self.stats.rx_corrupt += 1;
+            self.c_rx_corrupt.inc();
         }
     }
 
@@ -517,21 +582,25 @@ impl TcpStack {
     // ------------------------------------------------------------------
 
     /// Allocates an ephemeral port such that `(local, remote)` is not a
-    /// live connection (the counter wraps after ~25k connections).
-    ///
-    /// # Panics
-    ///
-    /// Panics if every ephemeral port to `remote` is in use.
-    fn alloc_ephemeral(&mut self, remote: SockAddr) -> u16 {
-        for _ in 0..=u16::MAX - 40_000 {
+    /// live connection (the counter wraps at the top of the range). A quad
+    /// still parked in the table but fully `Closed` does not pin its port:
+    /// the stale entry is reaped and the port recycled.
+    fn alloc_ephemeral(&mut self, remote: SockAddr) -> Result<u16, EphemeralPortsExhausted> {
+        let (lo, hi) = self.ephemeral_range;
+        for _ in 0..=u32::from(hi - lo) {
             let port = self.next_ephemeral;
-            self.next_ephemeral = self.next_ephemeral.checked_add(1).unwrap_or(40_000);
+            self.next_ephemeral = if port >= hi { lo } else { port + 1 };
             let quad = Quad::new(SockAddr::new(self.addrs[0], port), remote);
-            if !self.conns.contains_key(&quad) {
-                return port;
+            match self.conns.get(&quad) {
+                None => return Ok(port),
+                Some(entry) if entry.conn.state() == TcpState::Closed => {
+                    self.conns.remove(&quad);
+                    return Ok(port);
+                }
+                Some(_) => {}
             }
         }
-        panic!("ephemeral port space to {remote} exhausted");
+        Err(EphemeralPortsExhausted { remote })
     }
 
     fn handle_tcp(&mut self, src: IpAddr, dst: IpAddr, seg: TcpSegment, now: SimTime) {
@@ -728,6 +797,23 @@ impl TcpStack {
                         // replica this usually means the primary that
                         // delivers the stream to the client is gone. Count
                         // it as a broken-loop signal (§4.3).
+                        if let Some(d) = entry.detector.as_mut() {
+                            if d.on_duplicate(now) {
+                                self.events.push(StackEvent::FailureSuspected {
+                                    port: quad.local.port,
+                                    quad,
+                                    observed: d.duplicates_total(),
+                                });
+                            }
+                        }
+                    }
+                    ConnEvent::GateStarved => {
+                        // The send gate has starved for a full RTO: the
+                        // chain successor stopped reporting progress. This
+                        // is the only client-invisible failure mode — a
+                        // dead tail leaves every client byte acknowledged,
+                        // so no retransmission ever reaches the estimator —
+                        // and it feeds the same suspicion counter.
                         if let Some(d) = entry.detector.as_mut() {
                             if d.on_duplicate(now) {
                                 self.events.push(StackEvent::FailureSuspected {

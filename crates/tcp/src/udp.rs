@@ -41,13 +41,18 @@ impl UdpDatagram {
     }
 
     /// Serialises to bytes: `src (2) | dst (2) | len (2) | checksum (2)`.
+    /// The checksum covers the ports and length as well as the payload
+    /// (with the checksum field itself as zero), so a corrupted header is
+    /// as detectable as a corrupted payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len());
         out.extend_from_slice(&self.src_port.to_be_bytes());
         out.extend_from_slice(&self.dst_port.to_be_bytes());
         out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
-        out.extend_from_slice(&crate::segment::checksum(&self.payload).to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
         out.extend_from_slice(&self.payload);
+        let sum = datagram_checksum(&out);
+        out[6..8].copy_from_slice(&sum.to_be_bytes());
         out
     }
 
@@ -55,8 +60,9 @@ impl UdpDatagram {
     ///
     /// # Errors
     ///
-    /// Returns a [`DecodeError`] on truncation, length mismatch, or payload
-    /// checksum failure.
+    /// Returns a [`DecodeError`] on truncation, an inexact length (a
+    /// flipped length field must not re-frame the datagram), or a checksum
+    /// mismatch (`BadChecksum`).
     pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
         if bytes.len() < UDP_HEADER_LEN {
             return Err(DecodeError::Truncated {
@@ -68,25 +74,33 @@ impl UdpDatagram {
         let dst_port = u16::from_be_bytes([bytes[2], bytes[3]]);
         let len = u16::from_be_bytes([bytes[4], bytes[5]]) as usize;
         let declared_sum = u16::from_be_bytes([bytes[6], bytes[7]]);
-        if bytes.len() < UDP_HEADER_LEN + len {
+        if bytes.len() != UDP_HEADER_LEN + len {
             return Err(DecodeError::BadLength {
                 declared: UDP_HEADER_LEN + len,
                 available: bytes.len(),
             });
         }
-        let payload = bytes[UDP_HEADER_LEN..UDP_HEADER_LEN + len].to_vec();
-        if crate::segment::checksum(&payload) != declared_sum {
-            return Err(DecodeError::BadLength {
-                declared: declared_sum as usize,
-                available: crate::segment::checksum(&payload) as usize,
+        let actual = datagram_checksum(bytes);
+        if actual != declared_sum {
+            return Err(DecodeError::BadChecksum {
+                declared: declared_sum,
+                actual,
             });
         }
         Ok(UdpDatagram {
             src_port,
             dst_port,
-            payload,
+            payload: bytes[UDP_HEADER_LEN..UDP_HEADER_LEN + len].to_vec(),
         })
     }
+}
+
+/// RFC 1071 checksum over an encoded datagram with the checksum field
+/// (offsets 6–7) treated as zero. Both regions start on an even offset, so
+/// the partial sums compose.
+fn datagram_checksum(bytes: &[u8]) -> u16 {
+    let sum = crate::segment::raw_sum(&bytes[..6], 0);
+    crate::segment::fold_sum(crate::segment::raw_sum(&bytes[8..], sum))
 }
 
 #[cfg(test)]
@@ -126,6 +140,31 @@ mod tests {
         assert!(UdpDatagram::decode(&bytes[..20]).is_err());
         let mut corrupted = bytes.clone();
         corrupted[30] ^= 0x40;
-        assert!(UdpDatagram::decode(&corrupted).is_err());
+        assert!(matches!(
+            UdpDatagram::decode(&corrupted),
+            Err(DecodeError::BadChecksum { .. })
+        ));
+    }
+
+    /// Any single-bit flip — header or payload — is rejected.
+    #[test]
+    fn single_bit_corruption_detected() {
+        use hydranet_netsim::rng::SimRng;
+        let mut rng = SimRng::seed_from(0x0dd);
+        let d = UdpDatagram {
+            src_port: 7101,
+            dst_port: 7101,
+            payload: (0..64u8).collect(),
+        };
+        let bytes = d.encode();
+        for _ in 0..256 {
+            let bit = rng.range(0, bytes.len() as u64 * 8) as usize;
+            let mut flipped = bytes.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                UdpDatagram::decode(&flipped).is_err(),
+                "flip of bit {bit} went undetected"
+            );
+        }
     }
 }

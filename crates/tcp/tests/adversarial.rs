@@ -92,7 +92,8 @@ fn run_chaos_transfer(
     };
     sim.with_node_ctx::<StackHost, _>(client, |host, ctx| {
         host.stack
-            .connect(SockAddr::new(SERVER_ADDR, 80), Box::new(app), ctx.now());
+            .connect(SockAddr::new(SERVER_ADDR, 80), Box::new(app), ctx.now())
+            .expect("connect");
         host.flush(ctx);
     });
     sim.run_until(SimTime::from_secs(600));

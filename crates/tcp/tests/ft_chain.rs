@@ -113,7 +113,8 @@ fn start_client(chain: &mut Chain, payload: Vec<u8>) -> common::Collected {
         .sim
         .with_node_ctx::<StackHost, _>(chain.client, |host, ctx| {
             host.stack
-                .connect(SockAddr::new(SERVICE_ADDR, PORT), Box::new(app), ctx.now());
+                .connect(SockAddr::new(SERVICE_ADDR, PORT), Box::new(app), ctx.now())
+                .expect("connect");
             host.flush(ctx);
         });
     received
@@ -304,4 +305,92 @@ fn primary_failure_with_promotion_is_client_transparent() {
         .events
         .iter()
         .all(|e| !matches!(e, StackEvent::ConnClosed(_))));
+}
+
+/// Corrupt segments are dropped at decode (checksum) and so can never reach
+/// the failure estimator — while the *same* segment, uncorrupted, is a
+/// genuine duplicate that the estimator counts. Injected corruption must
+/// not cause spurious fail-overs.
+#[test]
+fn detector_never_sees_corrupt_segments() {
+    // Hair-trigger estimator: two duplicates inside the window suffice.
+    let detector = DetectorParams::new(2, SimDuration::from_secs(60));
+    let mut chain = build_chain(1, false, detector);
+    let payload = pattern(2_000);
+    let _ = start_client(&mut chain, payload.clone());
+    chain.sim.run_until(SimTime::from_secs(2));
+    assert_eq!(*chain.rx[0].borrow(), payload);
+
+    // Craft a duplicate data segment for the primary's live connection:
+    // eight bytes ending exactly at rcv_nxt — old data, in sequence space
+    // the connection has already consumed.
+    let primary = chain.replicas[0];
+    let dup = {
+        let host = chain.sim.node::<StackHost>(primary);
+        let quad = host.stack.quads().next().expect("one connection");
+        let conn = host.stack.conn(quad).unwrap();
+        TcpSegment {
+            src_port: quad.remote.port,
+            dst_port: quad.local.port,
+            seq: conn.rcv_nxt() - 8,
+            ack: conn.snd_nxt(),
+            flags: TcpFlags::ACK,
+            window: 65_535,
+            payload: vec![0xAA; 8].into(),
+        }
+    };
+    let inject = |chain: &mut Chain, bytes: Vec<u8>| {
+        let packet = hydranet_netsim::packet::IpPacket::new(
+            CLIENT_ADDR,
+            SERVICE_ADDR,
+            hydranet_netsim::packet::Protocol::TCP,
+            bytes,
+        );
+        chain
+            .sim
+            .with_node_ctx::<StackHost, _>(chain.client, |_, ctx| {
+                ctx.send(IfaceId::from_index(0), packet);
+            });
+        chain.sim.run_for(SimDuration::from_millis(20));
+    };
+
+    // Phase 1: the duplicate, corrupted (one payload bit flipped, so the
+    // length field stays intact and the checksum must catch it). Far past
+    // the estimator threshold — and nothing may fire.
+    let clean = dup.encode().to_vec();
+    for _ in 0..10 {
+        let mut corrupted = clean.clone();
+        let last = corrupted.len() - 1;
+        corrupted[last] ^= 0x10;
+        inject(&mut chain, corrupted);
+    }
+    {
+        let host = chain.sim.node::<StackHost>(primary);
+        assert_eq!(host.stack.stats().rx_corrupt, 10, "corrupt drops counted");
+        assert!(
+            !host
+                .events
+                .iter()
+                .any(|e| matches!(e, StackEvent::FailureSuspected { .. })),
+            "estimator fired on corrupt segments"
+        );
+        let quad = host.stack.quads().next().unwrap();
+        assert_eq!(
+            host.stack.conn(quad).unwrap().duplicate_data_count(),
+            0,
+            "corrupt segment reached the connection"
+        );
+    }
+
+    // Phase 2: the same duplicate, clean — now the estimator must count it
+    // and cross its threshold.
+    inject(&mut chain, clean.clone());
+    inject(&mut chain, clean);
+    let host = chain.sim.node::<StackHost>(primary);
+    assert!(
+        host.events
+            .iter()
+            .any(|e| matches!(e, StackEvent::FailureSuspected { .. })),
+        "estimator ignored genuine duplicates"
+    );
 }

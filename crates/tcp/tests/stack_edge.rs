@@ -89,7 +89,8 @@ fn reset_volatile_drops_connections_keeps_listeners() {
     };
     sim.with_node_ctx::<StackHost, _>(a, |host, ctx| {
         host.stack
-            .connect(SockAddr::new(B_ADDR, 80), Box::new(app), ctx.now());
+            .connect(SockAddr::new(B_ADDR, 80), Box::new(app), ctx.now())
+            .expect("connect");
         host.flush(ctx);
     });
     sim.run_for(SimDuration::from_millis(200));
@@ -107,7 +108,8 @@ fn reset_volatile_drops_connections_keeps_listeners() {
     };
     sim.with_node_ctx::<StackHost, _>(a, |host, ctx| {
         host.stack
-            .connect(SockAddr::new(B_ADDR, 80), Box::new(app2), ctx.now());
+            .connect(SockAddr::new(B_ADDR, 80), Box::new(app2), ctx.now())
+            .expect("connect");
         host.flush(ctx);
     });
     sim.run_for(SimDuration::from_secs(1));
@@ -145,7 +147,8 @@ fn graceful_close_reaps_both_ends() {
     };
     sim.with_node_ctx::<StackHost, _>(a, |host, ctx| {
         host.stack
-            .connect(SockAddr::new(B_ADDR, 80), Box::new(app), ctx.now());
+            .connect(SockAddr::new(B_ADDR, 80), Box::new(app), ctx.now())
+            .expect("connect");
         host.flush(ctx);
     });
     // Run long enough for the FIN exchange plus TIME_WAIT expiry (30 s).
@@ -197,7 +200,8 @@ fn half_close_still_delivers_server_data() {
     };
     sim.with_node_ctx::<StackHost, _>(a, |host, ctx| {
         host.stack
-            .connect(SockAddr::new(B_ADDR, 80), Box::new(app), ctx.now());
+            .connect(SockAddr::new(B_ADDR, 80), Box::new(app), ctx.now())
+            .expect("connect");
         host.flush(ctx);
     });
     sim.run_until(SimTime::from_secs(5));
@@ -232,7 +236,8 @@ fn replica_connections_ack_every_segment() {
         let quad = sim.with_node_ctx::<StackHost, _>(a, |host, ctx| {
             let q = host
                 .stack
-                .connect(SockAddr::new(B_ADDR, port), Box::new(app), ctx.now());
+                .connect(SockAddr::new(B_ADDR, port), Box::new(app), ctx.now())
+                .expect("connect");
             host.flush(ctx);
             q
         });
@@ -301,4 +306,50 @@ fn ack_channel_datagrams_are_consumed_internally() {
             .any(|e| matches!(e, StackEvent::UdpDelivery { .. })),
         "ack-channel traffic must not surface as a UDP delivery"
     );
+}
+
+#[test]
+fn ephemeral_exhaustion_is_recoverable_and_ports_recycle() {
+    let (mut sim, a, _b) = pair();
+    sim.with_node_ctx::<StackHost, _>(a, |host, ctx| {
+        // Three-port range: exhaustion is reachable without 25k connections.
+        host.stack.set_ephemeral_range(50_000, 50_002);
+        let remote = SockAddr::new(B_ADDR, 80);
+        let q1 = host
+            .stack
+            .connect(remote, Box::new(NullApp), ctx.now())
+            .expect("first");
+        let q2 = host
+            .stack
+            .connect(remote, Box::new(NullApp), ctx.now())
+            .expect("second");
+        let q3 = host
+            .stack
+            .connect(remote, Box::new(NullApp), ctx.now())
+            .expect("third");
+        let ports: std::collections::BTreeSet<u16> =
+            [q1, q2, q3].iter().map(|q| q.local.port).collect();
+        assert_eq!(ports.len(), 3, "each connection gets a distinct port");
+        // Port space towards this remote is exhausted: a clean error, not
+        // a panic, and no connection state is created.
+        let err = host
+            .stack
+            .connect(remote, Box::new(NullApp), ctx.now())
+            .unwrap_err();
+        assert_eq!(err.remote, remote);
+        assert_eq!(host.stack.conn_count(), 3);
+        // Ports are per-quad: a different remote still connects fine.
+        let other = SockAddr::new(B_ADDR, 81);
+        host.stack
+            .connect(other, Box::new(NullApp), ctx.now())
+            .expect("distinct remote has its own quad space");
+        // Closing a connection releases its port for reuse.
+        host.stack.with_io(q2, ctx.now(), |io| io.close());
+        let q5 = host
+            .stack
+            .connect(remote, Box::new(NullApp), ctx.now())
+            .expect("port recycled after close");
+        assert_eq!(q5.local.port, q2.local.port, "closed port reused");
+        host.flush(ctx);
+    });
 }

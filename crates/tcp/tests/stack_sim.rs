@@ -51,7 +51,9 @@ fn start_client(
         close_after: None,
     };
     sim.with_node_ctx::<StackHost, _>(client, |host, ctx| {
-        host.stack.connect(remote, Box::new(app), ctx.now());
+        host.stack
+            .connect(remote, Box::new(app), ctx.now())
+            .expect("connect");
         host.flush(ctx);
     });
     received
