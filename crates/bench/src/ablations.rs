@@ -48,6 +48,26 @@ pub struct Star {
 
 /// Builds and converges a star deployment with an echoing service.
 pub fn build_star(n_replicas: usize, detector: DetectorParams, echo: bool, seed: u64) -> Star {
+    build_star_with(
+        n_replicas,
+        detector,
+        echo,
+        seed,
+        hydranet_netsim::wheel::CalendarKind::Wheel,
+    )
+}
+
+/// [`build_star`] with an explicit event-calendar backend, for tests and
+/// benches that pin wheel-vs-heap equivalence. The calendar is switched
+/// before the chain converges, so the entire run — registration traffic
+/// included — executes on the chosen backend.
+pub fn build_star_with(
+    n_replicas: usize,
+    detector: DetectorParams,
+    echo: bool,
+    seed: u64,
+    calendar: hydranet_netsim::wheel::CalendarKind,
+) -> Star {
     assert!((1..=HS.len()).contains(&n_replicas));
     let mut b = SystemBuilder::new(TcpConfig::default());
     b.set_probe_params(ProbeParams {
@@ -87,6 +107,7 @@ pub fn build_star(n_replicas: usize, detector: DetectorParams, echo: bool, seed:
         });
     }
     let mut system = b.build(seed);
+    system.sim.set_calendar(calendar);
     assert!(
         system.wait_for_chain(rd, service(), n_replicas, SimTime::from_secs(3)),
         "chain failed to form"

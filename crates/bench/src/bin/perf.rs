@@ -16,8 +16,11 @@
 //! 3. **Event-calendar microbench**: timer-churn workloads driven straight
 //!    through `Simulator::run_until` — one with heavy pending
 //!    cancellations (tombstone pops), one that cancels only already-fired
-//!    timers (the historical `cancelled_timers` leak). Quantifies the
-//!    calendar fast path in events/sec.
+//!    timers (the historical `cancelled_timers` leak). Each runs on both
+//!    calendar backends (binary heap and hierarchical timing wheel), plus
+//!    a fig4 end-to-end pair, so the wheel's win is measured on the same
+//!    machine in the same run. Bare names are the heap (matching older
+//!    baselines); `_wheel` suffixes are the wheel.
 //! 4. **Parallel runner**: the seed-sweep workload at 1/2/4 threads —
 //!    aggregate events/sec and speedup through the experiment engine
 //!    (`hydranet_bench::runner`). Speedup is hardware-bound: on a 1-CPU
@@ -29,10 +32,18 @@
 //! perf --save-baseline     # record crates/bench/data/perf_baseline.json
 //! perf                     # measure, pair with the saved baseline, write
 //!                          # BENCH_perf.json (before/after + ratios)
-//! perf --smoke             # quick CI variant (small transfer, one iteration)
+//! perf --smoke             # quick CI variant (small transfer, best of 5)
 //! perf --require-baseline  # fail (exit 1) instead of continuing without
 //!                          # a baseline file — CI uses this so a missing
 //!                          # baseline is loud, not silent
+//! perf --ratchet 0.95      # fail (exit 1) if any end-to-end
+//!                          # events_per_sec ratio or redirector
+//!                          # packets_per_sec ratio vs the baseline falls
+//!                          # below the threshold — the CI perf ratchet.
+//!                          # Ratios are normalized by a host-speed
+//!                          # calibration, and a below-threshold pass is
+//!                          # re-measured up to twice so only persistent
+//!                          # regressions fail the gate
 //! ```
 //!
 //! Every run prints a table; the default mode writes `BENCH_perf.json` in
@@ -42,12 +53,13 @@ use std::collections::VecDeque;
 use std::hint::black_box;
 use std::time::Instant;
 
-use hydranet_bench::ablations::{build_star, service};
+use hydranet_bench::ablations::{build_star, build_star_with, service};
 use hydranet_bench::render_table;
 use hydranet_bench::sweep::{run_seed_sweep, total_events, SweepConfig};
 use hydranet_core::prelude::*;
 use hydranet_netsim::node::{Context as NetCtx, IfaceId as NetIface, Node, TimerId, TimerToken};
 use hydranet_netsim::topology::TopologyBuilder;
+use hydranet_netsim::wheel::CalendarKind;
 use hydranet_obs::json::{push_f64, push_string, push_u64};
 use hydranet_redirect::redirector::RedirectorEngine;
 use hydranet_redirect::table::ServiceEntry;
@@ -260,18 +272,30 @@ impl Node for TimerChurn {
 /// One measured calendar workload (best-of-`iters` wall clock).
 #[derive(Debug, Clone)]
 struct CalPoint {
-    name: &'static str,
+    name: String,
     wall_secs: f64,
     events: u64,
     events_per_sec: f64,
 }
 
-fn measure_calendar(mode: ChurnMode, cfg: PerfConfig) -> CalPoint {
+/// Suffix distinguishing the calendar backends in workload names. The heap
+/// gets the bare name so ratios against baselines recorded before the
+/// wheel existed stay apples-to-apples.
+fn kind_suffix(kind: CalendarKind) -> &'static str {
+    match kind {
+        CalendarKind::Heap => "",
+        CalendarKind::Wheel => "_wheel",
+    }
+}
+
+fn measure_calendar(mode: ChurnMode, kind: CalendarKind, cfg: PerfConfig) -> CalPoint {
+    let name = format!("{}{}", mode.name(), kind_suffix(kind));
     let mut best: Option<CalPoint> = None;
     for _ in 0..cfg.iters {
         let mut t = TopologyBuilder::new();
         t.add_node(TimerChurn::new(mode, cfg.cal_fires), NodeParams::INSTANT);
         let mut sim = t.into_simulator(SEED);
+        sim.set_calendar(kind);
         let started = Instant::now();
         sim.run_until(SimTime::from_secs(3_600));
         let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
@@ -282,7 +306,41 @@ fn measure_calendar(mode: ChurnMode, cfg: PerfConfig) -> CalPoint {
             sim.stats().timers_fired
         );
         let point = CalPoint {
-            name: mode.name(),
+            name: name.clone(),
+            wall_secs,
+            events,
+            events_per_sec: events as f64 / wall_secs,
+        };
+        let better = best.as_ref().is_none_or(|b| point.wall_secs < b.wall_secs);
+        if better {
+            best = Some(point);
+        }
+    }
+    best.expect("at least one iteration")
+}
+
+/// The fig4 chain-2 transfer as a calendar workload: unlike the synthetic
+/// timer churn, this is the real event mix (packet arrivals, link
+/// dequeues, RTO/delayed-ack timers) the wheel has to win on.
+fn measure_fig4_calendar(kind: CalendarKind, cfg: PerfConfig) -> CalPoint {
+    let name = format!("fig4_e2e{}", kind_suffix(kind));
+    let mut best: Option<CalPoint> = None;
+    for _ in 0..cfg.iters {
+        let mut star = build_star_with(2, DetectorParams::DEFAULT, false, SEED, kind);
+        let ttcp = TtcpConfig {
+            total_bytes: cfg.total_bytes,
+            write_size: 1024,
+            deadline: SimTime::from_secs(120),
+        };
+        let sink = star.sinks[0].clone();
+        let events_before = star.system.sim.stats().events_processed;
+        let started = Instant::now();
+        let result = run_ttcp(&mut star.system, star.client, service(), &sink, &ttcp);
+        let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
+        assert!(result.completed, "fig4 calendar workload must complete");
+        let events = star.system.sim.stats().events_processed - events_before;
+        let point = CalPoint {
+            name: name.clone(),
             wall_secs,
             events,
             events_per_sec: events as f64 / wall_secs,
@@ -408,7 +466,7 @@ fn push_rd_point(out: &mut String, p: &RdPoint) {
 
 fn push_cal_point(out: &mut String, p: &CalPoint) {
     out.push_str("    {\"calendar\": ");
-    push_string(out, p.name);
+    push_string(out, &p.name);
     out.push_str(", \"wall_secs\": ");
     push_f64(out, p.wall_secs);
     out.push_str(", \"events\": ");
@@ -432,9 +490,36 @@ fn push_runner_point(out: &mut String, p: &RunnerPoint) {
     out.push('}');
 }
 
+/// Product-code-free host-speed calibration: FNV-1a over a fixed buffer,
+/// best of three ~20 ms runs. Wall-clock ratios against a baseline pinned
+/// on different hardware (or the same box in a different throttling state)
+/// conflate host speed with code speed; the ratchet divides ratios by the
+/// host-speed ratio so machine-wide swings cancel while regressions in the
+/// measured code do not.
+fn measure_host_speed() -> f64 {
+    let buf: Vec<u8> = (0..64 * 1024).map(|i| (i % 251) as u8).collect();
+    let mut best = 0.0f64;
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for _ in 0..3 {
+        let started = Instant::now();
+        for round in 0..400u64 {
+            acc ^= round;
+            for &b in &buf {
+                acc ^= u64::from(b);
+                acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        let secs = started.elapsed().as_secs_f64().max(1e-9);
+        best = best.max((400 * buf.len() as u64) as f64 / secs);
+    }
+    black_box(acc);
+    best
+}
+
 fn run_json(
     label: &str,
     cfg: PerfConfig,
+    host_speed: f64,
     points: &[PerfPoint],
     rd_points: &[RdPoint],
     cal_points: &[CalPoint],
@@ -454,6 +539,8 @@ fn run_json(
     push_u64(&mut out, cfg.rd_packets as u64);
     out.push_str(",\n  \"iters\": ");
     push_u64(&mut out, cfg.iters as u64);
+    out.push_str(",\n  \"host_speed\": ");
+    push_f64(&mut out, host_speed);
     out.push_str(",\n  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         push_point(&mut out, p);
@@ -550,10 +637,25 @@ fn baseline_runner_point(doc: &str, threads: usize) -> Option<(f64, f64)> {
     ))
 }
 
-fn baseline_path() -> std::path::PathBuf {
+/// Reads the calibration number back out of a previously written run
+/// document (absent in pre-calibration baselines).
+fn baseline_host_speed(doc: &str) -> Option<f64> {
+    doc.lines()
+        .find(|l| l.contains("\"host_speed\": "))
+        .and_then(|l| extract_f64(l, "host_speed"))
+}
+
+/// Smoke and full mode measure different workloads, so each compares
+/// against (and re-pins) its own baseline file — a 64-vs-1024 KiB ratio
+/// would make the ratchet meaningless.
+fn baseline_path(smoke: bool) -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("data")
-        .join("perf_baseline.json")
+        .join(if smoke {
+            "perf_baseline_smoke.json"
+        } else {
+            "perf_baseline.json"
+        })
 }
 
 fn print_rd_points(points: &[RdPoint]) {
@@ -655,11 +757,22 @@ fn main() {
     let save_baseline = args.iter().any(|a| a == "--save-baseline");
     let smoke = args.iter().any(|a| a == "--smoke");
     let require_baseline = args.iter().any(|a| a == "--require-baseline");
+    let ratchet: Option<f64> = args.iter().position(|a| a == "--ratchet").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("error: --ratchet requires a numeric threshold, e.g. --ratchet 0.95");
+                std::process::exit(2);
+            })
+    });
     let cfg = if smoke {
         PerfConfig {
-            total_bytes: 64 * 1024,
-            rd_packets: 5_000,
-            iters: 1,
+            total_bytes: 256 * 1024,
+            rd_packets: 20_000,
+            // Best-of-5 even in smoke mode: the ratchet compares wall-clock
+            // ratios, and sub-millisecond iterations are scheduler-noise
+            // bait.
+            iters: 5,
             cal_fires: 30_000,
             runner_seeds: 8,
         }
@@ -667,16 +780,16 @@ fn main() {
         PerfConfig {
             total_bytes: 1024 * 1024,
             rd_packets: 100_000,
-            iters: 5,
+            iters: 9,
             cal_fires: 300_000,
             runner_seeds: 32,
         }
     };
 
-    if require_baseline && !save_baseline && !baseline_path().exists() {
+    if require_baseline && !save_baseline && !baseline_path(smoke).exists() {
         eprintln!(
             "error: --require-baseline set but no baseline at {} — run `perf --save-baseline` and commit the file",
-            baseline_path().display()
+            baseline_path(smoke).display()
         );
         std::process::exit(1);
     }
@@ -702,10 +815,28 @@ fn main() {
         cfg.cal_fires
     );
     let cal_points = vec![
-        measure_calendar(ChurnMode::PendingCancel, cfg),
-        measure_calendar(ChurnMode::StaleCancel, cfg),
+        measure_calendar(ChurnMode::PendingCancel, CalendarKind::Heap, cfg),
+        measure_calendar(ChurnMode::StaleCancel, CalendarKind::Heap, cfg),
+        measure_calendar(ChurnMode::PendingCancel, CalendarKind::Wheel, cfg),
+        measure_calendar(ChurnMode::StaleCancel, CalendarKind::Wheel, cfg),
+        measure_fig4_calendar(CalendarKind::Heap, cfg),
+        measure_fig4_calendar(CalendarKind::Wheel, cfg),
     ];
     print_cal_points(&cal_points);
+    println!("wheel vs heap (same run):");
+    for p in &cal_points {
+        let Some(wheel) = cal_points
+            .iter()
+            .find(|w| w.name == format!("{}_wheel", p.name))
+        else {
+            continue;
+        };
+        println!(
+            "  {}: events/sec x{:.2}",
+            p.name,
+            wheel.events_per_sec / p.events_per_sec
+        );
+    }
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -715,15 +846,17 @@ fn main() {
     );
     let runner_points = measure_runner(cfg);
     print_runner_points(&runner_points);
+    let host_speed = measure_host_speed();
 
     if save_baseline {
-        let path = baseline_path();
+        let path = baseline_path(smoke);
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir).expect("create baseline dir");
         }
         let doc = run_json(
             "baseline (pre event-calendar fast path)",
             cfg,
+            host_speed,
             &points,
             &rd_points,
             &cal_points,
@@ -738,12 +871,22 @@ fn main() {
     let after = run_json(
         "after (event-calendar fast path + parallel runner)",
         cfg,
+        host_speed,
         &points,
         &rd_points,
         &cal_points,
         &runner_points,
     );
-    let before = std::fs::read_to_string(baseline_path()).ok();
+    let before = std::fs::read_to_string(baseline_path(smoke)).ok();
+    // Host-speed normalization for the ratchet: a ratio of 0.8 on a host
+    // running at 0.8x the baseline machine's speed is not a regression.
+    let speed_norm = before
+        .as_deref()
+        .and_then(baseline_host_speed)
+        .map(|base| host_speed / base)
+        .filter(|r| r.is_finite() && *r > 0.0)
+        .unwrap_or(1.0);
+    let mut ratchet_failures: Vec<String> = Vec::new();
     let mut out = String::new();
     out.push_str("{\n\"bench\": \"perf\",\n\"before\": ");
     match &before {
@@ -772,6 +915,14 @@ fn main() {
                 first = false;
                 let eps_ratio = p.events_per_sec / base_eps;
                 let goodput_ratio = p.goodput_wall_mbps / base_goodput;
+                if ratchet.is_some_and(|min| eps_ratio / speed_norm < min) {
+                    ratchet_failures.push(format!(
+                        "chain {}: events_per_sec_ratio {eps_ratio:.3} \
+                         ({:.3} host-speed-normalized)",
+                        p.chain,
+                        eps_ratio / speed_norm
+                    ));
+                }
                 out.push_str("    {\"chain\": ");
                 push_u64(&mut out, p.chain as u64);
                 out.push_str(", \"events_per_sec_ratio\": ");
@@ -789,6 +940,14 @@ fn main() {
                 {
                     let pps_ratio = rp.packets_per_sec / base_pps;
                     let rd_goodput_ratio = rp.goodput_wall_mbps / base_rd_goodput;
+                    if ratchet.is_some_and(|min| pps_ratio / speed_norm < min) {
+                        ratchet_failures.push(format!(
+                            "chain {}: redirector_packets_per_sec_ratio {pps_ratio:.3} \
+                             ({:.3} host-speed-normalized)",
+                            p.chain,
+                            pps_ratio / speed_norm
+                        ));
+                    }
                     out.push_str(", \"redirector_packets_per_sec_ratio\": ");
                     push_f64(&mut out, pps_ratio);
                     out.push_str(", \"redirector_goodput_ratio\": ");
@@ -806,7 +965,7 @@ fn main() {
             out.push_str("null");
             println!(
                 "(no baseline at {} — ratios omitted)",
-                baseline_path().display()
+                baseline_path(smoke).display()
             );
         }
     }
@@ -819,9 +978,9 @@ fn main() {
                     out.push_str(",\n");
                 }
                 out.push_str("    {\"calendar\": ");
-                push_string(&mut out, p.name);
+                push_string(&mut out, &p.name);
                 out.push_str(", \"events_per_sec_ratio\": ");
-                match baseline_cal_eps(doc, p.name) {
+                match baseline_cal_eps(doc, &p.name) {
                     Some(base) => {
                         let ratio = p.events_per_sec / base;
                         push_f64(&mut out, ratio);
@@ -867,7 +1026,76 @@ fn main() {
     }
     out.push_str(",\n\"host_cpus\": ");
     push_u64(&mut out, host_cpus as u64);
+    out.push_str(",\n\"host_speed_ratio\": ");
+    push_f64(&mut out, speed_norm);
     out.push_str("\n}\n");
     std::fs::write("BENCH_perf.json", &out).expect("write BENCH_perf.json");
     println!("\nwritten to BENCH_perf.json");
+
+    if let Some(min) = ratchet {
+        println!("host speed x{speed_norm:.2} vs baseline (ratchet ratios normalized by this)");
+        if before.is_none() {
+            eprintln!("error: --ratchet set but no baseline to ratchet against");
+            std::process::exit(1);
+        }
+        // A wall-clock gate on shared hardware must distinguish a code
+        // regression (persists) from an interference window (does not):
+        // re-measure the gated sections up to twice before failing.
+        // BENCH_perf.json keeps the first measurement either way.
+        if !ratchet_failures.is_empty() {
+            if let Some(doc) = before.as_deref() {
+                let base = baseline_points(doc);
+                let rd_base = baseline_rd_points(doc);
+                let base_speed = baseline_host_speed(doc);
+                for attempt in 1..=2 {
+                    eprintln!(
+                        "perf ratchet: {} ratio(s) below {min}, re-measuring (retry {attempt}/2)",
+                        ratchet_failures.len()
+                    );
+                    ratchet_failures.clear();
+                    let norm = base_speed
+                        .map(|b| measure_host_speed() / b)
+                        .filter(|r| r.is_finite() && *r > 0.0)
+                        .unwrap_or(1.0);
+                    for &chain in CHAINS.iter() {
+                        let p = measure_chain(chain, cfg);
+                        if let Some(&(_, base_eps, _)) = base.iter().find(|(c, _, _)| *c == chain) {
+                            let ratio = p.events_per_sec / base_eps;
+                            if ratio / norm < min {
+                                ratchet_failures.push(format!(
+                                    "chain {chain}: events_per_sec_ratio {ratio:.3} \
+                                     ({:.3} host-speed-normalized)",
+                                    ratio / norm
+                                ));
+                            }
+                        }
+                        let rp = measure_redirector(chain, cfg);
+                        if let Some(&(_, base_pps, _)) =
+                            rd_base.iter().find(|(c, _, _)| *c == chain)
+                        {
+                            let ratio = rp.packets_per_sec / base_pps;
+                            if ratio / norm < min {
+                                ratchet_failures.push(format!(
+                                    "chain {chain}: redirector_packets_per_sec_ratio \
+                                     {ratio:.3} ({:.3} host-speed-normalized)",
+                                    ratio / norm
+                                ));
+                            }
+                        }
+                    }
+                    if ratchet_failures.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+        if !ratchet_failures.is_empty() {
+            eprintln!("perf ratchet FAILED (threshold {min}):");
+            for f in &ratchet_failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("perf ratchet passed (all ratios >= {min})");
+    }
 }

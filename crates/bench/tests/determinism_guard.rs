@@ -1,39 +1,48 @@
-//! Determinism guard for the zero-copy packet path.
+//! Determinism guard for the hot-path optimisations.
 //!
-//! The shared-buffer refactor must not perturb event ordering: these
-//! fingerprints were captured on the pre-refactor `Vec<u8>` copy path and
-//! every number — fig4 throughput down to the f64 bit pattern, event
-//! counts, and the fail-over detect→promote latency in nanoseconds — must
-//! stay bit-identical afterwards. A mismatch means the refactor changed
-//! *behaviour*, not just speed.
+//! Two generations of pins live here. The `Clean` fingerprint predates the
+//! zero-copy refactor and has never moved: plain TCP involves no ack
+//! channel and no divert path, so neither the shared-buffer work nor ack
+//! batching may touch it. The replicated-path pins (`PrimaryBackup`,
+//! fail-over, chaos partition) were re-captured for the batched ack
+//! channel: coalescing (SEQ, ACK) reports into multi-pair datagrams
+//! deliberately removes events from the schedule, so those fingerprints
+//! *must* change exactly once — at the flip to batching — and stay
+//! bit-identical afterwards. Gate outcomes (bytes released, retransmits,
+//! completion) are asserted unchanged.
 //!
-//! The fingerprint covers the interesting paths:
-//! - `Clean` (no redirection, plain TCP) — baseline encode/decode;
-//! - `PrimaryBackup` at write size 1480 — multicast + IP-in-IP tunnelling,
-//!   where encapsulation pushes packets over the 1500-byte MTU and forces
-//!   fragmentation/reassembly on the replica branches;
-//! - a primary crash — timer cancellation, crash-epoch filtering, and the
-//!   detector path feeding reconfiguration.
+//! The timing-wheel calendar, by contrast, must be invisible: every pin in
+//! this file was captured with the wheel enabled and verified identical to
+//! a heap-backed run. `failover_is_calendar_and_thread_invariant` keeps
+//! that equivalence executable rather than historical.
 //!
 //! The thread-equivalence tests extend the same contract to the parallel
 //! experiment engine: an ablation grid or a seed sweep fanned out over N
 //! workers must merge to the byte-identical JSON the single-threaded run
 //! produces — thread count is a wall-clock knob, never a results knob.
 
-use hydranet_bench::ablations::{build_star, detector_sweep_threads, service, DetectorSweepConfig};
+use hydranet_bench::ablations::{
+    build_star_with, detector_sweep_threads, service, DetectorSweepConfig,
+};
 use hydranet_bench::chaos::{self, ChaosConfig};
 use hydranet_bench::fig4::{run_point, Fig4Config, Fig4Params};
+use hydranet_bench::runner::{run_tasks, Task};
 use hydranet_bench::sweep::{detector_grid_json, merged_report, run_seed_sweep, SweepConfig};
 use hydranet_core::prelude::*;
+use hydranet_netsim::wheel::CalendarKind;
 
 const SEED: u64 = 21;
 
-/// fig4 `Clean` @ 512 B writes: plain TCP end-to-end, no redirector.
+/// fig4 `Clean` @ 512 B writes: plain TCP end-to-end, no redirector. No
+/// ack channel on this path — pinned since the zero-copy refactor and
+/// unchanged by batching or the wheel.
 const PINNED_CLEAN: &str = "clean tput=0x407350f1d241914f retx=0 completed=true";
 /// fig4 `PrimaryBackup` @ 1480 B writes: multicast + tunnel + fragmentation.
-const PINNED_PRIMARY_BACKUP: &str = "pb tput=0x40738040d73dfee1 retx=0 completed=true";
+/// Re-pinned for the batched ack channel (PR 5).
+const PINNED_PRIMARY_BACKUP: &str = "pb tput=0x40759b5382f05691 retx=0 completed=true";
 /// Primary crash under load: detection latency and total event count.
-const PINNED_FAILOVER: &str = "failover detect_ns=401125600 events=3623 bytes=200000";
+/// Re-pinned for the batched ack channel (PR 5); `bytes` must stay 200000.
+const PINNED_FAILOVER: &str = "failover detect_ns=401086400 events=3030 bytes=200000";
 
 fn fig4_fingerprint(config: Fig4Config, tag: &str, write_size: usize) -> String {
     let p = run_point(config, write_size, &Fig4Params::default(), SEED);
@@ -45,9 +54,9 @@ fn fig4_fingerprint(config: Fig4Config, tag: &str, write_size: usize) -> String 
     )
 }
 
-fn failover_fingerprint() -> String {
+fn failover_fingerprint(calendar: CalendarKind) -> String {
     let detector = DetectorParams::new(4, SimDuration::from_secs(60));
-    let mut star = build_star(2, detector, false, SEED);
+    let mut star = build_star_with(2, detector, false, SEED, calendar);
     let total = 200_000usize;
     let payload: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
     let state = shared(SenderState::default());
@@ -86,7 +95,29 @@ fn fig4_primary_backup_is_bit_identical() {
 
 #[test]
 fn failover_latency_is_bit_identical() {
-    assert_eq!(failover_fingerprint(), PINNED_FAILOVER);
+    assert_eq!(failover_fingerprint(CalendarKind::Wheel), PINNED_FAILOVER);
+}
+
+/// The calendar backend is a constant-factor knob, never a results knob:
+/// the fail-over fingerprint must be bit-identical between the timing
+/// wheel and the binary heap, and between 1 and 4 runner threads.
+#[test]
+fn failover_is_calendar_and_thread_invariant() {
+    let tasks = || {
+        vec![
+            Task::new("failover-wheel", SEED, || {
+                failover_fingerprint(CalendarKind::Wheel)
+            }),
+            Task::new("failover-heap", SEED, || {
+                failover_fingerprint(CalendarKind::Heap)
+            }),
+        ]
+    };
+    let (seq, _) = run_tasks(tasks(), 1);
+    let (par, _) = run_tasks(tasks(), 4);
+    assert_eq!(seq, par, "fingerprints diverged between 1 and 4 threads");
+    assert_eq!(seq[0], seq[1], "wheel and heap calendars diverged");
+    assert_eq!(seq[0], PINNED_FAILOVER);
 }
 
 #[test]
@@ -109,9 +140,10 @@ fn ablation_grid_is_thread_count_invariant() {
 /// Pinned fingerprint of the chaos partition run at the default base seed:
 /// the class whose recovery depends on the gate-starvation probe refreshing
 /// ack state after the partition heals. Captured at 1 thread; the soak must
-/// reproduce it bit-identically at 4.
+/// reproduce it bit-identically at 4. Re-pinned for the batched ack
+/// channel (PR 5); `bytes` must stay 60000.
 const PINNED_CHAOS_PARTITION: &str =
-    "partition seed=13000 events=4533 bytes=60000 recovery_ns=436484006";
+    "partition seed=13000 events=3091 bytes=60000 recovery_ns=209868800";
 
 #[test]
 fn chaos_soak_is_thread_count_invariant_and_pinned() {

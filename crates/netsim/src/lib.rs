@@ -72,6 +72,7 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 pub mod trace;
+pub mod wheel;
 
 /// Convenient glob-import of the types most simulations need.
 pub mod prelude {

@@ -20,6 +20,7 @@ use crate::rng::SimRng;
 use crate::stats::{LinkStats, NodeStats, SimStats};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TracePoint};
+use crate::wheel::CalendarKind;
 
 pub(crate) struct NodeSlot {
     /// `None` only transiently while the node's callback runs.
@@ -153,7 +154,25 @@ impl Simulator {
     /// Wires telemetry: fault-injection transitions (node crash/recover,
     /// link down/up) are recorded on the shared timeline.
     pub fn set_obs(&mut self, obs: Obs) {
+        self.events.set_obs(&obs);
         self.obs = obs;
+    }
+
+    /// Which data structure backs the event calendar (default:
+    /// [`CalendarKind::Wheel`]).
+    pub fn calendar_kind(&self) -> CalendarKind {
+        self.events.kind()
+    }
+
+    /// Switches the event calendar between the binary heap and the
+    /// hierarchical timing wheel. Both pop events in the identical
+    /// `(time, insertion order)` sequence, so this changes wall-clock
+    /// performance only — pending events (including the initial
+    /// `NodeStart` batch) carry over with their order intact, and a run
+    /// under either calendar is bit-for-bit the same.
+    pub fn set_calendar(&mut self, kind: CalendarKind) {
+        self.events.set_kind(kind);
+        self.events.set_obs(&self.obs);
     }
 
     /// The trace buffer (enable with [`Trace::set_enabled`]).

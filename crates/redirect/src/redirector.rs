@@ -197,10 +197,16 @@ impl RedirectorEngine {
                             }
                         }
                         ServiceEntry::FaultTolerant { .. } => {
-                            entry.for_each_target(|host| match routes.lookup(host) {
-                                Some(iface) => routed.push((iface, host)),
-                                None => stats.dropped_no_route += 1,
-                            });
+                            // Memoized routed fan-out: the per-chain-member
+                            // routing lookups run once per (table, routes)
+                            // generation, not per packet. `unroutable` keeps
+                            // the per-packet drop accounting exact.
+                            let targets = self
+                                .table
+                                .ft_targets(sap, |host| routes.lookup(host))
+                                .expect("entry is fault-tolerant");
+                            stats.dropped_no_route += u64::from(targets.unroutable);
+                            routed.extend_from_slice(&targets.routed);
                         }
                     }
                     if let Some((&(last_iface, last_host), rest)) = routed.split_last() {
@@ -369,6 +375,27 @@ mod tests {
         ));
         assert_eq!(e.stats().redirected, 1);
         assert_eq!(e.stats().copies, 2);
+    }
+
+    #[test]
+    fn chain_reconfiguration_does_not_serve_stale_fanout() {
+        let mut e = engine();
+        let sap = SockAddr::new(SERVICE, 80);
+        e.table_mut().install(
+            sap,
+            ServiceEntry::FaultTolerant {
+                chain: vec![H1, H2],
+            },
+        );
+        let mut out = Vec::new();
+        e.process(tcp_packet(80, 100), SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 2);
+        // Fail-over removes the primary: the memoized fan-out must follow.
+        assert!(e.table_mut().remove_from_chain(sap, H1));
+        out.clear();
+        e.process(tcp_packet(80, 100), SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, IfaceId::from_index(2)); // H2 only
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use hydranet_netsim::node::IfaceId;
 use hydranet_netsim::packet::IpAddr;
@@ -71,6 +72,18 @@ impl ServiceEntry {
     }
 }
 
+/// A fault-tolerant chain resolved against the routing table: the
+/// multicast fan-out in delivery order, plus how many chain members had no
+/// route (so the caller can keep per-packet drop accounting exact even
+/// though the resolution itself is memoized).
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct FtTargets {
+    /// Resolved `(egress interface, host)` pairs in chain order.
+    pub routed: Vec<(IfaceId, IpAddr)>,
+    /// Chain members with no route at resolution time.
+    pub unroutable: u32,
+}
+
 /// Maps service access points to their redirection entries.
 ///
 /// # Examples
@@ -97,6 +110,12 @@ pub struct RedirectorTable {
     /// part either way). Every table mutation drops the affected entry;
     /// routing changes must call [`invalidate_targets`](Self::invalidate_targets).
     target_cache: RefCell<HashMap<SockAddr, Option<(IpAddr, IfaceId)>>>,
+    /// Memoized routed fan-out per fault-tolerant service, the FT analogue
+    /// of `target_cache`: one routing lookup per chain member per *(table,
+    /// routes)* generation instead of per packet. `Rc` so the per-packet
+    /// fast path hands back a handle without cloning the vector. Same
+    /// invalidation discipline as `target_cache`.
+    ft_cache: RefCell<HashMap<SockAddr, Rc<FtTargets>>>,
     c_installs: Counter,
     c_removes: Counter,
     c_cache_hits: Counter,
@@ -125,6 +144,7 @@ impl RedirectorTable {
     pub fn install(&mut self, sap: SockAddr, entry: ServiceEntry) {
         self.entries.insert(sap, entry);
         self.target_cache.get_mut().remove(&sap);
+        self.ft_cache.get_mut().remove(&sap);
         self.c_installs.inc();
         self.g_entries.set(self.entries.len() as f64);
     }
@@ -134,6 +154,7 @@ impl RedirectorTable {
         let removed = self.entries.remove(&sap);
         if removed.is_some() {
             self.target_cache.get_mut().remove(&sap);
+            self.ft_cache.get_mut().remove(&sap);
             self.c_removes.inc();
             self.g_entries.set(self.entries.len() as f64);
         }
@@ -176,10 +197,44 @@ impl RedirectorTable {
         picked
     }
 
+    /// The routed multicast fan-out for a fault-tolerant service, memoized.
+    ///
+    /// On a cache miss every chain member is resolved through `routable`
+    /// (in chain order, matching the uncached walk); the result is cached
+    /// until the entry is mutated or
+    /// [`invalidate_targets`](Self::invalidate_targets) is called. Returns
+    /// `None` for missing or scaled entries.
+    pub fn ft_targets(
+        &self,
+        sap: SockAddr,
+        mut routable: impl FnMut(IpAddr) -> Option<IfaceId>,
+    ) -> Option<Rc<FtTargets>> {
+        let chain = match self.entries.get(&sap) {
+            Some(ServiceEntry::FaultTolerant { chain }) => chain,
+            _ => return None,
+        };
+        if let Some(cached) = self.ft_cache.borrow().get(&sap) {
+            self.c_cache_hits.inc();
+            return Some(Rc::clone(cached));
+        }
+        self.c_cache_misses.inc();
+        let mut t = FtTargets::default();
+        for &host in chain {
+            match routable(host) {
+                Some(iface) => t.routed.push((iface, host)),
+                None => t.unroutable += 1,
+            }
+        }
+        let rc = Rc::new(t);
+        self.ft_cache.borrow_mut().insert(sap, Rc::clone(&rc));
+        Some(rc)
+    }
+
     /// Drops every memoized target. Call after anything *outside* the table
     /// changes which replicas are routable (i.e. the routing table).
     pub fn invalidate_targets(&mut self) {
         self.target_cache.get_mut().clear();
+        self.ft_cache.get_mut().clear();
     }
 
     /// Looks up the entry for `sap`. Packets with no entry "are simply
@@ -198,9 +253,10 @@ impl RedirectorTable {
 
     /// Mutable access to the FT chain for `sap` (used by reconfiguration).
     pub fn chain_mut(&mut self, sap: SockAddr) -> Option<&mut Vec<IpAddr>> {
-        // FT entries never populate the scaled-target cache, but an entry
-        // handed out mutably is an entry we can no longer vouch for.
+        // An entry handed out mutably is an entry we can no longer vouch
+        // for: drop both caches' memo before the caller can edit the chain.
         self.target_cache.get_mut().remove(&sap);
+        self.ft_cache.get_mut().remove(&sap);
         match self.entries.get_mut(&sap) {
             Some(ServiceEntry::FaultTolerant { chain }) => Some(chain),
             _ => None,
@@ -394,6 +450,68 @@ mod tests {
             t.scaled_target(sap(80), |_| Some(IfaceId::from_index(0))),
             None
         );
+    }
+
+    #[test]
+    fn ft_targets_memoizes_routing_lookups() {
+        let mut t = RedirectorTable::new();
+        t.install(
+            sap(80),
+            ServiceEntry::FaultTolerant {
+                chain: vec![host(1), host(2), host(3)],
+            },
+        );
+        let probes = std::cell::Cell::new(0);
+        let routable = |h: IpAddr| {
+            probes.set(probes.get() + 1);
+            (h != host(2)).then(|| IfaceId::from_index(0))
+        };
+        let got = t.ft_targets(sap(80), routable).unwrap();
+        assert_eq!(
+            got.routed,
+            vec![
+                (IfaceId::from_index(0), host(1)),
+                (IfaceId::from_index(0), host(3)),
+            ]
+        );
+        assert_eq!(got.unroutable, 1);
+        assert_eq!(probes.get(), 3);
+        // Second resolution is served from the cache: no routing probes.
+        let again = t.ft_targets(sap(80), routable).unwrap();
+        assert_eq!(probes.get(), 3);
+        assert!(Rc::ptr_eq(&got, &again));
+        // Scaled and missing entries are not the FT cache's business.
+        t.install(sap(443), scaled(&[(1, 1)]));
+        assert!(t.ft_targets(sap(443), routable).is_none());
+        assert!(t.ft_targets(sap(23), routable).is_none());
+    }
+
+    #[test]
+    fn ft_targets_invalidates_on_mutation_and_route_change() {
+        let mut t = RedirectorTable::new();
+        t.install(
+            sap(80),
+            ServiceEntry::FaultTolerant {
+                chain: vec![host(1), host(2)],
+            },
+        );
+        let all = |_h: IpAddr| Some(IfaceId::from_index(0));
+        assert_eq!(t.ft_targets(sap(80), all).unwrap().routed.len(), 2);
+        // Chain reconfiguration (fail-over) must drop the memoized fan-out.
+        assert!(t.remove_from_chain(sap(80), host(1)));
+        assert_eq!(
+            t.ft_targets(sap(80), all).unwrap().routed,
+            vec![(IfaceId::from_index(0), host(2))]
+        );
+        // A routing change must re-resolve too.
+        t.invalidate_targets();
+        let got = t.ft_targets(sap(80), |h| (h != host(2)).then(|| IfaceId::from_index(1)));
+        let got = got.unwrap();
+        assert!(got.routed.is_empty());
+        assert_eq!(got.unroutable, 1);
+        // Removal clears the cache along with the entry.
+        t.remove(sap(80));
+        assert!(t.ft_targets(sap(80), all).is_none());
     }
 
     #[test]

@@ -43,6 +43,14 @@ pub struct TcpConfig {
     pub min_rto: SimDuration,
     /// RTO ceiling.
     pub max_rto: SimDuration,
+    /// How long a backup stack may hold diverted `(SEQ, ACK)` report pairs
+    /// before flushing one coalesced ack-channel datagram to its chain
+    /// predecessor. Zero disables batching: every would-be transmission is
+    /// reported in its own datagram (the paper's §4.2 per-segment
+    /// behaviour).
+    pub ackchan_flush_delay: SimDuration,
+    /// Pending report pairs that force an immediate ack-channel flush.
+    pub ackchan_max_pairs: usize,
     /// Consecutive retransmissions of the same data before the connection
     /// is aborted.
     pub max_retries: u32,
@@ -87,6 +95,13 @@ impl Default for TcpConfig {
             // sender's retransmission timer (BSD used 200 ms against a 1 s
             // RTO floor; these defaults keep the same 5x margin).
             ack_delay: SimDuration::from_millis(40),
+            // Same discipline as ack_delay, much tighter: a held report
+            // delays the predecessor's gates, and those stack per chain
+            // stage on the client's ACK path. 4 ms is 50x under the RTO
+            // floor, so a full chain of flush delays can never race a
+            // retransmission timer.
+            ackchan_flush_delay: SimDuration::from_millis(4),
+            ackchan_max_pairs: 32,
             min_rto: DEFAULT_MIN_RTO,
             max_rto: DEFAULT_MAX_RTO,
             max_retries: 12,

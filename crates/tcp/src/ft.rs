@@ -125,10 +125,17 @@ pub struct AckChanMsg {
     pub ack: SeqNum,
 }
 
-/// Byte length of an encoded [`AckChanMsg`].
+/// Byte length of an encoded single-pair [`AckChanMsg`] (tag + one pair).
 pub const ACK_CHAN_MSG_LEN: usize = 21;
 
+/// Byte length of one `(connection, SEQ, ACK)` pair within either format.
+pub const ACK_CHAN_PAIR_LEN: usize = 20;
+
+/// Maximum pairs one batched datagram can carry (the count field is a u8).
+pub const ACK_CHAN_MAX_PAIRS: usize = 255;
+
 const ACK_CHAN_TAG: u8 = 0xA1;
+const ACK_CHAN_BATCH_TAG: u8 = 0xA2;
 
 impl AckChanMsg {
     /// The connection four-tuple as the *receiving* replica keys it
@@ -137,20 +144,64 @@ impl AckChanMsg {
         Quad::new(self.service, self.client)
     }
 
-    /// Serialises to the 21-byte wire format.
+    /// Serialises to the 21-byte single-pair wire format.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(ACK_CHAN_MSG_LEN);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the 21-byte single-pair wire format to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.push(ACK_CHAN_TAG);
+        self.encode_pair_into(out);
+    }
+
+    /// Appends the raw 20-byte pair (no tag) to `out`.
+    fn encode_pair_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.client.addr.to_bits().to_be_bytes());
         out.extend_from_slice(&self.client.port.to_be_bytes());
         out.extend_from_slice(&self.service.addr.to_bits().to_be_bytes());
         out.extend_from_slice(&self.service.port.to_be_bytes());
         out.extend_from_slice(&self.seq.raw().to_be_bytes());
         out.extend_from_slice(&self.ack.raw().to_be_bytes());
-        out
     }
 
-    /// Parses the wire format.
+    /// Appends the batched wire format — `0xA2 | count (1) | count × pair`
+    /// — to `out`. A batch coalesces one flush window of reports into a
+    /// single datagram; pair order is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msgs` is empty or holds more than
+    /// [`ACK_CHAN_MAX_PAIRS`] pairs.
+    pub fn encode_batch_into(msgs: &[AckChanMsg], out: &mut Vec<u8>) {
+        assert!(
+            !msgs.is_empty() && msgs.len() <= ACK_CHAN_MAX_PAIRS,
+            "batch of {} pairs",
+            msgs.len()
+        );
+        out.reserve(2 + msgs.len() * ACK_CHAN_PAIR_LEN);
+        out.push(ACK_CHAN_BATCH_TAG);
+        out.push(msgs.len() as u8);
+        for m in msgs {
+            m.encode_pair_into(out);
+        }
+    }
+
+    fn decode_pair(bytes: &[u8]) -> AckChanMsg {
+        let rd_u32 =
+            |i: usize| u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
+        let rd_u16 = |i: usize| u16::from_be_bytes([bytes[i], bytes[i + 1]]);
+        AckChanMsg {
+            client: SockAddr::new(IpAddr::from_bits(rd_u32(0)), rd_u16(4)),
+            service: SockAddr::new(IpAddr::from_bits(rd_u32(6)), rd_u16(10)),
+            seq: SeqNum::new(rd_u32(12)),
+            ack: SeqNum::new(rd_u32(16)),
+        }
+    }
+
+    /// Parses the single-pair wire format.
     ///
     /// # Errors
     ///
@@ -165,15 +216,47 @@ impl AckChanMsg {
         if bytes[0] != ACK_CHAN_TAG {
             return Err(DecodeError::BadVersion(bytes[0]));
         }
-        let rd_u32 =
-            |i: usize| u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
-        let rd_u16 = |i: usize| u16::from_be_bytes([bytes[i], bytes[i + 1]]);
-        Ok(AckChanMsg {
-            client: SockAddr::new(IpAddr::from_bits(rd_u32(1)), rd_u16(5)),
-            service: SockAddr::new(IpAddr::from_bits(rd_u32(7)), rd_u16(11)),
-            seq: SeqNum::new(rd_u32(13)),
-            ack: SeqNum::new(rd_u32(17)),
-        })
+        Ok(Self::decode_pair(&bytes[1..]))
+    }
+
+    /// Parses either wire format — a single-pair message or a batch — and
+    /// invokes `f` once per pair, in wire order. Returns the pair count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncation, an unknown tag byte, or a
+    /// batch whose declared count does not match its length.
+    pub fn decode_each(bytes: &[u8], mut f: impl FnMut(AckChanMsg)) -> Result<usize, DecodeError> {
+        match bytes.first() {
+            Some(&ACK_CHAN_TAG) => {
+                f(Self::decode(bytes)?);
+                Ok(1)
+            }
+            Some(&ACK_CHAN_BATCH_TAG) => {
+                if bytes.len() < 2 {
+                    return Err(DecodeError::Truncated {
+                        needed: 2,
+                        got: bytes.len(),
+                    });
+                }
+                let count = bytes[1] as usize;
+                let declared = 2 + count * ACK_CHAN_PAIR_LEN;
+                if count == 0 || bytes.len() != declared {
+                    return Err(DecodeError::BadLength {
+                        declared,
+                        available: bytes.len(),
+                    });
+                }
+                for i in 0..count {
+                    f(Self::decode_pair(
+                        &bytes[2 + i * ACK_CHAN_PAIR_LEN..2 + (i + 1) * ACK_CHAN_PAIR_LEN],
+                    ));
+                }
+                Ok(count)
+            }
+            Some(&tag) => Err(DecodeError::BadVersion(tag)),
+            None => Err(DecodeError::Truncated { needed: 1, got: 0 }),
+        }
     }
 }
 
@@ -235,6 +318,58 @@ mod tests {
         assert_eq!(AckChanMsg::decode(&bytes).unwrap(), msg);
         assert_eq!(msg.quad().local, msg.service);
         assert_eq!(msg.quad().remote, msg.client);
+    }
+
+    #[test]
+    fn ack_chan_batch_roundtrip() {
+        let msgs: Vec<AckChanMsg> = (0..5u16)
+            .map(|i| AckChanMsg {
+                client: SockAddr::new(IpAddr::new(10, 0, 0, 9), 51_000 + i),
+                service: SockAddr::new(IpAddr::new(192, 20, 225, 20), 80),
+                seq: SeqNum::new(0x1000 + u32::from(i)),
+                ack: SeqNum::new(0x2000 + u32::from(i)),
+            })
+            .collect();
+        let mut wire = Vec::new();
+        AckChanMsg::encode_batch_into(&msgs, &mut wire);
+        assert_eq!(wire.len(), 2 + msgs.len() * ACK_CHAN_PAIR_LEN);
+        let mut back = Vec::new();
+        let n = AckChanMsg::decode_each(&wire, |m| back.push(m)).unwrap();
+        assert_eq!(n, msgs.len());
+        assert_eq!(back, msgs);
+    }
+
+    #[test]
+    fn decode_each_handles_single_pair_format() {
+        let msg = AckChanMsg {
+            client: SockAddr::new(IpAddr::new(10, 0, 0, 9), 51_000),
+            service: SockAddr::new(IpAddr::new(192, 20, 225, 20), 80),
+            seq: SeqNum::new(7),
+            ack: SeqNum::new(9),
+        };
+        let mut single = Vec::new();
+        msg.encode_into(&mut single);
+        assert_eq!(single, msg.encode());
+        let mut seen = Vec::new();
+        assert_eq!(
+            AckChanMsg::decode_each(&single, |m| seen.push(m)).unwrap(),
+            1
+        );
+        assert_eq!(seen, vec![msg]);
+    }
+
+    #[test]
+    fn batch_rejects_malformed() {
+        assert!(AckChanMsg::decode_each(&[], |_| {}).is_err());
+        assert!(AckChanMsg::decode_each(&[0xA2], |_| {}).is_err());
+        // Zero-count batch.
+        assert!(AckChanMsg::decode_each(&[0xA2, 0], |_| {}).is_err());
+        // Count that disagrees with the byte length.
+        let mut wire = vec![0xA2, 2];
+        wire.extend_from_slice(&[0u8; ACK_CHAN_PAIR_LEN]);
+        assert!(AckChanMsg::decode_each(&wire, |_| {}).is_err());
+        // Unknown tag.
+        assert!(AckChanMsg::decode_each(&[0x07; 21], |_| {}).is_err());
     }
 
     #[test]

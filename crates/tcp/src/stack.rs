@@ -23,15 +23,18 @@ use std::collections::BTreeMap;
 use hydranet_netsim::buf::PacketBuf;
 use hydranet_netsim::frag::Reassembler;
 use hydranet_netsim::packet::{DecodeError, IpAddr, IpPacket, Protocol};
-use hydranet_netsim::time::SimTime;
-use hydranet_obs::metrics::Counter;
+use hydranet_netsim::time::{SimDuration, SimTime};
+use hydranet_obs::metrics::{Counter, Histogram};
 use hydranet_obs::Obs;
 
 use crate::conn::{ConnEvent, Connection, TcpConfig, TcpState};
 use crate::detector::FailureDetector;
-use crate::ft::{deterministic_iss, AckChanMsg, ReplicatedPortConfig, ACK_CHANNEL_PORT};
+use crate::ft::{
+    deterministic_iss, AckChanMsg, ReplicatedPortConfig, ACK_CHANNEL_PORT, ACK_CHAN_MAX_PAIRS,
+    ACK_CHAN_PAIR_LEN,
+};
 use crate::segment::{Quad, SockAddr, TcpFlags, TcpSegment};
-use crate::udp::UdpDatagram;
+use crate::udp::{UdpDatagram, UDP_HEADER_LEN};
 
 /// Application callbacks for one TCP connection.
 ///
@@ -177,9 +180,15 @@ pub struct StackStats {
     pub rx_corrupt: u64,
     /// RSTs emitted for segments with no matching socket.
     pub rst_sent: u64,
-    /// Ack-channel messages sent (backup output diversion).
+    /// Ack-channel (SEQ, ACK) pairs put on the wire (backup output
+    /// diversion). With batching, coalesced duplicates never count here —
+    /// in a loss-free run this equals the predecessor's `ackchan_rx`.
     pub ackchan_tx: u64,
-    /// Ack-channel messages received and applied.
+    /// Ack-channel pairs superseded in the pending batch before a flush
+    /// (a fresher report for the same connection overwrote them). Each one
+    /// is a datagram the per-segment protocol would have sent.
+    pub ackchan_coalesced: u64,
+    /// Ack-channel pairs received and applied.
     pub ackchan_rx: u64,
     /// IP-in-IP tunnelled packets decapsulated.
     pub decapsulated: u64,
@@ -212,11 +221,19 @@ pub struct TcpStack {
     ephemeral_range: (u16, u16),
     out: Vec<IpPacket>,
     events: Vec<StackEvent>,
+    /// Latest (SEQ, ACK) report per connection awaiting an ack-channel
+    /// flush. BTreeMap for the same determinism reason as `conns`, and so
+    /// a flush walks quads in a stable order. Storing only the latest pair
+    /// is sound because the predecessor's gates are monotonic maxima.
+    ackchan_pending: BTreeMap<Quad, AckChanMsg>,
+    /// Deadline of the armed ack-channel flush timer, if any.
+    ackchan_flush_at: Option<SimTime>,
     stats: StackStats,
     obs: Obs,
     c_ackchan_tx: Counter,
     c_ackchan_rx: Counter,
     c_rx_corrupt: Counter,
+    h_ackchan_pairs: Histogram,
 }
 
 impl std::fmt::Debug for TcpStack {
@@ -246,11 +263,14 @@ impl TcpStack {
             ephemeral_range: (40_000, u16::MAX),
             out: Vec::new(),
             events: Vec::new(),
+            ackchan_pending: BTreeMap::new(),
+            ackchan_flush_at: None,
             stats: StackStats::default(),
             obs: Obs::disabled(),
             c_ackchan_tx: Counter::default(),
             c_ackchan_rx: Counter::default(),
             c_rx_corrupt: Counter::default(),
+            h_ackchan_pairs: Histogram::default(),
         }
     }
 
@@ -264,6 +284,7 @@ impl TcpStack {
         self.c_ackchan_tx = obs.counter(&format!("{scope}.ackchan_tx"));
         self.c_ackchan_rx = obs.counter(&format!("{scope}.ackchan_rx"));
         self.c_rx_corrupt = obs.counter(&format!("{scope}.rx_corrupt"));
+        self.h_ackchan_pairs = obs.histogram(&format!("{scope}.ackchan.pairs_per_datagram"));
         for (quad, entry) in self.conns.iter_mut() {
             entry.conn.set_obs(&obs);
             if let Some(d) = entry.detector.as_mut() {
@@ -429,6 +450,8 @@ impl TcpStack {
         self.replicated.clear();
         self.out.clear();
         self.events.clear();
+        self.ackchan_pending.clear();
+        self.ackchan_flush_at = None;
         self.reassembler = Reassembler::new();
     }
 
@@ -557,13 +580,20 @@ impl TcpStack {
                 self.finish_entry(quad, entry, now);
             }
         }
+        // After connection ticks: their output may have queued more pairs,
+        // which ride along with a due flush instead of re-arming the timer.
+        if self.ackchan_flush_at.is_some_and(|t| t <= now) {
+            self.flush_ackchan();
+        }
     }
 
-    /// The earliest timer deadline across all connections.
+    /// The earliest timer deadline across all connections, including a
+    /// pending ack-channel flush.
     pub fn next_deadline(&self) -> Option<SimTime> {
         self.conns
             .values()
             .filter_map(|e| e.conn.next_deadline())
+            .chain(self.ackchan_flush_at)
             .min()
     }
 
@@ -689,8 +719,8 @@ impl TcpStack {
     fn handle_udp(&mut self, src: IpAddr, dst: IpAddr, dgram: UdpDatagram, now: SimTime) {
         self.stats.udp_rx += 1;
         if dgram.dst_port == ACK_CHANNEL_PORT {
-            match AckChanMsg::decode(&dgram.payload) {
-                Ok(msg) => self.on_ack_chan(msg, now),
+            match AckChanMsg::decode_each(&dgram.payload, |msg| self.on_ack_chan(msg, now)) {
+                Ok(_) => {}
                 Err(_) => self.stats.dropped += 1,
             }
             return;
@@ -847,14 +877,8 @@ impl TcpStack {
                             seq: seg.seq_end(),
                             ack: seg.ack,
                         };
-                        self.stats.ackchan_tx += 1;
-                        self.c_ackchan_tx.inc();
-                        let datagram = UdpDatagram {
-                            src_port: ACK_CHANNEL_PORT,
-                            dst_port: ACK_CHANNEL_PORT,
-                            payload: msg.encode(),
-                        };
-                        self.push_packet(quad.local.addr, pred, Protocol::UDP, datagram.encode());
+                        let control = seg.flags.syn || seg.flags.fin || seg.flags.rst;
+                        self.queue_ack_report(quad, pred, msg, control, now);
                     }
                     Some(None) => {
                         // Backup with no predecessor configured yet: the
@@ -878,6 +902,100 @@ impl TcpStack {
             return;
         }
         self.conns.insert(quad, entry);
+    }
+
+    /// Accepts one diverted (SEQ, ACK) report for the ack channel. In the
+    /// paper's protocol (§4.2) every report is its own datagram; here
+    /// reports accumulate — latest per connection — and a short flush timer
+    /// (well under the RTO floor) coalesces them into one batched datagram.
+    /// The predecessor's gates see the same final values at nearly the same
+    /// time, but the per-segment storm of duplicate reports from a gated
+    /// replica collapses to one pair per flush window.
+    ///
+    /// Flushes immediately when the report carries connection-lifecycle
+    /// state (SYN/FIN/RST segments — handshakes must not wait), when the
+    /// batch reaches `ackchan_max_pairs`, or — `ackchan_flush_delay` of
+    /// zero — always (the paper's per-segment behaviour, used as the
+    /// reference arm in equivalence tests).
+    fn queue_ack_report(
+        &mut self,
+        quad: Quad,
+        pred: IpAddr,
+        msg: AckChanMsg,
+        control: bool,
+        now: SimTime,
+    ) {
+        let delay = self.cfg.ackchan_flush_delay;
+        if delay == SimDuration::ZERO {
+            self.send_ack_batch(quad.local.addr, pred, &[msg]);
+            return;
+        }
+        if self.ackchan_pending.insert(quad, msg).is_some() {
+            self.stats.ackchan_coalesced += 1;
+        }
+        if control || self.ackchan_pending.len() >= self.cfg.ackchan_max_pairs.max(1) {
+            self.flush_ackchan();
+        } else if self.ackchan_flush_at.is_none() {
+            self.ackchan_flush_at = Some(now + delay);
+        }
+    }
+
+    /// Sends every pending ack-channel report, coalescing runs of
+    /// consecutive connections that share a (local address, predecessor)
+    /// pair into single batched datagrams. The predecessor is resolved
+    /// *now*, not at queue time: if the chain was reconfigured while a
+    /// report waited (promotion, re-chaining), the stale report is dropped
+    /// exactly as `Some(None)` diversion drops it.
+    fn flush_ackchan(&mut self) {
+        self.ackchan_flush_at = None;
+        if self.ackchan_pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.ackchan_pending);
+        let mut batch: Vec<AckChanMsg> = Vec::new();
+        let mut dest: Option<(IpAddr, IpAddr)> = None;
+        for (quad, msg) in pending {
+            let pred = self
+                .replicated
+                .get(&quad.local.port)
+                .filter(|r| r.diverts_output())
+                .and_then(|r| r.predecessor);
+            let Some(pred) = pred else {
+                self.stats.dropped += 1;
+                continue;
+            };
+            let key = (quad.local.addr, pred);
+            if dest != Some(key) || batch.len() >= ACK_CHAN_MAX_PAIRS {
+                if let Some((src, to)) = dest {
+                    self.send_ack_batch(src, to, &batch);
+                }
+                batch.clear();
+                dest = Some(key);
+            }
+            batch.push(msg);
+        }
+        if let Some((src, to)) = dest {
+            self.send_ack_batch(src, to, &batch);
+        }
+    }
+
+    /// Encodes `batch` as one ack-channel datagram — single-pair wire
+    /// format when the batch has one report, the multi-pair format
+    /// otherwise — built in place in the packet buffer, and queues it.
+    fn send_ack_batch(&mut self, src: IpAddr, pred: IpAddr, batch: &[AckChanMsg]) {
+        debug_assert!(!batch.is_empty() && batch.len() <= ACK_CHAN_MAX_PAIRS);
+        self.stats.ackchan_tx += batch.len() as u64;
+        self.c_ackchan_tx.add(batch.len() as u64);
+        self.h_ackchan_pairs.record(batch.len() as u64);
+        let mut wire = Vec::with_capacity(UDP_HEADER_LEN + 2 + batch.len() * ACK_CHAN_PAIR_LEN);
+        UdpDatagram::encode_with(ACK_CHANNEL_PORT, ACK_CHANNEL_PORT, &mut wire, |p| {
+            if let [single] = batch {
+                single.encode_into(p);
+            } else {
+                AckChanMsg::encode_batch_into(batch, p);
+            }
+        });
+        self.push_packet(src, pred, Protocol::UDP, wire);
     }
 
     fn push_packet(

@@ -46,14 +46,32 @@ impl UdpDatagram {
     /// as detectable as a corrupted payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len());
-        out.extend_from_slice(&self.src_port.to_be_bytes());
-        out.extend_from_slice(&self.dst_port.to_be_bytes());
-        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
-        out.extend_from_slice(&[0, 0]); // checksum placeholder
-        out.extend_from_slice(&self.payload);
-        let sum = datagram_checksum(&out);
-        out[6..8].copy_from_slice(&sum.to_be_bytes());
+        Self::encode_with(self.src_port, self.dst_port, &mut out, |p| {
+            p.extend_from_slice(&self.payload)
+        });
         out
+    }
+
+    /// Encodes a datagram directly into `out` with the payload appended by
+    /// `fill` — one buffer for header and payload, no intermediate payload
+    /// `Vec`. This is the ack channel's batching path: a flush writes its
+    /// coalesced pairs straight into the datagram it sends.
+    pub fn encode_with(
+        src_port: u16,
+        dst_port: u16,
+        out: &mut Vec<u8>,
+        fill: impl FnOnce(&mut Vec<u8>),
+    ) {
+        let base = out.len();
+        out.extend_from_slice(&src_port.to_be_bytes());
+        out.extend_from_slice(&dst_port.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // length placeholder
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        fill(out);
+        let payload_len = (out.len() - base - UDP_HEADER_LEN) as u16;
+        out[base + 4..base + 6].copy_from_slice(&payload_len.to_be_bytes());
+        let sum = datagram_checksum(&out[base..]);
+        out[base + 6..base + 8].copy_from_slice(&sum.to_be_bytes());
     }
 
     /// Parses a datagram from bytes.
@@ -116,6 +134,24 @@ mod tests {
         };
         assert_eq!(UdpDatagram::decode(&d.encode()).unwrap(), d);
         assert_eq!(d.wire_len(), 108);
+    }
+
+    #[test]
+    fn encode_with_matches_encode() {
+        let d = UdpDatagram {
+            src_port: 7101,
+            dst_port: 7101,
+            payload: (0..37u8).collect(),
+        };
+        let mut built = Vec::new();
+        UdpDatagram::encode_with(7101, 7101, &mut built, |p| p.extend_from_slice(&d.payload));
+        assert_eq!(built, d.encode());
+        assert_eq!(UdpDatagram::decode(&built).unwrap(), d);
+        // Appending after existing bytes leaves them untouched.
+        let mut tail = vec![0xEEu8; 3];
+        UdpDatagram::encode_with(7101, 7101, &mut tail, |p| p.extend_from_slice(&d.payload));
+        assert_eq!(&tail[..3], &[0xEE; 3]);
+        assert_eq!(&tail[3..], &built[..]);
     }
 
     #[test]

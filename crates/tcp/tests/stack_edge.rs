@@ -308,6 +308,189 @@ fn ack_channel_datagrams_are_consumed_internally() {
     );
 }
 
+// ---- batched ack-channel mechanics ------------------------------------
+//
+// These drive a backup stack directly (no simulator) so each flush
+// trigger — control segment, pair cap, timer, legacy zero-delay mode —
+// can be observed in isolation through `take_packets` and the stats.
+
+const PRED_ADDR: IpAddr = IpAddr::new(10, 0, 9, 9);
+const CLIENT_PORT: u16 = 40_000;
+const CLIENT_ISS: u32 = 1_000;
+
+fn backup_stack(cfg: TcpConfig) -> TcpStack {
+    let mut s = TcpStack::new(B_ADDR, cfg);
+    s.listen(80, |_q| Box::new(NullApp));
+    s.setportopt(
+        80,
+        ReplicatedPortConfig {
+            mode: ReplicaMode::Backup { index: 1 },
+            predecessor: Some(PRED_ADDR),
+            has_successor: false,
+            detector: DetectorParams::DEFAULT,
+        },
+        SimTime::ZERO,
+    );
+    s
+}
+
+fn deliver_tcp(stack: &mut TcpStack, seg: TcpSegment, now: SimTime) {
+    let packet = hydranet_netsim::packet::IpPacket::new(
+        A_ADDR,
+        B_ADDR,
+        hydranet_netsim::packet::Protocol::TCP,
+        seg.encode(),
+    );
+    stack.handle_packet(packet, now);
+}
+
+/// Client-side SYN; the backup diverts its SYN-ACK into a report (a
+/// control report: flushed immediately).
+fn deliver_syn(stack: &mut TcpStack, now: SimTime) {
+    deliver_tcp(
+        stack,
+        TcpSegment {
+            src_port: CLIENT_PORT,
+            dst_port: 80,
+            seq: SeqNum::new(CLIENT_ISS),
+            ack: SeqNum::new(0),
+            flags: TcpFlags::SYN,
+            window: 65_535,
+            payload: Vec::new().into(),
+        },
+        now,
+    );
+}
+
+/// The nth in-order 100-byte client data segment (0-based), acking the
+/// backup's deterministic ISS so the segment is fully acceptable.
+fn deliver_data(stack: &mut TcpStack, n: u32, now: SimTime) {
+    let quad = Quad::new(
+        SockAddr::new(B_ADDR, 80),
+        SockAddr::new(A_ADDR, CLIENT_PORT),
+    );
+    let iss = deterministic_iss(quad);
+    deliver_tcp(
+        stack,
+        TcpSegment {
+            src_port: CLIENT_PORT,
+            dst_port: 80,
+            seq: SeqNum::new(CLIENT_ISS + 1 + n * 100),
+            ack: SeqNum::new(iss.raw().wrapping_add(1)),
+            flags: TcpFlags::ACK,
+            window: 65_535,
+            payload: pattern(100).into(),
+        },
+        now,
+    );
+}
+
+fn reports_to_pred(packets: &[hydranet_netsim::packet::IpPacket]) -> usize {
+    packets.iter().filter(|p| p.header.dst == PRED_ADDR).count()
+}
+
+#[test]
+fn ackchan_reports_coalesce_until_the_flush_timer() {
+    let mut s = backup_stack(TcpConfig::default());
+    let t0 = SimTime::from_millis(1);
+    deliver_syn(&mut s, t0);
+    // Handshake report flushes immediately (control), nothing else leaves.
+    let out = s.take_packets();
+    assert_eq!(reports_to_pred(&out), 1, "SYN report must not wait");
+    assert_eq!(out.len(), 1, "backup emits nothing toward the client");
+    assert_eq!(s.stats().ackchan_tx, 1);
+
+    // Five duplicate-progress data segments inside one flush window:
+    // the latest pair wins, nothing hits the wire yet.
+    let t1 = SimTime::from_millis(2);
+    for n in 0..5 {
+        deliver_data(&mut s, n, t1);
+    }
+    assert_eq!(reports_to_pred(&s.take_packets()), 0, "reports must wait");
+    assert_eq!(s.stats().ackchan_coalesced, 4, "4 of 5 pairs overwritten");
+    let deadline = s.next_deadline().expect("flush timer armed");
+    assert!(
+        deadline <= t1 + TcpConfig::default().ackchan_flush_delay,
+        "flush deadline beyond the configured delay"
+    );
+
+    // Timer fires: one datagram, one coalesced pair.
+    s.on_timer(deadline);
+    assert_eq!(reports_to_pred(&s.take_packets()), 1);
+    assert_eq!(s.stats().ackchan_tx, 2, "five segments became one pair");
+}
+
+#[test]
+fn ackchan_pair_cap_forces_immediate_flush() {
+    let cfg = TcpConfig {
+        ackchan_max_pairs: 1,
+        ..TcpConfig::default()
+    };
+    let mut s = backup_stack(cfg);
+    deliver_syn(&mut s, SimTime::from_millis(1));
+    s.take_packets();
+    for n in 0..3 {
+        deliver_data(&mut s, n, SimTime::from_millis(2));
+    }
+    // Cap of one pair: every report is its own datagram, nothing coalesces.
+    assert_eq!(reports_to_pred(&s.take_packets()), 3);
+    assert_eq!(s.stats().ackchan_tx, 4);
+    assert_eq!(s.stats().ackchan_coalesced, 0);
+}
+
+#[test]
+fn ackchan_zero_delay_is_per_segment_legacy_mode() {
+    let cfg = TcpConfig {
+        ackchan_flush_delay: SimDuration::ZERO,
+        ..TcpConfig::default()
+    };
+    let mut s = backup_stack(cfg);
+    deliver_syn(&mut s, SimTime::from_millis(1));
+    s.take_packets();
+    for n in 0..3 {
+        deliver_data(&mut s, n, SimTime::from_millis(2));
+    }
+    // The paper's §4.2 behaviour: one datagram per diverted segment.
+    assert_eq!(reports_to_pred(&s.take_packets()), 3);
+    assert_eq!(s.stats().ackchan_tx, 4);
+    assert_eq!(s.stats().ackchan_coalesced, 0);
+}
+
+#[test]
+fn ackchan_reset_volatile_clears_pending_reports() {
+    let mut s = backup_stack(TcpConfig::default());
+    deliver_syn(&mut s, SimTime::from_millis(1));
+    deliver_data(&mut s, 0, SimTime::from_millis(2));
+    s.take_packets();
+    // Reboot while a report waits for its flush window: the pending pair
+    // and the timer must both vanish with the rest of the volatile state.
+    s.reset_volatile();
+    s.on_timer(SimTime::from_secs(1));
+    assert_eq!(s.take_packets().len(), 0, "rebooted stack replays nothing");
+    assert_eq!(s.stats().ackchan_tx, 1, "only the SYN report ever left");
+}
+
+#[test]
+fn ackchan_stale_predecessor_drops_pending_at_flush() {
+    let mut s = backup_stack(TcpConfig::default());
+    deliver_syn(&mut s, SimTime::from_millis(1));
+    deliver_data(&mut s, 0, SimTime::from_millis(2));
+    s.take_packets();
+    let dropped_before = s.stats().dropped;
+    // Promotion races the flush window: the predecessor is resolved at
+    // flush time, so the now-stale report is dropped, not misdelivered.
+    s.setportopt(
+        80,
+        ReplicatedPortConfig::sole_primary(DetectorParams::DEFAULT),
+        SimTime::from_millis(3),
+    );
+    let deadline = s.next_deadline().expect("flush timer armed");
+    s.on_timer(deadline);
+    assert_eq!(reports_to_pred(&s.take_packets()), 0);
+    assert_eq!(s.stats().dropped, dropped_before + 1);
+    assert_eq!(s.stats().ackchan_tx, 1, "only the SYN report ever left");
+}
+
 #[test]
 fn ephemeral_exhaustion_is_recoverable_and_ports_recycle() {
     let (mut sim, a, _b) = pair();
