@@ -68,8 +68,29 @@ pub fn build_star_with(
     seed: u64,
     calendar: hydranet_netsim::wheel::CalendarKind,
 ) -> Star {
+    build_star_cfg(
+        n_replicas,
+        detector,
+        echo,
+        seed,
+        calendar,
+        TcpConfig::default(),
+    )
+}
+
+/// [`build_star_with`] with an explicit per-stack TCP configuration — for
+/// tests that deliberately re-break a failure path (e.g. disabling the
+/// send-gate starvation watchdog) to exercise the flight recorder.
+pub fn build_star_cfg(
+    n_replicas: usize,
+    detector: DetectorParams,
+    echo: bool,
+    seed: u64,
+    calendar: hydranet_netsim::wheel::CalendarKind,
+    tcp: TcpConfig,
+) -> Star {
     assert!((1..=HS.len()).contains(&n_replicas));
-    let mut b = SystemBuilder::new(TcpConfig::default());
+    let mut b = SystemBuilder::new(tcp);
     b.set_probe_params(ProbeParams {
         timeout: SimDuration::from_millis(200),
         attempts: 2,

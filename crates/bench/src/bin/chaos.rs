@@ -3,12 +3,14 @@
 //! every run.
 //!
 //! ```text
-//! chaos [--smoke] [--seeds N] [--threads N]
+//! chaos [--smoke] [--seeds N] [--threads N] [--trace]
 //! ```
 //!
 //! - `--smoke`     scaled-down soak for CI (4 seeds per fault class);
 //! - `--seeds N`   override the per-class seed count;
-//! - `--threads N` measure at 1 and N threads (default: 1, 2, and 4).
+//! - `--threads N` measure at 1 and N threads (default: 1, 2, and 4);
+//! - `--trace`     additionally export one traced primary-crash run as
+//!   Chrome trace-event JSON (`TRACE_chaos.json`).
 //!
 //! The soak runs once per thread count, asserts every merged report is
 //! **byte-identical** to the single-threaded one, asserts the chaos
@@ -19,7 +21,8 @@
 use std::fmt::Write as _;
 
 use hydranet_bench::chaos::{
-    merged_report, run_chaos_soak, total_events, violations, ChaosConfig, ChaosOutcome, CLASSES,
+    chrome_trace_json, merged_report, run_chaos_soak, total_events, violations, ChaosConfig,
+    ChaosOutcome, FaultClass, CLASSES,
 };
 use hydranet_bench::{render_table, RunnerStats};
 use hydranet_obs::Obs;
@@ -44,10 +47,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ChaosConfig::default();
     let mut thread_counts: Vec<usize> = vec![1, 2, 4];
+    let mut trace = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => cfg = ChaosConfig::smoke(),
+            "--trace" => trace = true,
             "--seeds" => {
                 i += 1;
                 cfg.seeds_per_class = args[i].parse().expect("--seeds takes a number");
@@ -58,7 +63,7 @@ fn main() {
                 thread_counts = if n <= 1 { vec![1] } else { vec![1, n] };
             }
             other => {
-                eprintln!("unknown flag {other} (try --smoke, --seeds N, --threads N)");
+                eprintln!("unknown flag {other} (try --smoke, --seeds N, --threads N, --trace)");
                 std::process::exit(2);
             }
         }
@@ -110,8 +115,18 @@ fn main() {
     }
     let (outcomes, report) = reference.expect("at least one thread count");
 
-    // The soak's point: every run must satisfy the invariants.
+    // The soak's point: every run must satisfy the invariants. Before
+    // failing, persist every captured flight-recorder dump so CI attaches
+    // the causal evidence (span tree + lineage notes) to the red run.
     let bad = violations(&outcomes);
+    for o in outcomes.iter().filter(|o| o.flight_dump.is_some()) {
+        let path = format!("FLIGHT_chaos_{}_{}.json", o.class, o.seed);
+        let dump = o.flight_dump.as_deref().unwrap_or_default();
+        match std::fs::write(&path, dump) {
+            Ok(()) => eprintln!("flight recorder dumped to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
     assert!(
         bad.is_empty(),
         "{} invariant violation(s):\n{}",
@@ -213,4 +228,13 @@ fn main() {
         "wrote BENCH_chaos.json ({} runs, byte-identical across {thread_counts:?} threads)",
         outcomes.len()
     );
+
+    if trace {
+        let chrome = chrome_trace_json(&cfg, FaultClass::PrimaryCrash, cfg.base_seed);
+        std::fs::write("TRACE_chaos.json", &chrome).expect("write TRACE_chaos.json");
+        println!(
+            "wrote TRACE_chaos.json ({} bytes, traced primary-crash run, chrome://tracing)",
+            chrome.len()
+        );
+    }
 }

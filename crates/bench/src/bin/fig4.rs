@@ -1,9 +1,16 @@
 //! Regenerates Figure 4: `ttcp` throughput for the four configurations.
+//!
+//! `--trace` additionally re-runs the primary+backup @ 512 B point with
+//! the causal tracer on and writes the spans as Chrome trace-event JSON
+//! (`TRACE_fig4.json`, loadable in chrome://tracing).
 
-use hydranet_bench::fig4::{extended_write_sizes, run_point, Fig4Config, Fig4Params};
+use hydranet_bench::fig4::{
+    extended_write_sizes, run_point, run_point_traced, Fig4Config, Fig4Params,
+};
 use hydranet_bench::render_table;
 
 fn main() {
+    let trace = std::env::args().skip(1).any(|a| a == "--trace");
     let params = Fig4Params::default();
     println!("HydraNet-FT reproduction — Figure 4: ttcp throughput [kB/s]");
     println!(
@@ -37,4 +44,14 @@ fn main() {
         "(2048 B exceeds the {} B MTU: IP fragmentation, per §5's past-MTU drop)",
         params.mtu
     );
+    if trace {
+        let (_, chrome) =
+            run_point_traced(Fig4Config::PrimaryBackup, 512, &params, 42, Some(16_384));
+        let json = chrome.expect("tracing was enabled");
+        std::fs::write("TRACE_fig4.json", &json).expect("write TRACE_fig4.json");
+        println!(
+            "wrote TRACE_fig4.json ({} bytes, primary+backup @ 512 B, chrome://tracing)",
+            json.len()
+        );
+    }
 }

@@ -25,6 +25,14 @@
 //!    aggregate events/sec and speedup through the experiment engine
 //!    (`hydranet_bench::runner`). Speedup is hardware-bound: on a 1-CPU
 //!    host it stays ~1.0x by construction.
+//! 5. **Event attribution**: the fig4 chain-2 transfer re-run with the
+//!    [`EventProfiler`](hydranet_netsim::profile) on — per-subsystem event
+//!    counts and wall-clock share (tcp data / acks / ack channel / timers /
+//!    mgmt / redirector), recorded as a table in `BENCH_perf.json`.
+//! 6. **Tracing overhead**: the fig4 wheel workload re-run with the causal
+//!    tracer *enabled* (informational, same-run pair), plus a ratcheted
+//!    guard that tracing *disabled* — the shipping default — costs ≤ 1%
+//!    events/sec on the fig4 calendar pair vs the committed baseline.
 //!
 //! Usage:
 //!
@@ -58,6 +66,7 @@ use hydranet_bench::render_table;
 use hydranet_bench::sweep::{run_seed_sweep, total_events, SweepConfig};
 use hydranet_core::prelude::*;
 use hydranet_netsim::node::{Context as NetCtx, IfaceId as NetIface, Node, TimerId, TimerToken};
+use hydranet_netsim::profile::CategoryStats;
 use hydranet_netsim::topology::TopologyBuilder;
 use hydranet_netsim::wheel::CalendarKind;
 use hydranet_obs::json::{push_f64, push_string, push_u64};
@@ -68,6 +77,15 @@ use hydranet_tcp::seq::SeqNum;
 
 const SEED: u64 = 11;
 const CHAINS: [usize; 4] = [1, 2, 3, 4];
+/// The tracing layer's contract: compiled in but *disabled* (the shipping
+/// default), it may cost at most 1% events/sec on the end-to-end event
+/// loop. Enforced whenever `--ratchet` is set, on the fig4 calendar pair,
+/// host-speed-normalized and re-measured like every other gated ratio.
+const TRACING_OFF_MIN_RATIO: f64 = 0.99;
+/// Calendar workloads the tracing-disabled guard applies to: the real
+/// end-to-end event mix on both backends (the synthetic churn workloads
+/// never touch the traced subsystems).
+const TRACING_OFF_GUARDED: [&str; 2] = ["fig4_e2e", "fig4_e2e_wheel"];
 /// Per-packet application payload in the hot-loop bench: a full MSS, the
 /// steady-state segment size of a bulk `ttcp` transfer.
 const RD_PAYLOAD: usize = 1460;
@@ -321,12 +339,23 @@ fn measure_calendar(mode: ChurnMode, kind: CalendarKind, cfg: PerfConfig) -> Cal
 
 /// The fig4 chain-2 transfer as a calendar workload: unlike the synthetic
 /// timer churn, this is the real event mix (packet arrivals, link
-/// dequeues, RTO/delayed-ack timers) the wheel has to win on.
-fn measure_fig4_calendar(kind: CalendarKind, cfg: PerfConfig) -> CalPoint {
-    let name = format!("fig4_e2e{}", kind_suffix(kind));
+/// dequeues, RTO/delayed-ack timers) the wheel has to win on. With
+/// `traced` the causal tracer runs live (`_traced` name suffix) — the
+/// same-run pair against the untraced point prices tracing *enabled*;
+/// tracing *disabled* is priced against the committed baseline instead,
+/// since its only cost is the branch left in the hot path.
+fn measure_fig4_calendar(kind: CalendarKind, traced: bool, cfg: PerfConfig) -> CalPoint {
+    let name = format!(
+        "fig4_e2e{}{}",
+        kind_suffix(kind),
+        if traced { "_traced" } else { "" }
+    );
     let mut best: Option<CalPoint> = None;
     for _ in 0..cfg.iters {
         let mut star = build_star_with(2, DetectorParams::DEFAULT, false, SEED, kind);
+        if traced {
+            star.system.enable_tracing(16_384);
+        }
         let ttcp = TtcpConfig {
             total_bytes: cfg.total_bytes,
             write_size: 1024,
@@ -351,6 +380,57 @@ fn measure_fig4_calendar(kind: CalendarKind, cfg: PerfConfig) -> CalPoint {
         }
     }
     best.expect("at least one iteration")
+}
+
+// ----------------------------------------------------------------------
+// Per-subsystem event attribution
+// ----------------------------------------------------------------------
+
+/// One fig4 chain-2 transfer with the [`EventProfiler`] on: where do the
+/// simulator's events (and the wall-clock spent processing them) actually
+/// go? Event counts are deterministic; wall shares are this host's.
+///
+/// [`EventProfiler`]: hydranet_netsim::profile::EventProfiler
+fn measure_attribution(cfg: PerfConfig) -> Vec<(&'static str, CategoryStats)> {
+    let mut star = build_star(2, DetectorParams::DEFAULT, false, SEED);
+    star.system.enable_profiler();
+    let ttcp = TtcpConfig {
+        total_bytes: cfg.total_bytes,
+        write_size: 1024,
+        deadline: SimTime::from_secs(120),
+    };
+    let sink = star.sinks[0].clone();
+    let result = run_ttcp(&mut star.system, star.client, service(), &sink, &ttcp);
+    assert!(result.completed, "attribution workload must complete");
+    star.system.sim.profiler().snapshot()
+}
+
+fn print_attribution(rows_in: &[(&'static str, CategoryStats)]) {
+    let total_events: u64 = rows_in.iter().map(|(_, s)| s.events).sum();
+    let total_wall: u64 = rows_in.iter().map(|(_, s)| s.wall_nanos).sum();
+    let header: Vec<String> = ["subsystem", "events", "events %", "wall ms", "wall %"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = rows_in
+        .iter()
+        .map(|(name, s)| {
+            vec![
+                name.to_string(),
+                s.events.to_string(),
+                format!(
+                    "{:.1}",
+                    100.0 * s.events as f64 / total_events.max(1) as f64
+                ),
+                format!("{:.2}", s.wall_nanos as f64 / 1e6),
+                format!(
+                    "{:.1}",
+                    100.0 * s.wall_nanos as f64 / total_wall.max(1) as f64
+                ),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &rows));
 }
 
 // ----------------------------------------------------------------------
@@ -819,8 +899,9 @@ fn main() {
         measure_calendar(ChurnMode::StaleCancel, CalendarKind::Heap, cfg),
         measure_calendar(ChurnMode::PendingCancel, CalendarKind::Wheel, cfg),
         measure_calendar(ChurnMode::StaleCancel, CalendarKind::Wheel, cfg),
-        measure_fig4_calendar(CalendarKind::Heap, cfg),
-        measure_fig4_calendar(CalendarKind::Wheel, cfg),
+        measure_fig4_calendar(CalendarKind::Heap, false, cfg),
+        measure_fig4_calendar(CalendarKind::Wheel, false, cfg),
+        measure_fig4_calendar(CalendarKind::Wheel, true, cfg),
     ];
     print_cal_points(&cal_points);
     println!("wheel vs heap (same run):");
@@ -837,6 +918,20 @@ fn main() {
             wheel.events_per_sec / p.events_per_sec
         );
     }
+    if let (Some(off), Some(on)) = (
+        cal_points.iter().find(|p| p.name == "fig4_e2e_wheel"),
+        cal_points
+            .iter()
+            .find(|p| p.name == "fig4_e2e_wheel_traced"),
+    ) {
+        println!(
+            "tracing enabled vs disabled (same run): events/sec x{:.2}",
+            on.events_per_sec / off.events_per_sec
+        );
+    }
+    println!("\nper-subsystem event attribution (fig4 chain-2 transfer):");
+    let attribution = measure_attribution(cfg);
+    print_attribution(&attribution);
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -985,6 +1080,18 @@ fn main() {
                         let ratio = p.events_per_sec / base;
                         push_f64(&mut out, ratio);
                         println!("  calendar {}: events/sec x{ratio:.2}", p.name);
+                        if ratchet.is_some()
+                            && TRACING_OFF_GUARDED.contains(&p.name.as_str())
+                            && ratio / speed_norm < TRACING_OFF_MIN_RATIO
+                        {
+                            ratchet_failures.push(format!(
+                                "calendar {}: tracing-disabled events_per_sec_ratio \
+                                 {ratio:.3} ({:.3} host-speed-normalized) < \
+                                 {TRACING_OFF_MIN_RATIO}",
+                                p.name,
+                                ratio / speed_norm
+                            ));
+                        }
                     }
                     None => out.push_str("null"),
                 }
@@ -1024,7 +1131,26 @@ fn main() {
         }
         None => out.push_str("null"),
     }
-    out.push_str(",\n\"host_cpus\": ");
+    out.push_str(",\n\"event_attribution\": [\n");
+    let attr_events: u64 = attribution.iter().map(|(_, s)| s.events).sum();
+    let attr_wall: u64 = attribution.iter().map(|(_, s)| s.wall_nanos).sum();
+    for (i, (name, s)) in attribution.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("    {\"subsystem\": ");
+        push_string(&mut out, name);
+        out.push_str(", \"events\": ");
+        push_u64(&mut out, s.events);
+        out.push_str(", \"events_share\": ");
+        push_f64(&mut out, s.events as f64 / attr_events.max(1) as f64);
+        out.push_str(", \"wall_nanos\": ");
+        push_u64(&mut out, s.wall_nanos);
+        out.push_str(", \"wall_share\": ");
+        push_f64(&mut out, s.wall_nanos as f64 / attr_wall.max(1) as f64);
+        out.push('}');
+    }
+    out.push_str("\n  ],\n\"host_cpus\": ");
     push_u64(&mut out, host_cpus as u64);
     out.push_str(",\n\"host_speed_ratio\": ");
     push_f64(&mut out, speed_norm);
@@ -1078,6 +1204,21 @@ fn main() {
                                 ratchet_failures.push(format!(
                                     "chain {chain}: redirector_packets_per_sec_ratio \
                                      {ratio:.3} ({:.3} host-speed-normalized)",
+                                    ratio / norm
+                                ));
+                            }
+                        }
+                    }
+                    for kind in [CalendarKind::Heap, CalendarKind::Wheel] {
+                        let p = measure_fig4_calendar(kind, false, cfg);
+                        if let Some(base) = baseline_cal_eps(doc, &p.name) {
+                            let ratio = p.events_per_sec / base;
+                            if ratio / norm < TRACING_OFF_MIN_RATIO {
+                                ratchet_failures.push(format!(
+                                    "calendar {}: tracing-disabled events_per_sec_ratio \
+                                     {ratio:.3} ({:.3} host-speed-normalized) < \
+                                     {TRACING_OFF_MIN_RATIO}",
+                                    p.name,
                                     ratio / norm
                                 ));
                             }

@@ -2,12 +2,14 @@
 //! of seeds, fanned out across the parallel experiment engine.
 //!
 //! ```text
-//! sweep [--smoke] [--seeds N] [--threads N]
+//! sweep [--smoke] [--seeds N] [--threads N] [--trace]
 //! ```
 //!
 //! - `--smoke`    scaled-down workload for CI (16 seeds, small payloads);
 //! - `--seeds N`  override the seed count;
-//! - `--threads N` measure at 1 and N threads (default: 1, 2, and 4).
+//! - `--threads N` measure at 1 and N threads (default: 1, 2, and 4);
+//! - `--trace`    additionally export the base-seed crash run, traced, as
+//!   Chrome trace-event JSON (`TRACE_sweep.json`).
 //!
 //! The sweep runs once per thread count, asserts every merged report is
 //! **byte-identical** to the single-threaded one (the engine's determinism
@@ -18,7 +20,9 @@
 
 use std::fmt::Write as _;
 
-use hydranet_bench::sweep::{merged_report, run_seed_sweep, total_events, SweepConfig};
+use hydranet_bench::sweep::{
+    chrome_trace_json, merged_report, run_seed_sweep, total_events, SweepConfig,
+};
 use hydranet_bench::{render_table, RunnerStats};
 use hydranet_obs::Obs;
 
@@ -42,10 +46,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = SweepConfig::default();
     let mut thread_counts: Vec<usize> = vec![1, 2, 4];
+    let mut trace = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => cfg = SweepConfig::smoke(),
+            "--trace" => trace = true,
             "--seeds" => {
                 i += 1;
                 cfg.seeds = args[i].parse().expect("--seeds takes a number");
@@ -56,7 +62,7 @@ fn main() {
                 thread_counts = if n <= 1 { vec![1] } else { vec![1, n] };
             }
             other => {
-                eprintln!("unknown flag {other} (try --smoke, --seeds N, --threads N)");
+                eprintln!("unknown flag {other} (try --smoke, --seeds N, --threads N, --trace)");
                 std::process::exit(2);
             }
         }
@@ -209,4 +215,13 @@ fn main() {
         "wrote BENCH_sweep.json ({} seeds, byte-identical across {thread_counts:?} threads)",
         outcomes.len()
     );
+
+    if trace {
+        let chrome = chrome_trace_json(&cfg, cfg.base_seed);
+        std::fs::write("TRACE_sweep.json", &chrome).expect("write TRACE_sweep.json");
+        println!(
+            "wrote TRACE_sweep.json ({} bytes, traced crash run @ base seed, chrome://tracing)",
+            chrome.len()
+        );
+    }
 }

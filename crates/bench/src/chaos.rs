@@ -29,8 +29,12 @@ use hydranet_core::prelude::*;
 use hydranet_netsim::link::Impairments;
 use hydranet_obs::{json, Obs};
 
-use crate::ablations::{build_star, service, Star};
+use crate::ablations::{build_star_cfg, service, Star};
 use crate::runner::{run_tasks, RunnerStats, Task};
+
+/// Flight-recorder ring capacity for soak runs: big enough to hold the
+/// spans around a wedged transfer, small enough to keep 800 runs cheap.
+const FLIGHT_CAPACITY: usize = 4096;
 
 /// The scripted fault classes the soak sweeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +175,10 @@ pub struct ChaosConfig {
     /// Extra simulated time after transfer completion for the chain to
     /// reconverge (recovered replicas re-register).
     pub converge_grace: SimDuration,
+    /// Per-stack TCP configuration. The default is production tuning;
+    /// tests re-break failure paths through this (e.g. `gate_watchdog:
+    /// false`) to prove the flight recorder captures the wedge.
+    pub tcp: TcpConfig,
 }
 
 impl Default for ChaosConfig {
@@ -183,6 +191,7 @@ impl Default for ChaosConfig {
             deadline: SimTime::from_secs(60),
             crash_downtime: SimDuration::from_secs(8),
             converge_grace: SimDuration::from_secs(10),
+            tcp: TcpConfig::default(),
         }
     }
 }
@@ -229,6 +238,10 @@ pub struct ChaosOutcome {
     pub bytes: usize,
     /// Simulated events processed.
     pub events: u64,
+    /// Flight-recorder JSON dump, captured iff the run's invariants failed.
+    /// Derived from sim-time spans only, so it is bit-identical at any
+    /// thread count like the rest of the outcome.
+    pub flight_dump: Option<String>,
 }
 
 impl ChaosOutcome {
@@ -244,9 +257,31 @@ impl ChaosOutcome {
 /// Runs one `(class, seed)` chaos run. Pure function of its arguments —
 /// the unit of parallel work.
 pub fn chaos_point(cfg: &ChaosConfig, class: FaultClass, seed: u64) -> ChaosOutcome {
+    chaos_point_run(cfg, class, seed).0
+}
+
+/// Chrome trace-event JSON of one traced `(class, seed)` run — the
+/// `--trace` export of the `chaos` binary, loadable in chrome://tracing.
+pub fn chrome_trace_json(cfg: &ChaosConfig, class: FaultClass, seed: u64) -> String {
+    let (_, star) = chaos_point_run(cfg, class, seed);
+    star.system.obs().chrome_trace_json()
+}
+
+fn chaos_point_run(cfg: &ChaosConfig, class: FaultClass, seed: u64) -> (ChaosOutcome, Star) {
     let detector = DetectorParams::new(cfg.threshold, SimDuration::from_secs(60));
     let n = class.replicas();
-    let mut star = build_star(n, detector, true, seed);
+    let mut star = build_star_cfg(
+        n,
+        detector,
+        true,
+        seed,
+        hydranet_netsim::wheel::CalendarKind::Wheel,
+        cfg.tcp.clone(),
+    );
+    // Tracing is purely observational (no RNG draws, no scheduled events),
+    // so the soak always flies with the recorder on: any invariant
+    // violation yields a causal dump instead of just a failing bool.
+    star.system.enable_tracing(FLIGHT_CAPACITY);
 
     let payload: Vec<u8> = (0..cfg.payload).map(|i| (i % 251) as u8).collect();
     let state = shared(SenderState::default());
@@ -306,7 +341,7 @@ pub fn chaos_point(cfg: &ChaosConfig, class: FaultClass, seed: u64) -> ChaosOutc
         .chain(service())
         .map_or(0, <[IpAddr]>::len);
 
-    ChaosOutcome {
+    let mut outcome = ChaosOutcome {
         class: class.name(),
         seed,
         faults: plan.len() as u64,
@@ -319,7 +354,16 @@ pub fn chaos_point(cfg: &ChaosConfig, class: FaultClass, seed: u64) -> ChaosOutc
         detection_latency_ns: star.system.detection_latency_nanos(),
         bytes,
         events: star.system.sim.stats().events_processed,
+        flight_dump: None,
+    };
+    if !outcome.invariants_hold() {
+        outcome.flight_dump = Some(star.system.obs().flight_recorder_json(&[
+            ("workload", "chaos_soak".into()),
+            ("class", class.name().into()),
+            ("seed", seed.to_string()),
+        ]));
     }
+    (outcome, star)
 }
 
 /// Runs the full soak (every class × every seed) across the experiment
@@ -355,14 +399,19 @@ pub fn violations(outcomes: &[ChaosOutcome]) -> Vec<String> {
         .filter(|o| !o.invariants_hold())
         .map(|o| {
             format!(
-                "{} seed {}: completed={} intact={} survivors_intact={} chain={}/{}",
+                "{} seed {}: completed={} intact={} survivors_intact={} chain={}/{}{}",
                 o.class,
                 o.seed,
                 o.completed,
                 o.intact,
                 o.survivors_intact,
                 o.chain_len,
-                o.chain_expected
+                o.chain_expected,
+                if o.flight_dump.is_some() {
+                    " [flight recorded]"
+                } else {
+                    ""
+                }
             )
         })
         .collect()
@@ -492,6 +541,69 @@ mod tests {
         let (par, _) = run_chaos_soak(&cfg, 4);
         assert_eq!(seq, par);
         assert_eq!(merged_report(&cfg, &seq), merged_report(&cfg, &par));
+    }
+
+    /// The flight recorder's reason to exist: re-break the historical
+    /// failure path (send-gate starvation watchdog off) and re-run the
+    /// dead-chain-tail scenario it was added for — the tail crash generates
+    /// no estimator signal at all, so without the watchdog the gated reply
+    /// stream wedges. The invariant violation must capture a dump naming
+    /// the wedged connection and the last lineage-linked packet it saw.
+    #[test]
+    fn watchdog_off_tail_crash_wedges_and_flight_records_the_conn() {
+        let mut cfg = tiny();
+        cfg.tcp.gate_watchdog = false;
+        // Keep the dead tail down past the deadline: recovery would let the
+        // run converge late and mask the missing watchdog.
+        cfg.crash_downtime = SimDuration::from_secs(120);
+        cfg.deadline = SimTime::from_secs(20);
+        cfg.converge_grace = SimDuration::from_secs(1);
+        let seed = cfg.base_seed + 1000 * class_index(FaultClass::TailCrash);
+        let o = chaos_point(&cfg, FaultClass::TailCrash, seed);
+        assert!(
+            !o.invariants_hold(),
+            "watchdog-off tail crash should violate invariants \
+             (completed={} intact={} survivors_intact={} chain={}/{})",
+            o.completed,
+            o.intact,
+            o.survivors_intact,
+            o.chain_len,
+            o.chain_expected
+        );
+        let dump = o
+            .flight_dump
+            .as_deref()
+            .expect("invariant violation must capture a flight dump");
+        // The wedged connection shows up as an (unclosed) conn span whose
+        // name is the connection quad, carrying the lineage note of the
+        // last packet it received.
+        assert!(
+            dump.contains("\"cat\": \"conn\""),
+            "dump names no connection span"
+        );
+        assert!(
+            dump.contains("192.20.225.20:80"),
+            "dump does not name the service quad"
+        );
+        assert!(
+            dump.contains("last_rx_lineage"),
+            "dump has no lineage-linked packet note"
+        );
+        // Same harsh timing with the watchdog back on: the transfer itself
+        // completes intact, so the violation above is the re-broken failure
+        // path and nothing else. (The chain stays short — the tail is still
+        // down — hence no completed-run invariant check here.)
+        let mut fixed = cfg.clone();
+        fixed.tcp.gate_watchdog = true;
+        let c = chaos_point(&fixed, FaultClass::TailCrash, seed);
+        assert!(
+            c.completed && c.intact && c.survivors_intact,
+            "watchdog-on control should stream through the dead tail \
+             (completed={} intact={} survivors_intact={})",
+            c.completed,
+            c.intact,
+            c.survivors_intact
+        );
     }
 
     #[test]

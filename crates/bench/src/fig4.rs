@@ -145,6 +145,22 @@ pub fn run_point(
     params: &Fig4Params,
     seed: u64,
 ) -> Fig4Point {
+    run_point_traced(config, write_size, params, seed, None).0
+}
+
+/// [`run_point`] with the causal tracer optionally enabled: when
+/// `trace_capacity` is set, the run records spans into a flight ring of
+/// that size and the Chrome trace-event JSON comes back alongside the
+/// point (the `--trace` export of the `fig4` binary). Tracing draws
+/// nothing from the simulation RNG, so the measured point is identical
+/// either way.
+pub fn run_point_traced(
+    config: Fig4Config,
+    write_size: usize,
+    params: &Fig4Params,
+    seed: u64,
+    trace_capacity: Option<usize>,
+) -> (Fig4Point, Option<String>) {
     // ttcp semantics: one write = one packet. The measurement connection
     // runs with MSS = write_size (the paper turned off sender-side
     // batching; pinning the MSS reproduces the one-write-one-packet
@@ -249,19 +265,26 @@ pub fn run_point(
         }
     };
 
+    if let Some(capacity) = trace_capacity {
+        system.enable_tracing(capacity);
+    }
     let cfg = TtcpConfig {
         total_bytes: params.total_bytes,
         write_size,
         deadline: params.deadline,
     };
     let result = run_ttcp(&mut system, client, target, &sink, &cfg);
-    Fig4Point {
-        config,
-        write_size,
-        throughput_kbps: result.throughput_kbps,
-        completed: result.completed,
-        retransmits: result.client_retransmits,
-    }
+    let chrome = trace_capacity.map(|_| system.obs().chrome_trace_json());
+    (
+        Fig4Point {
+            config,
+            write_size,
+            throughput_kbps: result.throughput_kbps,
+            completed: result.completed,
+            retransmits: result.client_retransmits,
+        },
+        chrome,
+    )
 }
 
 /// Runs the full sweep: every configuration × every write size.

@@ -28,7 +28,7 @@
 use hydranet_core::prelude::*;
 use hydranet_obs::{json, Obs};
 
-use crate::ablations::{build_star, service, DetectorPoint};
+use crate::ablations::{build_star, service, DetectorPoint, Star};
 use crate::runner::{run_tasks, RunnerStats, Task};
 
 /// Knobs for the seed sweep.
@@ -108,14 +108,20 @@ pub struct SeedOutcome {
     pub events: u64,
 }
 
-/// Runs both measurement runs for one seed. Pure function of
-/// `(cfg, seed)` — the unit of parallel work.
-pub fn seed_point(cfg: &SweepConfig, seed: u64) -> SeedOutcome {
+/// The crash half of [`seed_point`]: primary fails mid-transfer, echo
+/// service so the client observes the disruption window in its reply
+/// stream. Optionally runs with the causal tracer on (used by the
+/// `--trace` export; `seed_point` itself always runs untraced).
+fn crash_run(
+    cfg: &SweepConfig,
+    seed: u64,
+    trace_capacity: Option<usize>,
+) -> (Star, Shared<SenderState>, SimTime) {
     let detector = DetectorParams::new(cfg.threshold, SimDuration::from_secs(60));
-
-    // (a) crash run: primary fails mid-transfer, echo service so the
-    // client observes the disruption window in its reply stream.
     let mut star = build_star(2, detector, true, seed);
+    if let Some(capacity) = trace_capacity {
+        star.system.enable_tracing(capacity);
+    }
     let payload: Vec<u8> = (0..cfg.crash_payload).map(|i| (i % 251) as u8).collect();
     let state = shared(SenderState::default());
     let app = StreamSenderApp::new(payload, false, state.clone());
@@ -142,6 +148,25 @@ pub fn seed_point(cfg: &SweepConfig, seed: u64) -> SeedOutcome {
         step = step.saturating_add(SimDuration::from_millis(20));
         star.system.sim.run_until(step);
     }
+    (star, state, crash_at)
+}
+
+/// Re-runs the crash scenario at `seed` with the causal tracer on and
+/// exports the resulting span tree as Chrome trace-event JSON (load in
+/// `chrome://tracing`). Tracing is observational, so the traced run is
+/// bit-identical to the sweep's own run at that seed.
+pub fn chrome_trace_json(cfg: &SweepConfig, seed: u64) -> String {
+    let (star, _, _) = crash_run(cfg, seed, Some(16_384));
+    star.system.obs().chrome_trace_json()
+}
+
+/// Runs both measurement runs for one seed. Pure function of
+/// `(cfg, seed)` — the unit of parallel work.
+pub fn seed_point(cfg: &SweepConfig, seed: u64) -> SeedOutcome {
+    let detector = DetectorParams::new(cfg.threshold, SimDuration::from_secs(60));
+
+    // (a) crash run.
+    let (star, state, crash_at) = crash_run(cfg, seed, None);
     let detection_latency_ns = star.system.detection_latency_nanos();
     let crash_to_detect_ns = star
         .system

@@ -120,6 +120,88 @@ fn failover_is_calendar_and_thread_invariant() {
     assert_eq!(seq[0], PINNED_FAILOVER);
 }
 
+/// Pinned span-tree fingerprint of the traced fail-over run (fig4 star,
+/// primary crash @ +50 ms, 200 kB): FNV-1a over every span's category,
+/// name, causal parent, simulated open/close instants, and notes. Tracing
+/// is observational, so this pin moves only when the span taxonomy itself
+/// changes — and must be bit-identical across calendars and thread counts.
+const PINNED_SPAN_TREE: &str = "spans fp=0x3be928a708bfc4e2 opened=163 evicted=0";
+
+/// The traced variant of [`failover_fingerprint`]: same scenario with the
+/// causal tracer on. Returns the span fingerprint line plus the full
+/// flight-recorder JSON for post-mortem when the pin moves.
+fn traced_failover_fingerprint(calendar: CalendarKind) -> (String, String) {
+    let detector = DetectorParams::new(4, SimDuration::from_secs(60));
+    let mut star = build_star_with(2, detector, false, SEED, calendar);
+    star.system.enable_tracing(8192);
+    let total = 200_000usize;
+    let payload: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+    let state = shared(SenderState::default());
+    let app = StreamSenderApp::new(payload, false, state);
+    star.system
+        .connect_client(star.client, service(), Box::new(app));
+    let crash_at = star
+        .system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(50));
+    star.system.sim.schedule_crash(star.replicas[0], crash_at);
+    star.system.sim.run_until(SimTime::from_secs(30));
+    let obs = star.system.obs();
+    let fp = format!(
+        "spans fp={:#018x} opened={} evicted={}",
+        obs.span_fingerprint(),
+        obs.spans_opened(),
+        obs.trace_evicted()
+    );
+    let dump = obs.flight_recorder_json(&[("scenario", "span_determinism".into())]);
+    (fp, dump)
+}
+
+/// The span tree is part of the determinism contract: the traced fail-over
+/// must produce a bit-identical span fingerprint on the wheel and heap
+/// calendars, at 1 and 4 runner threads, pinned against drift. On a pin
+/// mismatch the flight recorder auto-dumps for post-mortem.
+#[test]
+fn span_tree_is_calendar_and_thread_invariant() {
+    let tasks = || {
+        vec![
+            Task::new("spans-wheel", SEED, || {
+                traced_failover_fingerprint(CalendarKind::Wheel)
+            }),
+            Task::new("spans-heap", SEED, || {
+                traced_failover_fingerprint(CalendarKind::Heap)
+            }),
+        ]
+    };
+    let (seq, _) = run_tasks(tasks(), 1);
+    let (par, _) = run_tasks(tasks(), 4);
+    assert_eq!(
+        seq.iter().map(|(fp, _)| fp).collect::<Vec<_>>(),
+        par.iter().map(|(fp, _)| fp).collect::<Vec<_>>(),
+        "span fingerprints diverged between 1 and 4 threads"
+    );
+    assert_eq!(
+        seq[0].0, seq[1].0,
+        "span fingerprints diverged between wheel and heap calendars"
+    );
+    let (fp, dump) = &seq[0];
+    if fp != PINNED_SPAN_TREE {
+        let path = std::env::temp_dir().join("hydranet_span_tree_mismatch.json");
+        let write = std::fs::write(&path, dump);
+        panic!(
+            "span-tree fingerprint moved: {fp:?} != {PINNED_SPAN_TREE:?}; \
+             flight dump {} {}",
+            if write.is_ok() {
+                "written to"
+            } else {
+                "NOT written to"
+            },
+            path.display()
+        );
+    }
+}
+
 #[test]
 fn ablation_grid_is_thread_count_invariant() {
     let cfg = DetectorSweepConfig::quick();

@@ -446,6 +446,36 @@ impl System {
         self.obs.detection_latency_nanos()
     }
 
+    /// Turns on the causal tracer (spans + flight recorder) for every node
+    /// in the system, with a ring of `capacity` retired spans. Tracing is
+    /// purely observational: it draws nothing from the simulation RNG, so
+    /// enabling it cannot perturb a deterministic run.
+    pub fn enable_tracing(&self, capacity: usize) {
+        self.obs.enable_tracing(capacity);
+    }
+
+    /// Turns on the per-subsystem event-attribution profiler: every
+    /// simulator event is classified (tcp data / acks / ack-channel /
+    /// timers / mgmt / redirector) and its wall-clock cost bucketed.
+    /// Redirector nodes are marked so traffic *through* them attributes to
+    /// the redirector, and the ack-channel UDP port is taken from
+    /// [`hydranet_tcp::ft::ACK_CHANNEL_PORT`].
+    pub fn enable_profiler(&mut self) {
+        let redirectors: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == NodeKind::Redirector)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect();
+        let p = self.sim.profiler_mut();
+        p.set_ack_channel_port(hydranet_tcp::ft::ACK_CHANNEL_PORT);
+        for id in redirectors {
+            p.mark_redirector(id);
+        }
+        p.set_enabled(true);
+    }
+
     /// Serialises the full telemetry report (metrics registry + failover
     /// timeline) as JSON, tagged with run metadata. Bench binaries write
     /// this next to their numeric output.
@@ -456,6 +486,10 @@ impl System {
             ("sim_now_nanos", self.sim.now().as_nanos().to_string()),
             ("events_processed", stats.events_processed.to_string()),
             ("trace_dropped", stats.trace_dropped.to_string()),
+            (
+                "flight_recorder_evicted",
+                self.obs.trace_evicted().to_string(),
+            ),
         ])
     }
 

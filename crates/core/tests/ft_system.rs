@@ -156,6 +156,59 @@ fn mid_chain_backup_crash_under_load() {
     assert_eq!(d.sinks[2].borrow().data, payload, "tail sink incomplete");
 }
 
+/// A deliberately tiny flight recorder must evict retired spans under a
+/// traced failover, and the eviction counter must surface (next to
+/// `SimStats::trace_dropped`) in the telemetry JSON. The event-attribution
+/// profiler rides along: every simulated event lands in exactly one
+/// subsystem bucket, and the hot subsystems are non-empty.
+#[test]
+fn traced_run_surfaces_evictions_and_attribution() {
+    let mut d = deploy(42);
+    // Cap of 4 retired spans: ack-channel flushes and redirector fan-outs
+    // alone retire far more than that during a 60 kB transfer.
+    d.system.enable_tracing(4);
+    d.system.enable_profiler();
+    let events_before_profiling = d.system.sim.stats().events_processed;
+    let payload: Vec<u8> = (0..60_000).map(|i| (i % 251) as u8).collect();
+    let plan = FaultPlan::new().crash(d.replicas[1], SimTime::from_millis(60));
+    let (bytes, intact) = run_transfer(&mut d, &payload, plan, SimTime::from_secs(30));
+    assert_eq!(bytes, payload.len(), "client reply stream incomplete");
+    assert!(intact, "client reply stream corrupted");
+
+    // Cap-and-evict: the ring stayed bounded and counted what it shed.
+    let evicted = d.system.obs().trace_evicted();
+    assert!(evicted > 0, "tiny flight recorder never evicted");
+    let json = d.system.telemetry_json("traced");
+    assert!(
+        json.contains(&format!("\"flight_recorder_evicted\": \"{evicted}\"")),
+        "eviction counter missing from telemetry meta: {json}"
+    );
+    assert!(json.contains("\"trace_dropped\""), "{json}");
+
+    // The flight recorder still dumps (newest spans survive), and the
+    // Chrome export is well-formed enough to contain span records.
+    let dump = d.system.obs().flight_recorder_json(&[]);
+    assert!(dump.contains("\"evicted\""), "{dump}");
+    assert!(!d.system.obs().chrome_trace_json().is_empty());
+
+    // Attribution: every processed event is in exactly one bucket, and the
+    // subsystems this scenario exercises are all non-empty.
+    let profiler = d.system.sim.profiler();
+    assert_eq!(
+        profiler.total_events(),
+        d.system.sim.stats().events_processed - events_before_profiling,
+        "profiler lost or double-counted events"
+    );
+    let snapshot = profiler.snapshot();
+    for subsystem in ["tcp_data", "tcp_ack", "ack_channel", "timers", "redirector"] {
+        let (_, stats) = snapshot
+            .iter()
+            .find(|(name, _)| *name == subsystem)
+            .expect("category present");
+        assert!(stats.events > 0, "no events attributed to {subsystem}");
+    }
+}
+
 /// Every run is a pure function of the topology and one RNG seed: repeating
 /// the same crash scenario with the same seed replays the identical event
 /// sequence, byte counts, and telemetry timeline.

@@ -182,6 +182,22 @@ impl HostDaemon {
                 ("observed", observed.to_string()),
             ],
         );
+        if self.obs.tracing_enabled() {
+            // Instantaneous span recording this report's fan-out: which
+            // redirectors the suspicion went to, and the duplicate count
+            // that triggered it. Keyed by report ordinal so repeated
+            // suspicions stay distinct in the flight recorder.
+            let key = format!("report:{}:{}", self.host, self.reports_sent);
+            let at = now.as_nanos();
+            self.obs
+                .span_open(&key, "mgmt", &format!("failure-report {service}"), None, at);
+            self.obs
+                .span_note(&key, at, "observed", observed.to_string());
+            for rd in &self.redirectors {
+                self.obs.span_note(&key, at, "redirector", rd.to_string());
+            }
+            self.obs.span_close(&key, at);
+        }
         for rd in self.redirectors.clone() {
             let msg = MgmtMsg::FailureReport {
                 service,
@@ -378,6 +394,19 @@ mod tests {
             "no retransmission: {actions:?}"
         );
         assert!(d.next_deadline().is_some());
+    }
+
+    #[test]
+    fn failure_report_span_names_redirectors() {
+        let obs = Obs::enabled();
+        obs.enable_tracing(16);
+        let mut d = HostDaemon::multi_with_id_base(HOST, vec![RD, IpAddr::new(10, 9, 0, 2)], 1);
+        d.set_obs(obs.clone());
+        d.report_failure(service(), 4, SimTime::from_secs(2));
+        let dump = obs.flight_recorder_json(&[]);
+        for needle in ["failure-report", "10.9.0.1", "10.9.0.2", "\"observed\""] {
+            assert!(dump.contains(needle), "missing {needle} in {dump}");
+        }
     }
 
     #[test]

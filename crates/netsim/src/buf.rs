@@ -50,6 +50,13 @@ pub struct PacketBuf {
     data: Arc<Vec<u8>>,
     off: usize,
     len: usize,
+    /// Packet lineage id (0 = none): minted once when a stack first
+    /// encodes a send, then inherited by every clone, slice, decode view,
+    /// fragment, and encapsulation of the buffer, so any delivered byte
+    /// traces back to its originating send. Pure metadata — excluded from
+    /// equality/hash and never serialised, so visible bytes, packet sizes,
+    /// and event ordering are untouched.
+    lineage: u64,
 }
 
 /// All empty buffers share one backing store, so empty payloads (pure ACKs
@@ -66,7 +73,26 @@ impl PacketBuf {
             data: empty_backing(),
             off: 0,
             len: 0,
+            lineage: 0,
         }
+    }
+
+    /// The buffer's lineage id (0 when never tagged).
+    pub fn lineage(&self) -> u64 {
+        self.lineage
+    }
+
+    /// Tags the buffer with a lineage id. Clones, slices, and decode views
+    /// taken *afterwards* inherit the tag; existing views are unaffected.
+    pub fn set_lineage(&mut self, lineage: u64) {
+        self.lineage = lineage;
+    }
+
+    /// Returns this buffer tagged with `lineage` (builder form).
+    #[must_use]
+    pub fn with_lineage(mut self, lineage: u64) -> Self {
+        self.lineage = lineage;
+        self
     }
 
     /// Number of visible bytes.
@@ -111,6 +137,7 @@ impl PacketBuf {
             data: self.data.clone(),
             off: self.off + start,
             len: end - start,
+            lineage: self.lineage,
         }
     }
 
@@ -157,6 +184,7 @@ impl From<Vec<u8>> for PacketBuf {
             data: Arc::new(v),
             off: 0,
             len,
+            lineage: 0,
         }
     }
 }
@@ -316,6 +344,23 @@ mod tests {
     fn out_of_bounds_slice_panics() {
         let b = PacketBuf::from(vec![1u8, 2, 3]);
         let _ = b.slice(1..5);
+    }
+
+    #[test]
+    fn lineage_is_metadata_inherited_by_clone_and_slice() {
+        let b = PacketBuf::from(vec![9u8, 8, 7, 6]).with_lineage(0xBEEF);
+        assert_eq!(b.lineage(), 0xBEEF);
+        assert_eq!(b.clone().lineage(), 0xBEEF);
+        assert_eq!(b.slice(1..3).lineage(), 0xBEEF);
+        // Fresh buffers are untagged; tagging is metadata only —
+        // equality and hashing still compare content alone.
+        let untagged = PacketBuf::from(vec![9u8, 8, 7, 6]);
+        assert_eq!(untagged.lineage(), 0);
+        assert_eq!(b, untagged);
+        assert_eq!(hash_of(&b), hash_of(&untagged));
+        let mut m = untagged;
+        m.set_lineage(7);
+        assert_eq!(m.lineage(), 7);
     }
 
     #[test]

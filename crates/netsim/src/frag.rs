@@ -180,7 +180,11 @@ impl PartialDatagram {
         }
         (next >= total).then(|| {
             assembled.truncate(total as usize);
-            assembled.into()
+            // The copying path loses the runs' shared backing, so carry the
+            // lineage tag forward explicitly (every run came from the same
+            // original send; the first run's tag is the datagram's).
+            let lineage = self.runs.first().map_or(0, |(_, p)| p.lineage());
+            PacketBuf::from(assembled).with_lineage(lineage)
         })
     }
 }
@@ -429,6 +433,21 @@ mod tests {
         let late = frags.last().unwrap().clone();
         assert!(r.push(SimTime::from_secs(2), late).is_none());
         assert_eq!(r.pending(), 1); // the straggler starts a fresh partial
+    }
+
+    #[test]
+    fn reassembly_preserves_lineage() {
+        let mut p = packet(700, 14);
+        p.payload.set_lineage(0xCAFE);
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for f in fragment_packet(p, 200).unwrap() {
+            // Slicing during fragmentation inherits the tag…
+            assert_eq!(f.payload.lineage(), 0xCAFE);
+            out = r.push(SimTime::ZERO, f);
+        }
+        // …and the multi-run copy path restores it on the assembled payload.
+        assert_eq!(out.expect("reassembled").payload.lineage(), 0xCAFE);
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod hash;
 pub mod link;
 pub mod node;
 pub mod packet;
+pub mod profile;
 pub mod rng;
 pub mod routing;
 pub mod sim;

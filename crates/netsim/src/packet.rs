@@ -279,7 +279,9 @@ impl IpPacket {
     /// Panics if the payload exceeds 65515 bytes (the length field is 16
     /// bits, as in real IPv4).
     pub fn encode(&self) -> PacketBuf {
-        self.encode_vec().into()
+        // The encoded buffer carries the payload's lineage tag forward so a
+        // packet's wire image stays linked to the send that produced it.
+        PacketBuf::from(self.encode_vec()).with_lineage(self.payload.lineage())
     }
 
     /// [`encode`](Self::encode) into a plain `Vec` (one header-plus-payload
@@ -585,6 +587,19 @@ mod tests {
             dont_fragment: false
         }
         .is_fragment());
+    }
+
+    #[test]
+    fn lineage_survives_encode_and_decode() {
+        let mut p = sample();
+        p.payload.set_lineage(42);
+        let bytes = p.encode();
+        assert_eq!(bytes.lineage(), 42);
+        // Decode views slice the encoded buffer, so the tag rides along.
+        let q = IpPacket::decode(&bytes).unwrap();
+        assert_eq!(q.payload.lineage(), 42);
+        // The tag is metadata: wire bytes are identical to the untagged encode.
+        assert_eq!(bytes, sample().encode());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! records into a shared [`Obs`] handle:
 //!
 //! - a **metrics registry** ([`metrics`]) of named counters, gauges, and
-//!   fixed-bucket histograms (p50/p90/p99/max), cheap enough for the
+//!   fixed-bucket histograms (p50/p90/p99/p999/max), cheap enough for the
 //!   event-loop hot path (handles are `Rc<Cell>`s; a disabled handle is a
 //!   no-op);
 //! - a **structured event timeline** ([`timeline`]) of detector state
@@ -30,12 +30,14 @@
 pub mod json;
 pub mod metrics;
 pub mod timeline;
+pub mod trace;
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use metrics::{Counter, Gauge, Histogram, Registry};
 use timeline::{Timeline, TimelineEvent};
+use trace::TraceData;
 
 /// Well-known timeline event kinds (the taxonomy documented in DESIGN.md).
 pub mod kinds {
@@ -102,6 +104,10 @@ pub mod runner_metrics {
 struct Inner {
     registry: Registry,
     timeline: Timeline,
+    /// The causal tracer + flight recorder, present only after
+    /// [`Obs::enable_tracing`] — tracing is off by default even on an
+    /// enabled handle.
+    trace: Option<TraceData>,
 }
 
 /// A shared telemetry handle.
@@ -126,6 +132,10 @@ struct Inner {
 #[derive(Clone, Debug, Default)]
 pub struct Obs {
     inner: Option<Rc<RefCell<Inner>>>,
+    /// Shared tracing flag, readable without borrowing `inner`: hot paths
+    /// check this one `Cell` read before building any span/note arguments,
+    /// so disabled tracing costs a load and a branch.
+    tracing: Rc<Cell<bool>>,
 }
 
 impl Obs {
@@ -133,6 +143,7 @@ impl Obs {
     pub fn enabled() -> Self {
         Obs {
             inner: Some(Rc::new(RefCell::new(Inner::default()))),
+            tracing: Rc::new(Cell::new(false)),
         }
     }
 
@@ -189,9 +200,145 @@ impl Obs {
     /// Appends a timeline event at `at_nanos` simulated nanoseconds.
     ///
     /// Events recorded at the same instant keep their insertion order.
+    /// When tracing is enabled, well-known fail-over kinds also drive the
+    /// crash→detect→report→promote→reconverge phase spans (see
+    /// [`trace`]), so the fail-over span tree assembles itself from the
+    /// events every layer already emits.
     pub fn event(&self, at_nanos: u64, kind: &str, fields: &[(&str, String)]) {
         if let Some(rc) = &self.inner {
-            rc.borrow_mut().timeline.push(at_nanos, kind, fields);
+            let mut inner = rc.borrow_mut();
+            inner.timeline.push(at_nanos, kind, fields);
+            if self.tracing.get() {
+                if let Some(t) = inner.trace.as_mut() {
+                    t.on_event(at_nanos, kind, fields);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Causal tracing (spans + flight recorder)
+    // ------------------------------------------------------------------
+
+    /// Turns the causal tracer on, backing it with a flight-recorder ring
+    /// of `capacity` retired spans. Tracing is off by default — even on an
+    /// enabled handle — so the data-path span sites cost one flag check
+    /// until someone asks for causality. No-op on a disabled handle.
+    pub fn enable_tracing(&self, capacity: usize) {
+        if let Some(rc) = &self.inner {
+            rc.borrow_mut().trace = Some(TraceData::new(capacity));
+            self.tracing.set(true);
+        }
+    }
+
+    /// Whether span calls currently record anything. One `Cell` read —
+    /// hot paths check this before formatting span names or notes.
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.get()
+    }
+
+    /// Opens a span under a caller-chosen `key` (e.g. `conn:<quad>`), with
+    /// optional causal parentage via the parent's key. Returns the span id
+    /// (0 and no-op when tracing is off).
+    pub fn span_open(
+        &self,
+        key: &str,
+        cat: &str,
+        name: &str,
+        parent_key: Option<&str>,
+        at_nanos: u64,
+    ) -> u64 {
+        if !self.tracing.get() {
+            return 0;
+        }
+        let Some(rc) = &self.inner else { return 0 };
+        let mut inner = rc.borrow_mut();
+        let Some(t) = inner.trace.as_mut() else {
+            return 0;
+        };
+        let parent = parent_key.and_then(|k| t.open_id(k));
+        t.open(key, cat, name, parent, at_nanos)
+    }
+
+    /// Closes the open span under `key` and retires it into the flight
+    /// recorder. No-op when tracing is off or the key is not open.
+    pub fn span_close(&self, key: &str, at_nanos: u64) {
+        if !self.tracing.get() {
+            return;
+        }
+        if let Some(rc) = &self.inner {
+            if let Some(t) = rc.borrow_mut().trace.as_mut() {
+                t.close(key, at_nanos);
+            }
+        }
+    }
+
+    /// Appends a timestamped `k = v` note to the open span under `key`.
+    /// Bounded per span ([`trace::NOTES_PER_SPAN`], oldest dropped first).
+    pub fn span_note(&self, key: &str, at_nanos: u64, k: &str, v: String) {
+        if !self.tracing.get() {
+            return;
+        }
+        if let Some(rc) = &self.inner {
+            if let Some(t) = rc.borrow_mut().trace.as_mut() {
+                t.note(key, at_nanos, k, v);
+            }
+        }
+    }
+
+    /// Spans evicted from the flight-recorder ring so far (the cap-and-
+    /// evict counter surfaced next to `SimStats::trace_dropped`).
+    pub fn trace_evicted(&self) -> u64 {
+        self.with_trace(0, trace::TraceData::evicted)
+    }
+
+    /// Total spans opened since tracing was enabled.
+    pub fn spans_opened(&self) -> u64 {
+        self.with_trace(0, trace::TraceData::spans_opened)
+    }
+
+    /// FNV-1a fingerprint of every recorded span (simulated time only) —
+    /// what the determinism guard pins across thread counts and calendar
+    /// backends. 0 when tracing is off.
+    pub fn span_fingerprint(&self) -> u64 {
+        self.with_trace(0, trace::TraceData::fingerprint)
+    }
+
+    /// Dumps the flight recorder (retired ring + still-open spans) as a
+    /// self-contained JSON document. Empty string when tracing is off.
+    pub fn flight_recorder_json(&self, meta: &[(&str, String)]) -> String {
+        let Some(rc) = &self.inner else {
+            return String::new();
+        };
+        let inner = rc.borrow();
+        let Some(t) = inner.trace.as_ref() else {
+            return String::new();
+        };
+        let mut out = String::with_capacity(4096);
+        t.write_flight_json(&mut out, meta);
+        out
+    }
+
+    /// Exports every recorded span as Chrome trace-event JSON for
+    /// chrome://tracing. Empty string when tracing is off.
+    pub fn chrome_trace_json(&self) -> String {
+        let Some(rc) = &self.inner else {
+            return String::new();
+        };
+        let inner = rc.borrow();
+        let Some(t) = inner.trace.as_ref() else {
+            return String::new();
+        };
+        let mut out = String::with_capacity(4096);
+        t.write_chrome_json(&mut out);
+        out
+    }
+
+    fn with_trace<R>(&self, default: R, f: impl FnOnce(&TraceData) -> R) -> R {
+        match &self.inner {
+            Some(rc) => rc.borrow().trace.as_ref().map_or(default, f),
+            None => default,
         }
     }
 
@@ -377,6 +524,77 @@ mod tests {
         let obs = Obs::disabled();
         obs.record_runner(4, 10, 1, 1, 1);
         assert!(obs.to_json().contains("\"counters\": {}"));
+    }
+
+    #[test]
+    fn spans_are_noops_until_tracing_is_enabled() {
+        let obs = Obs::enabled();
+        assert!(!obs.tracing_enabled());
+        assert_eq!(obs.span_open("conn:x", "conn", "x", None, 5), 0);
+        obs.span_note("conn:x", 6, "k", "v".into());
+        obs.span_close("conn:x", 7);
+        assert_eq!(obs.span_fingerprint(), 0);
+        assert_eq!(obs.flight_recorder_json(&[]), "");
+        assert_eq!(obs.chrome_trace_json(), "");
+
+        obs.enable_tracing(16);
+        assert!(obs.tracing_enabled());
+        let id = obs.span_open("conn:x", "conn", "x", None, 5);
+        obs.span_note("conn:x", 6, "last_rx_lineage", "0x1".into());
+        obs.span_close("conn:x", 7);
+        assert_eq!(obs.spans_opened(), 1);
+        assert_eq!(id, 0, "first span id");
+        let dump = obs.flight_recorder_json(&[("scenario", "t".into())]);
+        assert!(dump.contains("last_rx_lineage"), "{dump}");
+        assert_ne!(obs.span_fingerprint(), 0);
+    }
+
+    #[test]
+    fn tracing_flag_is_shared_across_clones() {
+        let obs = Obs::enabled();
+        let clone = obs.clone();
+        obs.enable_tracing(8);
+        assert!(clone.tracing_enabled());
+        clone.span_open("k", "conn", "k", None, 1);
+        assert_eq!(obs.spans_opened(), 1);
+    }
+
+    #[test]
+    fn flight_recorder_evicts_at_capacity() {
+        let obs = Obs::enabled();
+        obs.enable_tracing(3);
+        for i in 0..5u64 {
+            obs.span_open(&format!("s{i}"), "conn", &format!("s{i}"), None, i);
+            obs.span_close(&format!("s{i}"), i + 1);
+        }
+        assert_eq!(obs.trace_evicted(), 2);
+        let dump = obs.flight_recorder_json(&[]);
+        assert!(dump.contains("\"evicted\": 2"), "{dump}");
+        assert!(!dump.contains("\"s0\""), "oldest span must be gone: {dump}");
+        assert!(dump.contains("\"s4\""), "newest span must survive: {dump}");
+    }
+
+    #[test]
+    fn timeline_events_drive_failover_spans_when_tracing() {
+        let obs = Obs::enabled();
+        obs.enable_tracing(32);
+        obs.event(100, kinds::NODE_CRASHED, &[("node", "n2".into())]);
+        obs.event(200, kinds::DETECTOR_SUSPECTED, &[]);
+        obs.event(250, kinds::FAILURE_REPORTED, &[]);
+        obs.event(300, kinds::PROMOTED, &[]);
+        obs.event(400, kinds::CHAIN_RECONFIGURED, &[]);
+        let dump = obs.flight_recorder_json(&[]);
+        for needle in [
+            "detect",
+            "report",
+            "promote",
+            "reconverge",
+            "crash→reconverge",
+        ] {
+            assert!(dump.contains(needle), "missing {needle} in {dump}");
+        }
+        // The timeline itself is unaffected.
+        assert_eq!(obs.events().len(), 5);
     }
 
     #[test]

@@ -110,18 +110,30 @@ impl HistData {
         }
         let q = q.clamp(0.0, 1.0);
         let target = ((q * self.count as f64).ceil() as u64).max(1);
-        let mut cumulative = 0u64;
+        let mut below = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
-            cumulative += c;
-            if cumulative >= target {
-                return if i < BUCKET_BOUNDS {
-                    // The bucket's upper bound, but never past the observed
-                    // maximum (tight for the bucket that holds the max).
+            if c == 0 {
+                continue;
+            }
+            if below + c >= target {
+                // Linear interpolation inside the bucket, between its lower
+                // bound and its upper bound. Bounds are tightened to the
+                // observed extremes, which also fixes the discontinuity at
+                // the top power-of-two boundary: a quantile landing in the
+                // overflow bucket interpolates from 2^39 toward the
+                // observed max instead of jumping straight to it.
+                let upper = if i < BUCKET_BOUNDS {
                     bound(i).min(self.max)
                 } else {
                     self.max
                 };
+                let lower_bound = if i == 0 { 0 } else { bound(i - 1) };
+                let lower = lower_bound.max(self.min).min(upper);
+                let pos = target - below; // 1..=c, so pos == c hits `upper`
+                let width = upper - lower;
+                return lower + ((u128::from(width) * u128::from(pos)) / u128::from(c)) as u64;
             }
+            below += c;
         }
         self.max
     }
@@ -142,7 +154,7 @@ impl HistData {
                 self.sum as f64 / self.count as f64
             },
         );
-        for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+        for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)] {
             out.push_str(", \"");
             out.push_str(label);
             out.push_str("\": ");
@@ -216,8 +228,12 @@ impl Histogram {
         })
     }
 
-    /// An upper-bound estimate of the `q`-quantile: the upper bound of the
-    /// bucket the quantile falls in, clamped to the observed maximum.
+    /// An estimate of the `q`-quantile: linearly interpolated inside the
+    /// power-of-two bucket the quantile falls in, with the bucket bounds
+    /// tightened to the observed min/max (so a single-value histogram
+    /// reports that value at every quantile, and the overflow bucket
+    /// interpolates from `2^39` toward the observed maximum instead of
+    /// jumping straight to it).
     pub fn quantile(&self, q: f64) -> u64 {
         self.0.as_ref().map_or(0, |h| h.borrow().quantile(q))
     }
@@ -347,11 +363,14 @@ mod tests {
         assert_eq!(h.max(), 100);
         assert!((h.mean() - 50.5).abs() < 1e-9);
         // Buckets: ≤1:1, ≤2:1, ≤4:2, ≤8:4, ≤16:8, ≤32:16, ≤64:32, ≤128:36.
-        // p50 target = 50 observations → first reached in the ≤64 bucket.
-        assert_eq!(h.quantile(0.50), 64);
-        // p90 target = 90 → the ≤128 bucket, clamped to the observed max.
-        assert_eq!(h.quantile(0.90), 100);
-        assert_eq!(h.quantile(0.99), 100);
+        // With in-bucket interpolation the uniform 1..=100 stream recovers
+        // its quantiles exactly: p50 target = 50 → (32, 64] bucket at
+        // position 18/32 → 32 + 32·18/32 = 50.
+        assert_eq!(h.quantile(0.50), 50);
+        // p90 target = 90 → (64, min(128, max)=100] at position 26/36.
+        assert_eq!(h.quantile(0.90), 90);
+        assert_eq!(h.quantile(0.99), 99);
+        assert_eq!(h.quantile(0.999), 100);
         assert_eq!(h.quantile(1.0), 100);
     }
 
@@ -396,6 +415,7 @@ mod tests {
         let b = out.find("b.count").unwrap();
         assert!(a < b, "names must sort: {out}");
         assert!(out.contains("\"z.level\": 1.25"));
+        assert!(out.contains("\"p999\": 3"), "{out}");
         assert!(out.contains("\"buckets\": [[4, 1]]"), "{out}");
     }
 }

@@ -1,0 +1,600 @@
+//! Causal trace spans and the crash-dump flight recorder.
+//!
+//! The paper's §4.3 fail-over argument is causal — a segment arrives at a
+//! backup, a (SEQ, ACK) report crosses the ack channel, the deposit and
+//! transmission gates advance — but counters and a flat timeline cannot
+//! answer "*which* connection wedged, and what was the last packet it
+//! saw?". This module adds:
+//!
+//! - **spans**: named intervals of simulated time with parent/child
+//!   causality (connection lifecycle, the fail-over phases
+//!   crash→detect→report→promote→reconverge, redirector multicast fan-out,
+//!   ack-channel flushes), each carrying a bounded list of timestamped
+//!   key/value notes;
+//! - a **flight recorder**: retired spans live in a bounded ring (like the
+//!   PR 1 packet trace) with an eviction counter, so tracing through a
+//!   multi-second chaos run costs capped memory; on an invariant violation
+//!   the whole thing dumps as self-contained JSON — the failing seed's
+//!   causal story without a re-run;
+//! - **Chrome trace export**: the same spans as chrome://tracing
+//!   `traceEvents` JSON;
+//! - a **span fingerprint**: an FNV-1a hash over the canonical span
+//!   serialisation, containing only simulated time — the determinism
+//!   guard pins it bit-identical across thread counts and calendar
+//!   backends.
+//!
+//! Everything here is sim-time only (`u64` nanoseconds); no wall clock
+//! ever enters a span, so traces are bit-identical across runs.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::json;
+
+/// Span categories get stable Chrome-trace thread ids so each family
+/// renders as its own track.
+fn chrome_tid(cat: &str) -> u64 {
+    match cat {
+        "conn" => 1,
+        "failover" => 2,
+        "redirect" => 3,
+        "ackchan" => 4,
+        _ => 9,
+    }
+}
+
+/// One span: a named interval of simulated time with causal parentage and
+/// bounded notes. `end_nanos == None` means the span never closed — for a
+/// flight-recorder dump that is the interesting case (a wedged
+/// connection's span is still open when the invariants fail).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Recorder-unique id, assigned in open order.
+    pub id: u64,
+    /// Parent span id, when opened with a causal parent.
+    pub parent: Option<u64>,
+    /// Category: `conn`, `failover`, `redirect`, `ackchan`, …
+    pub cat: String,
+    /// Display name (a quad, a phase name, a service address).
+    pub name: String,
+    /// Open instant, simulated nanoseconds.
+    pub start_nanos: u64,
+    /// Close instant, if the span closed.
+    pub end_nanos: Option<u64>,
+    /// Timestamped key/value annotations, oldest evicted past the cap.
+    pub notes: Vec<(u64, String, String)>,
+}
+
+impl Span {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"id\": ");
+        json::push_u64(out, self.id);
+        out.push_str(", \"parent\": ");
+        match self.parent {
+            Some(p) => json::push_u64(out, p),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"cat\": ");
+        json::push_string(out, &self.cat);
+        out.push_str(", \"name\": ");
+        json::push_string(out, &self.name);
+        out.push_str(", \"start_nanos\": ");
+        json::push_u64(out, self.start_nanos);
+        out.push_str(", \"end_nanos\": ");
+        match self.end_nanos {
+            Some(e) => json::push_u64(out, e),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"notes\": [");
+        for (i, (at, k, v)) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('[');
+            json::push_u64(out, *at);
+            out.push_str(", ");
+            json::push_string(out, k);
+            out.push_str(", ");
+            json::push_string(out, v);
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+
+    fn fingerprint_into(&self, acc: &mut u64) {
+        fnv_u64(acc, self.id);
+        fnv_u64(acc, self.parent.map_or(u64::MAX, |p| p));
+        fnv_str(acc, &self.cat);
+        fnv_str(acc, &self.name);
+        fnv_u64(acc, self.start_nanos);
+        fnv_u64(acc, self.end_nanos.map_or(u64::MAX, |e| e));
+        for (at, k, v) in &self.notes {
+            fnv_u64(acc, *at);
+            fnv_str(acc, k);
+            fnv_str(acc, v);
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv_byte(acc: &mut u64, b: u8) {
+    *acc ^= u64::from(b);
+    *acc = acc.wrapping_mul(FNV_PRIME);
+}
+
+fn fnv_u64(acc: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        fnv_byte(acc, b);
+    }
+}
+
+fn fnv_str(acc: &mut u64, s: &str) {
+    for &b in s.as_bytes() {
+        fnv_byte(acc, b);
+    }
+    fnv_byte(acc, 0xFF); // field separator
+}
+
+/// Notes kept per span; older notes are dropped first, so the *last*
+/// lineage-linked packet a wedged connection saw always survives.
+pub const NOTES_PER_SPAN: usize = 16;
+
+/// The tracer state behind an enabled [`crate::Obs`]: open spans keyed by
+/// caller-chosen strings, plus the bounded ring of retired spans.
+#[derive(Debug)]
+pub struct TraceData {
+    next_id: u64,
+    /// Open spans by key. `BTreeMap` for deterministic iteration order in
+    /// dumps and fingerprints.
+    open: BTreeMap<String, Span>,
+    /// Retired spans, oldest first; bounded at `capacity`.
+    ring: VecDeque<Span>,
+    capacity: usize,
+    evicted: u64,
+    /// Fail-over phase machine: the id of the open root span, if any.
+    failover_root: Option<u64>,
+}
+
+impl TraceData {
+    pub(crate) fn new(capacity: usize) -> Self {
+        TraceData {
+            next_id: 0,
+            open: BTreeMap::new(),
+            ring: VecDeque::new(),
+            capacity: capacity.max(1),
+            evicted: 0,
+            failover_root: None,
+        }
+    }
+
+    pub(crate) fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    fn retire(&mut self, span: Span) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.evicted += 1;
+        }
+        self.ring.push_back(span);
+    }
+
+    /// Opens a span. Re-opening a live key retires the old span first (a
+    /// reused connection quad starts a fresh lifecycle span). Returns the
+    /// new span's id.
+    pub(crate) fn open(
+        &mut self,
+        key: &str,
+        cat: &str,
+        name: &str,
+        parent: Option<u64>,
+        at_nanos: u64,
+    ) -> u64 {
+        if let Some(old) = self.open.remove(key) {
+            self.retire(old);
+        }
+        // The open-span map is bounded by the same capacity as the ring:
+        // past it, the oldest open span is force-retired (still open —
+        // `end_nanos` stays `None` in the ring).
+        if self.open.len() >= self.capacity {
+            if let Some(oldest_key) = self
+                .open
+                .iter()
+                .min_by_key(|(_, s)| s.id)
+                .map(|(k, _)| k.clone())
+            {
+                let old = self.open.remove(&oldest_key).expect("key just found");
+                self.retire(old);
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.open.insert(
+            key.to_string(),
+            Span {
+                id,
+                parent,
+                cat: cat.to_string(),
+                name: name.to_string(),
+                start_nanos: at_nanos,
+                end_nanos: None,
+                notes: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// The id of the open span under `key`, if any.
+    pub(crate) fn open_id(&self, key: &str) -> Option<u64> {
+        self.open.get(key).map(|s| s.id)
+    }
+
+    /// Closes the span under `key` (no-op when absent) and retires it.
+    pub(crate) fn close(&mut self, key: &str, at_nanos: u64) {
+        if let Some(mut span) = self.open.remove(key) {
+            span.end_nanos = Some(at_nanos.max(span.start_nanos));
+            self.retire(span);
+        }
+    }
+
+    /// Appends a timestamped note to the open span under `key` (no-op when
+    /// absent). Past [`NOTES_PER_SPAN`], the oldest note is dropped.
+    pub(crate) fn note(&mut self, key: &str, at_nanos: u64, k: &str, v: String) {
+        if let Some(span) = self.open.get_mut(key) {
+            if span.notes.len() >= NOTES_PER_SPAN {
+                span.notes.remove(0);
+            }
+            span.notes.push((at_nanos, k.to_string(), v));
+        }
+    }
+
+    /// Feeds one timeline event into the fail-over phase machine: the
+    /// well-known kinds (`netsim.node.crashed` → `tcp.detector.suspected`
+    /// → `mgmt.daemon.failure_reported` → `mgmt.daemon.promoted` →
+    /// `mgmt.controller.chain_reconfigured`) open and close the
+    /// crash→detect→report→promote→reconverge phase spans with zero
+    /// cross-component coordination. Out-of-order or repeated kinds are
+    /// ignored — only the first fail-over is spanned.
+    pub(crate) fn on_event(&mut self, at_nanos: u64, kind: &str, fields: &[(&str, String)]) {
+        let note_fields = |span: &mut Span, at: u64| {
+            for (k, v) in fields {
+                if span.notes.len() >= NOTES_PER_SPAN {
+                    span.notes.remove(0);
+                }
+                span.notes.push((at, (*k).to_string(), v.clone()));
+            }
+        };
+        match kind {
+            crate::kinds::NODE_CRASHED if self.failover_root.is_none() => {
+                let root = self.open("failover", "failover", "crash→reconverge", None, at_nanos);
+                self.failover_root = Some(root);
+                self.open(
+                    "failover/detect",
+                    "failover",
+                    "detect",
+                    Some(root),
+                    at_nanos,
+                );
+                if let Some(span) = self.open.get_mut("failover") {
+                    note_fields(span, at_nanos);
+                }
+            }
+            crate::kinds::DETECTOR_SUSPECTED => {
+                if let Some(root) = self.failover_root {
+                    if self.open.contains_key("failover/detect") {
+                        if let Some(span) = self.open.get_mut("failover/detect") {
+                            note_fields(span, at_nanos);
+                        }
+                        self.close("failover/detect", at_nanos);
+                        self.open(
+                            "failover/report",
+                            "failover",
+                            "report",
+                            Some(root),
+                            at_nanos,
+                        );
+                    }
+                }
+            }
+            crate::kinds::FAILURE_REPORTED => {
+                if let Some(root) = self.failover_root {
+                    if self.open.contains_key("failover/report") {
+                        if let Some(span) = self.open.get_mut("failover/report") {
+                            note_fields(span, at_nanos);
+                        }
+                        self.close("failover/report", at_nanos);
+                        self.open(
+                            "failover/promote",
+                            "failover",
+                            "promote",
+                            Some(root),
+                            at_nanos,
+                        );
+                    }
+                }
+            }
+            crate::kinds::PROMOTED => {
+                if let Some(root) = self.failover_root {
+                    if self.open.contains_key("failover/promote") {
+                        if let Some(span) = self.open.get_mut("failover/promote") {
+                            note_fields(span, at_nanos);
+                        }
+                        self.close("failover/promote", at_nanos);
+                        self.open(
+                            "failover/reconverge",
+                            "failover",
+                            "reconverge",
+                            Some(root),
+                            at_nanos,
+                        );
+                    }
+                }
+            }
+            crate::kinds::CHAIN_RECONFIGURED
+                if self.failover_root.is_some()
+                    && self.open.contains_key("failover/reconverge") =>
+            {
+                if let Some(span) = self.open.get_mut("failover/reconverge") {
+                    note_fields(span, at_nanos);
+                }
+                self.close("failover/reconverge", at_nanos);
+                self.close("failover", at_nanos);
+            }
+            _ => {}
+        }
+    }
+
+    /// Serialises the flight recorder — retired ring plus still-open spans
+    /// — as a self-contained JSON document with caller-supplied metadata.
+    pub(crate) fn write_flight_json(&self, out: &mut String, meta: &[(&str, String)]) {
+        out.push_str("{\n\"meta\": {");
+        for (i, (k, v)) in meta.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::push_string(out, k);
+            out.push_str(": ");
+            json::push_string(out, v);
+        }
+        out.push_str("},\n\"capacity\": ");
+        json::push_u64(out, self.capacity as u64);
+        out.push_str(",\n\"evicted\": ");
+        json::push_u64(out, self.evicted);
+        out.push_str(",\n\"spans\": [\n");
+        for (i, span) in self.ring.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("  ");
+            span.write_json(out);
+        }
+        out.push_str("\n],\n\"open_spans\": [\n");
+        for (i, span) in self.open.values().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str("  ");
+            span.write_json(out);
+        }
+        out.push_str("\n]\n}\n");
+    }
+
+    /// Serialises every span as Chrome trace-event JSON (`traceEvents`
+    /// array of `"X"` complete events; still-open spans get zero duration
+    /// and an `"open": true` arg). Load in chrome://tracing or Perfetto.
+    pub(crate) fn write_chrome_json(&self, out: &mut String) {
+        out.push_str("{\"traceEvents\": [\n");
+        let mut first = true;
+        let mut push_span = |out: &mut String, span: &Span, open: bool| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str("  {\"name\": ");
+            json::push_string(out, &span.name);
+            out.push_str(", \"cat\": ");
+            json::push_string(out, &span.cat);
+            out.push_str(", \"ph\": \"X\", \"ts\": ");
+            json::push_f64(out, span.start_nanos as f64 / 1e3);
+            out.push_str(", \"dur\": ");
+            let dur = span.end_nanos.map_or(0, |e| e - span.start_nanos);
+            json::push_f64(out, dur as f64 / 1e3);
+            out.push_str(", \"pid\": 1, \"tid\": ");
+            json::push_u64(out, chrome_tid(&span.cat));
+            out.push_str(", \"args\": {\"id\": ");
+            json::push_u64(out, span.id);
+            out.push_str(", \"parent\": ");
+            match span.parent {
+                Some(p) => json::push_u64(out, p),
+                None => out.push_str("null"),
+            }
+            if open {
+                out.push_str(", \"open\": true");
+            }
+            for (at, k, v) in &span.notes {
+                out.push_str(", ");
+                json::push_string(out, &format!("{k}@{at}"));
+                out.push_str(": ");
+                json::push_string(out, v);
+            }
+            out.push_str("}}");
+        };
+        for span in &self.ring {
+            push_span(out, span, false);
+        }
+        for span in self.open.values() {
+            push_span(out, span, true);
+        }
+        out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+    }
+
+    /// FNV-1a over the canonical serialisation of every span (retired ring
+    /// in order, then open spans in key order). Pure simulated time — the
+    /// determinism guard pins this across thread counts and calendar
+    /// backends.
+    pub(crate) fn fingerprint(&self) -> u64 {
+        let mut acc = FNV_OFFSET;
+        for span in &self.ring {
+            span.fingerprint_into(&mut acc);
+        }
+        for span in self.open.values() {
+            span.fingerprint_into(&mut acc);
+        }
+        acc
+    }
+
+    /// Total spans opened so far.
+    pub(crate) fn spans_opened(&self) -> u64 {
+        self.next_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_close_retires_in_order() {
+        let mut t = TraceData::new(8);
+        let a = t.open("a", "conn", "a", None, 10);
+        let b = t.open("b", "conn", "b", Some(a), 20);
+        assert_eq!(t.open_id("a"), Some(a));
+        t.close("a", 30);
+        t.close("b", 40);
+        assert_eq!(t.ring.len(), 2);
+        assert_eq!(t.ring[0].id, a);
+        assert_eq!(t.ring[0].end_nanos, Some(30));
+        assert_eq!(t.ring[1].parent, Some(a));
+        assert_eq!(t.ring[1].id, b);
+        assert!(t.open.is_empty());
+        assert_eq!(t.evicted(), 0);
+    }
+
+    #[test]
+    fn ring_caps_and_evicts_oldest() {
+        let mut t = TraceData::new(4);
+        for i in 0..7u64 {
+            t.open(&format!("s{i}"), "conn", &format!("s{i}"), None, i);
+            t.close(&format!("s{i}"), i + 1);
+        }
+        assert_eq!(t.ring.len(), 4);
+        assert_eq!(t.evicted(), 3);
+        // Oldest three gone; newest four retained in order.
+        let names: Vec<&str> = t.ring.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["s3", "s4", "s5", "s6"]);
+    }
+
+    #[test]
+    fn notes_are_bounded_keeping_newest() {
+        let mut t = TraceData::new(4);
+        t.open("k", "conn", "k", None, 0);
+        for i in 0..(NOTES_PER_SPAN as u64 + 5) {
+            t.note("k", i, "seq", i.to_string());
+        }
+        let span = t.open.get("k").unwrap();
+        assert_eq!(span.notes.len(), NOTES_PER_SPAN);
+        // The newest note survives; the oldest five were dropped.
+        assert_eq!(
+            span.notes.last().unwrap().2,
+            (NOTES_PER_SPAN + 4).to_string()
+        );
+        assert_eq!(span.notes[0].2, "5");
+    }
+
+    #[test]
+    fn reopening_a_live_key_retires_the_old_span() {
+        let mut t = TraceData::new(4);
+        let first = t.open("k", "conn", "gen1", None, 0);
+        let second = t.open("k", "conn", "gen2", None, 10);
+        assert_ne!(first, second);
+        assert_eq!(t.ring.len(), 1);
+        assert_eq!(t.ring[0].name, "gen1");
+        assert_eq!(t.ring[0].end_nanos, None, "force-retired spans stay open");
+        assert_eq!(t.open_id("k"), Some(second));
+    }
+
+    #[test]
+    fn failover_phase_machine_builds_the_span_tree() {
+        let mut t = TraceData::new(32);
+        t.on_event(100, crate::kinds::NODE_CRASHED, &[("node", "n2".into())]);
+        t.on_event(200, crate::kinds::DETECTOR_SUSPECTED, &[]);
+        t.on_event(250, crate::kinds::FAILURE_REPORTED, &[]);
+        t.on_event(300, crate::kinds::PROMOTED, &[("host", "10.0.3.1".into())]);
+        t.on_event(400, crate::kinds::CHAIN_RECONFIGURED, &[]);
+        assert!(t.open.is_empty(), "all phases closed");
+        let names: Vec<&str> = t.ring.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "detect",
+                "report",
+                "promote",
+                "reconverge",
+                "crash→reconverge"
+            ]
+        );
+        let root_id = t.ring.back().unwrap().id;
+        assert!(t.ring.iter().take(4).all(|s| s.parent == Some(root_id)));
+        assert_eq!(t.ring[0].start_nanos, 100);
+        assert_eq!(t.ring[0].end_nanos, Some(200));
+        assert_eq!(t.ring[3].end_nanos, Some(400));
+        // A second crash does not re-open the machine.
+        t.on_event(500, crate::kinds::NODE_CRASHED, &[]);
+        assert!(t.open.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_content_sensitive() {
+        let build = |notes: bool| {
+            let mut t = TraceData::new(8);
+            t.open("a", "conn", "a", None, 1);
+            if notes {
+                t.note("a", 2, "k", "v".into());
+            }
+            t.close("a", 3);
+            t.fingerprint()
+        };
+        assert_eq!(build(false), build(false));
+        assert_ne!(build(false), build(true));
+    }
+
+    #[test]
+    fn flight_json_and_chrome_json_are_well_formed() {
+        let mut t = TraceData::new(4);
+        let root = t.open("f", "failover", "crash→reconverge", None, 1_000);
+        t.open(
+            "c",
+            "conn",
+            "10.0.1.1:40000-192.20.225.20:80",
+            Some(root),
+            2_000,
+        );
+        t.note("c", 2_500, "last_rx_lineage", "0x2a".into());
+        t.close("f", 9_000);
+        let mut flight = String::new();
+        t.write_flight_json(&mut flight, &[("scenario", "test".into())]);
+        for needle in [
+            "\"scenario\": \"test\"",
+            "\"evicted\": 0",
+            "\"open_spans\": [",
+            "10.0.1.1:40000-192.20.225.20:80",
+            "last_rx_lineage",
+            "\"end_nanos\": null",
+        ] {
+            assert!(flight.contains(needle), "missing {needle} in {flight}");
+        }
+        let mut chrome = String::new();
+        t.write_chrome_json(&mut chrome);
+        for needle in [
+            "\"traceEvents\": [",
+            "\"ph\": \"X\"",
+            "\"ts\": 1",
+            "\"dur\": 8",
+            "\"open\": true",
+        ] {
+            assert!(chrome.contains(needle), "missing {needle} in {chrome}");
+        }
+    }
+}

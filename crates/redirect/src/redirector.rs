@@ -68,6 +68,11 @@ pub struct RedirectorEngine {
     c_redirected: Counter,
     c_copies: Counter,
     c_forwarded: Counter,
+    /// Telemetry handle kept for causal fan-out spans; the default
+    /// (disabled) handle makes every span site a no-op flag check.
+    obs: Obs,
+    /// Monotonic per-engine sequence keying each fan-out span.
+    fanout_seq: u64,
 }
 
 impl RedirectorEngine {
@@ -83,6 +88,8 @@ impl RedirectorEngine {
             c_redirected: Counter::default(),
             c_copies: Counter::default(),
             c_forwarded: Counter::default(),
+            obs: Obs::default(),
+            fanout_seq: 0,
         }
     }
 
@@ -94,6 +101,7 @@ impl RedirectorEngine {
         self.c_copies = obs.counter(&format!("{scope}.copies"));
         self.c_forwarded = obs.counter(&format!("{scope}.forwarded"));
         self.table.set_obs(obs, &self.addr.to_string());
+        self.obs = obs.clone();
     }
 
     /// The redirector's own address.
@@ -185,6 +193,7 @@ impl RedirectorEngine {
                     routed.clear();
                     let routes = &self.routes;
                     let stats = &mut self.stats;
+                    let mut ft_fanout = false;
                     match entry {
                         ServiceEntry::Scaled { replicas } => {
                             // Memoized nearest-routable pick: the min-metric
@@ -197,6 +206,7 @@ impl RedirectorEngine {
                             }
                         }
                         ServiceEntry::FaultTolerant { .. } => {
+                            ft_fanout = true;
                             // Memoized routed fan-out: the per-chain-member
                             // routing lookups run once per (table, routes)
                             // generation, not per packet. `unroutable` keeps
@@ -211,6 +221,9 @@ impl RedirectorEngine {
                     }
                     if let Some((&(last_iface, last_host), rest)) = routed.split_last() {
                         let encoded = whole.encode();
+                        if ft_fanout {
+                            self.span_fanout(sap, &routed, encoded.lineage(), now);
+                        }
                         for &(iface, host) in rest {
                             self.stats.copies += 1;
                             self.c_copies.inc();
@@ -243,6 +256,34 @@ impl RedirectorEngine {
             None => self.stats.dropped_no_route += 1,
         }
         Disposition::Handled
+    }
+
+    /// Emits the instantaneous multicast fan-out span for one redirected
+    /// fault-tolerant packet: which routable chain members received a
+    /// tunnelled copy, and the lineage id of the shared inner bytes — the
+    /// causal link from "the redirector multicast this" back to "this is
+    /// the client segment it carried".
+    fn span_fanout(
+        &mut self,
+        sap: SockAddr,
+        routed: &[(IfaceId, IpAddr)],
+        lineage: u64,
+        now: SimTime,
+    ) {
+        if !self.obs.tracing_enabled() {
+            return;
+        }
+        self.fanout_seq += 1;
+        let key = format!("redirect:{}:{}", self.addr, self.fanout_seq);
+        let at = now.as_nanos();
+        self.obs
+            .span_open(&key, "redirect", &format!("fanout {sap}"), None, at);
+        for (_, host) in routed {
+            self.obs.span_note(&key, at, "member", host.to_string());
+        }
+        self.obs
+            .span_note(&key, at, "lineage", format!("{lineage:#x}"));
+        self.obs.span_close(&key, at);
     }
 }
 
@@ -375,6 +416,34 @@ mod tests {
         ));
         assert_eq!(e.stats().redirected, 1);
         assert_eq!(e.stats().copies, 2);
+    }
+
+    #[test]
+    fn ft_fanout_emits_lineage_linked_span() {
+        let obs = Obs::enabled();
+        obs.enable_tracing(64);
+        let mut e = engine();
+        e.set_obs(&obs);
+        e.table_mut().install(
+            SockAddr::new(SERVICE, 80),
+            ServiceEntry::FaultTolerant {
+                chain: vec![H1, H2],
+            },
+        );
+        let mut p = tcp_packet(80, 100);
+        p.payload.set_lineage(0x77);
+        let mut out = Vec::new();
+        e.process(p, SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 2);
+        // The tunnelled copies carry the inner packet's lineage tag.
+        for (_, copy) in &out {
+            assert_eq!(copy.payload.lineage(), 0x77);
+        }
+        let dump = obs.flight_recorder_json(&[]);
+        for needle in ["fanout", "10.0.2.1", "10.0.3.1", "0x77"] {
+            assert!(dump.contains(needle), "missing {needle} in {dump}");
+        }
+        assert_eq!(obs.spans_opened(), 1);
     }
 
     #[test]

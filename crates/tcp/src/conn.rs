@@ -58,6 +58,13 @@ pub struct TcpConfig {
     pub time_wait: SimDuration,
     /// Optional keepalive probing of idle established connections.
     pub keepalive: Option<KeepaliveConfig>,
+    /// Send-gate starvation watchdog: fires [`ConnEvent::GateStarved`]
+    /// after an RTO of the gate blocking ready work with no successor
+    /// progress. On is the only safe setting — a dead chain tail is
+    /// invisible to the client-retransmission estimator without it; the
+    /// off switch exists so tests can re-break that failure path and
+    /// verify the flight recorder captures the resulting wedge.
+    pub gate_watchdog: bool,
 }
 
 /// Keepalive tuning: after `idle` with no segments received, send up to
@@ -107,6 +114,7 @@ impl Default for TcpConfig {
             max_retries: 12,
             time_wait: SimDuration::from_secs(30),
             keepalive: None,
+            gate_watchdog: true,
         }
     }
 }
@@ -610,7 +618,7 @@ impl Connection {
     /// clears it the moment it does not. One RTO of uninterrupted blockage
     /// fires [`ConnEvent::GateStarved`] (see [`Self::on_tick`]).
     fn update_gate_starvation(&mut self, now: SimTime) {
-        if self.gate_blocked_work() {
+        if self.cfg.gate_watchdog && self.gate_blocked_work() {
             if self.gate_starved_deadline.is_none() {
                 self.gate_starved_deadline = Some(now + self.rtt.rto());
             }
@@ -2038,6 +2046,31 @@ mod tests {
         p.collect(true);
         p.run_until(p.now + SimDuration::from_millis(100));
         assert_eq!(p.client_received.len(), 1000);
+    }
+
+    #[test]
+    fn gate_watchdog_fires_only_when_enabled() {
+        for watchdog in [true, false] {
+            let cfg = TcpConfig {
+                nagle: false,
+                gate_watchdog: watchdog,
+                ..TcpConfig::default()
+            };
+            let mut p = Pair::new(cfg.clone(), cfg);
+            p.run_until(SimTime::from_millis(100));
+            // Gate the server's sending path with data queued behind it and
+            // never report successor progress: the flow-control loop is
+            // silently wedged (the client sees nothing to retransmit).
+            p.server().enable_send_gate();
+            p.server_write(&pattern(1000));
+            p.run_until(p.now + SimDuration::from_secs(10));
+            let fired = p.server().gate_starved_count();
+            if watchdog {
+                assert!(fired > 0, "watchdog armed but never fired");
+            } else {
+                assert_eq!(fired, 0, "disabled watchdog fired");
+            }
+        }
     }
 
     #[test]

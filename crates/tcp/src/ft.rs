@@ -144,6 +144,18 @@ impl AckChanMsg {
         Quad::new(self.service, self.client)
     }
 
+    /// One-line human summary for trace-span notes:
+    /// `"<client>-><service> seq=<n> ack=<n>"`.
+    pub fn brief(&self) -> String {
+        format!(
+            "{}->{} seq={} ack={}",
+            self.client,
+            self.service,
+            self.seq.raw(),
+            self.ack.raw()
+        )
+    }
+
     /// Serialises to the 21-byte single-pair wire format.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(ACK_CHAN_MSG_LEN);

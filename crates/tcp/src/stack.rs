@@ -215,6 +215,12 @@ pub struct TcpStack {
     replicated: BTreeMap<u16, ReplicatedPortConfig>,
     reassembler: Reassembler,
     ip_id: u16,
+    /// Per-stack packet-lineage counter. The stack mints a lineage id for
+    /// every untagged payload it first puts on the wire:
+    /// `(local address bits << 32) | counter`, so ids are globally unique
+    /// and deterministic (no process-global state) and a dump reader can
+    /// recover the originating host from the id alone.
+    lineage_counter: u32,
     next_ephemeral: u16,
     /// Inclusive ephemeral-port range; shrinkable so exhaustion is testable
     /// without tens of thousands of live connections.
@@ -259,6 +265,7 @@ impl TcpStack {
             replicated: BTreeMap::new(),
             reassembler: Reassembler::new(),
             ip_id: 1,
+            lineage_counter: 0,
             next_ephemeral: 40_000,
             ephemeral_range: (40_000, u16::MAX),
             out: Vec::new(),
@@ -418,6 +425,7 @@ impl TcpStack {
         let iss = deterministic_iss(quad);
         let mut conn = Connection::connect(quad, self.cfg.clone(), iss, now);
         conn.set_obs(&self.obs);
+        self.span_conn_open(quad, "connect", now);
         let entry = ConnEntry {
             conn,
             app,
@@ -583,7 +591,7 @@ impl TcpStack {
         // After connection ticks: their output may have queued more pairs,
         // which ride along with a due flush instead of re-arming the timer.
         if self.ackchan_flush_at.is_some_and(|t| t <= now) {
-            self.flush_ackchan();
+            self.flush_ackchan(now);
         }
     }
 
@@ -639,6 +647,18 @@ impl TcpStack {
             SockAddr::new(dst, seg.dst_port),
             SockAddr::new(src, seg.src_port),
         );
+        if self.obs.tracing_enabled() {
+            // The decoded segment's payload is a view of the received
+            // packet, so it carries the sender's lineage id: record it on
+            // the connection span. On a wedged connection the last such
+            // note names the final packet that made causal progress.
+            self.obs.span_note(
+                &format!("conn:{quad}"),
+                now.as_nanos(),
+                "last_rx_lineage",
+                format!("{:#x} seq={}", seg.payload.lineage(), seg.seq.raw()),
+            );
+        }
         if let Some(mut entry) = self.conns.remove(&quad) {
             entry.conn.on_segment(seg, now);
             self.finish_entry(quad, entry, now);
@@ -662,6 +682,7 @@ impl TcpStack {
             let mut conn =
                 Connection::accept_replicated(quad, conn_cfg, iss, &seg, now, gated, gated);
             conn.set_obs(&self.obs);
+            self.span_conn_open(quad, if gated { "accept-gated" } else { "accept" }, now);
             let app = self
                 .listeners
                 .get_mut(&seg.dst_port)
@@ -899,9 +920,25 @@ impl TcpStack {
         }
         if entry.conn.state() == TcpState::Closed {
             // Reaped; events already delivered.
+            if self.obs.tracing_enabled() {
+                self.obs.span_close(&format!("conn:{quad}"), now.as_nanos());
+            }
             return;
         }
         self.conns.insert(quad, entry);
+    }
+
+    /// Opens the lifecycle span of connection `quad` (no-op when tracing
+    /// is off). `how` distinguishes active opens from (gated) accepts.
+    fn span_conn_open(&mut self, quad: Quad, how: &str, now: SimTime) {
+        if !self.obs.tracing_enabled() {
+            return;
+        }
+        let key = format!("conn:{quad}");
+        self.obs
+            .span_open(&key, "conn", &quad.to_string(), None, now.as_nanos());
+        self.obs
+            .span_note(&key, now.as_nanos(), "open", how.to_string());
     }
 
     /// Accepts one diverted (SEQ, ACK) report for the ack channel. In the
@@ -927,14 +964,14 @@ impl TcpStack {
     ) {
         let delay = self.cfg.ackchan_flush_delay;
         if delay == SimDuration::ZERO {
-            self.send_ack_batch(quad.local.addr, pred, &[msg]);
+            self.send_ack_batch(quad.local.addr, pred, &[msg], now);
             return;
         }
         if self.ackchan_pending.insert(quad, msg).is_some() {
             self.stats.ackchan_coalesced += 1;
         }
         if control || self.ackchan_pending.len() >= self.cfg.ackchan_max_pairs.max(1) {
-            self.flush_ackchan();
+            self.flush_ackchan(now);
         } else if self.ackchan_flush_at.is_none() {
             self.ackchan_flush_at = Some(now + delay);
         }
@@ -946,7 +983,7 @@ impl TcpStack {
     /// *now*, not at queue time: if the chain was reconfigured while a
     /// report waited (promotion, re-chaining), the stale report is dropped
     /// exactly as `Some(None)` diversion drops it.
-    fn flush_ackchan(&mut self) {
+    fn flush_ackchan(&mut self, now: SimTime) {
         self.ackchan_flush_at = None;
         if self.ackchan_pending.is_empty() {
             return;
@@ -967,7 +1004,7 @@ impl TcpStack {
             let key = (quad.local.addr, pred);
             if dest != Some(key) || batch.len() >= ACK_CHAN_MAX_PAIRS {
                 if let Some((src, to)) = dest {
-                    self.send_ack_batch(src, to, &batch);
+                    self.send_ack_batch(src, to, &batch, now);
                 }
                 batch.clear();
                 dest = Some(key);
@@ -975,14 +1012,14 @@ impl TcpStack {
             batch.push(msg);
         }
         if let Some((src, to)) = dest {
-            self.send_ack_batch(src, to, &batch);
+            self.send_ack_batch(src, to, &batch, now);
         }
     }
 
     /// Encodes `batch` as one ack-channel datagram — single-pair wire
     /// format when the batch has one report, the multi-pair format
     /// otherwise — built in place in the packet buffer, and queues it.
-    fn send_ack_batch(&mut self, src: IpAddr, pred: IpAddr, batch: &[AckChanMsg]) {
+    fn send_ack_batch(&mut self, src: IpAddr, pred: IpAddr, batch: &[AckChanMsg], now: SimTime) {
         debug_assert!(!batch.is_empty() && batch.len() <= ACK_CHAN_MAX_PAIRS);
         self.stats.ackchan_tx += batch.len() as u64;
         self.c_ackchan_tx.add(batch.len() as u64);
@@ -996,6 +1033,23 @@ impl TcpStack {
             }
         });
         self.push_packet(src, pred, Protocol::UDP, wire);
+        if self.obs.tracing_enabled() {
+            // An instantaneous flush span: pair count, each report, and the
+            // lineage id `push_packet` just minted for the batch datagram.
+            let at = now.as_nanos();
+            let key = format!("ackchan:{src}->{pred}");
+            self.obs
+                .span_open(&key, "ackchan", &format!("flush {src}->{pred}"), None, at);
+            self.obs
+                .span_note(&key, at, "pairs", batch.len().to_string());
+            for msg in batch {
+                self.obs.span_note(&key, at, "pair", msg.brief());
+            }
+            let lineage = self.out.last().map_or(0, |p| p.payload.lineage());
+            self.obs
+                .span_note(&key, at, "lineage", format!("{lineage:#x}"));
+            self.obs.span_close(&key, at);
+        }
     }
 
     fn push_packet(
@@ -1008,6 +1062,14 @@ impl TcpStack {
         let mut packet = IpPacket::new(src, dst, proto, payload);
         packet.header.id = self.ip_id;
         self.ip_id = self.ip_id.wrapping_add(1);
+        // Mint a lineage id at the packet's first encode. Payloads that
+        // already carry one (e.g. forwarded views of a received packet)
+        // keep their original id so the trace follows the end-to-end send.
+        if packet.payload.lineage() == 0 {
+            self.lineage_counter = self.lineage_counter.wrapping_add(1);
+            let id = (u64::from(self.addrs[0].to_bits()) << 32) | u64::from(self.lineage_counter);
+            packet.payload.set_lineage(id);
+        }
         self.out.push(packet);
     }
 }
