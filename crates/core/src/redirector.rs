@@ -20,6 +20,9 @@ pub struct ManagedRedirector {
     name: String,
     out_scratch: Vec<(IfaceId, IpPacket)>,
     obs: Obs,
+    /// See `ClientHost::set_coalesce_timers` in `crate::host`.
+    coalesce_timers: bool,
+    armed_at: Option<SimTime>,
 }
 
 impl std::fmt::Debug for ManagedRedirector {
@@ -40,7 +43,15 @@ impl ManagedRedirector {
             name: name.into(),
             out_scratch: Vec::new(),
             obs: Obs::disabled(),
+            coalesce_timers: false,
+            armed_at: None,
         }
+    }
+
+    /// Enables node-timer coalescing; see `ClientHost::set_coalesce_timers`
+    /// for semantics and the default-off rationale.
+    pub fn set_coalesce_timers(&mut self, on: bool) {
+        self.coalesce_timers = on;
     }
 
     /// Wires telemetry into the engine (redirection counters, table
@@ -124,7 +135,10 @@ impl ManagedRedirector {
         }
         self.out_scratch = out;
         if let Some(t) = self.controller.next_deadline() {
-            ctx.set_timer_at(t, TimerToken(0));
+            if !self.coalesce_timers || self.armed_at.is_none_or(|a| t < a) {
+                ctx.set_timer_at(t, TimerToken(0));
+                self.armed_at = Some(t);
+            }
         }
     }
 }
@@ -154,7 +168,15 @@ impl Node for ManagedRedirector {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, _token: TimerToken) {
+        if self.armed_at.is_some_and(|a| a <= ctx.now()) {
+            self.armed_at = None;
+        }
         self.drive(ctx);
+    }
+
+    fn on_crash(&mut self) {
+        // The simulator discards a crashed node's pending timers.
+        self.armed_at = None;
     }
 
     fn name(&self) -> &str {

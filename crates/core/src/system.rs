@@ -78,6 +78,7 @@ pub struct SystemBuilder {
     links: Vec<(NodeId, NodeId, IfaceId, IfaceId)>,
     default_tcp: TcpConfig,
     probe_params: ProbeParams,
+    coalesce_node_timers: bool,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -98,7 +99,20 @@ impl SystemBuilder {
             links: Vec::new(),
             default_tcp,
             probe_params: ProbeParams::default(),
+            coalesce_node_timers: false,
         }
+    }
+
+    /// Enables node-timer coalescing on every client, host server, and
+    /// redirector in the built system: a node re-arms its simulator timer
+    /// only when its next deadline moved *earlier* than one already
+    /// pending, instead of filing a fresh calendar entry on every flush.
+    /// This collapses the per-packet chains of stale wakeups that dominate
+    /// the event count at many-flow scale (see DESIGN.md §5c). Off by
+    /// default because the skipped wakeups are counted simulator events
+    /// and the repo's pinned fingerprints include event counts.
+    pub fn set_coalesce_node_timers(&mut self, on: bool) {
+        self.coalesce_node_timers = on;
     }
 
     /// Overrides the failure-identification probe parameters used by
@@ -323,6 +337,7 @@ impl SystemBuilder {
             mut topo,
             nodes,
             links,
+            coalesce_node_timers,
             ..
         } = self;
         let obs = Obs::enabled();
@@ -388,10 +403,20 @@ impl SystemBuilder {
         for (idx, info) in nodes.iter().enumerate() {
             let id = NodeId::from_index(idx);
             match info.kind {
-                NodeKind::Client => topo.node_mut::<ClientHost>(id).set_obs(obs.clone()),
-                NodeKind::HostServer => topo.node_mut::<HostServer>(id).set_obs(obs.clone()),
+                NodeKind::Client => {
+                    let node = topo.node_mut::<ClientHost>(id);
+                    node.set_obs(obs.clone());
+                    node.set_coalesce_timers(coalesce_node_timers);
+                }
+                NodeKind::HostServer => {
+                    let node = topo.node_mut::<HostServer>(id);
+                    node.set_obs(obs.clone());
+                    node.set_coalesce_timers(coalesce_node_timers);
+                }
                 NodeKind::Redirector => {
-                    topo.node_mut::<ManagedRedirector>(id).set_obs(obs.clone());
+                    let node = topo.node_mut::<ManagedRedirector>(id);
+                    node.set_obs(obs.clone());
+                    node.set_coalesce_timers(coalesce_node_timers);
                 }
                 NodeKind::Router => {}
             }

@@ -9,7 +9,7 @@ use crate::link::{Direction, Impairments, LinkId};
 use crate::node::{NodeId, TimerId, TimerToken};
 use crate::packet::IpPacket;
 use crate::time::SimTime;
-use crate::wheel::{CalendarKind, TimingWheel};
+use crate::wheel::{CalendarKind, TimerEntry, TimingWheel};
 
 /// What happens when an event fires.
 #[derive(Debug)]
@@ -98,7 +98,23 @@ impl Ord for Event {
 #[derive(Debug)]
 enum Backend {
     Heap(BinaryHeap<Event>),
-    Wheel(Box<TimingWheel>),
+    Wheel(Box<TimingWheel<EventKind>>),
+}
+
+fn to_entry(ev: Event) -> TimerEntry<EventKind> {
+    TimerEntry {
+        time: ev.time,
+        seq: ev.seq,
+        payload: ev.kind,
+    }
+}
+
+fn from_entry(e: TimerEntry<EventKind>) -> Event {
+    Event {
+        time: e.time,
+        seq: e.seq,
+        kind: e.payload,
+    }
 }
 
 /// A deterministic event calendar ordered by `(time, insertion order)`.
@@ -174,14 +190,14 @@ impl EventQueue {
     fn push_event(&mut self, ev: Event) {
         match &mut self.backend {
             Backend::Heap(h) => h.push(ev),
-            Backend::Wheel(w) => w.push(ev),
+            Backend::Wheel(w) => w.push(to_entry(ev)),
         }
     }
 
     pub fn pop(&mut self) -> Option<Event> {
         match &mut self.backend {
             Backend::Heap(h) => h.pop(),
-            Backend::Wheel(w) => w.pop(),
+            Backend::Wheel(w) => w.pop().map(from_entry),
         }
     }
 
@@ -199,7 +215,7 @@ impl EventQueue {
                 }
                 h.pop()
             }
-            Backend::Wheel(w) => w.pop_if_at_or_before(deadline),
+            Backend::Wheel(w) => w.pop_if_at_or_before(deadline).map(from_entry),
         }
     }
 

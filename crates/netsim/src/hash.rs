@@ -23,7 +23,14 @@ pub struct IntHasher(u64);
 
 impl Hasher for IntHasher {
     fn finish(&self) -> u64 {
-        self.0
+        // A product's low bits depend only on equally-low key bits, and
+        // hashbrown draws its bucket index from the low bits: a key whose
+        // variance lives up high (the stack's packed demux quads keep the
+        // local port in bits 0..16) would pile every entry into a handful
+        // of buckets. Folding the well-mixed high half down makes every
+        // key bit reach the bucket index; the control byte (top 7 bits)
+        // is unaffected.
+        self.0 ^ (self.0 >> 32)
     }
 
     fn write(&mut self, bytes: &[u8]) {
@@ -76,6 +83,25 @@ mod tests {
             high_bytes.len() > 200,
             "only {} distinct control bytes over 256 consecutive ids",
             high_bytes.len()
+        );
+    }
+
+    #[test]
+    fn high_bit_variance_reaches_the_bucket_index() {
+        // Keys shaped like the stack's packed demux quads: all variance in
+        // bits 16.. (remote endpoint), constant low 16 bits (local port).
+        // The low hash bits pick the bucket, so they must still spread.
+        let mut low_bits = HashSet::new();
+        for i in 0u64..4096 {
+            let key = (0x0A01_0000u64 + i) << 16 | 0x0050;
+            let mut h = IntHasher::default();
+            h.write_u64(key);
+            low_bits.insert(h.finish() & 0xFFF);
+        }
+        assert!(
+            low_bits.len() > 2500,
+            "only {} distinct 12-bit bucket indices over 4096 high-variance keys",
+            low_bits.len()
         );
     }
 

@@ -8,23 +8,32 @@
 //! when the cursor crosses a coarser slot boundary (Varghese & Lauck's
 //! scheme, as used by kernel timer subsystems).
 //!
-//! Determinism contract: the wheel pops events in exactly the same total
-//! order as the heap — ascending `(time, seq)`, where `seq` is the
-//! insertion sequence number assigned by the owning [`EventQueue`]. Slots
-//! bucket events by a 4096 ns tick; within a slot events are sorted by
-//! `(time, seq)` before popping, so sub-tick ordering and FIFO tie-breaks
-//! are preserved bit-for-bit. Timer cancellation lives above the calendar
-//! (the simulator's tombstone set) and is backend-agnostic.
+//! Determinism contract: the wheel pops entries in exactly the same total
+//! order as a heap — ascending `(time, seq)`, where `seq` is the
+//! insertion sequence number assigned by the owner. Slots bucket entries
+//! by a 4096 ns tick; within a slot entries are sorted by `(time, seq)`
+//! before popping, so sub-tick ordering and FIFO tie-breaks are preserved
+//! bit-for-bit. Timer cancellation lives above the calendar (the
+//! simulator's tombstone set, the TCP stack's armed-deadline check) and
+//! is backend-agnostic.
+//!
+//! The wheel is generic over its payload so it serves two masters: the
+//! simulator's [`EventQueue`] files whole events (`P = EventKind`), and
+//! each [`TcpStack`] files per-connection timer references (`P` = a
+//! generation-checked slab index), sharing the cascade and lap-accounting
+//! logic rather than reimplementing it.
 //!
 //! [`EventQueue`]: crate::event — the queue wraps either backend; pick one
 //! per simulator with [`crate::sim::Simulator::set_calendar`].
+//!
+//! [`TcpStack`]: the TCP crate's per-host stack (downstream of this one).
 
+use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use hydranet_obs::metrics::Counter;
 use hydranet_obs::Obs;
 
-use crate::event::Event;
 use crate::time::SimTime;
 
 /// Which data structure backs the simulator's event calendar.
@@ -34,6 +43,44 @@ pub enum CalendarKind {
     Heap,
     /// Hierarchical timing wheel with the heap as far-future overflow.
     Wheel,
+}
+
+/// One entry filed in the wheel: a deadline, the owner-assigned insertion
+/// sequence number that breaks same-time ties FIFO, and an arbitrary
+/// payload the wheel never inspects.
+#[derive(Debug)]
+pub struct TimerEntry<P> {
+    /// When the entry fires.
+    pub time: SimTime,
+    /// Owner-assigned insertion sequence; FIFO tie-break at equal times.
+    pub seq: u64,
+    /// Opaque payload returned on pop.
+    pub payload: P,
+}
+
+impl<P> PartialEq for TimerEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<P> Eq for TimerEntry<P> {}
+
+impl<P> PartialOrd for TimerEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P> Ord for TimerEntry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
 }
 
 /// Tick granularity: `1 << TICK_BITS` nanoseconds (4.096 µs). Everything
@@ -53,31 +100,39 @@ const LEVELS: usize = 4;
 /// overflow heap.
 const SPAN_TICKS: u64 = 1 << (SLOT_BITS * LEVELS as u32);
 
-#[derive(Debug, Default)]
-struct Slot {
-    /// Events in this slot, sorted descending by `(time, seq)` when
+#[derive(Debug)]
+struct Slot<P> {
+    /// Entries in this slot, sorted descending by `(time, seq)` when
     /// `sorted` — the minimum pops from the back.
-    events: Vec<Event>,
+    events: Vec<TimerEntry<P>>,
     sorted: bool,
 }
 
-/// The wheel proper. Owned by [`crate::event::EventQueue`]; all `Event`
-/// values arrive with their `seq` already assigned, and cascades re-file
-/// events without touching it.
+impl<P> Default for Slot<P> {
+    fn default() -> Self {
+        Slot {
+            events: Vec::new(),
+            sorted: false,
+        }
+    }
+}
+
+/// The wheel proper. All entries arrive with their `seq` already
+/// assigned, and cascades re-file entries without touching it.
 #[derive(Debug)]
-pub(crate) struct TimingWheel {
-    levels: [[Slot; SLOTS]; LEVELS],
+pub struct TimingWheel<P> {
+    levels: [[Slot<P>; SLOTS]; LEVELS],
     /// Per-level occupancy bitmap: bit `s` set iff slot `s` is non-empty.
     occupancy: [u64; LEVELS],
-    /// Events in the levels (excludes overflow).
+    /// Entries in the levels (excludes overflow).
     wheel_len: usize,
-    /// Far-future events (≥ `SPAN_TICKS` ticks ahead at push time). Never
+    /// Far-future entries (≥ `SPAN_TICKS` ticks ahead at push time). Never
     /// migrated into the wheel: the pop path compares the overflow head
     /// against the wheel minimum directly, which preserves the total order
     /// without re-filing work.
-    overflow: BinaryHeap<Event>,
+    overflow: BinaryHeap<TimerEntry<P>>,
     /// The wheel's clock, in ticks. Advances to the tick of every popped
-    /// event and to each cascaded window start; placement of a push is
+    /// entry and to each cascaded window start; placement of a push is
     /// relative to it.
     now_tick: u64,
     c_cascades: Counter,
@@ -85,7 +140,7 @@ pub(crate) struct TimingWheel {
     c_sorts: Counter,
 }
 
-impl Default for TimingWheel {
+impl<P> Default for TimingWheel<P> {
     fn default() -> Self {
         TimingWheel {
             levels: std::array::from_fn(|_| std::array::from_fn(|_| Slot::default())),
@@ -117,24 +172,38 @@ fn level_for(delta: u64) -> usize {
     }
 }
 
-impl TimingWheel {
-    pub fn set_obs(&mut self, obs: &Obs) {
-        self.c_cascades = obs.counter("wheel.cascades");
-        self.c_overflow = obs.counter("wheel.overflow_pushes");
-        self.c_sorts = obs.counter("wheel.slot_sorts");
+impl<P> TimingWheel<P> {
+    /// Wires the wheel's internal counters under the given metric prefix
+    /// (`{prefix}.cascades` etc.) — the simulator calendar uses `wheel`,
+    /// per-stack connection-timer wheels use their own namespace.
+    pub fn set_obs_prefixed(&mut self, obs: &Obs, prefix: &str) {
+        self.c_cascades = obs.counter(&format!("{prefix}.cascades"));
+        self.c_overflow = obs.counter(&format!("{prefix}.overflow_pushes"));
+        self.c_sorts = obs.counter(&format!("{prefix}.slot_sorts"));
     }
 
+    /// Wires the wheel's counters under the default `wheel.*` namespace.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.set_obs_prefixed(obs, "wheel");
+    }
+
+    /// Total entries filed (levels plus overflow).
     pub fn len(&self) -> usize {
         self.wheel_len + self.overflow.len()
     }
 
-    /// Files an event. An event in the past relative to the wheel clock
+    /// True when no entries are filed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Files an entry. An entry in the past relative to the wheel clock
     /// (possible only through [`pop_if_at_or_before`]'s push-back, or a
     /// caller scheduling behind the simulation clock) is placed at the
     /// current tick; its real `(time, seq)` still sorts it first in-slot.
     ///
     /// [`pop_if_at_or_before`]: TimingWheel::pop_if_at_or_before
-    pub fn push(&mut self, ev: Event) {
+    pub fn push(&mut self, ev: TimerEntry<P>) {
         let tick = tick_of(ev.time).max(self.now_tick);
         let delta = tick - self.now_tick;
         if delta >= SPAN_TICKS {
@@ -164,7 +233,7 @@ impl TimingWheel {
         }
         let idx = ((tick >> (SLOT_BITS * lvl as u32)) & SLOT_MASK) as usize;
         let slot = &mut self.levels[lvl][idx];
-        // An append keeps the descending order only when the new event is
+        // An append keeps the descending order only when the new entry is
         // the new minimum; otherwise the slot sorts lazily on first pop.
         slot.sorted = match slot.events.last() {
             None => true,
@@ -175,7 +244,8 @@ impl TimingWheel {
         self.wheel_len += 1;
     }
 
-    pub fn pop(&mut self) -> Option<Event> {
+    /// Removes and returns the earliest entry by `(time, seq)`.
+    pub fn pop(&mut self) -> Option<TimerEntry<P>> {
         if self.wheel_len == 0 {
             let ev = self.overflow.pop()?;
             self.now_tick = self.now_tick.max(tick_of(ev.time));
@@ -183,7 +253,7 @@ impl TimingWheel {
         }
         if let Some(head) = self.overflow.peek() {
             let head_tick = tick_of(head.time);
-            // Every wheel event's tick is ≥ the bound, so a strictly
+            // Every wheel entry's tick is ≥ the bound, so a strictly
             // earlier overflow head wins without disturbing the wheel.
             if head_tick < self.min_tick_bound().unwrap() {
                 let ev = self.overflow.pop().unwrap();
@@ -204,24 +274,53 @@ impl TimingWheel {
         }
     }
 
-    /// Pops the earliest event only if it is due at or before `deadline`.
-    /// The common miss — next event beyond the deadline — answers from the
+    /// Pops the earliest entry only if it is due at or before `deadline`.
+    /// The common miss — next entry beyond the deadline — answers from the
     /// occupancy bitmaps alone, without cascading anything.
-    pub fn pop_if_at_or_before(&mut self, deadline: SimTime) -> Option<Event> {
+    ///
+    /// Unlike [`pop`], a miss never advances the wheel clock past
+    /// `deadline`'s tick: the bounded search refuses to cascade a window
+    /// or visit a level-0 slot beyond it. This matters to callers whose
+    /// clock is external (a TCP stack asked for timers due *now*, a
+    /// simulator probing its calendar before more events are scheduled):
+    /// if a miss probe dragged the clock to the next entry's future tick,
+    /// any entry pushed afterwards with an earlier deadline would file
+    /// behind the cursor and never be found due again.
+    ///
+    /// [`pop`]: TimingWheel::pop
+    pub fn pop_if_at_or_before(&mut self, deadline: SimTime) -> Option<TimerEntry<P>> {
         let deadline_tick = tick_of(deadline);
-        let bound = match (
-            self.min_tick_bound(),
-            self.overflow.peek().map(|e| tick_of(e.time)),
-        ) {
-            (None, None) => return None,
-            (Some(w), None) => w,
-            (None, Some(o)) => o,
-            (Some(w), Some(o)) => w.min(o),
+        let ev = match self.pop_wheel_upto(Some(deadline_tick)) {
+            Some(w) => {
+                // The overflow head may still sort before the wheel's min;
+                // its tick then also fits the bound, so the clock update
+                // stays at or below `deadline_tick`.
+                match self.overflow.peek() {
+                    Some(h) if (h.time, h.seq) < (w.time, w.seq) => {
+                        let ev = self.overflow.pop().unwrap();
+                        self.push(w);
+                        self.now_tick = self.now_tick.max(tick_of(ev.time));
+                        ev
+                    }
+                    _ => w,
+                }
+            }
+            None => {
+                // Nothing due in the levels; every remaining wheel entry
+                // sits beyond the deadline tick, so a due overflow head is
+                // the global minimum.
+                if self
+                    .overflow
+                    .peek()
+                    .is_none_or(|h| tick_of(h.time) > deadline_tick)
+                {
+                    return None;
+                }
+                let ev = self.overflow.pop().unwrap();
+                self.now_tick = self.now_tick.max(tick_of(ev.time));
+                ev
+            }
         };
-        if bound > deadline_tick {
-            return None;
-        }
-        let ev = self.pop()?;
         if ev.time > deadline {
             // Same tick, sub-tick deadline: put it back (seq preserved).
             self.push(ev);
@@ -230,7 +329,7 @@ impl TimingWheel {
         Some(ev)
     }
 
-    /// A lower bound (in ticks) on every event currently in the levels:
+    /// A lower bound (in ticks) on every entry currently in the levels:
     /// the exact tick of the nearest occupied level-0 slot, and the window
     /// start of the nearest occupied slot per coarser level.
     fn min_tick_bound(&self) -> Option<u64> {
@@ -259,8 +358,8 @@ impl TimingWheel {
     /// nearest at or after the cursor, and the start tick of its window.
     ///
     /// Lap accounting: a slot strictly ahead of the cursor holds
-    /// current-lap events, a slot behind it (reached by wrapping) holds
-    /// next-lap events, and the cursor's own slot holds only events of
+    /// current-lap entries, a slot behind it (reached by wrapping) holds
+    /// next-lap entries, and the cursor's own slot holds only entries of
     /// the window that is due right now — the push path diverts would-be
     /// next-lap occupants of the cursor slot one level up, so the three
     /// cases are disjoint.
@@ -277,16 +376,25 @@ impl TimingWheel {
         (idx, ws)
     }
 
-    /// Pops the earliest event from the levels. Cascades any coarse slot
+    /// Pops the earliest entry from the levels. Cascades any coarse slot
     /// whose window opens at or before the nearest level-0 candidate —
-    /// `≤`, not `<`, because a coarse slot's events may share the
+    /// `≤`, not `<`, because a coarse slot's entries may share the
     /// candidate's tick with smaller `(time, seq)`.
-    fn pop_wheel(&mut self) -> Option<Event> {
+    fn pop_wheel(&mut self) -> Option<TimerEntry<P>> {
+        self.pop_wheel_upto(None)
+    }
+
+    /// Pops the earliest entry from the levels, refusing — when `cap` is
+    /// set — to advance the clock (cascade a window, visit a level-0 slot)
+    /// beyond tick `cap`. A `None` return with `cap` set means every
+    /// remaining entry sits beyond it, and the clock stayed at or below
+    /// it.
+    fn pop_wheel_upto(&mut self, cap: Option<u64>) -> Option<TimerEntry<P>> {
         if self.wheel_len == 0 {
             return None;
         }
         // One find-min needs at most one cascade per occupied coarse slot
-        // (each cascade strictly lowers its events), so iterations are
+        // (each cascade strictly lowers its entries), so iterations are
         // bounded by the slot count. The cap turns a would-be infinite
         // cascade cycle (a lap-accounting bug) into a loud failure.
         let mut iters = 0u32;
@@ -316,6 +424,17 @@ impl TimingWheel {
                     coarse = Some((lvl, idx, ws));
                 }
             }
+            // The nearest candidate position bounds every entry's tick
+            // from below, so once it exceeds the cap nothing due remains.
+            let nearest = match (l0_tick, coarse) {
+                (Some(t), Some((_, _, ws))) => t.min(ws),
+                (Some(t), None) => t,
+                (None, Some((_, _, ws))) => ws,
+                (None, None) => unreachable!("wheel_len > 0 with empty occupancy"),
+            };
+            if cap.is_some_and(|c| nearest > c) {
+                return None;
+            }
             match (l0_tick, coarse) {
                 (Some(t), Some((lvl, idx, ws))) if ws <= t => self.cascade(lvl, idx, ws),
                 (Some(t), _) => return Some(self.pop_level0(t)),
@@ -325,8 +444,8 @@ impl TimingWheel {
         }
     }
 
-    /// Re-files every event of one coarse slot, advancing the clock to the
-    /// window start first so each lands at a strictly lower level (events
+    /// Re-files every entry of one coarse slot, advancing the clock to the
+    /// window start first so each lands at a strictly lower level (entries
     /// of a level-`L` slot sit within `64^L` ticks of their window start).
     fn cascade(&mut self, lvl: usize, idx: usize, window_start: u64) {
         debug_assert!(lvl > 0);
@@ -341,7 +460,7 @@ impl TimingWheel {
         }
     }
 
-    fn pop_level0(&mut self, tick: u64) -> Event {
+    fn pop_level0(&mut self, tick: u64) -> TimerEntry<P> {
         self.now_tick = tick;
         let idx = (tick & SLOT_MASK) as usize;
         if !self.levels[0][idx].sorted {
@@ -359,24 +478,32 @@ impl TimingWheel {
         self.wheel_len -= 1;
         ev
     }
+
+    #[cfg(test)]
+    fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    #[cfg(test)]
+    fn occupancy_at(&self, lvl: usize) -> u64 {
+        self.occupancy[lvl]
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::EventKind;
-    use crate::node::NodeId;
     use crate::rng::SimRng;
 
-    fn ev(nanos: u64, seq: u64) -> Event {
-        Event {
+    fn ev(nanos: u64, seq: u64) -> TimerEntry<()> {
+        TimerEntry {
             time: SimTime::from_nanos(nanos),
             seq,
-            kind: EventKind::NodeStart(NodeId(seq as usize)),
+            payload: (),
         }
     }
 
-    fn drain(w: &mut TimingWheel) -> Vec<(u64, u64)> {
+    fn drain(w: &mut TimingWheel<()>) -> Vec<(u64, u64)> {
         std::iter::from_fn(|| w.pop())
             .map(|e| (e.time.as_nanos(), e.seq))
             .collect()
@@ -414,7 +541,7 @@ mod tests {
         w.push(ev(span_ns + 10, 0));
         w.push(ev(5, 1));
         w.push(ev(span_ns * 3, 2));
-        assert_eq!(w.overflow.len(), 2);
+        assert_eq!(w.overflow_len(), 2);
         assert_eq!(w.len(), 3);
         assert_eq!(
             drain(&mut w),
@@ -430,7 +557,7 @@ mod tests {
             .pop_if_at_or_before(SimTime::from_nanos(1 << 20))
             .is_none());
         // The event stayed at its coarse level: no cascade ran.
-        assert_ne!(w.occupancy[3], 0);
+        assert_ne!(w.occupancy_at(3), 0);
         let got = w.pop_if_at_or_before(SimTime::from_nanos(1 << 30)).unwrap();
         assert_eq!(got.seq, 0);
     }
@@ -454,7 +581,7 @@ mod tests {
         let mut rng = SimRng::seed_from(0x77EE1);
         for round in 0..20u64 {
             let mut wheel = TimingWheel::default();
-            let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+            let mut heap: BinaryHeap<TimerEntry<()>> = BinaryHeap::new();
             let mut now = 0u64;
             let mut seq = 0u64;
             let mut popped = Vec::new();

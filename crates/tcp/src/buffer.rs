@@ -78,6 +78,12 @@ impl SendBuffer {
         self.base += n as u32;
     }
 
+    /// Heap bytes held by this buffer's backing storage (capacity, not
+    /// length — what the allocator actually charges).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Copies up to `len` bytes starting at sequence number `from`.
     ///
     /// Returns an empty vector if `from` is outside the held range.
@@ -227,6 +233,18 @@ impl RecvBuffer {
             }
         }
         advanced
+    }
+
+    /// Heap bytes held by this buffer's backing storage: the readable
+    /// queue's capacity plus every staged run's capacity (plus a nominal
+    /// per-node charge for the staging tree).
+    pub fn heap_bytes(&self) -> usize {
+        self.readable.capacity()
+            + self
+                .staged
+                .values()
+                .map(|run| run.capacity() + 3 * std::mem::size_of::<usize>())
+                .sum::<usize>()
     }
 
     /// Total distinct stream bytes received so far (deposited plus staged).

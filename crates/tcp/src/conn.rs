@@ -759,6 +759,18 @@ impl Connection {
         .min()
     }
 
+    /// Approximate memory footprint of this connection in bytes: the
+    /// structure itself plus the heap behind its socket buffers and queues.
+    /// Depends only on the deterministic schedule (never on wall-clock), so
+    /// scale benches can report per-flow memory reproducibly.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.sendbuf.heap_bytes()
+            + self.recvbuf.heap_bytes()
+            + self.outbox.capacity() * std::mem::size_of::<TcpSegment>()
+            + self.events.capacity() * std::mem::size_of::<ConnEvent>()
+    }
+
     // ------------------------------------------------------------------
     // Segment processing
     // ------------------------------------------------------------------

@@ -17,13 +17,29 @@
 //!   chain predecessor, while incoming ack-channel messages raise the
 //!   send/deposit gates of the matching connection;
 //! - per-connection failure estimation by counting client retransmissions.
+//!
+//! # Many-flow scaling
+//!
+//! Connection state lives in a slab (`Vec` of generation-checked slots)
+//! demultiplexed through a flat integer-hashed table keyed by a packed
+//! 64-bit triple of the quad, and per-connection timers ride a per-stack
+//! hierarchical timing wheel ([`hydranet_netsim::wheel`]), so the hot
+//! paths — segment demux, [`TcpStack::on_timer`], and
+//! [`TcpStack::next_deadline`] — cost `O(1)`/`O(due)` rather than
+//! `O(#connections)`. Everywhere iteration order is schedule-visible
+//! (timer processing, port re-gearing, ack-channel flushes) connections
+//! are visited in ascending `Quad` order, exactly as the former
+//! `BTreeMap<Quad, _>` table visited them, so the refactor is
+//! schedule-invisible: pinned fingerprints do not move.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use hydranet_netsim::buf::PacketBuf;
 use hydranet_netsim::frag::Reassembler;
+use hydranet_netsim::hash::IntMap;
 use hydranet_netsim::packet::{DecodeError, IpAddr, IpPacket, Protocol};
 use hydranet_netsim::time::{SimDuration, SimTime};
+use hydranet_netsim::wheel::{TimerEntry, TimingWheel};
 use hydranet_obs::metrics::{Counter, Histogram};
 use hydranet_obs::Obs;
 
@@ -192,6 +208,13 @@ pub struct StackStats {
     pub ackchan_rx: u64,
     /// IP-in-IP tunnelled packets decapsulated.
     pub decapsulated: u64,
+    /// Ephemeral ports served from the per-remote recycle list instead of
+    /// the allocation cursor.
+    pub ports_recycled: u64,
+    /// Packet/event drains served by swapping with a caller-retained
+    /// scratch buffer — each one a heap allocation the former
+    /// take-and-drop pattern would have re-paid on the next enqueue.
+    pub bufs_recycled: u64,
 }
 
 struct ConnEntry {
@@ -202,17 +225,108 @@ struct ConnEntry {
 
 type AppFactory = Box<dyn FnMut(Quad) -> Box<dyn SocketApp>>;
 
+/// Packs the demux-relevant 64 bits of a quad: remote address (32),
+/// remote port (16), local port (16). The local *address* is left out —
+/// quads are per-stack and the local address is one of a handful of
+/// stack-local addresses — so two quads collide on a key only when the
+/// same remote endpoint reaches the same local port on two different
+/// local addresses (virtual hosting); the slab entry carries the full
+/// quad, lookups verify it, and such collisions overflow into a short
+/// in-slot list.
+fn demux_key(quad: Quad) -> u64 {
+    (u64::from(quad.remote.addr.to_bits()) << 32)
+        | (u64::from(quad.remote.port) << 16)
+        | u64::from(quad.local.port)
+}
+
+/// Packed remote endpoint: the per-remote key of the ephemeral-port
+/// recycle table.
+fn eph_key(remote: SockAddr) -> u64 {
+    (u64::from(remote.addr.to_bits()) << 16) | u64::from(remote.port)
+}
+
+/// Demux table value: almost always one slab slot; the rare full-key
+/// collision (same remote endpoint, same local port, different local
+/// address) spills into a vector that lookups scan with a full-quad
+/// compare.
+enum DemuxSlot {
+    One(u32),
+    Many(Vec<u32>),
+}
+
+/// One slab slot. `gen` increments on every free, so a stale reference
+/// (a timer-wheel entry filed for a previous occupant) can be detected
+/// in O(1).
+struct ConnSlot {
+    gen: u32,
+    occ: Option<Occupant>,
+}
+
+struct Occupant {
+    quad: Quad,
+    /// Deadline of this connection's single *live* timer-wheel entry;
+    /// kept equal to `conn.next_deadline()` after every interaction.
+    /// Entries in the wheel whose time differs from this are stale and
+    /// are discarded when popped.
+    armed: Option<SimTime>,
+    /// `None` while the entry is checked out for processing.
+    entry: Option<ConnEntry>,
+}
+
+/// Payload of a per-stack timer-wheel entry.
+#[derive(Debug, Clone, Copy)]
+enum StackTimer {
+    /// A connection's earliest TCP deadline, referenced by
+    /// generation-checked slab slot.
+    Conn { slot: u32, gen: u32 },
+    /// The ack-channel flush timer; live only while it matches
+    /// `ackchan_flush_at` exactly.
+    AckFlush,
+}
+
+/// Per-remote ephemeral-port bookkeeping: how many in-range ports are
+/// held by parked connections, and closed ports awaiting reuse.
+#[derive(Default)]
+struct EphState {
+    live: u32,
+    free: Vec<u16>,
+}
+
 /// The per-host TCP/UDP protocol engine.
 pub struct TcpStack {
     addrs: Vec<IpAddr>,
     cfg: TcpConfig,
-    // BTree maps keep iteration deterministic: the order connections
-    // are visited in (timers, role changes) is part of the event schedule,
-    // and HashMap's per-instance random ordering would make runs differ
-    // across processes.
+    // Listener and replicated-port tables stay BTree: they are small,
+    // iterated rarely, and their order is schedule-visible.
     listeners: BTreeMap<u16, AppFactory>,
-    conns: BTreeMap<Quad, ConnEntry>,
     replicated: BTreeMap<u16, ReplicatedPortConfig>,
+    /// Connection slab: slots are recycled through `free_slots` and
+    /// generation-checked so timer-wheel references cannot alias a new
+    /// occupant.
+    slots: Vec<ConnSlot>,
+    free_slots: Vec<u32>,
+    /// Flat demux table: packed 64-bit key → slab slot(s).
+    demux: IntMap<u64, DemuxSlot>,
+    live_conns: usize,
+    /// Per-stack hierarchical timer wheel holding one live entry per
+    /// connection with a deadline, plus the ack-channel flush timer.
+    /// Lazily invalidated: superseded entries stay filed and are
+    /// discarded on pop (the `armed` check). Only [`TcpStack::on_timer`]
+    /// pops it — always bounded by `now` — so the wheel's internal clock
+    /// never outruns simulation time and every future arm files at its
+    /// real tick.
+    timers: TimingWheel<StackTimer>,
+    /// Companion min-heap over the same (lazily invalidated) timer
+    /// entries, answering the exact-min [`TcpStack::next_deadline`] query.
+    /// The wheel cannot answer it: finding a *future* minimum would force
+    /// cascades that advance its clock past the present, after which an
+    /// earlier re-arm files behind the cursor and is never popped again.
+    /// The heap is clock-free and globally `(time, seq)`-ordered, so
+    /// peeking is non-destructive.
+    deadline_index: BinaryHeap<TimerEntry<StackTimer>>,
+    timer_seq: u64,
+    /// Per-remote ephemeral-port recycle state.
+    eph: IntMap<u64, EphState>,
     reassembler: Reassembler,
     ip_id: u16,
     /// Per-stack packet-lineage counter. The stack mints a lineage id for
@@ -228,9 +342,10 @@ pub struct TcpStack {
     out: Vec<IpPacket>,
     events: Vec<StackEvent>,
     /// Latest (SEQ, ACK) report per connection awaiting an ack-channel
-    /// flush. BTreeMap for the same determinism reason as `conns`, and so
-    /// a flush walks quads in a stable order. Storing only the latest pair
-    /// is sound because the predecessor's gates are monotonic maxima.
+    /// flush. BTreeMap so a flush walks quads in a stable (ascending)
+    /// order; the batch is capped well below any scale where that matters.
+    /// Storing only the latest pair is sound because the predecessor's
+    /// gates are monotonic maxima.
     ackchan_pending: BTreeMap<Quad, AckChanMsg>,
     /// Deadline of the armed ack-channel flush timer, if any.
     ackchan_flush_at: Option<SimTime>,
@@ -246,7 +361,7 @@ impl std::fmt::Debug for TcpStack {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpStack")
             .field("addrs", &self.addrs)
-            .field("conns", &self.conns.len())
+            .field("conns", &self.live_conns)
             .field("listeners", &self.listeners.len())
             .field("replicated_ports", &self.replicated.len())
             .finish()
@@ -261,8 +376,15 @@ impl TcpStack {
             addrs: vec![addr],
             cfg,
             listeners: BTreeMap::new(),
-            conns: BTreeMap::new(),
             replicated: BTreeMap::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            demux: IntMap::default(),
+            live_conns: 0,
+            timers: TimingWheel::default(),
+            deadline_index: BinaryHeap::new(),
+            timer_seq: 0,
+            eph: IntMap::default(),
             reassembler: Reassembler::new(),
             ip_id: 1,
             lineage_counter: 0,
@@ -292,10 +414,26 @@ impl TcpStack {
         self.c_ackchan_rx = obs.counter(&format!("{scope}.ackchan_rx"));
         self.c_rx_corrupt = obs.counter(&format!("{scope}.rx_corrupt"));
         self.h_ackchan_pairs = obs.histogram(&format!("{scope}.ackchan.pairs_per_datagram"));
-        for (quad, entry) in self.conns.iter_mut() {
-            entry.conn.set_obs(&obs);
-            if let Some(d) = entry.detector.as_mut() {
-                d.set_obs(obs.clone(), quad.to_string());
+        self.timers.set_obs_prefixed(&obs, "tcp.timerwheel");
+        // Re-wire parked connections in ascending quad order so metric
+        // registration order (visible in telemetry dumps) is stable.
+        let mut order: Vec<(Quad, u32)> = Vec::with_capacity(self.live_conns);
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(occ) = &slot.occ {
+                order.push((occ.quad, i as u32));
+            }
+        }
+        order.sort_unstable();
+        for (quad, idx) in order {
+            if let Some(entry) = self.slots[idx as usize]
+                .occ
+                .as_mut()
+                .and_then(|o| o.entry.as_mut())
+            {
+                entry.conn.set_obs(&obs);
+                if let Some(d) = entry.detector.as_mut() {
+                    d.set_obs(obs.clone(), quad.to_string());
+                }
             }
         }
         self.obs = obs;
@@ -350,14 +488,8 @@ impl TcpStack {
         let gated = config.gated();
         let promoted = config.mode.is_primary();
         self.replicated.insert(port, config);
-        let quads: Vec<Quad> = self
-            .conns
-            .keys()
-            .filter(|q| q.local.port == port)
-            .copied()
-            .collect();
-        for quad in quads {
-            let Some(mut entry) = self.conns.remove(&quad) else {
+        for quad in self.quads_on_port(port) {
+            let Some(mut entry) = self.take_conn(quad) else {
                 continue;
             };
             // Role changes only ever *loosen* gates on existing
@@ -386,14 +518,8 @@ impl TcpStack {
     /// Removes replication state from `port` (connections become plain TCP).
     pub fn clear_portopt(&mut self, port: u16, now: SimTime) {
         self.replicated.remove(&port);
-        let quads: Vec<Quad> = self
-            .conns
-            .keys()
-            .filter(|q| q.local.port == port)
-            .copied()
-            .collect();
-        for quad in quads {
-            if let Some(mut entry) = self.conns.remove(&quad) {
+        for quad in self.quads_on_port(port) {
+            if let Some(mut entry) = self.take_conn(quad) {
                 entry.conn.disable_send_gate(now);
                 entry.conn.disable_deposit_gate(now);
                 entry.detector = None;
@@ -436,8 +562,9 @@ impl TcpStack {
     }
 
     /// Restricts the ephemeral-port range to `lo..=hi` (default
-    /// `40_000..=65_535`) and resets the allocation cursor. Mainly for
-    /// tests exercising port exhaustion without tens of thousands of
+    /// `40_000..=65_535`), resets the allocation cursor, and rebuilds the
+    /// per-remote recycle state against the new range. Mainly for tests
+    /// exercising port exhaustion without tens of thousands of
     /// connections.
     ///
     /// # Panics
@@ -447,6 +574,15 @@ impl TcpStack {
         assert!(lo <= hi, "empty ephemeral range");
         self.ephemeral_range = (lo, hi);
         self.next_ephemeral = lo;
+        self.eph = IntMap::default();
+        let addr0 = self.addrs[0];
+        for slot in &self.slots {
+            if let Some(occ) = &slot.occ {
+                if occ.quad.local.addr == addr0 && (lo..=hi).contains(&occ.quad.local.port) {
+                    self.eph.entry(eph_key(occ.quad.remote)).or_default().live += 1;
+                }
+            }
+        }
     }
 
     /// Drops all connection state and replicated-port configuration, as a
@@ -454,7 +590,13 @@ impl TcpStack {
     /// and the default configuration survive — they model on-disk
     /// configuration that a restarted server re-applies.
     pub fn reset_volatile(&mut self) {
-        self.conns.clear();
+        self.slots.clear();
+        self.free_slots.clear();
+        self.demux = IntMap::default();
+        self.live_conns = 0;
+        self.eph = IntMap::default();
+        self.timers = TimingWheel::default();
+        self.timers.set_obs_prefixed(&self.obs, "tcp.timerwheel");
         self.replicated.clear();
         self.out.clear();
         self.events.clear();
@@ -465,17 +607,46 @@ impl TcpStack {
 
     /// Number of live connections.
     pub fn conn_count(&self) -> usize {
-        self.conns.len()
+        self.live_conns
     }
 
     /// Read-only view of a connection.
     pub fn conn(&self, quad: Quad) -> Option<&Connection> {
-        self.conns.get(&quad).map(|e| &e.conn)
+        let slot = self.lookup_slot(quad)?;
+        self.slots[slot as usize]
+            .occ
+            .as_ref()?
+            .entry
+            .as_ref()
+            .map(|e| &e.conn)
     }
 
-    /// Iterates over the quads of live connections.
+    /// Iterates over the quads of live connections, in ascending order.
     pub fn quads(&self) -> impl Iterator<Item = Quad> + '_ {
-        self.conns.keys().copied()
+        let mut quads: Vec<Quad> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.occ.as_ref().map(|o| o.quad))
+            .collect();
+        quads.sort_unstable();
+        quads.into_iter()
+    }
+
+    /// Approximate heap footprint of per-connection state in bytes: the
+    /// slab, the demux table, and every parked connection (including its
+    /// socket buffers). Deterministic — it depends only on the schedule —
+    /// so scale benches can report per-flow memory without reading RSS.
+    pub fn conn_memory_bytes(&self) -> usize {
+        let mut total = self.slots.capacity() * std::mem::size_of::<ConnSlot>()
+            + self.free_slots.capacity() * std::mem::size_of::<u32>()
+            + self.demux.capacity()
+                * (std::mem::size_of::<u64>() + std::mem::size_of::<DemuxSlot>());
+        for slot in &self.slots {
+            if let Some(entry) = slot.occ.as_ref().and_then(|o| o.entry.as_ref()) {
+                total += std::mem::size_of::<ConnEntry>() + entry.conn.memory_bytes();
+            }
+        }
+        total
     }
 
     /// Runs `f` against a live connection's application I/O handle (for
@@ -487,7 +658,7 @@ impl TcpStack {
         now: SimTime,
         f: impl FnOnce(&mut SocketIo<'_>) -> R,
     ) -> Option<R> {
-        let mut entry = self.conns.remove(&quad)?;
+        let mut entry = self.take_conn(quad)?;
         let result = {
             let mut io = SocketIo {
                 conn: &mut entry.conn,
@@ -574,16 +745,45 @@ impl TcpStack {
         }
     }
 
-    /// Advances all connection timers to `now`.
+    /// Advances all due connection timers to `now`.
+    ///
+    /// Cost is `O(due)`, not `O(#connections)`: due timer-wheel entries
+    /// are popped (discarding lazily-invalidated stale ones), and the
+    /// matching connections are then ticked in ascending quad order — the
+    /// exact set and order the former full scan produced, since a live
+    /// entry exists at a connection's current `next_deadline()` at all
+    /// times.
     pub fn on_timer(&mut self, now: SimTime) {
-        let due: Vec<Quad> = self
-            .conns
-            .iter()
-            .filter(|(_, e)| e.conn.next_deadline().is_some_and(|t| t <= now))
-            .map(|(q, _)| *q)
-            .collect();
+        let mut due: Vec<Quad> = Vec::new();
+        while let Some(e) = self.timers.pop_if_at_or_before(now) {
+            match e.payload {
+                StackTimer::Conn { slot, gen } => {
+                    let Some(s) = self.slots.get_mut(slot as usize) else {
+                        continue;
+                    };
+                    if s.gen != gen {
+                        continue; // slot was recycled: stale
+                    }
+                    let Some(occ) = s.occ.as_mut() else {
+                        continue;
+                    };
+                    if occ.armed != Some(e.time) {
+                        continue; // deadline moved on: stale
+                    }
+                    // Consume the live entry; `finish_entry` re-arms from
+                    // the connection's post-tick deadline.
+                    occ.armed = None;
+                    due.push(occ.quad);
+                }
+                StackTimer::AckFlush => {
+                    // Handled below off `ackchan_flush_at`, which is
+                    // authoritative; the wheel entry is just its alarm.
+                }
+            }
+        }
+        due.sort_unstable();
         for quad in due {
-            if let Some(mut entry) = self.conns.remove(&quad) {
+            if let Some(mut entry) = self.take_conn(quad) {
                 entry.conn.on_tick(now);
                 self.finish_entry(quad, entry, now);
             }
@@ -597,12 +797,22 @@ impl TcpStack {
 
     /// The earliest timer deadline across all connections, including a
     /// pending ack-channel flush.
-    pub fn next_deadline(&self) -> Option<SimTime> {
-        self.conns
-            .values()
-            .filter_map(|e| e.conn.next_deadline())
-            .chain(self.ackchan_flush_at)
-            .min()
+    ///
+    /// Amortised `O(1)`: stale entries at the top of the deadline index
+    /// are popped and dropped (each entry is dropped at most once over
+    /// its lifetime); the first live entry — whose time is the exact
+    /// minimum, because every connection keeps a live entry at its
+    /// current deadline — is peeked, not removed. The wheel is left
+    /// untouched: popping it here would advance its clock into the
+    /// future and desynchronize it from simulation time.
+    pub fn next_deadline(&mut self) -> Option<SimTime> {
+        while let Some(e) = self.deadline_index.peek() {
+            if self.timer_is_live(e) {
+                return Some(e.time);
+            }
+            self.deadline_index.pop();
+        }
+        None
     }
 
     /// Drains queued outgoing IP packets.
@@ -615,30 +825,256 @@ impl TcpStack {
         std::mem::take(&mut self.events)
     }
 
+    /// Drains queued outgoing IP packets into `buf` (cleared first) by
+    /// swapping buffers, so the stack keeps the caller's old allocation as
+    /// its next queue and no fresh `Vec` is grown per flush.
+    pub fn take_packets_into(&mut self, buf: &mut Vec<IpPacket>) {
+        buf.clear();
+        std::mem::swap(buf, &mut self.out);
+        if self.out.capacity() > 0 {
+            self.stats.bufs_recycled += 1;
+        }
+    }
+
+    /// Drains queued stack events into `buf` (cleared first) by swapping
+    /// buffers; same recycling contract as [`TcpStack::take_packets_into`].
+    pub fn take_events_into(&mut self, buf: &mut Vec<StackEvent>) {
+        buf.clear();
+        std::mem::swap(buf, &mut self.events);
+        if self.events.capacity() > 0 {
+            self.stats.bufs_recycled += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Slab internals
+    // ------------------------------------------------------------------
+
+    fn lookup_slot(&self, quad: Quad) -> Option<u32> {
+        match self.demux.get(&demux_key(quad))? {
+            DemuxSlot::One(s) => (self.slot_quad(*s) == Some(quad)).then_some(*s),
+            DemuxSlot::Many(v) => v.iter().copied().find(|&s| self.slot_quad(s) == Some(quad)),
+        }
+    }
+
+    fn slot_quad(&self, slot: u32) -> Option<Quad> {
+        self.slots.get(slot as usize)?.occ.as_ref().map(|o| o.quad)
+    }
+
+    /// Checks out a parked connection. The slot stays occupied (its quad
+    /// remains visible to demux) until `finish_entry` parks it again or
+    /// reaps it.
+    fn take_conn(&mut self, quad: Quad) -> Option<ConnEntry> {
+        let slot = self.lookup_slot(quad)?;
+        self.slots[slot as usize].occ.as_mut()?.entry.take()
+    }
+
+    fn insert_conn(&mut self, quad: Quad, entry: ConnEntry) -> u32 {
+        let slot = match self.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(ConnSlot { gen: 0, occ: None });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.slots[slot as usize].occ = Some(Occupant {
+            quad,
+            armed: None,
+            entry: Some(entry),
+        });
+        match self.demux.entry(demux_key(quad)) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(DemuxSlot::One(slot));
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => match o.get_mut() {
+                DemuxSlot::One(first) => {
+                    let f = *first;
+                    *o.get_mut() = DemuxSlot::Many(vec![f, slot]);
+                }
+                DemuxSlot::Many(v) => v.push(slot),
+            },
+        }
+        self.live_conns += 1;
+        let (lo, hi) = self.ephemeral_range;
+        if quad.local.addr == self.addrs[0] && (lo..=hi).contains(&quad.local.port) {
+            self.eph.entry(eph_key(quad.remote)).or_default().live += 1;
+        }
+        slot
+    }
+
+    /// Frees a slot: demux unlinked, generation bumped (invalidating any
+    /// timer-wheel references), ephemeral port returned to the recycle
+    /// list.
+    fn free_slot(&mut self, slot: u32) {
+        let Some(occ) = self.slots[slot as usize].occ.take() else {
+            return;
+        };
+        self.slots[slot as usize].gen = self.slots[slot as usize].gen.wrapping_add(1);
+        self.free_slots.push(slot);
+        self.live_conns -= 1;
+        let key = demux_key(occ.quad);
+        enum After {
+            Keep,
+            Remove,
+            Collapse(u32),
+        }
+        let action = match self.demux.get_mut(&key) {
+            None => After::Keep,
+            Some(DemuxSlot::One(s)) => {
+                if *s == slot {
+                    After::Remove
+                } else {
+                    After::Keep
+                }
+            }
+            Some(DemuxSlot::Many(v)) => {
+                v.retain(|&s| s != slot);
+                match v.len() {
+                    0 => After::Remove,
+                    1 => After::Collapse(v[0]),
+                    _ => After::Keep,
+                }
+            }
+        };
+        match action {
+            After::Keep => {}
+            After::Remove => {
+                self.demux.remove(&key);
+            }
+            After::Collapse(s) => {
+                self.demux.insert(key, DemuxSlot::One(s));
+            }
+        }
+        let (lo, hi) = self.ephemeral_range;
+        if occ.quad.local.addr == self.addrs[0] && (lo..=hi).contains(&occ.quad.local.port) {
+            let st = self.eph.entry(eph_key(occ.quad.remote)).or_default();
+            st.live = st.live.saturating_sub(1);
+            st.free.push(occ.quad.local.port);
+        }
+    }
+
+    /// Live connection quads on `port`, ascending — the schedule-visible
+    /// order role changes walk connections in.
+    fn quads_on_port(&self, port: u16) -> Vec<Quad> {
+        let mut quads: Vec<Quad> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.occ.as_ref().map(|o| o.quad))
+            .filter(|q| q.local.port == port)
+            .collect();
+        quads.sort_unstable();
+        quads
+    }
+
+    fn push_timer(&mut self, time: SimTime, payload: StackTimer) {
+        let seq = self.timer_seq;
+        self.timer_seq += 1;
+        self.timers.push(TimerEntry { time, seq, payload });
+        self.deadline_index.push(TimerEntry { time, seq, payload });
+    }
+
+    /// Whether a filed timer entry still refers to a current deadline.
+    /// Both the wheel and the deadline index hold superseded entries;
+    /// this is the shared lazy-invalidation test.
+    fn timer_is_live(&self, e: &TimerEntry<StackTimer>) -> bool {
+        match e.payload {
+            StackTimer::Conn { slot, gen } => self
+                .slots
+                .get(slot as usize)
+                .filter(|s| s.gen == gen)
+                .and_then(|s| s.occ.as_ref())
+                .is_some_and(|o| o.armed == Some(e.time)),
+            StackTimer::AckFlush => self.ackchan_flush_at == Some(e.time),
+        }
+    }
+
+    /// Re-files the connection's wheel entry if its deadline changed since
+    /// last armed. The superseded entry (if any) is left in the wheel and
+    /// dies as stale on pop.
+    fn arm_conn_timer(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        let gen = s.gen;
+        let Some(occ) = s.occ.as_mut() else {
+            return;
+        };
+        let Some(entry) = occ.entry.as_ref() else {
+            return;
+        };
+        let next = entry.conn.next_deadline();
+        if next == occ.armed {
+            return;
+        }
+        occ.armed = next;
+        if let Some(t) = next {
+            self.push_timer(t, StackTimer::Conn { slot, gen });
+        }
+    }
+
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
 
     /// Allocates an ephemeral port such that `(local, remote)` is not a
-    /// live connection (the counter wraps at the top of the range). A quad
-    /// still parked in the table but fully `Closed` does not pin its port:
-    /// the stale entry is reaped and the port recycled.
+    /// live connection. The cursor hands out ports sequentially (wrapping
+    /// at the top of the range); when it lands on a held port the
+    /// per-remote recycle list — ports returned by closed connections —
+    /// answers in `O(1)` instead of probing onward. Exhaustion is detected
+    /// up front from the per-remote live count. A quad still parked in the
+    /// table but fully `Closed` does not pin its port: the stale entry is
+    /// reaped and the port recycled.
     fn alloc_ephemeral(&mut self, remote: SockAddr) -> Result<u16, EphemeralPortsExhausted> {
         let (lo, hi) = self.ephemeral_range;
-        for _ in 0..=u32::from(hi - lo) {
+        let span = u32::from(hi - lo) + 1;
+        if self
+            .eph
+            .get(&eph_key(remote))
+            .is_some_and(|st| st.live >= span)
+        {
+            return Err(EphemeralPortsExhausted { remote });
+        }
+        for _ in 0..span {
             let port = self.next_ephemeral;
             self.next_ephemeral = if port >= hi { lo } else { port + 1 };
             let quad = Quad::new(SockAddr::new(self.addrs[0], port), remote);
-            match self.conns.get(&quad) {
+            match self.lookup_slot(quad) {
                 None => return Ok(port),
-                Some(entry) if entry.conn.state() == TcpState::Closed => {
-                    self.conns.remove(&quad);
-                    return Ok(port);
+                Some(slot) => {
+                    let closed = self.slots[slot as usize]
+                        .occ
+                        .as_ref()
+                        .and_then(|o| o.entry.as_ref())
+                        .is_some_and(|e| e.conn.state() == TcpState::Closed);
+                    if closed {
+                        self.free_slot(slot);
+                        return Ok(port);
+                    }
+                    // Held by a live connection: try the recycle list
+                    // before walking the cursor onward.
+                    if let Some(p) = self.pop_recycled(remote) {
+                        return Ok(p);
+                    }
                 }
-                Some(_) => {}
             }
         }
         Err(EphemeralPortsExhausted { remote })
+    }
+
+    /// Pops a recycled port for `remote`, discarding entries invalidated
+    /// by cursor reuse or a range change. Each stale entry is discarded at
+    /// most once, so the amortised cost is `O(1)`.
+    fn pop_recycled(&mut self, remote: SockAddr) -> Option<u16> {
+        let (lo, hi) = self.ephemeral_range;
+        loop {
+            let p = self.eph.get_mut(&eph_key(remote))?.free.pop()?;
+            if !(lo..=hi).contains(&p) {
+                continue;
+            }
+            let quad = Quad::new(SockAddr::new(self.addrs[0], p), remote);
+            if self.lookup_slot(quad).is_none() {
+                self.stats.ports_recycled += 1;
+                return Some(p);
+            }
+        }
     }
 
     fn handle_tcp(&mut self, src: IpAddr, dst: IpAddr, seg: TcpSegment, now: SimTime) {
@@ -659,7 +1095,7 @@ impl TcpStack {
                 format!("{:#x} seq={}", seg.payload.lineage(), seg.seq.raw()),
             );
         }
-        if let Some(mut entry) = self.conns.remove(&quad) {
+        if let Some(mut entry) = self.take_conn(quad) {
             entry.conn.on_segment(seg, now);
             self.finish_entry(quad, entry, now);
             return;
@@ -759,7 +1195,7 @@ impl TcpStack {
         self.stats.ackchan_rx += 1;
         self.c_ackchan_rx.inc();
         let quad = msg.quad();
-        if let Some(mut entry) = self.conns.remove(&quad) {
+        if let Some(mut entry) = self.take_conn(quad) {
             entry.conn.raise_send_gate(msg.seq, now);
             entry.conn.raise_deposit_gate(msg.ack, now);
             self.finish_entry(quad, entry, now);
@@ -768,7 +1204,7 @@ impl TcpStack {
 
     /// Common post-processing after any interaction with a connection:
     /// dispatch events to the application, drain and route outgoing
-    /// segments, reap closed connections.
+    /// segments, reap closed connections, re-arm the timer wheel.
     fn finish_entry(&mut self, quad: Quad, mut entry: ConnEntry, now: SimTime) {
         // Event/application loop: app actions may produce more events. The
         // iteration cap is a runaway-app backstop; hitting it is counted
@@ -920,12 +1356,26 @@ impl TcpStack {
         }
         if entry.conn.state() == TcpState::Closed {
             // Reaped; events already delivered.
+            if let Some(slot) = self.lookup_slot(quad) {
+                self.free_slot(slot);
+            }
             if self.obs.tracing_enabled() {
                 self.obs.span_close(&format!("conn:{quad}"), now.as_nanos());
             }
             return;
         }
-        self.conns.insert(quad, entry);
+        let slot = match self.lookup_slot(quad) {
+            Some(s) => {
+                self.slots[s as usize]
+                    .occ
+                    .as_mut()
+                    .expect("checked-out slot is occupied")
+                    .entry = Some(entry);
+                s
+            }
+            None => self.insert_conn(quad, entry),
+        };
+        self.arm_conn_timer(slot);
     }
 
     /// Opens the lifecycle span of connection `quad` (no-op when tracing
@@ -954,6 +1404,10 @@ impl TcpStack {
     /// batch reaches `ackchan_max_pairs`, or — `ackchan_flush_delay` of
     /// zero — always (the paper's per-segment behaviour, used as the
     /// reference arm in equivalence tests).
+    ///
+    /// The flush timer rides the stack's timer wheel like any connection
+    /// deadline; `ackchan_flush_at` stays authoritative and orphaned wheel
+    /// entries die as stale.
     fn queue_ack_report(
         &mut self,
         quad: Quad,
@@ -973,7 +1427,9 @@ impl TcpStack {
         if control || self.ackchan_pending.len() >= self.cfg.ackchan_max_pairs.max(1) {
             self.flush_ackchan(now);
         } else if self.ackchan_flush_at.is_none() {
-            self.ackchan_flush_at = Some(now + delay);
+            let at = now + delay;
+            self.ackchan_flush_at = Some(at);
+            self.push_timer(at, StackTimer::AckFlush);
         }
     }
 

@@ -526,13 +526,45 @@ fn ephemeral_exhaustion_is_recoverable_and_ports_recycle() {
         host.stack
             .connect(other, Box::new(NullApp), ctx.now())
             .expect("distinct remote has its own quad space");
-        // Closing a connection releases its port for reuse.
-        host.stack.with_io(q2, ctx.now(), |io| io.close());
+        // Closing a connection releases its port for reuse. Close the
+        // *first* connection: the cursor (advanced past the range end by
+        // the wrap, then spent on `other`) is parked on q2's still-live
+        // port, so the reconnect cannot be served positionally.
+        host.stack.with_io(q1, ctx.now(), |io| io.close());
         let q5 = host
             .stack
             .connect(remote, Box::new(NullApp), ctx.now())
             .expect("port recycled after close");
-        assert_eq!(q5.local.port, q2.local.port, "closed port reused");
+        assert_eq!(q5.local.port, q1.local.port, "closed port reused");
+        // The reuse came from the O(1) recycle queue (the cursor was
+        // parked on a live port), not from walking the probe loop.
+        assert_eq!(host.stack.stats().ports_recycled, 1);
+        // Churn on the saturated range: with the two other ports held by
+        // live connections, every close/reconnect cycle must hand the
+        // same port back — via the free list or the cursor landing on the
+        // freed quad, never by scanning into the exhaustion error.
+        let mut q = q5;
+        for i in 0..30 {
+            host.stack.with_io(q, ctx.now(), |io| io.close());
+            q = host
+                .stack
+                .connect(remote, Box::new(NullApp), ctx.now())
+                .unwrap_or_else(|_| panic!("churn reconnect {i}"));
+            assert_eq!(q.local.port, q5.local.port, "only one port is free");
+            assert_eq!(host.stack.conn_count(), 4, "churn leaked connections");
+        }
+        assert!(
+            host.stack.stats().ports_recycled >= 10,
+            "recycle queue barely used: {} recycles in 30 churn cycles",
+            host.stack.stats().ports_recycled
+        );
+        // Stale free-list entries (ports re-issued by the cursor while
+        // still queued) are discarded, not double-allocated: the range
+        // still reports exhaustion once all three ports are live again.
+        assert!(host
+            .stack
+            .connect(remote, Box::new(NullApp), ctx.now())
+            .is_err());
         host.flush(ctx);
     });
 }
