@@ -4,13 +4,17 @@
 //!
 //! ```text
 //! chaos [--smoke] [--seeds N] [--threads N] [--trace]
+//!       [--probe-ms N] [--probe-attempts N]
 //! ```
 //!
 //! - `--smoke`     scaled-down soak for CI (4 seeds per fault class);
 //! - `--seeds N`   override the per-class seed count;
 //! - `--threads N` measure at 1 and N threads (default: 1, 2, and 4);
 //! - `--trace`     additionally export one traced primary-crash run as
-//!   Chrome trace-event JSON (`TRACE_chaos.json`).
+//!   Chrome trace-event JSON (`TRACE_chaos.json`);
+//! - `--probe-ms N` / `--probe-attempts N` redirector-pair peer-probe
+//!   period and miss budget (default 200 ms x 2; the `rd_*` classes only —
+//!   used by the EXPERIMENTS.md C2 detection-threshold sweep).
 //!
 //! The soak runs once per thread count, asserts every merged report is
 //! **byte-identical** to the single-threaded one, asserts the chaos
@@ -62,8 +66,20 @@ fn main() {
                 let n: usize = args[i].parse().expect("--threads takes a number");
                 thread_counts = if n <= 1 { vec![1] } else { vec![1, n] };
             }
+            "--probe-ms" => {
+                i += 1;
+                let ms: u64 = args[i].parse().expect("--probe-ms takes a number");
+                cfg.pair_probe_timeout = hydranet_netsim::time::SimDuration::from_millis(ms);
+            }
+            "--probe-attempts" => {
+                i += 1;
+                cfg.pair_probe_attempts = args[i].parse().expect("--probe-attempts takes a number");
+            }
             other => {
-                eprintln!("unknown flag {other} (try --smoke, --seeds N, --threads N, --trace)");
+                eprintln!(
+                    "unknown flag {other} (try --smoke, --seeds N, --threads N, --trace, \
+                     --probe-ms N, --probe-attempts N)"
+                );
                 std::process::exit(2);
             }
         }
@@ -171,6 +187,39 @@ fn main() {
         .collect();
     println!("client-visible recovery latency per fault class:");
     println!("{}", render_table(&header, &rows));
+
+    // Standby-promotion latency for the redirector-pair classes.
+    let header: Vec<String> = ["class", "runs", "p50 ms", "p90 ms", "p99 ms", "max ms"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = CLASSES
+        .iter()
+        .filter(|c| c.is_pair())
+        .filter_map(|&class| {
+            let mut vals: Vec<u64> = outcomes
+                .iter()
+                .filter(|o| o.class == class.name())
+                .filter_map(|o| o.failover_ns)
+                .collect();
+            if vals.is_empty() {
+                return None;
+            }
+            vals.sort_unstable();
+            Some(vec![
+                class.name().to_string(),
+                vals.len().to_string(),
+                format!("{:.1}", q(&vals, 0.50)),
+                format!("{:.1}", q(&vals, 0.90)),
+                format!("{:.1}", q(&vals, 0.99)),
+                format!("{:.1}", vals[vals.len() - 1] as f64 / 1e6),
+            ])
+        })
+        .collect();
+    if !rows.is_empty() {
+        println!("redirector failover (fault -> standby promotion) latency:");
+        println!("{}", render_table(&header, &rows));
+    }
 
     // Speedup table (wall-clock; honest about the host).
     let base_wall = measurements[0].stats.wall_nanos.max(1) as f64;

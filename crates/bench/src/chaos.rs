@@ -4,10 +4,13 @@
 //! Each *fault class* is a [`FaultPlan`] template — primary / mid-chain /
 //! tail crash with recovery, a redirector outage, a client-link flap, an
 //! impaired-link window (loss + reordering + duplication + corruption), a
-//! group partition, and an ack-channel loss burst. Per `(class, seed)` the
-//! soak builds a star deployment, streams an echo transfer through it,
-//! applies the plan, and checks the properties that must survive *any* of
-//! these faults:
+//! group partition, and an ack-channel loss burst — plus three `rd_*`
+//! classes that run against a *replicated redirector pair* (crash the
+//! active under load, partition-then-heal with stale updates, crash during
+//! table install) and report the standby's promotion latency. Per
+//! `(class, seed)` the soak builds a star (or pair) deployment, streams an
+//! echo transfer through it, applies the plan, and checks the properties
+//! that must survive *any* of these faults:
 //!
 //! - **stream intact, exactly once** — the client's reply stream equals the
 //!   sent payload byte for byte (detects loss, duplication, and corrupt
@@ -26,8 +29,8 @@
 
 use hydranet_core::faults::FaultPlan;
 use hydranet_core::prelude::*;
-use hydranet_netsim::link::Impairments;
-use hydranet_obs::{json, Obs};
+use hydranet_netsim::link::{Impairments, LinkId};
+use hydranet_obs::{json, kinds, Obs};
 
 use crate::ablations::{build_star_cfg, service, Star};
 use crate::runner::{run_tasks, RunnerStats, Task};
@@ -57,10 +60,24 @@ pub enum FaultClass {
     /// A Bernoulli loss burst on the first backup's link — the path that
     /// carries its §4.3 acknowledgement channel.
     AckChannelBurst,
+    /// Crash the *active* redirector of a replicated pair mid-transfer;
+    /// the standby must promote itself and flip the anycast route.
+    RedirectorFailover,
+    /// Partition the active redirector from its peer and the clients (its
+    /// daemon side stays up), crash the chain tail during the partition so
+    /// the doomed ex-active accepts a genuinely *stale* table update, then
+    /// heal: the new active must reject the stale epoch and resync the
+    /// ex-active.
+    RedirectorPartitionStale,
+    /// Crash the active redirector inside the registration window, while
+    /// table installs are still in flight — unacked registrations must
+    /// retransmit into the promoted standby.
+    RedirectorCrashInstall,
 }
 
-/// Every class, in report order.
-pub const CLASSES: [FaultClass; 8] = [
+/// Every class, in report order. New classes are appended so existing
+/// classes keep their seed bands (`base_seed + 1000 * index`).
+pub const CLASSES: [FaultClass; 11] = [
     FaultClass::PrimaryCrash,
     FaultClass::MidChainCrash,
     FaultClass::TailCrash,
@@ -69,6 +86,9 @@ pub const CLASSES: [FaultClass; 8] = [
     FaultClass::ImpairedLinks,
     FaultClass::Partition,
     FaultClass::AckChannelBurst,
+    FaultClass::RedirectorFailover,
+    FaultClass::RedirectorPartitionStale,
+    FaultClass::RedirectorCrashInstall,
 ];
 
 impl FaultClass {
@@ -83,6 +103,9 @@ impl FaultClass {
             FaultClass::ImpairedLinks => "impaired_links",
             FaultClass::Partition => "partition",
             FaultClass::AckChannelBurst => "ackchan_burst",
+            FaultClass::RedirectorFailover => "rd_failover",
+            FaultClass::RedirectorPartitionStale => "rd_partition_stale",
+            FaultClass::RedirectorCrashInstall => "rd_crash_install",
         }
     }
 
@@ -90,9 +113,24 @@ impl FaultClass {
     /// the mid-chain and tail cases).
     pub fn replicas(self) -> usize {
         match self {
-            FaultClass::MidChainCrash | FaultClass::TailCrash | FaultClass::Partition => 3,
+            FaultClass::MidChainCrash
+            | FaultClass::TailCrash
+            | FaultClass::Partition
+            | FaultClass::RedirectorPartitionStale
+            | FaultClass::RedirectorCrashInstall => 3,
             _ => 2,
         }
+    }
+
+    /// Whether the class runs against a redirector *pair* deployment
+    /// instead of the solo-redirector star.
+    pub fn is_pair(self) -> bool {
+        matches!(
+            self,
+            FaultClass::RedirectorFailover
+                | FaultClass::RedirectorPartitionStale
+                | FaultClass::RedirectorCrashInstall
+        )
     }
 
     /// The replica (chain index) this class crashes, if any.
@@ -100,7 +138,7 @@ impl FaultClass {
         match self {
             FaultClass::PrimaryCrash => Some(0),
             FaultClass::MidChainCrash => Some(1),
-            FaultClass::TailCrash => Some(2),
+            FaultClass::TailCrash | FaultClass::RedirectorPartitionStale => Some(2),
             _ => None,
         }
     }
@@ -152,6 +190,37 @@ impl FaultClass {
                 t0,
                 SimDuration::from_millis(250),
             ),
+            FaultClass::RedirectorFailover
+            | FaultClass::RedirectorPartitionStale
+            | FaultClass::RedirectorCrashInstall => {
+                unreachable!("pair classes plan against a PairRig, not a Star")
+            }
+        }
+    }
+
+    /// Builds the class's fault plan against a deployed redirector pair.
+    fn pair_plan(self, rig: &PairRig, t0: SimTime, cfg: &ChaosConfig) -> FaultPlan {
+        match self {
+            FaultClass::RedirectorFailover | FaultClass::RedirectorCrashInstall => {
+                FaultPlan::new().crash_for(rig.rd_a, t0, cfg.crash_downtime)
+            }
+            FaultClass::RedirectorPartitionStale => {
+                // Cut the active's client-facing and peer links (its daemon
+                // side stays reachable), and crash the chain tail inside
+                // the partition window: the failure reports that reach the
+                // doomed ex-active make it build a stale table update under
+                // the old term. Heal while its reliable retransmits are
+                // still alive so the stale update is delivered — and must
+                // be rejected — by the promoted standby.
+                let crash_tail = t0.saturating_add(SimDuration::from_millis(50));
+                rig.west_links
+                    .iter()
+                    .fold(FaultPlan::new(), |p, &l| {
+                        p.link_flap(l, t0, SimDuration::from_millis(1500))
+                    })
+                    .crash_for(rig.replicas[2], crash_tail, cfg.crash_downtime)
+            }
+            _ => unreachable!("star classes plan against a Star, not a PairRig"),
         }
     }
 }
@@ -179,6 +248,12 @@ pub struct ChaosConfig {
     /// tests re-break failure paths through this (e.g. `gate_watchdog:
     /// false`) to prove the flight recorder captures the wedge.
     pub tcp: TcpConfig,
+    /// Peer-probe period for the redirector-pair rig (pair classes only;
+    /// the solo-redirector star keeps the builder default so its pinned
+    /// fingerprints never move).
+    pub pair_probe_timeout: SimDuration,
+    /// Consecutive missed peer probes before the standby promotes.
+    pub pair_probe_attempts: u32,
 }
 
 impl Default for ChaosConfig {
@@ -192,6 +267,8 @@ impl Default for ChaosConfig {
             crash_downtime: SimDuration::from_secs(8),
             converge_grace: SimDuration::from_secs(10),
             tcp: TcpConfig::default(),
+            pair_probe_timeout: SimDuration::from_millis(200),
+            pair_probe_attempts: 2,
         }
     }
 }
@@ -234,6 +311,9 @@ pub struct ChaosOutcome {
     pub recovery_ns: Option<u64>,
     /// Detect→promote latency, when the run involved a fail-over.
     pub detection_latency_ns: Option<u64>,
+    /// Fault-injection→standby-promotion latency, for redirector-pair
+    /// classes (None for solo-redirector classes).
+    pub failover_ns: Option<u64>,
     /// Bytes the client received.
     pub bytes: usize,
     /// Simulated events processed.
@@ -257,14 +337,23 @@ impl ChaosOutcome {
 /// Runs one `(class, seed)` chaos run. Pure function of its arguments —
 /// the unit of parallel work.
 pub fn chaos_point(cfg: &ChaosConfig, class: FaultClass, seed: u64) -> ChaosOutcome {
-    chaos_point_run(cfg, class, seed).0
+    if class.is_pair() {
+        chaos_pair_point_run(cfg, class, seed).0
+    } else {
+        chaos_point_run(cfg, class, seed).0
+    }
 }
 
 /// Chrome trace-event JSON of one traced `(class, seed)` run — the
 /// `--trace` export of the `chaos` binary, loadable in chrome://tracing.
 pub fn chrome_trace_json(cfg: &ChaosConfig, class: FaultClass, seed: u64) -> String {
-    let (_, star) = chaos_point_run(cfg, class, seed);
-    star.system.obs().chrome_trace_json()
+    if class.is_pair() {
+        let (_, system) = chaos_pair_point_run(cfg, class, seed);
+        system.obs().chrome_trace_json()
+    } else {
+        let (_, star) = chaos_point_run(cfg, class, seed);
+        star.system.obs().chrome_trace_json()
+    }
 }
 
 fn chaos_point_run(cfg: &ChaosConfig, class: FaultClass, seed: u64) -> (ChaosOutcome, Star) {
@@ -352,6 +441,7 @@ fn chaos_point_run(cfg: &ChaosConfig, class: FaultClass, seed: u64) -> (ChaosOut
         chain_expected: n,
         recovery_ns,
         detection_latency_ns: star.system.detection_latency_nanos(),
+        failover_ns: None,
         bytes,
         events: star.system.sim.stats().events_processed,
         flight_dump: None,
@@ -364,6 +454,205 @@ fn chaos_point_run(cfg: &ChaosConfig, class: FaultClass, seed: u64) -> (ChaosOut
         ]));
     }
     (outcome, star)
+}
+
+/// A deployed redirector-*pair* topology for the `rd_*` chaos classes:
+/// clients and host daemons address only the pair's VIP, plain routers sit
+/// on both sides, and each router is linked to both members (the anycast
+/// group):
+///
+/// ```text
+/// client — routerA ═ (rdA ↔ rdB) ═ routerB — hs1..hsN
+/// ```
+struct PairRig {
+    system: System,
+    client: NodeId,
+    rd_a: NodeId,
+    rd_b: NodeId,
+    replicas: Vec<NodeId>,
+    sinks: Vec<Shared<SinkState>>,
+    /// routerA—rdA and rdA—rdB: cutting exactly these isolates the initial
+    /// active from the clients and its peer while its daemon side stays
+    /// reachable (the stale-update partition shape).
+    west_links: [LinkId; 2],
+}
+
+fn build_pair_rig(
+    n: usize,
+    detector: DetectorParams,
+    seed: u64,
+    tcp: TcpConfig,
+    probe: ProbeParams,
+) -> PairRig {
+    const CLIENT: IpAddr = IpAddr::new(10, 0, 1, 1);
+    const RD_A: IpAddr = IpAddr::new(10, 9, 0, 1);
+    const RD_B: IpAddr = IpAddr::new(10, 9, 0, 2);
+    const VIP: IpAddr = IpAddr::new(10, 9, 0, 9);
+    let mut b = SystemBuilder::new(tcp);
+    b.set_probe_params(probe);
+    let client = b.add_client("client", CLIENT);
+    let (rd_a, rd_b) = b.add_redirector_pair("rdA", RD_A, "rdB", RD_B, VIP);
+    b.route_via_pair(VIP, service().addr);
+    let router_a = b.add_router("routerA");
+    let router_b = b.add_router("routerB");
+    let replicas: Vec<NodeId> = (0..n)
+        .map(|i| {
+            b.add_host_server(
+                &format!("hs{}", i + 1),
+                IpAddr::new(10, 0, 2 + i as u8, 1),
+                VIP,
+            )
+        })
+        .collect();
+    b.link(client, router_a, LinkParams::default());
+    let l_client_side = b.link(router_a, rd_a, LinkParams::default());
+    b.link(router_a, rd_b, LinkParams::default());
+    let l_peer = b.link(rd_a, rd_b, LinkParams::default());
+    b.link(rd_a, router_b, LinkParams::default());
+    b.link(rd_b, router_b, LinkParams::default());
+    for &r in &replicas {
+        b.link(router_b, r, LinkParams::default());
+    }
+    let sinks: Vec<Shared<SinkState>> = (0..n).map(|_| shared(SinkState::default())).collect();
+    let base = FtServiceSpec::new(service(), replicas.clone(), detector);
+    for (i, &replica) in replicas.iter().enumerate() {
+        let sink = sinks[i].clone();
+        let mut one = FtServiceSpec {
+            chain: vec![replica],
+            ..base.clone()
+        };
+        one.registration_start = base
+            .registration_start
+            .saturating_add(base.registration_stagger * i as u64);
+        b.deploy_ft_service(&one, move |_q| Box::new(EchoApp::new(sink.clone())));
+    }
+    let mut system = b.build(seed);
+    system
+        .sim
+        .set_calendar(hydranet_netsim::wheel::CalendarKind::Wheel);
+    PairRig {
+        system,
+        client,
+        rd_a,
+        rd_b,
+        replicas,
+        sinks,
+        west_links: [l_client_side, l_peer],
+    }
+}
+
+/// One `(pair class, seed)` run: stream an echo transfer through the VIP,
+/// kill (or partition) the active redirector per the class, and measure the
+/// standby's promotion latency on top of the usual chaos invariants. The
+/// chain reconvergence check reads whichever member ends up active.
+fn chaos_pair_point_run(cfg: &ChaosConfig, class: FaultClass, seed: u64) -> (ChaosOutcome, System) {
+    let detector = DetectorParams::new(cfg.threshold, SimDuration::from_secs(60));
+    let n = class.replicas();
+    let probe = ProbeParams {
+        timeout: cfg.pair_probe_timeout,
+        attempts: cfg.pair_probe_attempts,
+    };
+    let mut rig = build_pair_rig(n, detector, seed, cfg.tcp.clone(), probe);
+    rig.system.enable_tracing(FLIGHT_CAPACITY);
+
+    let payload: Vec<u8> = (0..cfg.payload).map(|i| (i % 251) as u8).collect();
+    let state = shared(SenderState::default());
+    let app = StreamSenderApp::new(payload.clone(), false, state.clone());
+    rig.system
+        .connect_client(rig.client, service(), Box::new(app));
+
+    // Crash-during-install lands *inside* the staggered registration window
+    // (starting 5 ms in); the other pair classes use the star classes' 50 ms
+    // base so the transfer is in full flight. Both jitter across the same
+    // 40 ms window per seed.
+    let jitter_ns = hydranet_netsim::rng::SimRng::seed_from(seed).next_u64() % 40_000_000;
+    let base_ms = if class == FaultClass::RedirectorCrashInstall {
+        5
+    } else {
+        50
+    };
+    let t0 = rig
+        .system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(base_ms))
+        .saturating_add(SimDuration::from_nanos(jitter_ns));
+    let plan = class.pair_plan(&rig, t0, cfg);
+    plan.apply(&mut rig.system);
+
+    let mut step = rig.system.sim.now();
+    while rig.system.sim.now() < cfg.deadline {
+        if state.borrow().replies.data.len() >= cfg.payload {
+            break;
+        }
+        step = step.saturating_add(SimDuration::from_millis(20));
+        rig.system.sim.run_until(step);
+    }
+    let (completed, intact, bytes, recovery_ns) = {
+        let st = state.borrow();
+        (
+            st.replies.data.len() >= cfg.payload,
+            st.replies.data == payload,
+            st.replies.data.len(),
+            st.replies.max_gap_duration().map(|d| d.as_nanos()),
+        )
+    };
+
+    let crashed = class.crashed_replica();
+    let survivors_intact = rig
+        .sinks
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| Some(i) != crashed)
+        .all(|(_, sink)| sink.borrow().data == payload);
+
+    // Reconvergence is judged at whichever member holds the active role
+    // now — after a promotion that is rd_b.
+    let active_rd = if rig.system.redirector(rig.rd_b).controller().is_active() {
+        rig.rd_b
+    } else {
+        rig.rd_a
+    };
+    let converge_deadline = rig.system.sim.now().saturating_add(cfg.converge_grace);
+    rig.system
+        .wait_for_chain(active_rd, service(), n, converge_deadline);
+    let chain_len = rig
+        .system
+        .redirector(active_rd)
+        .controller()
+        .chain(service())
+        .map_or(0, <[IpAddr]>::len);
+
+    let failover_ns = rig
+        .system
+        .obs()
+        .first_event_at(kinds::REDIRECTOR_PROMOTED)
+        .and_then(|at| at.checked_sub(t0.as_nanos()));
+
+    let mut outcome = ChaosOutcome {
+        class: class.name(),
+        seed,
+        faults: plan.len() as u64,
+        completed,
+        intact,
+        survivors_intact,
+        chain_len,
+        chain_expected: n,
+        recovery_ns,
+        detection_latency_ns: rig.system.detection_latency_nanos(),
+        failover_ns,
+        bytes,
+        events: rig.system.sim.stats().events_processed,
+        flight_dump: None,
+    };
+    if !outcome.invariants_hold() {
+        outcome.flight_dump = Some(rig.system.obs().flight_recorder_json(&[
+            ("workload", "chaos_soak".into()),
+            ("class", class.name().into()),
+            ("seed", seed.to_string()),
+        ]));
+    }
+    (outcome, rig.system)
 }
 
 /// Runs the full soak (every class × every seed) across the experiment
@@ -447,6 +736,10 @@ pub fn merged_report(cfg: &ChaosConfig, outcomes: &[ChaosOutcome]) -> String {
             obs.histogram(&format!("chaos.{}.detection_latency_ns", o.class))
                 .record(ns);
         }
+        if let Some(ns) = o.failover_ns {
+            obs.histogram(&format!("chaos.{}.failover_ns", o.class))
+                .record(ns);
+        }
     }
     let summary = obs.to_json_with_meta(&[
         ("workload", "chaos_soak".into()),
@@ -483,6 +776,8 @@ pub fn merged_report(cfg: &ChaosConfig, outcomes: &[ChaosOutcome]) -> String {
         push_opt_u64(&mut out, o.recovery_ns);
         out.push_str(", \"detection_latency_ns\": ");
         push_opt_u64(&mut out, o.detection_latency_ns);
+        out.push_str(", \"failover_ns\": ");
+        push_opt_u64(&mut out, o.failover_ns);
         out.push_str(", \"bytes\": ");
         json::push_u64(&mut out, o.bytes as u64);
         out.push_str(", \"events\": ");
@@ -532,6 +827,38 @@ mod tests {
             "primary crash must be detected and promoted"
         );
         assert!(o.recovery_ns.is_some());
+    }
+
+    /// The pair classes measure a redirector fail-over: the standby's
+    /// promotion shows up on the timeline strictly after the fault lands,
+    /// and the partition class also forces (and survives) a stale-epoch
+    /// rejection at the new active.
+    #[test]
+    fn pair_classes_measure_failover_latency() {
+        let cfg = tiny();
+        for class in [
+            FaultClass::RedirectorFailover,
+            FaultClass::RedirectorPartitionStale,
+            FaultClass::RedirectorCrashInstall,
+        ] {
+            let seed = cfg.base_seed + 1000 * class_index(class);
+            let o = chaos_point(&cfg, class, seed);
+            assert!(
+                o.invariants_hold(),
+                "{} seed {seed}: completed={} intact={} survivors={} chain={}/{}",
+                class.name(),
+                o.completed,
+                o.intact,
+                o.survivors_intact,
+                o.chain_len,
+                o.chain_expected
+            );
+            assert!(
+                o.failover_ns.is_some(),
+                "{} never promoted the standby",
+                class.name()
+            );
+        }
     }
 
     #[test]

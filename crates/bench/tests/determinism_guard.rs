@@ -228,6 +228,14 @@ fn ablation_grid_is_thread_count_invariant() {
 const PINNED_CHAOS_PARTITION: &str =
     "partition seed=13000 events=3091 bytes=60000 recovery_ns=209868800";
 
+/// Pinned fingerprint of the redirector-failover chaos run (crash the
+/// active pair member under load; the standby must promote and flip the
+/// anycast route). The whole replication/promotion path — peer probes,
+/// epoch-stamped table replication, `ROUTE_ANNOUNCE` flooding — rides
+/// under this pin, captured at 1 thread and reproduced at 4.
+const PINNED_CHAOS_RD_FAILOVER: &str =
+    "rd_failover seed=15000 events=4113 bytes=60000 failover_ns=547461684";
+
 #[test]
 fn chaos_soak_is_thread_count_invariant_and_pinned() {
     let cfg = ChaosConfig {
@@ -256,6 +264,18 @@ fn chaos_soak_is_thread_count_invariant_and_pinned() {
         o.recovery_ns.unwrap_or(0)
     );
     assert_eq!(fp, PINNED_CHAOS_PARTITION);
+    let o = seq
+        .iter()
+        .find(|o| o.class == "rd_failover")
+        .expect("rd_failover class present");
+    let fp = format!(
+        "rd_failover seed={} events={} bytes={} failover_ns={}",
+        o.seed,
+        o.events,
+        o.bytes,
+        o.failover_ns.unwrap_or(0)
+    );
+    assert_eq!(fp, PINNED_CHAOS_RD_FAILOVER);
 }
 
 /// Pinned fingerprint of the tiny scale workload: FNV-1a over the entire

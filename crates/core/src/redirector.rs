@@ -1,15 +1,23 @@
 //! The managed redirector node: redirection engine plus the replica
 //! management controller.
 
-use hydranet_mgmt::failover::{ControllerAction, ProbeParams, ReplicaController};
+use hydranet_mgmt::failover::{ControllerAction, PairConfig, ProbeParams, ReplicaController};
 use hydranet_mgmt::proto::MGMT_PORT;
 use hydranet_netsim::node::{Context, IfaceId, Node, TimerToken};
 use hydranet_netsim::packet::{IpAddr, IpPacket, Protocol};
-use hydranet_netsim::time::SimTime;
+use hydranet_netsim::routing::encode_route_announce;
+use hydranet_netsim::time::{SimDuration, SimTime};
 use hydranet_obs::{kinds, Obs};
 use hydranet_redirect::redirector::{Disposition, RedirectorEngine};
 use hydranet_redirect::table::ServiceEntry;
 use hydranet_tcp::udp::UdpDatagram;
+
+/// How long a freshly promoted pair member defers brand-new fault-tolerant
+/// flows: one mgmt reliable retransmit period
+/// (`hydranet_mgmt::reliable::DEFAULT_RETRY_INTERVAL`, 250 ms) plus
+/// propagation slack, so every registration still in the retransmit
+/// pipeline re-lands and completes the chain before a connection opens.
+const PROMOTION_ADMISSION_GRACE: SimDuration = SimDuration::from_millis(300);
 
 /// A redirector with the full replica management plane: intercepts and
 /// multicasts service traffic (engine), and runs the §4.4 controller for
@@ -23,6 +31,8 @@ pub struct ManagedRedirector {
     /// See `ClientHost::set_coalesce_timers` in `crate::host`.
     coalesce_timers: bool,
     armed_at: Option<SimTime>,
+    /// Interfaces a promotion floods `ROUTE_ANNOUNCE` packets out of.
+    announce_ifaces: Vec<IfaceId>,
 }
 
 impl std::fmt::Debug for ManagedRedirector {
@@ -45,7 +55,19 @@ impl ManagedRedirector {
             obs: Obs::disabled(),
             coalesce_timers: false,
             armed_at: None,
+            announce_ifaces: Vec::new(),
         }
+    }
+
+    /// Joins this redirector to an active/standby pair serving `vip`:
+    /// the engine claims packets addressed to the VIP as local, the
+    /// controller runs the peer-probe/replication protocol against
+    /// `cfg.peer`, and a self-promotion floods `ROUTE_ANNOUNCE` out of
+    /// `announce_ifaces` so adjacent routers re-aim the anycast group.
+    pub fn configure_pair(&mut self, vip: IpAddr, cfg: PairConfig, announce_ifaces: Vec<IfaceId>) {
+        self.engine.set_virtual_addr(vip);
+        self.controller.configure_pair(cfg, SimTime::ZERO);
+        self.announce_ifaces = announce_ifaces;
     }
 
     /// Enables node-timer coalescing; see `ClientHost::set_coalesce_timers`
@@ -87,39 +109,82 @@ impl ManagedRedirector {
                         dst_port: MGMT_PORT,
                         payload,
                     };
-                    let packet =
-                        IpPacket::new(self.engine.addr(), dst, Protocol::UDP, datagram.encode());
+                    // Host daemons are configured with the pair's VIP and
+                    // match replies by source address, so anything bound
+                    // for a host must be sourced from the VIP. Peer
+                    // replication runs on concrete addresses (the peer's
+                    // reliable endpoint matches acks by our real address).
+                    let src = if self.controller.peer() == Some(dst) {
+                        self.engine.addr()
+                    } else {
+                        self.engine.virtual_addr().unwrap_or(self.engine.addr())
+                    };
+                    let packet = IpPacket::new(src, dst, Protocol::UDP, datagram.encode());
                     self.engine.route_own(packet, out);
                 }
                 ControllerAction::UpdateTable { service, chain } => {
+                    let epoch = self.controller.epoch();
                     if chain.is_empty() {
-                        self.engine.table_mut().remove(service);
-                        self.obs.event(
-                            now.as_nanos(),
-                            kinds::TABLE_REMOVED,
-                            &[
-                                ("redirector", self.engine.addr().to_string()),
-                                ("service", service.to_string()),
-                            ],
-                        );
+                        let applied = self
+                            .engine
+                            .table_mut()
+                            .apply_epoch_update(epoch.term, epoch.seq, service, None);
+                        if applied {
+                            self.obs.event(
+                                now.as_nanos(),
+                                kinds::TABLE_REMOVED,
+                                &[
+                                    ("redirector", self.engine.addr().to_string()),
+                                    ("service", service.to_string()),
+                                ],
+                            );
+                        }
                     } else {
                         let chain_desc = chain
                             .iter()
                             .map(|h| h.to_string())
                             .collect::<Vec<_>>()
                             .join(" -> ");
-                        self.engine
-                            .table_mut()
-                            .install(service, ServiceEntry::FaultTolerant { chain });
-                        self.obs.event(
-                            now.as_nanos(),
-                            kinds::TABLE_INSTALLED,
-                            &[
-                                ("redirector", self.engine.addr().to_string()),
-                                ("service", service.to_string()),
-                                ("chain", chain_desc),
-                            ],
+                        let applied = self.engine.table_mut().apply_epoch_update(
+                            epoch.term,
+                            epoch.seq,
+                            service,
+                            Some(ServiceEntry::FaultTolerant { chain }),
                         );
+                        if applied {
+                            self.obs.event(
+                                now.as_nanos(),
+                                kinds::TABLE_INSTALLED,
+                                &[
+                                    ("redirector", self.engine.addr().to_string()),
+                                    ("service", service.to_string()),
+                                    ("chain", chain_desc),
+                                ],
+                            );
+                        }
+                    }
+                }
+                ControllerAction::AnnounceRoutes { seq } => {
+                    // The announce flips the anycast route here, but host
+                    // registrations blackholed while the route still pointed
+                    // at the dead ex-active are still retransmitting on the
+                    // mgmt reliable cadence (DEFAULT_RETRY_INTERVAL, 250 ms).
+                    // Defer brand-new flows one full retransmit period plus
+                    // slack so those registrations complete the chain before
+                    // a client's SYN retransmit can open a connection
+                    // against a silently degraded one.
+                    self.engine
+                        .defer_new_flows_until(now.saturating_add(PROMOTION_ADMISSION_GRACE));
+                    let payload = encode_route_announce(self.engine.addr(), seq);
+                    let dst = self.engine.virtual_addr().unwrap_or(self.engine.addr());
+                    for &iface in &self.announce_ifaces {
+                        let packet = IpPacket::new(
+                            self.engine.addr(),
+                            dst,
+                            Protocol::ROUTE_ANNOUNCE,
+                            payload.clone(),
+                        );
+                        out.push((iface, packet));
                     }
                 }
             }
@@ -144,6 +209,24 @@ impl ManagedRedirector {
 }
 
 impl Node for ManagedRedirector {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // A standby pair member must wake on its own to probe the active
+        // side; solo redirectors keep their historical packet-driven
+        // behavior (no timer armed until something arrives).
+        if self.controller.peer().is_some() {
+            self.drive(ctx);
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_>) {
+        // A recovered pair member re-arms its probe/retransmit timers so a
+        // healed ex-active originates traffic, meets the newer epoch, and
+        // demotes itself instead of wedging silently.
+        if self.controller.peer().is_some() {
+            self.drive(ctx);
+        }
+    }
+
     fn on_packet(&mut self, ctx: &mut Context<'_>, _iface: IfaceId, packet: IpPacket) {
         let mut out = std::mem::take(&mut self.out_scratch);
         match self.engine.process(packet, ctx.now(), &mut out) {

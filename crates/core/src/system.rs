@@ -3,7 +3,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use hydranet_mgmt::failover::ProbeParams;
+use hydranet_mgmt::failover::{PairConfig, ProbeParams};
 use hydranet_netsim::link::{LinkId, LinkParams};
 use hydranet_netsim::node::{IfaceId, NodeId, NodeParams};
 use hydranet_netsim::packet::IpAddr;
@@ -37,6 +37,16 @@ pub enum NodeKind {
 struct NodeInfo {
     kind: NodeKind,
     addr: Option<IpAddr>,
+}
+
+/// A declared active/standby redirector pair sharing a virtual address.
+#[derive(Debug, Clone)]
+struct PairSpec {
+    primary: NodeId,
+    backup: NodeId,
+    vip: IpAddr,
+    probe: ProbeParams,
+    extra_virtuals: Vec<IpAddr>,
 }
 
 /// Deployment description of one fault-tolerant service.
@@ -79,6 +89,7 @@ pub struct SystemBuilder {
     default_tcp: TcpConfig,
     probe_params: ProbeParams,
     coalesce_node_timers: bool,
+    pairs: Vec<PairSpec>,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -100,6 +111,7 @@ impl SystemBuilder {
             default_tcp,
             probe_params: ProbeParams::default(),
             coalesce_node_timers: false,
+            pairs: Vec::new(),
         }
     }
 
@@ -196,6 +208,64 @@ impl SystemBuilder {
         );
         self.note(id, NodeKind::Redirector, Some(addr));
         id
+    }
+
+    /// Adds an active/standby redirector *pair* sharing the virtual
+    /// address `vip`: host daemons and clients address only the VIP and
+    /// never learn which member serves it. The first member starts
+    /// active; the standby probes it (with this builder's current probe
+    /// parameters) and promotes itself on failure, flooding a route
+    /// announcement that re-aims every adjacent router's anycast group
+    /// at the survivor. Table updates replicate active → standby under a
+    /// monotonic epoch, so a healed ex-active's stale updates are
+    /// rejected and it resyncs as the new standby.
+    ///
+    /// Routers that should flip must be linked to *both* members.
+    /// Returns `(primary, backup)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vip` collides with a node address.
+    pub fn add_redirector_pair(
+        &mut self,
+        primary_name: &str,
+        primary_addr: IpAddr,
+        backup_name: &str,
+        backup_addr: IpAddr,
+        vip: IpAddr,
+    ) -> (NodeId, NodeId) {
+        assert!(
+            !self.nodes.iter().any(|n| n.addr == Some(vip)),
+            "virtual address {vip} collides with a node address"
+        );
+        let primary = self.add_redirector(primary_name, primary_addr);
+        let backup = self.add_redirector(backup_name, backup_addr);
+        self.pairs.push(PairSpec {
+            primary,
+            backup,
+            vip,
+            probe: self.probe_params,
+            extra_virtuals: Vec::new(),
+        });
+        (primary, backup)
+    }
+
+    /// Routes `addr` — typically a service access point's virtual-host
+    /// address, which belongs to no node — exactly like the pair's VIP:
+    /// toward the initially-active member, re-aimed by the anycast flip
+    /// on failover. Needed whenever a plain router sits between clients
+    /// and the pair, since automatic routing only covers node addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no pair with virtual address `vip` was added.
+    pub fn route_via_pair(&mut self, vip: IpAddr, addr: IpAddr) {
+        let pair = self
+            .pairs
+            .iter_mut()
+            .find(|p| p.vip == vip)
+            .expect("no redirector pair with that VIP");
+        pair.extra_virtuals.push(addr);
     }
 
     /// Adds a plain IP router (no redirection).
@@ -338,6 +408,7 @@ impl SystemBuilder {
             nodes,
             links,
             coalesce_node_timers,
+            pairs,
             ..
         } = self;
         let obs = Obs::enabled();
@@ -395,6 +466,104 @@ impl SystemBuilder {
                     }
                     _ => unreachable!(),
                 }
+            }
+            // Each pair's VIP routes like a host attached to the
+            // initially-active member; pair members themselves treat the
+            // VIP as local, so they get no route for it.
+            for pair in &pairs {
+                if router_id == pair.primary || router_id == pair.backup {
+                    continue;
+                }
+                let Some(&iface) = first_hop.get(&pair.primary) else {
+                    continue;
+                };
+                for vaddr in std::iter::once(pair.vip).chain(pair.extra_virtuals.iter().copied()) {
+                    match info.kind {
+                        NodeKind::Router => {
+                            topo.node_mut::<RouterNode>(router_id)
+                                .routes_mut()
+                                .add(Prefix::host(vaddr), iface);
+                        }
+                        NodeKind::Redirector => {
+                            topo.node_mut::<ManagedRedirector>(router_id)
+                                .engine_mut()
+                                .routes_mut()
+                                .add(Prefix::host(vaddr), iface);
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+
+        // Wire each declared redirector pair: the members probe each other
+        // and announce promotions out of every interface they own, and
+        // each router linked to *both* members gets the two ifaces as its
+        // anycast group, with all group routes initially aimed at the
+        // primary (BFS tie-breaking may have preferred the backup).
+        for pair in &pairs {
+            let p_addr = nodes[pair.primary.index()].addr.expect("redirector addr");
+            let b_addr = nodes[pair.backup.index()].addr.expect("redirector addr");
+            let member_ifaces = |id: NodeId| -> Vec<IfaceId> {
+                links
+                    .iter()
+                    .filter_map(|&(a, b, ia, ib)| {
+                        if a == id {
+                            Some(ia)
+                        } else if b == id {
+                            Some(ib)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            };
+            topo.node_mut::<ManagedRedirector>(pair.primary)
+                .configure_pair(
+                    pair.vip,
+                    PairConfig {
+                        peer: b_addr,
+                        initially_active: true,
+                        probe: pair.probe,
+                    },
+                    member_ifaces(pair.primary),
+                );
+            topo.node_mut::<ManagedRedirector>(pair.backup)
+                .configure_pair(
+                    pair.vip,
+                    PairConfig {
+                        peer: p_addr,
+                        initially_active: false,
+                        probe: pair.probe,
+                    },
+                    member_ifaces(pair.backup),
+                );
+            for (idx, info) in nodes.iter().enumerate() {
+                if info.kind != NodeKind::Router {
+                    continue;
+                }
+                let rid = NodeId::from_index(idx);
+                let mut to_primary = None;
+                let mut to_backup = None;
+                for &(a, b, ia, ib) in &links {
+                    if a == rid && b == pair.primary {
+                        to_primary = Some(ia);
+                    } else if b == rid && a == pair.primary {
+                        to_primary = Some(ib);
+                    }
+                    if a == rid && b == pair.backup {
+                        to_backup = Some(ia);
+                    } else if b == rid && a == pair.backup {
+                        to_backup = Some(ib);
+                    }
+                }
+                let (Some(pi), Some(bi)) = (to_primary, to_backup) else {
+                    continue;
+                };
+                let group = vec![pi, bi];
+                let router = topo.node_mut::<RouterNode>(rid);
+                router.set_anycast_group(group.clone());
+                router.routes_mut().retarget(&group, pi);
             }
         }
 

@@ -1,0 +1,328 @@
+//! End-to-end redirector-failover tests: the redirector pair is the last
+//! single point of failure the paper's architecture leaves standing, so
+//! these drive the whole replication/promotion/anycast-flip path through
+//! the assembled system — including the partition-then-heal case where a
+//! deposed ex-active tries to push stale table updates.
+
+use hydranet_core::prelude::*;
+use hydranet_netsim::link::LinkId;
+use hydranet_netsim::routing::RouterNode;
+
+const CLIENT: IpAddr = IpAddr::new(10, 0, 1, 1);
+const RD_A: IpAddr = IpAddr::new(10, 9, 0, 1);
+const RD_B: IpAddr = IpAddr::new(10, 9, 0, 2);
+const VIP: IpAddr = IpAddr::new(10, 9, 0, 9);
+const HS: [IpAddr; 3] = [
+    IpAddr::new(10, 0, 2, 1),
+    IpAddr::new(10, 0, 3, 1),
+    IpAddr::new(10, 0, 4, 1),
+];
+
+fn service() -> SockAddr {
+    SockAddr::new(IpAddr::new(192, 20, 225, 20), 80)
+}
+
+struct Deployment {
+    system: System,
+    client: NodeId,
+    rd_a: NodeId,
+    rd_b: NodeId,
+    router_a: NodeId,
+    router_b: NodeId,
+    sinks: Vec<Shared<SinkState>>,
+    /// The client-side link routerA—rdA and the peer link rdA—rdB: cutting
+    /// exactly these isolates rdA from its peer and the clients while its
+    /// daemon side (routerB) stays reachable.
+    rd_a_west_links: [LinkId; 2],
+}
+
+/// A 3-replica echo chain behind a redirector *pair*: clients and host
+/// daemons address only the VIP, plain routers sit on both sides, and
+/// every router is linked to both pair members (the anycast group).
+///
+/// ```text
+/// client — routerA ═ (rdA ↔ rdB) ═ routerB — hs1/hs2/hs3
+/// ```
+fn deploy(seed: u64) -> Deployment {
+    deploy_with(seed, None)
+}
+
+/// Like [`deploy`], optionally adding a fourth host server whose single
+/// registration fires at `late_registration` — aimed (via the VIP) at
+/// whichever member the routers consider active at that moment.
+fn deploy_with(seed: u64, late_registration: Option<SimTime>) -> Deployment {
+    let mut b = SystemBuilder::new(TcpConfig::default());
+    b.set_probe_params(ProbeParams {
+        timeout: SimDuration::from_millis(200),
+        attempts: 2,
+    });
+    let client = b.add_client("client", CLIENT);
+    let (rd_a, rd_b) = b.add_redirector_pair("rdA", RD_A, "rdB", RD_B, VIP);
+    b.route_via_pair(VIP, service().addr);
+    let router_a = b.add_router("routerA");
+    let router_b = b.add_router("routerB");
+    let replicas: Vec<NodeId> = HS
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| b.add_host_server(&format!("hs{}", i + 1), *addr, VIP))
+        .collect();
+    b.link(client, router_a, LinkParams::default());
+    let l_client_side = b.link(router_a, rd_a, LinkParams::default());
+    b.link(router_a, rd_b, LinkParams::default());
+    let l_peer = b.link(rd_a, rd_b, LinkParams::default());
+    b.link(rd_a, router_b, LinkParams::default());
+    b.link(rd_b, router_b, LinkParams::default());
+    for &r in &replicas {
+        b.link(router_b, r, LinkParams::default());
+    }
+    if let Some(at) = late_registration {
+        let hs4 = b.add_host_server("hs4", IpAddr::new(10, 0, 5, 1), VIP);
+        b.link(router_b, hs4, LinkParams::default());
+        let mut late = FtServiceSpec::new(
+            service(),
+            vec![hs4],
+            DetectorParams::new(4, SimDuration::from_secs(60)),
+        );
+        late.registration_start = at;
+        let spare = shared(SinkState::default());
+        b.deploy_ft_service(&late, move |_q| Box::new(EchoApp::new(spare.clone())));
+    }
+    let sinks: Vec<Shared<SinkState>> = (0..replicas.len())
+        .map(|_| shared(SinkState::default()))
+        .collect();
+    let detector = DetectorParams::new(4, SimDuration::from_secs(60));
+    let base = FtServiceSpec::new(service(), replicas.clone(), detector);
+    for (i, &replica) in replicas.iter().enumerate() {
+        let sink = sinks[i].clone();
+        let mut one = FtServiceSpec {
+            chain: vec![replica],
+            ..base.clone()
+        };
+        one.registration_start = base
+            .registration_start
+            .saturating_add(base.registration_stagger * i as u64);
+        b.deploy_ft_service(&one, move |_q| Box::new(EchoApp::new(sink.clone())));
+    }
+    let mut system = b.build(seed);
+    assert!(
+        system.wait_for_chain(rd_a, service(), replicas.len(), SimTime::from_secs(3)),
+        "chain failed to form on the active redirector"
+    );
+    Deployment {
+        system,
+        client,
+        rd_a,
+        rd_b,
+        router_a,
+        router_b,
+        sinks,
+        rd_a_west_links: [l_client_side, l_peer],
+    }
+}
+
+fn chain_at(d: &Deployment, rd: NodeId) -> Vec<IpAddr> {
+    d.system
+        .redirector(rd)
+        .controller()
+        .chain(service())
+        .map(<[IpAddr]>::to_vec)
+        .unwrap_or_default()
+}
+
+/// Streams `payload` through the chain, runs `plan`, and polls until the
+/// client has the full echo or `deadline`. Returns (reply bytes, intact).
+fn run_transfer(
+    d: &mut Deployment,
+    payload: &[u8],
+    plan: FaultPlan,
+    deadline: SimTime,
+) -> (usize, bool) {
+    let state = shared(SenderState::default());
+    let app = StreamSenderApp::new(payload.to_vec(), false, state.clone());
+    d.system.connect_client(d.client, service(), Box::new(app));
+    plan.apply(&mut d.system);
+    let mut step = d.system.sim.now();
+    while d.system.sim.now() < deadline {
+        if state.borrow().replies.data.len() >= payload.len() {
+            break;
+        }
+        step = step.saturating_add(SimDuration::from_millis(10));
+        d.system.sim.run_until(step);
+    }
+    let st = state.borrow();
+    (st.replies.data.len(), st.replies.data == payload)
+}
+
+/// The table the active builds must reach the standby via replication —
+/// the standby never hears a registration directly.
+#[test]
+fn table_replicates_to_the_standby() {
+    let d = deploy(42);
+    assert_eq!(chain_at(&d, d.rd_a), HS.to_vec(), "active chain wrong");
+    assert_eq!(
+        chain_at(&d, d.rd_b),
+        HS.to_vec(),
+        "standby never received the replicated chain"
+    );
+    assert!(d.system.redirector(d.rd_a).controller().is_active());
+    assert!(!d.system.redirector(d.rd_b).controller().is_active());
+    // The standby's *engine* table is live too: a flip needs no rebuild.
+    assert!(d
+        .system
+        .redirector(d.rd_b)
+        .engine()
+        .table()
+        .lookup(service())
+        .is_some());
+}
+
+/// The headline scenario: the active redirector dies while a transfer is
+/// in full flight. The standby's peer probes go unanswered, it promotes
+/// itself, floods the route announcement, both routers flip their anycast
+/// group to the survivor, and the client's single TCP connection — which
+/// only ever knew the VIP — completes the echo exactly once.
+#[test]
+fn crash_active_redirector_under_load() {
+    let mut d = deploy(42);
+    let payload: Vec<u8> = (0..60_000).map(|i| (i % 251) as u8).collect();
+    let crash_at = d
+        .system
+        .sim
+        .now()
+        .saturating_add(SimDuration::from_millis(50));
+    let plan = FaultPlan::new().crash(d.rd_a, crash_at);
+
+    let (bytes, intact) = run_transfer(&mut d, &payload, plan, SimTime::from_secs(30));
+    assert_eq!(bytes, payload.len(), "client reply stream incomplete");
+    assert!(intact, "client reply stream corrupted or duplicated");
+
+    // The standby promoted itself, exactly once.
+    let rd_b = d.system.redirector(d.rd_b).controller();
+    assert!(rd_b.is_active(), "standby never took over");
+    assert_eq!(rd_b.promotions(), 1, "standby promoted more than once");
+    assert!(rd_b.epoch().term >= 1, "promotion did not bump the term");
+    assert!(
+        d.system
+            .obs()
+            .first_event_at("mgmt.controller.redirector_promoted")
+            .is_some(),
+        "no promotion event on the timeline"
+    );
+
+    // Both routers flipped their anycast group to the survivor.
+    for (name, router) in [("routerA", d.router_a), ("routerB", d.router_b)] {
+        assert!(
+            d.system.sim.node::<RouterNode>(router).anycast_flips() > 0,
+            "{name} never flipped its anycast group"
+        );
+    }
+
+    // Exactly-once delivery at every replica: each consumed the complete
+    // client stream despite the mid-transfer redirector swap.
+    for (i, sink) in d.sinks.iter().enumerate() {
+        assert_eq!(
+            sink.borrow().data,
+            payload,
+            "replica {i} stream incomplete or duplicated"
+        );
+    }
+}
+
+/// Partition-then-heal with stale updates: the active keeps its daemon
+/// side but loses both its peer and the client side, so the standby
+/// promotes while the ex-active — still reachable by daemons via the
+/// routers' un-flipped VIP routes — accepts a *new registration* and
+/// replicates it under the old term. On heal that queued stale update
+/// must be rejected by the new active, and the epoch protocol must
+/// demote and resync the ex-active. (The stale registration is
+/// discarded with the rest of the doomed term — the paper's redirector
+/// offers at-least-once registration, and a lost registrant re-registers
+/// on its next failure report, not silently.)
+#[test]
+fn healed_ex_active_is_demoted_and_resynced() {
+    let cut = SimTime::from_millis(150);
+    let mut d = deploy_with(42, Some(SimTime::from_millis(400)));
+    assert!(
+        d.system.sim.now() < cut,
+        "chain must converge before the partition begins"
+    );
+    let heal_after = SimDuration::from_millis(1500);
+    let plan = d
+        .rd_a_west_links
+        .iter()
+        .fold(FaultPlan::new(), |p, &l| p.link_flap(l, cut, heal_after));
+    plan.apply(&mut d.system);
+    d.system
+        .sim
+        .run_until(cut.saturating_add(SimDuration::from_secs(12)));
+    assert_eq!(
+        d.system.redirector(d.rd_a).controller().epoch(),
+        d.system.redirector(d.rd_b).controller().epoch(),
+        "resync must land the ex-active on the new active's exact epoch"
+    );
+
+    let a = d.system.redirector(d.rd_a).controller();
+    let b = d.system.redirector(d.rd_b).controller();
+    assert!(b.is_active(), "standby never promoted during the partition");
+    assert!(
+        !a.is_active(),
+        "healed ex-active still believes it is active"
+    );
+    assert!(a.epoch().term >= 1, "ex-active never adopted the new term");
+    assert!(
+        b.stale_rejections() > 0,
+        "new active never saw (and rejected) a stale update"
+    );
+    assert!(
+        d.system
+            .obs()
+            .first_event_at("mgmt.controller.stale_epoch_rejected")
+            .is_some(),
+        "no stale-rejection event on the timeline"
+    );
+    assert!(
+        d.system
+            .obs()
+            .first_event_at("mgmt.controller.redirector_demoted")
+            .is_some(),
+        "no demotion event on the timeline"
+    );
+    // Resynced: the ex-active's controller view converged to the new
+    // active's (whatever chain the new active currently holds).
+    assert_eq!(
+        chain_at(&d, d.rd_a),
+        chain_at(&d, d.rd_b),
+        "ex-active table did not resync to the new active's"
+    );
+}
+
+/// Redirector failover is a pure function of the seed: identical seeds
+/// replay identical event counts and telemetry through a full
+/// crash-promote-flip cycle.
+#[test]
+fn failover_is_deterministic() {
+    let run = |seed: u64| {
+        let mut d = deploy(seed);
+        let payload: Vec<u8> = (0..30_000).map(|i| (i % 251) as u8).collect();
+        let crash_at = d
+            .system
+            .sim
+            .now()
+            .saturating_add(SimDuration::from_millis(50));
+        let plan = FaultPlan::new().crash(d.rd_a, crash_at);
+        let (bytes, intact) = run_transfer(&mut d, &payload, plan, SimTime::from_secs(30));
+        let events = d.system.sim.stats().events_processed;
+        (
+            bytes,
+            intact,
+            events,
+            d.system.telemetry_json("rd_failover"),
+        )
+    };
+    let a = run(7);
+    let b = run(7);
+    assert!(a.1, "reply stream must be intact");
+    assert_eq!(a.0, b.0, "byte counts diverged");
+    assert_eq!(a.2, b.2, "event counts diverged");
+    assert_eq!(a.3, b.3, "telemetry timelines diverged");
+}

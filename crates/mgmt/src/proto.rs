@@ -70,6 +70,36 @@ pub enum MgmtMsg {
         /// Echoed round identifier.
         nonce: u64,
     },
+    /// Active redirector → standby peer: replicate one table entry at epoch
+    /// `(term, seq)`. An empty chain removes the entry.
+    TableReplicate {
+        /// Epoch term; bumped on every promotion.
+        term: u32,
+        /// Update sequence within the term.
+        seq: u64,
+        /// The replicated service access point.
+        service: SockAddr,
+        /// The new chain, primary first (empty = remove).
+        chain: Vec<IpAddr>,
+    },
+    /// Active redirector → peer: full-table snapshot at epoch `(term, seq)`,
+    /// used to resync a demoted ex-primary after a partition heals.
+    TableSnapshot {
+        /// Epoch term of the snapshot.
+        term: u32,
+        /// Update sequence within the term.
+        seq: u64,
+        /// Every `(service, chain)` entry, chains primary first.
+        entries: Vec<(SockAddr, Vec<IpAddr>)>,
+    },
+    /// Receiver → stale sender: your epoch is behind mine; demote and
+    /// resync instead of applying your update.
+    EpochReject {
+        /// The receiver's (newer) epoch term.
+        term: u32,
+        /// The receiver's update sequence within that term.
+        seq: u64,
+    },
 }
 
 impl MgmtMsg {
@@ -81,7 +111,26 @@ impl MgmtMsg {
             MgmtMsg::SetRole { .. } => 4,
             MgmtMsg::Probe { .. } => 5,
             MgmtMsg::ProbeAck { .. } => 6,
+            MgmtMsg::TableReplicate { .. } => 7,
+            MgmtMsg::TableSnapshot { .. } => 8,
+            MgmtMsg::EpochReject { .. } => 9,
         }
+    }
+
+    fn write_chain(w: &mut Writer, chain: &[IpAddr]) {
+        w.u16(chain.len() as u16);
+        for host in chain {
+            w.addr(*host);
+        }
+    }
+
+    fn read_chain(r: &mut Reader<'_>) -> Result<Vec<IpAddr>, WireError> {
+        let n = r.u16()? as usize;
+        let mut chain = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            chain.push(r.addr()?);
+        }
+        Ok(chain)
     }
 
     fn write(&self, w: &mut Writer) {
@@ -111,6 +160,29 @@ impl MgmtMsg {
             MgmtMsg::Probe { nonce } | MgmtMsg::ProbeAck { nonce } => {
                 w.u64(nonce);
             }
+            MgmtMsg::TableReplicate {
+                term,
+                seq,
+                service,
+                ref chain,
+            } => {
+                w.u32(term).u64(seq).sockaddr(service);
+                Self::write_chain(w, chain);
+            }
+            MgmtMsg::TableSnapshot {
+                term,
+                seq,
+                ref entries,
+            } => {
+                w.u32(term).u64(seq).u16(entries.len() as u16);
+                for (service, chain) in entries {
+                    w.sockaddr(*service);
+                    Self::write_chain(w, chain);
+                }
+            }
+            MgmtMsg::EpochReject { term, seq } => {
+                w.u32(term).u64(seq);
+            }
         }
     }
 
@@ -138,6 +210,27 @@ impl MgmtMsg {
             },
             5 => MgmtMsg::Probe { nonce: r.u64()? },
             6 => MgmtMsg::ProbeAck { nonce: r.u64()? },
+            7 => MgmtMsg::TableReplicate {
+                term: r.u32()?,
+                seq: r.u64()?,
+                service: r.sockaddr()?,
+                chain: Self::read_chain(r)?,
+            },
+            8 => {
+                let term = r.u32()?;
+                let seq = r.u64()?;
+                let n = r.u16()? as usize;
+                let mut entries = Vec::with_capacity(n.min(64));
+                for _ in 0..n {
+                    let service = r.sockaddr()?;
+                    entries.push((service, Self::read_chain(r)?));
+                }
+                MgmtMsg::TableSnapshot { term, seq, entries }
+            }
+            9 => MgmtMsg::EpochReject {
+                term: r.u32()?,
+                seq: r.u64()?,
+            },
             _ => return Err(WireError { at: 0 }),
         })
     }
@@ -234,6 +327,35 @@ mod tests {
             },
             MgmtMsg::Probe { nonce: 0xDEAD },
             MgmtMsg::ProbeAck { nonce: 0xDEAD },
+            MgmtMsg::TableReplicate {
+                term: 3,
+                seq: 41,
+                service: service(),
+                chain: vec![IpAddr::new(10, 0, 2, 1), IpAddr::new(10, 0, 3, 1)],
+            },
+            MgmtMsg::TableReplicate {
+                term: 0,
+                seq: 1,
+                service: service(),
+                chain: vec![],
+            },
+            MgmtMsg::TableSnapshot {
+                term: 4,
+                seq: 0,
+                entries: vec![
+                    (service(), vec![IpAddr::new(10, 0, 2, 1)]),
+                    (
+                        SockAddr::new(IpAddr::new(192, 20, 225, 21), 8080),
+                        vec![IpAddr::new(10, 0, 3, 1), IpAddr::new(10, 0, 4, 1)],
+                    ),
+                ],
+            },
+            MgmtMsg::TableSnapshot {
+                term: 1,
+                seq: 9,
+                entries: vec![],
+            },
+            MgmtMsg::EpochReject { term: 5, seq: 77 },
         ]
     }
 

@@ -212,22 +212,40 @@ impl PartialDatagram {
 pub struct Reassembler {
     partials: HashMap<DatagramKey, PartialDatagram>,
     timeout: SimDuration,
+    max_partials: usize,
+    evicted: u64,
 }
 
 /// Default time a partial datagram is retained before being dropped.
 pub const DEFAULT_REASSEMBLY_TIMEOUT: SimDuration = SimDuration::from_secs(30);
 
+/// Default cap on concurrently tracked partial datagrams. A sender that dies
+/// mid-fragment-train (e.g. a crashed redirector) leaves a partial entry
+/// behind; the timeout reclaims it eventually, but the cap bounds worst-case
+/// memory if many trains are orphaned faster than they time out.
+pub const DEFAULT_MAX_PARTIALS: usize = 1024;
+
 impl Reassembler {
-    /// Creates a reassembler with the default 30 s timeout.
+    /// Creates a reassembler with the default 30 s timeout and default cap.
     pub fn new() -> Self {
         Self::with_timeout(DEFAULT_REASSEMBLY_TIMEOUT)
     }
 
     /// Creates a reassembler that discards partial datagrams after `timeout`.
     pub fn with_timeout(timeout: SimDuration) -> Self {
+        Self::with_limits(timeout, DEFAULT_MAX_PARTIALS)
+    }
+
+    /// Creates a reassembler with an explicit timeout and partial-datagram
+    /// cap. When a fragment of a new datagram arrives at the cap, the
+    /// partial closest to expiry is evicted (deterministically tie-broken by
+    /// key) and the eviction counter bumped.
+    pub fn with_limits(timeout: SimDuration, max_partials: usize) -> Self {
         Reassembler {
             partials: HashMap::new(),
             timeout,
+            max_partials: max_partials.max(1),
+            evicted: 0,
         }
     }
 
@@ -246,6 +264,9 @@ impl Reassembler {
             protocol: packet.protocol().number(),
             id: packet.header.id,
         };
+        if !self.partials.contains_key(&key) && self.partials.len() >= self.max_partials {
+            self.evict_oldest();
+        }
         let entry = self.partials.entry(key).or_insert_with(|| PartialDatagram {
             runs: Vec::new(),
             total_len: None,
@@ -272,8 +293,35 @@ impl Reassembler {
         self.partials.len()
     }
 
+    /// Number of partial datagrams evicted because the cap was reached.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
     fn expire(&mut self, now: SimTime) {
         self.partials.retain(|_, p| p.expires_at > now);
+    }
+
+    /// Drops the partial datagram closest to expiry. Ties are broken by the
+    /// key's field order so eviction is deterministic regardless of the
+    /// hash map's iteration order.
+    fn evict_oldest(&mut self) {
+        let victim = self
+            .partials
+            .iter()
+            .map(|(k, p)| {
+                (
+                    (p.expires_at, k.src.to_bits(), k.dst.to_bits(), k.protocol),
+                    k.id,
+                    *k,
+                )
+            })
+            .min_by_key(|&(rank, id, _)| (rank, id))
+            .map(|(.., k)| k);
+        if let Some(k) = victim {
+            self.partials.remove(&k);
+            self.evicted += 1;
+        }
     }
 }
 
@@ -433,6 +481,45 @@ mod tests {
         let late = frags.last().unwrap().clone();
         assert!(r.push(SimTime::from_secs(2), late).is_none());
         assert_eq!(r.pending(), 1); // the straggler starts a fresh partial
+    }
+
+    #[test]
+    fn partial_cap_evicts_oldest_and_counts() {
+        let mut r = Reassembler::with_limits(SimDuration::from_secs(30), 2);
+        // Two orphaned fragment trains occupy both slots, staggered in time
+        // so their expiry deadlines (and thus eviction order) differ.
+        for (i, at) in [(20u16, 0u64), (21, 1)] {
+            let frags = fragment_packet(packet(400, i), 150).unwrap();
+            assert!(r.push(SimTime::from_secs(at), frags[0].clone()).is_none());
+        }
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.evicted(), 0);
+        // A third train arrives: the oldest partial (id 20) is evicted.
+        let frags = fragment_packet(packet(400, 22), 150).unwrap();
+        assert!(r.push(SimTime::from_secs(2), frags[0].clone()).is_none());
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.evicted(), 1);
+        // The survivor (id 21) can still complete.
+        let rest = fragment_packet(packet(400, 21), 150).unwrap();
+        let mut out = None;
+        for f in rest.iter().skip(1) {
+            if let Some(w) = r.push(SimTime::from_secs(2), f.clone()) {
+                out = Some(w);
+            }
+        }
+        assert_eq!(out.expect("survivor reassembles").header.id, 21);
+    }
+
+    #[test]
+    fn duplicate_fragment_of_tracked_datagram_does_not_evict() {
+        let mut r = Reassembler::with_limits(SimDuration::from_secs(30), 1);
+        let frags = fragment_packet(packet(400, 30), 150).unwrap();
+        assert!(r.push(SimTime::ZERO, frags[0].clone()).is_none());
+        // Re-offering a fragment of the datagram already being tracked must
+        // not count as "new" and evict the very entry it belongs to.
+        assert!(r.push(SimTime::ZERO, frags[0].clone()).is_none());
+        assert_eq!(r.evicted(), 0);
+        assert_eq!(r.pending(), 1);
     }
 
     #[test]

@@ -121,6 +121,9 @@ impl Protocol {
     pub const TCP: Protocol = Protocol(6);
     /// UDP (protocol 17).
     pub const UDP: Protocol = Protocol(17);
+    /// Route announcement flooded by a promoted redirector so routers flip
+    /// their anycast next hop to the survivor (protocol 89, OSPF's number).
+    pub const ROUTE_ANNOUNCE: Protocol = Protocol(89);
 
     /// Creates a protocol from its raw number.
     pub const fn from_number(n: u8) -> Self {

@@ -5,8 +5,10 @@
 //! [`RouteTable`] here provides that base forwarding behaviour; the
 //! `hydranet-redirect` crate layers redirection on top of it.
 
+use std::collections::HashMap;
+
 use crate::node::{Context, IfaceId, Node};
-use crate::packet::{IpAddr, IpPacket};
+use crate::packet::{IpAddr, IpPacket, Protocol};
 
 /// A destination prefix: address plus mask length in bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -139,6 +141,38 @@ impl RouteTable {
     pub fn iter(&self) -> impl Iterator<Item = (Prefix, IfaceId)> + '_ {
         self.routes.iter().copied()
     }
+
+    /// Rewrites every route whose egress is in `group` to egress `to`,
+    /// returning how many routes moved. This is the anycast flip: the
+    /// interfaces in `group` all lead to equivalent redirectors, and a
+    /// [`route announcement`](encode_route_announce) from the survivor
+    /// retargets the whole group at once.
+    pub fn retarget(&mut self, group: &[IfaceId], to: IfaceId) -> usize {
+        let mut moved = 0;
+        for (_, iface) in &mut self.routes {
+            if *iface != to && group.contains(iface) {
+                *iface = to;
+                moved += 1;
+            }
+        }
+        moved
+    }
+}
+
+/// Encodes a [`Protocol::ROUTE_ANNOUNCE`] payload: the announcing
+/// redirector's address plus a monotonically increasing sequence number.
+pub fn encode_route_announce(origin: IpAddr, seq: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&origin.octets());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out
+}
+
+/// Decodes a [`Protocol::ROUTE_ANNOUNCE`] payload; `None` if malformed.
+pub fn decode_route_announce(payload: &[u8]) -> Option<(IpAddr, u64)> {
+    let octets: [u8; 4] = payload.get(..4)?.try_into().ok()?;
+    let seq = u64::from_be_bytes(payload.get(4..12)?.try_into().ok()?);
+    Some((IpAddr::from(octets), seq))
 }
 
 /// A plain IP router: decrements TTL and forwards by longest prefix match.
@@ -151,6 +185,12 @@ pub struct RouterNode {
     name: String,
     forwarded: u64,
     dropped: u64,
+    /// Interfaces leading to interchangeable (anycast) redirectors; a route
+    /// announcement arriving on one of them retargets the whole group.
+    anycast_group: Vec<IfaceId>,
+    /// Highest announcement sequence seen per origin, for dedup.
+    announce_seen: HashMap<IpAddr, u64>,
+    flips: u64,
 }
 
 impl RouterNode {
@@ -161,7 +201,23 @@ impl RouterNode {
             name: name.into(),
             forwarded: 0,
             dropped: 0,
+            anycast_group: Vec::new(),
+            announce_seen: HashMap::new(),
+            flips: 0,
         }
+    }
+
+    /// Declares `ifaces` an anycast group: they lead to interchangeable
+    /// redirectors, and a fresher route announcement arriving on one of them
+    /// moves every route currently egressing via the group onto that
+    /// interface.
+    pub fn set_anycast_group(&mut self, ifaces: Vec<IfaceId>) {
+        self.anycast_group = ifaces;
+    }
+
+    /// Times this router flipped its anycast group to a new survivor.
+    pub fn anycast_flips(&self) -> u64 {
+        self.flips
     }
 
     /// The routing table.
@@ -186,7 +242,24 @@ impl RouterNode {
 }
 
 impl Node for RouterNode {
-    fn on_packet(&mut self, ctx: &mut Context<'_>, _iface: IfaceId, mut packet: IpPacket) {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, iface: IfaceId, mut packet: IpPacket) {
+        if packet.protocol() == Protocol::ROUTE_ANNOUNCE {
+            let Some((origin, seq)) = decode_route_announce(&packet.payload) else {
+                self.dropped += 1;
+                return;
+            };
+            let last = self.announce_seen.get(&origin).copied();
+            if last.is_some_and(|l| seq <= l) {
+                return; // stale or duplicate announcement
+            }
+            self.announce_seen.insert(origin, seq);
+            if self.anycast_group.contains(&iface)
+                && self.routes.retarget(&self.anycast_group, iface) > 0
+            {
+                self.flips += 1;
+            }
+            return;
+        }
         if packet.header.ttl <= 1 {
             self.dropped += 1;
             return;
@@ -292,6 +365,71 @@ mod tests {
         assert_eq!(rt.remove(p), Some(IfaceId::from_index(3)));
         assert_eq!(rt.remove(p), None);
         assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn route_announce_roundtrip_and_garbage() {
+        let origin = IpAddr::new(10, 9, 0, 2);
+        let enc = encode_route_announce(origin, 7);
+        assert_eq!(decode_route_announce(&enc), Some((origin, 7)));
+        assert_eq!(decode_route_announce(&enc[..5]), None);
+        assert_eq!(decode_route_announce(&[]), None);
+    }
+
+    #[test]
+    fn retarget_moves_only_group_routes() {
+        let mut rt = RouteTable::new();
+        let a = IfaceId::from_index(1);
+        let b = IfaceId::from_index(2);
+        let other = IfaceId::from_index(3);
+        rt.add(Prefix::new(IpAddr::new(10, 0, 0, 0), 8), a);
+        rt.add(Prefix::host(IpAddr::new(10, 9, 0, 9)), a);
+        rt.add(Prefix::new(IpAddr::new(192, 0, 0, 0), 8), other);
+        assert_eq!(rt.retarget(&[a, b], b), 2);
+        assert_eq!(rt.lookup(IpAddr::new(10, 9, 0, 9)), Some(b));
+        assert_eq!(rt.lookup(IpAddr::new(10, 1, 1, 1)), Some(b));
+        assert_eq!(rt.lookup(IpAddr::new(192, 1, 1, 1)), Some(other));
+        // Already on the survivor: nothing to move.
+        assert_eq!(rt.retarget(&[a, b], b), 0);
+    }
+
+    #[test]
+    fn announcement_flips_anycast_group_once_per_seq() {
+        let mut r = RouterNode::new("r");
+        let via_a = IfaceId::from_index(0);
+        let via_b = IfaceId::from_index(1);
+        r.routes_mut()
+            .add(Prefix::host(IpAddr::new(10, 9, 0, 9)), via_a);
+        r.set_anycast_group(vec![via_a, via_b]);
+
+        let origin = IpAddr::new(10, 9, 0, 2);
+        let announce = |seq| {
+            IpPacket::new(
+                origin,
+                IpAddr::new(255, 255, 255, 255),
+                Protocol::ROUTE_ANNOUNCE,
+                encode_route_announce(origin, seq),
+            )
+        };
+
+        let mut t = TopologyBuilder::new();
+        let id = t.add_node(r, NodeParams::INSTANT);
+        let peer = t.add_node(RouterNode::new("peer"), NodeParams::INSTANT);
+        let peer2 = t.add_node(RouterNode::new("peer2"), NodeParams::INSTANT);
+        t.connect(id, peer, LinkParams::default());
+        t.connect(id, peer2, LinkParams::default());
+        let mut sim = t.into_simulator(3);
+        sim.with_node_ctx::<RouterNode, _>(id, |r, ctx| {
+            let _ = ctx;
+            r.on_packet(ctx, via_b, announce(1));
+            // Duplicate seq: ignored.
+            r.on_packet(ctx, via_b, announce(1));
+            // Stale seq after a newer one: ignored.
+            r.on_packet(ctx, via_a, announce(0));
+        });
+        let r = sim.node::<RouterNode>(id);
+        assert_eq!(r.routes().lookup(IpAddr::new(10, 9, 0, 9)), Some(via_b));
+        assert_eq!(r.anycast_flips(), 1);
     }
 
     /// A terminal host that counts what reaches it.

@@ -78,6 +78,12 @@ pub mod kinds {
     pub const LINK_IMPAIRED: &str = "netsim.link.impaired";
     /// A fault plan injected a fault (one event per plan action).
     pub const FAULT_INJECTED: &str = "faults.injected";
+    /// A standby redirector promoted itself to active after losing its peer.
+    pub const REDIRECTOR_PROMOTED: &str = "mgmt.controller.redirector_promoted";
+    /// An ex-active redirector demoted itself after meeting a newer epoch.
+    pub const REDIRECTOR_DEMOTED: &str = "mgmt.controller.redirector_demoted";
+    /// A replicated table update carried a stale epoch and was rejected.
+    pub const STALE_EPOCH_REJECTED: &str = "mgmt.controller.stale_epoch_rejected";
 }
 
 /// Well-known metric names published by the parallel experiment engine

@@ -36,6 +36,10 @@ pub struct RedirectorStats {
     pub dropped_ttl: u64,
     /// Packets addressed to the redirector itself (management traffic).
     pub local: u64,
+    /// Bare SYNs to fault-tolerant services dropped during a post-promotion
+    /// admission grace (the client retransmits; see
+    /// [`RedirectorEngine::defer_new_flows_until`]).
+    pub syn_deferred: u64,
 }
 
 /// What [`RedirectorEngine::process`] decided about a packet.
@@ -54,6 +58,9 @@ pub enum Disposition {
 #[derive(Debug)]
 pub struct RedirectorEngine {
     addr: IpAddr,
+    /// Shared virtual address of a redirector pair: packets addressed to it
+    /// are local to whichever pair member currently receives them.
+    virtual_addr: Option<IpAddr>,
     routes: RouteTable,
     table: RedirectorTable,
     stats: RedirectorStats,
@@ -73,6 +80,12 @@ pub struct RedirectorEngine {
     obs: Obs,
     /// Monotonic per-engine sequence keying each fan-out span.
     fanout_seq: u64,
+    /// Until this instant, bare SYNs to fault-tolerant services are dropped
+    /// (`None` = no gate). Set for a grace window after a pair promotion so
+    /// registrations that were blackholed during the outage — and are still
+    /// retransmitting on the mgmt reliable cadence — re-land and complete
+    /// the chain before any brand-new connection is admitted.
+    admit_new_flows_after: Option<SimTime>,
 }
 
 impl RedirectorEngine {
@@ -80,6 +93,7 @@ impl RedirectorEngine {
     pub fn new(addr: IpAddr) -> Self {
         RedirectorEngine {
             addr,
+            virtual_addr: None,
             routes: RouteTable::new(),
             table: RedirectorTable::new(),
             stats: RedirectorStats::default(),
@@ -90,6 +104,7 @@ impl RedirectorEngine {
             c_forwarded: Counter::default(),
             obs: Obs::default(),
             fanout_seq: 0,
+            admit_new_flows_after: None,
         }
     }
 
@@ -107,6 +122,29 @@ impl RedirectorEngine {
     /// The redirector's own address.
     pub fn addr(&self) -> IpAddr {
         self.addr
+    }
+
+    /// Declares the pair's shared virtual address: packets addressed to it
+    /// are treated as local, exactly like the engine's own address.
+    pub fn set_virtual_addr(&mut self, vip: IpAddr) {
+        self.virtual_addr = Some(vip);
+    }
+
+    /// The pair's shared virtual address, if configured.
+    pub fn virtual_addr(&self) -> Option<IpAddr> {
+        self.virtual_addr
+    }
+
+    /// Defers *new* fault-tolerant flows (bare SYNs) until `t`: established
+    /// flows keep flowing, but connection opens are dropped so the client's
+    /// SYN retransmit finds the chain at full strength. A freshly promoted
+    /// pair member calls this, because registrations blackholed while the
+    /// route still pointed at the dead ex-active retransmit on the mgmt
+    /// reliable cadence — without the grace, a SYN retransmit that lands
+    /// just after the route flip races those registrations and the service
+    /// serves a silently degraded chain.
+    pub fn defer_new_flows_until(&mut self, t: SimTime) {
+        self.admit_new_flows_after = Some(t);
     }
 
     /// The plain routing table (egress interface by destination prefix).
@@ -155,7 +193,7 @@ impl RedirectorEngine {
         now: SimTime,
         out: &mut Vec<(IfaceId, IpPacket)>,
     ) -> Disposition {
-        if packet.dst() == self.addr {
+        if packet.dst() == self.addr || self.virtual_addr == Some(packet.dst()) {
             self.stats.local += 1;
             return Disposition::Local(packet);
         }
@@ -180,6 +218,14 @@ impl RedirectorEngine {
             if let Some(port) = peek_tcp_dst_port(&whole.payload) {
                 let sap = SockAddr::new(whole.dst(), port);
                 if let Some(entry) = self.table.lookup(sap) {
+                    if matches!(entry, ServiceEntry::FaultTolerant { .. })
+                        && self.admit_new_flows_after.is_some_and(|t| now < t)
+                        && peek_tcp_flags(&whole.payload)
+                            .is_some_and(|f| f & 0x03 == 0x01 /* SYN, not SYN|ACK */)
+                    {
+                        self.stats.syn_deferred += 1;
+                        return Disposition::Handled;
+                    }
                     self.stats.redirected += 1;
                     self.c_redirected.inc();
                     // Encode the inner packet ONCE; each tunnelled copy is
@@ -293,6 +339,13 @@ pub fn peek_tcp_dst_port(payload: &[u8]) -> Option<u16> {
         return None;
     }
     Some(u16::from_be_bytes([payload[2], payload[3]]))
+}
+
+/// Reads the flags byte out of an (unparsed) TCP segment (the simulator's
+/// compact header: `src_port (2) | dst_port (2) | seq (4) | ack (4) |
+/// flags (1) | …`; bit 0 = SYN, bit 1 = ACK).
+pub fn peek_tcp_flags(payload: &[u8]) -> Option<u8> {
+    payload.get(12).copied()
 }
 
 /// A standalone redirector node (no management plane): suitable for tests
@@ -447,6 +500,54 @@ mod tests {
     }
 
     #[test]
+    fn admission_grace_defers_bare_syns_but_not_established_flows() {
+        let mut e = engine();
+        e.table_mut().install(
+            SockAddr::new(SERVICE, 80),
+            ServiceEntry::FaultTolerant {
+                chain: vec![H1, H2],
+            },
+        );
+        e.defer_new_flows_until(SimTime::from_millis(300));
+
+        let syn = |at: SimTime, e: &mut RedirectorEngine, out: &mut Vec<_>| {
+            let seg = TcpSegment {
+                src_port: 40_000,
+                dst_port: 80,
+                seq: SeqNum::new(1),
+                ack: SeqNum::new(0),
+                flags: TcpFlags::SYN,
+                window: 1000,
+                payload: Vec::new().into(),
+            };
+            e.process(
+                IpPacket::new(CLIENT, SERVICE, Protocol::TCP, seg.encode()),
+                at,
+                out,
+            )
+        };
+
+        // Inside the grace: the connection open is dropped, silently — the
+        // client's SYN retransmit will retry after the gate…
+        let mut out = Vec::new();
+        syn(SimTime::from_millis(100), &mut e, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(e.stats().syn_deferred, 1);
+        assert_eq!(e.stats().redirected, 0);
+
+        // …while segments of established flows (ACK set) keep fanning out.
+        e.process(tcp_packet(80, 100), SimTime::from_millis(100), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(e.stats().redirected, 1);
+
+        // After the grace the SYN is admitted and multicast to the chain.
+        out.clear();
+        syn(SimTime::from_millis(300), &mut e, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(e.stats().syn_deferred, 1);
+    }
+
+    #[test]
     fn chain_reconfiguration_does_not_serve_stale_fanout() {
         let mut e = engine();
         let sap = SockAddr::new(SERVICE, 80);
@@ -581,6 +682,72 @@ mod tests {
         }
         assert!(out.is_empty());
         assert_eq!(e.stats().local, 1);
+    }
+
+    #[test]
+    fn virtual_addr_packets_are_local_too() {
+        let mut e = engine();
+        let vip = IpAddr::new(10, 9, 0, 9);
+        e.set_virtual_addr(vip);
+        let p = IpPacket::new(CLIENT, vip, Protocol::UDP, vec![7]);
+        let mut out = Vec::new();
+        match e.process(p.clone(), SimTime::ZERO, &mut out) {
+            Disposition::Local(got) => assert_eq!(got, p),
+            other => panic!("expected Local, got {other:?}"),
+        }
+        assert_eq!(e.stats().local, 1);
+        // Without the VIP configured the same packet is routed, not local.
+        let mut plain = engine();
+        plain
+            .routes_mut()
+            .add(Prefix::host(vip), IfaceId::from_index(0));
+        match plain.process(p, SimTime::ZERO, &mut out) {
+            Disposition::Handled => {}
+            other => panic!("expected Handled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_mid_fragment_train_leaves_bounded_partial_state() {
+        use hydranet_netsim::frag::{fragment_packet, Reassembler};
+        use hydranet_netsim::time::SimDuration;
+
+        // The redirector tunnels an oversized write to its chain member…
+        let mut e = engine();
+        e.table_mut().install(
+            SockAddr::new(SERVICE, 80),
+            ServiceEntry::FaultTolerant { chain: vec![H1] },
+        );
+        let mut out = Vec::new();
+        e.process(tcp_packet(80, 2000), SimTime::ZERO, &mut out);
+        assert_eq!(out.len(), 1);
+        let tunnel = out[0].1.clone();
+        // …which a small-MTU link splits into a fragment train.
+        let frags = fragment_packet(tunnel, 600).expect("fragments");
+        assert!(frags.len() > 1);
+
+        // The redirector crashes after fragment 1: the chain member is left
+        // holding a partial datagram that can never complete.
+        let mut member = Reassembler::with_limits(SimDuration::from_secs(30), 2);
+        assert!(member.push(SimTime::ZERO, frags[0].clone()).is_none());
+        assert_eq!(member.pending(), 1);
+
+        // The timeout reclaims the orphan: state is bounded in time…
+        let later = SimTime::from_secs(31);
+        let keepalive = IpPacket::new(CLIENT, H1, Protocol::UDP, vec![0]);
+        assert!(member.push(later, keepalive).is_some());
+        assert_eq!(member.pending(), 0);
+
+        // …and the cap bounds it in space if orphans pile up faster: two
+        // more orphaned trains fill the cap, a third evicts the oldest.
+        for id in [91u16, 92, 93] {
+            let mut p = tcp_packet(80, 2000);
+            p.header.id = id;
+            let f = fragment_packet(p, 600).unwrap();
+            assert!(member.push(later, f[0].clone()).is_none());
+        }
+        assert_eq!(member.pending(), 2);
+        assert_eq!(member.evicted(), 1);
     }
 
     #[test]

@@ -116,10 +116,15 @@ pub struct RedirectorTable {
     /// fast path hands back a handle without cloning the vector. Same
     /// invalidation discipline as `target_cache`.
     ft_cache: RefCell<HashMap<SockAddr, Rc<FtTargets>>>,
+    /// Table epoch `(term, seq)` of the last accepted replicated update.
+    /// `term` bumps on redirector promotion; an update from an older term
+    /// is a partitioned ex-active talking and must be rejected.
+    epoch: (u32, u64),
     c_installs: Counter,
     c_removes: Counter,
     c_cache_hits: Counter,
     c_cache_misses: Counter,
+    c_stale: Counter,
     g_entries: Gauge,
 }
 
@@ -136,8 +141,46 @@ impl RedirectorTable {
         self.c_removes = obs.counter(&format!("redirect.table.{scope}.removes"));
         self.c_cache_hits = obs.counter(&format!("redirect.table.{scope}.target_cache_hits"));
         self.c_cache_misses = obs.counter(&format!("redirect.table.{scope}.target_cache_misses"));
+        self.c_stale = obs.counter(&format!("redirect.table.{scope}.stale_rejected"));
         self.g_entries = obs.gauge(&format!("redirect.table.{scope}.entries"));
         self.g_entries.set(self.entries.len() as f64);
+    }
+
+    /// The `(term, seq)` epoch of the last accepted replicated update.
+    pub fn epoch(&self) -> (u32, u64) {
+        self.epoch
+    }
+
+    /// Applies a replicated table update stamped with epoch `(term, seq)`:
+    /// installs `entry` (or removes the `sap` entry when `None`) unless the
+    /// update is stale — strictly older than the last accepted epoch — in
+    /// which case nothing changes and `false` is returned.
+    ///
+    /// Crossing into a new term drops *every* memoized target, not just the
+    /// touched sap's: a promotion means the table's provenance changed, and
+    /// fan-outs memoized under the old régime must not survive it.
+    pub fn apply_epoch_update(
+        &mut self,
+        term: u32,
+        seq: u64,
+        sap: SockAddr,
+        entry: Option<ServiceEntry>,
+    ) -> bool {
+        if (term, seq) < self.epoch {
+            self.c_stale.inc();
+            return false;
+        }
+        if term != self.epoch.0 {
+            self.invalidate_targets();
+        }
+        self.epoch = (term, seq);
+        match entry {
+            Some(e) => self.install(sap, e),
+            None => {
+                self.remove(sap);
+            }
+        }
+        true
     }
 
     /// Installs (or replaces) the entry for a service access point.
@@ -512,6 +555,76 @@ mod tests {
         // Removal clears the cache along with the entry.
         t.remove(sap(80));
         assert!(t.ft_targets(sap(80), all).is_none());
+    }
+
+    #[test]
+    fn epoch_guard_rejects_stale_updates() {
+        let mut t = RedirectorTable::new();
+        assert!(t.apply_epoch_update(
+            1,
+            1,
+            sap(80),
+            Some(ServiceEntry::FaultTolerant {
+                chain: vec![host(1), host(2)],
+            }),
+        ));
+        assert_eq!(t.epoch(), (1, 1));
+        // A stale update from the partitioned ex-active (older term) is
+        // rejected without touching the table.
+        assert!(!t.apply_epoch_update(
+            0,
+            9,
+            sap(80),
+            Some(ServiceEntry::FaultTolerant {
+                chain: vec![host(9)],
+            }),
+        ));
+        assert_eq!(t.chain(sap(80)).unwrap(), &[host(1), host(2)]);
+        assert_eq!(t.epoch(), (1, 1));
+        // Same-epoch replay is idempotent, newer seq advances.
+        assert!(t.apply_epoch_update(1, 2, sap(80), None));
+        assert!(t.lookup(sap(80)).is_none());
+    }
+
+    #[test]
+    fn term_change_flushes_every_memoized_target() {
+        let mut t = RedirectorTable::new();
+        t.install(
+            sap(80),
+            ServiceEntry::FaultTolerant {
+                chain: vec![host(1), host(2)],
+            },
+        );
+        let probes = std::cell::Cell::new(0);
+        let routable = |_h: IpAddr| {
+            probes.set(probes.get() + 1);
+            Some(IfaceId::from_index(0))
+        };
+        assert_eq!(t.ft_targets(sap(80), routable).unwrap().routed.len(), 2);
+        assert_eq!(probes.get(), 2);
+        // A replicated update in a NEW term touching a different service
+        // must still flush sap(80)'s memoized fan-out.
+        assert!(t.apply_epoch_update(
+            1,
+            1,
+            sap(443),
+            Some(ServiceEntry::FaultTolerant {
+                chain: vec![host(3)],
+            }),
+        ));
+        assert_eq!(t.ft_targets(sap(80), routable).unwrap().routed.len(), 2);
+        assert_eq!(probes.get(), 4, "cache was re-resolved after term change");
+        // A same-term update to another service leaves the memo alone.
+        assert!(t.apply_epoch_update(
+            1,
+            2,
+            sap(443),
+            Some(ServiceEntry::FaultTolerant {
+                chain: vec![host(4)],
+            }),
+        ));
+        let _ = t.ft_targets(sap(80), routable);
+        assert_eq!(probes.get(), 4);
     }
 
     #[test]

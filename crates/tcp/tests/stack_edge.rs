@@ -568,3 +568,95 @@ fn ephemeral_exhaustion_is_recoverable_and_ports_recycle() {
         host.flush(ctx);
     });
 }
+
+/// Churn the ephemeral recycle queue *through* a demux collision spill.
+/// The demux key packs (remote addr, remote port, local port) but not the
+/// local address, so a `v_host` virtual-address connection sharing the
+/// remote endpoint and local port of an `addrs[0]` connection lands in the
+/// same slot (`DemuxSlot::Many`). Recycling the `addrs[0]` port over and
+/// over must keep resolving against the full quad: the spill partner is
+/// neither aliased by a recycled allocation nor lost when the spill
+/// collapses back to a single slot.
+#[test]
+fn recycle_churn_through_demux_collision_spill_never_aliases() {
+    const V_ADDR: IpAddr = IpAddr::new(10, 0, 9, 9);
+    let (mut sim, a, _b) = pair();
+    sim.with_node_ctx::<StackHost, _>(a, |host, ctx| {
+        host.stack.set_ephemeral_range(50_000, 50_002);
+        host.stack.add_local_addr(V_ADDR);
+        host.stack.listen(50_001, |_q| Box::new(NullApp));
+        let remote = SockAddr::new(B_ADDR, 80);
+
+        // The spill partner: an inbound connection from the same remote
+        // endpoint to the *virtual* address on a port inside the
+        // ephemeral range.
+        let seg = TcpSegment {
+            src_port: 80,
+            dst_port: 50_001,
+            seq: SeqNum::new(9_000),
+            ack: SeqNum::new(0),
+            flags: TcpFlags::SYN,
+            window: 65_535,
+            payload: Vec::new().into(),
+        };
+        let packet = hydranet_netsim::packet::IpPacket::new(
+            B_ADDR,
+            V_ADDR,
+            hydranet_netsim::packet::Protocol::TCP,
+            seg.encode(),
+        );
+        host.stack.handle_packet(packet, ctx.now());
+        let partner = Quad::new(SockAddr::new(V_ADDR, 50_001), remote);
+        assert!(host.stack.conn(partner).is_some(), "spill partner missing");
+
+        // Saturate the range towards the same remote: the allocation on
+        // port 50001 shares its demux slot with the partner.
+        let quads: Vec<Quad> = (0..3)
+            .map(|i| {
+                host.stack
+                    .connect(remote, Box::new(NullApp), ctx.now())
+                    .unwrap_or_else(|_| panic!("connect {i}"))
+            })
+            .collect();
+        let spilled = *quads
+            .iter()
+            .find(|q| q.local.port == 50_001)
+            .expect("range must include the partner's port");
+        assert_eq!(host.stack.conn_count(), 4);
+
+        // Churn the spilled port through close/reconnect. Each cycle the
+        // spill collapses to the partner alone and re-spills on reuse; a
+        // key-only (quad-less) lookup anywhere in the recycle path would
+        // either alias the partner's slot or refuse to recycle the port
+        // (exhaustion), and a collapse bug would drop the partner.
+        for i in 0..20 {
+            host.stack.with_io(spilled, ctx.now(), |io| io.close());
+            let q = host
+                .stack
+                .connect(remote, Box::new(NullApp), ctx.now())
+                .unwrap_or_else(|_| panic!("churn reconnect {i}"));
+            assert_eq!(q.local.port, 50_001, "only the spilled port is free");
+            assert!(
+                host.stack.conn(q).is_some(),
+                "cycle {i}: recycled connection not resolvable by full quad"
+            );
+            assert!(
+                host.stack.conn(partner).is_some(),
+                "cycle {i}: spill partner lost by collapse or aliased away"
+            );
+            assert_eq!(host.stack.conn_count(), 4, "cycle {i} leaked connections");
+        }
+        assert!(
+            host.stack.stats().ports_recycled >= 10,
+            "churn never exercised the recycle queue: {} recycles",
+            host.stack.stats().ports_recycled
+        );
+
+        // The partner still demuxes by full quad after all that churn: its
+        // handshake state is intact, distinct from the fresh outbound
+        // connection sharing its demux key.
+        let partner_state = host.stack.conn(partner).expect("partner").state();
+        assert_eq!(partner_state, TcpState::SynRcvd);
+        host.flush(ctx);
+    });
+}
