@@ -135,8 +135,15 @@ fn main() {
     // failing, persist every captured flight-recorder dump so CI attaches
     // the causal evidence (span tree + lineage notes) to the red run.
     let bad = violations(&outcomes);
+    if outcomes.iter().any(|o| o.flight_dump.is_some()) {
+        // Dumps land in a gitignored scratch dir; CI uploads them as
+        // workflow artifacts, they are never committed to the repo.
+        if let Err(e) = std::fs::create_dir_all("artifacts") {
+            eprintln!("could not create artifacts dir: {e}");
+        }
+    }
     for o in outcomes.iter().filter(|o| o.flight_dump.is_some()) {
-        let path = format!("FLIGHT_chaos_{}_{}.json", o.class, o.seed);
+        let path = format!("artifacts/FLIGHT_chaos_{}_{}.json", o.class, o.seed);
         let dump = o.flight_dump.as_deref().unwrap_or_default();
         match std::fs::write(&path, dump) {
             Ok(()) => eprintln!("flight recorder dumped to {path}"),

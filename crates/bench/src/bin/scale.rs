@@ -32,7 +32,8 @@
 use std::fmt::Write as _;
 
 use hydranet_bench::scale::{
-    merged_report, profile_cell, run_scale, total_bytes, total_events, CellOutcome, ScaleConfig,
+    aggregate_bytes_per_flow, merged_report, profile_cell, run_scale, total_bytes, total_events,
+    CellOutcome, ScaleConfig,
 };
 use hydranet_bench::{render_table, RunnerStats};
 use hydranet_obs::Obs;
@@ -105,6 +106,14 @@ fn baseline_host_speed(doc: &str) -> Option<f64> {
         .and_then(|l| extract_f64(l, "host_speed"))
 }
 
+/// The per-flow memory pin recorded in the baseline document (absent in
+/// baselines from before memory was ratcheted).
+fn baseline_bytes_per_flow(doc: &str) -> Option<f64> {
+    doc.lines()
+        .find(|l| l.contains("\"bytes_per_flow\": "))
+        .and_then(|l| extract_f64(l, "bytes_per_flow"))
+}
+
 /// Reads the recorded events/sec for one thread count back out of the
 /// baseline document.
 fn baseline_eps(doc: &str, threads: usize) -> Option<f64> {
@@ -114,12 +123,17 @@ fn baseline_eps(doc: &str, threads: usize) -> Option<f64> {
         .and_then(|l| extract_f64(l, "events_per_sec"))
 }
 
-fn baseline_json(cfg: &ScaleConfig, host_speed: f64, measurements: &[Measurement]) -> String {
+fn baseline_json(
+    cfg: &ScaleConfig,
+    host_speed: f64,
+    bytes_per_flow: u64,
+    measurements: &[Measurement],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n\"bench\": \"scale_baseline\",\n");
     let _ = write!(
         out,
-        "\"cells\": {}, \"flows_per_cell\": {},\n\"host_speed\": {host_speed:.1},\n\"timing\": [\n",
+        "\"cells\": {}, \"flows_per_cell\": {},\n\"host_speed\": {host_speed:.1},\n\"bytes_per_flow\": {bytes_per_flow},\n\"timing\": [\n",
         cfg.cells, cfg.flows_per_cell
     );
     for (i, m) in measurements.iter().enumerate() {
@@ -237,13 +251,17 @@ fn main() {
     let (outcomes, report) = reference.expect("at least one thread count");
 
     let host_speed = measure_host_speed();
+    let bytes_per_flow = aggregate_bytes_per_flow(&outcomes);
     if save_baseline {
         let path = baseline_path(smoke);
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir).expect("create baseline dir");
         }
-        std::fs::write(&path, baseline_json(&cfg, host_speed, &measurements))
-            .expect("write baseline");
+        std::fs::write(
+            &path,
+            baseline_json(&cfg, host_speed, bytes_per_flow, &measurements),
+        )
+        .expect("write baseline");
         println!("baseline written to {}", path.display());
         return;
     }
@@ -276,6 +294,20 @@ fn main() {
                     "threads={}: events_per_sec_ratio {ratio:.3} \
                      ({normalized:.3} host-speed-normalized)",
                     m.threads
+                ));
+            }
+        }
+        // Memory ratchet: per-flow bytes derive from slab/buffer
+        // accounting over simulated state, so for a fixed config the
+        // number is exactly reproducible — no host-speed normalization,
+        // and only a small allowance for platform allocation-size skew.
+        if let Some(base) = baseline_bytes_per_flow(&doc) {
+            let ratio = bytes_per_flow as f64 / base.max(1.0);
+            println!("  bytes_per_flow {bytes_per_flow} vs baseline {base:.0} (x{ratio:.3})");
+            if ratchet.is_some() && ratio > 1.05 {
+                ratchet_failures.push(format!(
+                    "bytes_per_flow {bytes_per_flow} regressed over baseline {base:.0} \
+                     (x{ratio:.3} > 1.05)"
                 ));
             }
         }
@@ -321,7 +353,7 @@ fn main() {
         .map(|o| format!("{}", o.per_flow_bytes()))
         .collect();
     println!(
-        "client per-flow memory at peak hold (bytes/conn, per cell): {}",
+        "client per-flow memory at peak hold: {bytes_per_flow} bytes/conn aggregate (per cell: {})",
         per_flow.join(", ")
     );
 

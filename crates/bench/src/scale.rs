@@ -36,6 +36,7 @@
 use hydranet_core::prelude::*;
 use hydranet_netsim::profile::CategoryStats;
 use hydranet_netsim::rng::SimRng;
+use hydranet_netsim::wheel::CalendarKind;
 use hydranet_obs::{json, Obs};
 use hydranet_tcp::stack::{SocketApp, SocketIo};
 
@@ -86,6 +87,10 @@ pub struct ScaleConfig {
     /// Per-connection socket-buffer size (send and receive). Scaled down
     /// from the general default so 10k+ flows stay within real memory.
     pub buf_bytes: usize,
+    /// Event-calendar backend for every cell simulator. A wall-clock knob,
+    /// never a results knob — the determinism guard pins wheel/heap
+    /// bit-identity on the merged report.
+    pub calendar: CalendarKind,
 }
 
 impl Default for ScaleConfig {
@@ -102,6 +107,7 @@ impl Default for ScaleConfig {
             cross_bytes: 2_000_000,
             drain: SimDuration::from_secs(3),
             buf_bytes: 8_192,
+            calendar: CalendarKind::Wheel,
         }
     }
 }
@@ -391,6 +397,7 @@ fn run_cell_impl(
     let cross_spec = FtServiceSpec::new(cross_service(), vec![hs1], detector);
     b.deploy_ft_service(&cross_spec, |_quad| Box::new(ReceiptApp::default()));
     let mut system = b.build(seed);
+    system.sim.set_calendar(cfg.calendar);
     if profile {
         system.enable_profiler();
     }
@@ -533,6 +540,18 @@ pub fn total_bytes(outcomes: &[CellOutcome]) -> u64 {
     outcomes.iter().map(|o| o.bytes).sum()
 }
 
+/// Aggregate client-side per-flow memory at peak hold: total sampled
+/// connection-state heap bytes over total sampled connections, across all
+/// cells. Comes from the stack's slab/buffer accounting
+/// (`conn_memory_bytes`), so it prices what the engine actually allocates
+/// per held connection — slab slots, socket buffers, boxed cold state —
+/// not a struct-size guess.
+pub fn aggregate_bytes_per_flow(outcomes: &[CellOutcome]) -> u64 {
+    let bytes: u64 = outcomes.iter().map(|o| o.client_conn_bytes).sum();
+    let conns: u64 = outcomes.iter().map(|o| o.client_conns_at_sample).sum();
+    bytes.checked_div(conns).unwrap_or(0)
+}
+
 /// The `p`-quantile (0..=1) of a sorted slice.
 fn quantile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
@@ -584,6 +603,7 @@ pub fn merged_report(cfg: &ScaleConfig, outcomes: &[CellOutcome]) -> String {
     } else {
         total_events as f64 / total_bytes as f64
     };
+    let bytes_per_flow = aggregate_bytes_per_flow(outcomes);
     let summary = obs.to_json_with_meta(&[
         ("workload", "scale".into()),
         ("cells", cfg.cells.to_string()),
@@ -596,6 +616,7 @@ pub fn merged_report(cfg: &ScaleConfig, outcomes: &[CellOutcome]) -> String {
             format!("{}..{}", cfg.min_flow_bytes, cfg.max_flow_bytes),
         ),
         ("events_per_byte", format!("{events_per_byte:.4}")),
+        ("bytes_per_flow", bytes_per_flow.to_string()),
         ("completion_p50_ns", quantile(&merged, 0.50).to_string()),
         ("completion_p99_ns", quantile(&merged, 0.99).to_string()),
         ("completion_p999_ns", quantile(&merged, 0.999).to_string()),
@@ -692,6 +713,7 @@ mod tests {
             "\"events_per_byte\"",
             "\"cells\": [",
             "\"per_flow_client_bytes\"",
+            "\"bytes_per_flow\"",
         ] {
             assert!(report.contains(needle), "missing {needle} in {report}");
         }

@@ -94,6 +94,33 @@ fn fig4_primary_backup_is_bit_identical() {
     );
 }
 
+/// Every pin in this file is captured with the ACK fast lane (and burst
+/// batching) enabled — the production configuration. The fast lane claims
+/// exact equivalence, so the *same* pins must hold with the lane
+/// force-disabled: a fingerprint that only reproduces with the lane on
+/// would mean the lane changed results, not just wall clock.
+#[test]
+fn fig4_pins_hold_with_fast_lane_disabled() {
+    let params = Fig4Params {
+        fastpath: false,
+        ..Fig4Params::default()
+    };
+    let line = |config, tag: &str, write_size| {
+        let p = run_point(config, write_size, &params, SEED);
+        format!(
+            "{tag} tput={:#018x} retx={} completed={}",
+            p.throughput_kbps.to_bits(),
+            p.retransmits,
+            p.completed
+        )
+    };
+    assert_eq!(line(Fig4Config::Clean, "clean", 512), PINNED_CLEAN);
+    assert_eq!(
+        line(Fig4Config::PrimaryBackup, "pb", 1480),
+        PINNED_PRIMARY_BACKUP
+    );
+}
+
 #[test]
 fn failover_latency_is_bit_identical() {
     assert_eq!(failover_fingerprint(CalendarKind::Wheel), PINNED_FAILOVER);
@@ -283,8 +310,11 @@ fn chaos_soak_is_thread_count_invariant_and_pinned() {
 /// per-cell line), plus the headline counts in the clear. The slab demux,
 /// per-stack timer wheels, and buffer recycling all ride under this pin:
 /// any schedule-visible change to the many-flow engine moves it.
+/// Re-pinned when `bytes_per_flow` joined the merged report (the lean
+/// connection layout + honest memory accounting); the headline counts did
+/// not move.
 const PINNED_SCALE: &str =
-    "scale fp=0xc841813b7849d542 flows=120 completed=120 peak=120 events=25816";
+    "scale fp=0xb9168a691a10164d flows=120 completed=120 peak=120 events=25816";
 
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut acc = 0xcbf2_9ce4_8422_2325u64;
@@ -316,6 +346,21 @@ fn scale_workload_is_thread_invariant_and_pinned() {
         fnv1a(report.as_bytes())
     );
     assert_eq!(fp, PINNED_SCALE);
+
+    // The calendar backend must be invisible here too: a heap-backed run
+    // of the same cells merges to the byte-identical report (the scale
+    // engine leans hardest on the per-stack timer wheels, so this is the
+    // workload most likely to expose a backend-visible schedule).
+    let heap_cfg = ScaleConfig {
+        calendar: CalendarKind::Heap,
+        ..ScaleConfig::tiny()
+    };
+    let (heap, _) = run_scale(&heap_cfg, 1);
+    assert_eq!(
+        scale_report(&heap_cfg, &heap),
+        report,
+        "merged scale report diverged between wheel and heap calendars"
+    );
 }
 
 #[test]

@@ -1,0 +1,211 @@
+//! A flat open-addressing flow table keyed by the packed connection quad.
+//!
+//! The redirector resolves where a packet goes from its *service access
+//! point* (destination address and port), but every packet of a flow
+//! resolves identically until the redirector table or the routing table
+//! changes. Caching the resolved action per flow quad turns the per-packet
+//! `SockAddr` hash-map lookup plus memoized-target probe into one probe of
+//! a dense power-of-two slot array — the same flat-map idea as the TCP
+//! stack's packed-quad demux, reusing [`hydranet_netsim::hash`]'s
+//! Fibonacci mixer.
+//!
+//! Invalidation is wholesale by generation: entries are stamped with the
+//! redirector-table generation they were resolved under, a probe under any
+//! other generation misses, and the first insert of a new generation
+//! clears the array. Table updates are rare (installs, chain
+//! reconfiguration, route changes); flows are many.
+
+use std::hash::Hasher;
+
+use hydranet_netsim::hash::IntHasher;
+
+/// Smallest non-empty slot-array size (power of two).
+const MIN_SLOTS: usize = 16;
+
+/// An open-addressing hash table from packed flow quads (`u128`) to cached
+/// values, with generation-stamped wholesale invalidation.
+#[derive(Debug, Clone)]
+pub struct FlowTable<V> {
+    /// Power-of-two slot array; `None` is an empty slot. Linear probing,
+    /// and no per-entry removal (invalidation clears the whole array), so
+    /// no tombstones exist.
+    slots: Vec<Option<(u128, V)>>,
+    len: usize,
+    /// Generation the live entries were resolved under.
+    gen: u64,
+}
+
+impl<V> FlowTable<V> {
+    /// Creates an empty table (no slots allocated until the first insert).
+    pub fn new() -> Self {
+        FlowTable {
+            slots: Vec::new(),
+            len: 0,
+            gen: 0,
+        }
+    }
+
+    /// Number of cached flows (across all generations; stale entries are
+    /// only reclaimed by the clearing insert of a newer generation).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Folds the 96 significant bits of a packed quad through the engine's
+    /// Fibonacci mixer.
+    fn hash(key: u128) -> u64 {
+        let mut h = IntHasher::default();
+        h.write_u64(key as u64);
+        h.write_u64((key >> 64) as u64);
+        h.finish()
+    }
+
+    /// The value cached for `key` under `gen`. Entries written under any
+    /// other generation are invisible (the table or routes changed since
+    /// they were resolved).
+    pub fn get(&self, gen: u64, key: u128) -> Option<&V> {
+        if gen != self.gen || self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (Self::hash(key) as usize) & mask;
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some((k, v)) if *k == key => return Some(v),
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Caches `value` for `key` under `gen`. The first insert of a new
+    /// generation drops every previously cached entry.
+    pub fn insert(&mut self, gen: u64, key: u128, value: V) {
+        if gen != self.gen {
+            self.clear();
+            self.gen = gen;
+        }
+        // Keep the load factor at or below 7/8 so probe runs stay short.
+        if self.slots.is_empty() || (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (Self::hash(key) as usize) & mask;
+        loop {
+            let slot = &mut self.slots[i];
+            match slot {
+                None => {
+                    *slot = Some((key, value));
+                    self.len += 1;
+                    return;
+                }
+                Some((k, v)) if *k == key => {
+                    *v = value;
+                    return;
+                }
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Drops every entry, keeping the slot allocation.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.len = 0;
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(MIN_SLOTS);
+        let mut slots: Vec<Option<(u128, V)>> = Vec::with_capacity(new_cap);
+        slots.resize_with(new_cap, || None);
+        let old = std::mem::replace(&mut self.slots, slots);
+        let mask = new_cap - 1;
+        for (key, value) in old.into_iter().flatten() {
+            let mut i = (Self::hash(key) as usize) & mask;
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some((key, value));
+        }
+    }
+}
+
+impl<V> Default for FlowTable<V> {
+    fn default() -> Self {
+        FlowTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t: FlowTable<u32> = FlowTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(0, 7), None);
+        t.insert(0, 7, 70);
+        t.insert(0, 8, 80);
+        assert_eq!(t.get(0, 7), Some(&70));
+        assert_eq!(t.get(0, 8), Some(&80));
+        assert_eq!(t.get(0, 9), None);
+        assert_eq!(t.len(), 2);
+        // Same-key insert replaces in place.
+        t.insert(0, 7, 71);
+        assert_eq!(t.get(0, 7), Some(&71));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn generation_mismatch_misses_and_insert_clears() {
+        let mut t: FlowTable<u32> = FlowTable::new();
+        t.insert(1, 7, 70);
+        // A probe under a newer generation must not serve the stale entry.
+        assert_eq!(t.get(2, 7), None);
+        assert_eq!(t.get(1, 7), Some(&70));
+        // The first insert of the new generation drops the old entries.
+        t.insert(2, 8, 80);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(2, 8), Some(&80));
+        assert_eq!(t.get(1, 7), None);
+        assert_eq!(t.get(2, 7), None);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity_and_survives_collisions() {
+        let mut t: FlowTable<usize> = FlowTable::new();
+        // Well past several doublings, with adversarially-similar keys
+        // (quads differing only in low port bits, like real flows do).
+        let n = 10_000usize;
+        for i in 0..n {
+            let key = (0x0a00_0101u128 << 64) | ((40_000 + i as u128) << 48) | 0xc014_e114_0050;
+            t.insert(3, key, i);
+        }
+        assert_eq!(t.len(), n);
+        for i in 0..n {
+            let key = (0x0a00_0101u128 << 64) | ((40_000 + i as u128) << 48) | 0xc014_e114_0050;
+            assert_eq!(t.get(3, key), Some(&i), "key {i}");
+        }
+    }
+
+    #[test]
+    fn clear_keeps_allocation_and_empties() {
+        let mut t: FlowTable<u8> = FlowTable::new();
+        for i in 0..100u128 {
+            t.insert(0, i, i as u8);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.get(0, 5), None);
+        t.insert(0, 5, 5);
+        assert_eq!(t.get(0, 5), Some(&5));
+    }
+}

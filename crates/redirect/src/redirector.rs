@@ -9,17 +9,19 @@
 //! and tunnelled to the appropriate hosts, with one copy going to the
 //! primary server and one copy to each backup server" (§4.2).
 
+use std::rc::Rc;
+
 use hydranet_netsim::frag::Reassembler;
 use hydranet_netsim::node::{Context, IfaceId, Node};
-use hydranet_netsim::packet::{IpAddr, IpPacket, Protocol};
+use hydranet_netsim::packet::{FragInfo, IpAddr, IpHeader, IpPacket, Protocol, DEFAULT_TTL};
 use hydranet_netsim::routing::RouteTable;
 use hydranet_netsim::time::SimTime;
 use hydranet_obs::metrics::Counter;
 use hydranet_obs::Obs;
 use hydranet_tcp::segment::SockAddr;
 
+use crate::flow::FlowTable;
 use crate::table::{RedirectorTable, ServiceEntry};
-use crate::tunnel::encapsulate_buf;
 
 /// Counters kept by a redirector.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,6 +42,35 @@ pub struct RedirectorStats {
     /// admission grace (the client retransmits; see
     /// [`RedirectorEngine::defer_new_flows_until`]).
     pub syn_deferred: u64,
+}
+
+/// One resolved redirection decision, cached per flow quad in the engine's
+/// [`FlowTable`]. Everything per-*flow* is precomputed — the routed target
+/// set and, per target, the outer IP-in-IP header template — so committing
+/// a cached action per *packet* is: stats, one inner encode, and one
+/// header-id patch per copy.
+#[derive(Debug, Clone)]
+enum CachedAction {
+    /// The table matched: tunnel one encapsulated copy per routed target.
+    Tunnel {
+        /// Fault-tolerant entry (multicast fan-out; SYN-admission gated).
+        ft: bool,
+        /// Chain members with no route at resolution time, charged to
+        /// `dropped_no_route` per packet — same accounting as the
+        /// uncached walk keeps through [`FtTargets::unroutable`].
+        ///
+        /// [`FtTargets::unroutable`]: crate::table::FtTargets::unroutable
+        drops: u32,
+        /// `(egress, chain host, outer header template)` per routed
+        /// target, in delivery order. The template is everything
+        /// [`encapsulate_buf`](crate::tunnel::encapsulate_buf) computes
+        /// except the per-packet id.
+        outs: Rc<[(IfaceId, IpAddr, IpHeader)]>,
+    },
+    /// No table match: plain routed forward out of this interface.
+    Forward(IfaceId),
+    /// No table match and no route: count the drop.
+    NoRoute,
 }
 
 /// What [`RedirectorEngine::process`] decided about a packet.
@@ -69,9 +100,10 @@ pub struct RedirectorEngine {
     /// reassembled packets — the redirector is a middlebox with per-flow
     /// reassembly state, like any port-matching router.
     reassembler: Reassembler,
-    /// Reused per-packet scratch for resolved (egress, host) pairs, so the
-    /// multicast fast path allocates nothing after warm-up.
-    routed_scratch: Vec<(IfaceId, IpAddr)>,
+    /// Per-flow resolved actions, stamped with the table generation (see
+    /// [`RedirectorTable::generation`]): the steady-state TCP path is one
+    /// flat-table probe instead of a table lookup plus target resolution.
+    flows: FlowTable<CachedAction>,
     c_redirected: Counter,
     c_copies: Counter,
     c_forwarded: Counter,
@@ -98,7 +130,7 @@ impl RedirectorEngine {
             table: RedirectorTable::new(),
             stats: RedirectorStats::default(),
             reassembler: Reassembler::new(),
-            routed_scratch: Vec::new(),
+            flows: FlowTable::new(),
             c_redirected: Counter::default(),
             c_copies: Counter::default(),
             c_forwarded: Counter::default(),
@@ -193,6 +225,42 @@ impl RedirectorEngine {
         now: SimTime,
         out: &mut Vec<(IfaceId, IpPacket)>,
     ) -> Disposition {
+        self.process_inner(packet, now, out, &mut None)
+    }
+
+    /// Processes a burst of packets delivered at one instant, pushing any
+    /// transmissions into `out` in arrival order. Exactly equivalent to
+    /// calling [`process`](Self::process) per packet — the batch entry
+    /// point exists so burst callers amortize flow-table work: a
+    /// within-burst memo serves back-to-back same-flow packets (the common
+    /// shape of a burst) without even the flow-cache probe. The memo is
+    /// sound because nothing inside batch processing can touch the
+    /// redirector or routing tables, so a flow's resolved action cannot go
+    /// stale mid-burst. Packets addressed to the redirector itself are
+    /// handed to `local`.
+    pub fn process_batch(
+        &mut self,
+        packets: &mut Vec<IpPacket>,
+        now: SimTime,
+        out: &mut Vec<(IfaceId, IpPacket)>,
+        mut local: impl FnMut(IpPacket),
+    ) {
+        let mut memo = None;
+        for packet in packets.drain(..) {
+            match self.process_inner(packet, now, out, &mut memo) {
+                Disposition::Handled => {}
+                Disposition::Local(p) => local(p),
+            }
+        }
+    }
+
+    fn process_inner(
+        &mut self,
+        packet: IpPacket,
+        now: SimTime,
+        out: &mut Vec<(IfaceId, IpPacket)>,
+        memo: &mut Option<(u128, CachedAction)>,
+    ) -> Disposition {
         if packet.dst() == self.addr || self.virtual_addr == Some(packet.dst()) {
             self.stats.local += 1;
             return Disposition::Local(packet);
@@ -215,84 +283,210 @@ impl RedirectorEngine {
             } else {
                 packet
             };
-            if let Some(port) = peek_tcp_dst_port(&whole.payload) {
-                let sap = SockAddr::new(whole.dst(), port);
-                if let Some(entry) = self.table.lookup(sap) {
-                    if matches!(entry, ServiceEntry::FaultTolerant { .. })
-                        && self.admit_new_flows_after.is_some_and(|t| now < t)
-                        && peek_tcp_flags(&whole.payload)
-                            .is_some_and(|f| f & 0x03 == 0x01 /* SYN, not SYN|ACK */)
-                    {
-                        self.stats.syn_deferred += 1;
-                        return Disposition::Handled;
-                    }
-                    self.stats.redirected += 1;
-                    self.c_redirected.inc();
-                    // Encode the inner packet ONCE; each tunnelled copy is
-                    // an O(1) handle onto the same bytes, and the last
-                    // routable chain member takes the buffer by move — a
-                    // singleton chain (the scaled-service case) costs zero
-                    // clones. `routed_scratch` is reused across packets so
-                    // the fast path does not allocate.
-                    let inner_id = whole.header.id;
-                    let mut routed = std::mem::take(&mut self.routed_scratch);
-                    routed.clear();
-                    let routes = &self.routes;
-                    let stats = &mut self.stats;
-                    let mut ft_fanout = false;
-                    match entry {
-                        ServiceEntry::Scaled { replicas } => {
-                            // Memoized nearest-routable pick: the min-metric
-                            // scan and its routing lookups run once per
-                            // (table, routes) generation, not per packet.
-                            match self.table.scaled_target(sap, |host| routes.lookup(host)) {
-                                Some((host, iface)) => routed.push((iface, host)),
-                                None if replicas.is_empty() => {}
-                                None => stats.dropped_no_route += 1,
-                            }
-                        }
-                        ServiceEntry::FaultTolerant { .. } => {
-                            ft_fanout = true;
-                            // Memoized routed fan-out: the per-chain-member
-                            // routing lookups run once per (table, routes)
-                            // generation, not per packet. `unroutable` keeps
-                            // the per-packet drop accounting exact.
-                            let targets = self
-                                .table
-                                .ft_targets(sap, |host| routes.lookup(host))
-                                .expect("entry is fault-tolerant");
-                            stats.dropped_no_route += u64::from(targets.unroutable);
-                            routed.extend_from_slice(&targets.routed);
-                        }
-                    }
-                    if let Some((&(last_iface, last_host), rest)) = routed.split_last() {
-                        let encoded = whole.encode();
-                        if ft_fanout {
-                            self.span_fanout(sap, &routed, encoded.lineage(), now);
-                        }
-                        for &(iface, host) in rest {
-                            self.stats.copies += 1;
-                            self.c_copies.inc();
-                            out.push((
-                                iface,
-                                encapsulate_buf(encoded.clone(), inner_id, self.addr, host),
-                            ));
-                        }
-                        self.stats.copies += 1;
-                        self.c_copies.inc();
-                        out.push((
-                            last_iface,
-                            encapsulate_buf(encoded, inner_id, self.addr, last_host),
-                        ));
-                    }
-                    routed.clear();
-                    self.routed_scratch = routed;
-                    return Disposition::Handled;
-                }
-            }
-            packet = whole;
+            return self.process_tcp(whole, now, out, memo);
         }
 
+        self.forward_plain(packet, out);
+        Disposition::Handled
+    }
+
+    /// The TCP redirection path over a whole (reassembled) packet: probe
+    /// the within-burst memo, then the per-flow action cache, fall back to
+    /// full resolution on a miss (or a stale generation), and commit the
+    /// action. A memo hit is exactly a flow-cache hit replayed for the key
+    /// resolved earlier in the same burst.
+    fn process_tcp(
+        &mut self,
+        whole: IpPacket,
+        now: SimTime,
+        out: &mut Vec<(IfaceId, IpPacket)>,
+        memo: &mut Option<(u128, CachedAction)>,
+    ) -> Disposition {
+        let Some(port) = peek_tcp_dst_port(&whole.payload) else {
+            // Too short to carry ports: routed like any non-TCP packet.
+            self.forward_plain(whole, out);
+            return Disposition::Handled;
+        };
+        let sap = SockAddr::new(whole.dst(), port);
+        let key = pack_quad(&whole, port);
+        let (cached, from_memo) = match memo {
+            Some((k, act)) if *k == key => (Some(act.clone()), true),
+            _ => (self.flows.get(self.table.generation(), key).cloned(), false),
+        };
+        if let Some(act) = cached {
+            if let CachedAction::Tunnel { ft, .. } = &act {
+                if *ft && self.defer_syn(&whole, now) {
+                    return Disposition::Handled;
+                }
+                // A served flow-cache hit stands in for the memoized-target
+                // hit the uncached walk would have counted.
+                self.table.note_target_cache_hit();
+            }
+            if !from_memo {
+                *memo = Some((key, act.clone()));
+            }
+            return self.commit(sap, act, whole, now, out);
+        }
+        // Miss: the admission gate is checked before any resolution (the
+        // deferred SYN must not warm any cache), then the resolved action
+        // is cached for the flow and committed.
+        if matches!(
+            self.table.lookup(sap),
+            Some(ServiceEntry::FaultTolerant { .. })
+        ) && self.defer_syn(&whole, now)
+        {
+            return Disposition::Handled;
+        }
+        let act = self.resolve_action(sap);
+        self.flows.insert(self.table.generation(), key, act.clone());
+        *memo = Some((key, act.clone()));
+        self.commit(sap, act, whole, now, out)
+    }
+
+    /// The §4.2-promotion admission gate: counts and reports `true` when
+    /// the packet is a bare SYN (SYN set, ACK clear) inside the grace
+    /// window. Callers apply it to fault-tolerant matches only.
+    fn defer_syn(&mut self, whole: &IpPacket, now: SimTime) -> bool {
+        if self.admit_new_flows_after.is_some_and(|t| now < t)
+            && peek_tcp_flags(&whole.payload)
+                .is_some_and(|f| f & 0x03 == 0x01 /* SYN, not SYN|ACK */)
+        {
+            self.stats.syn_deferred += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resolves the redirection action for a service access point from the
+    /// redirector and routing tables — the once-per-(flow, generation)
+    /// slow path behind the flow cache.
+    fn resolve_action(&self, sap: SockAddr) -> CachedAction {
+        let routes = &self.routes;
+        match self.table.lookup(sap) {
+            Some(ServiceEntry::Scaled { replicas }) => {
+                // Memoized nearest-routable pick: the min-metric scan and
+                // its routing lookups run once per (table, routes)
+                // generation, not per flow.
+                let mut outs = Vec::new();
+                let mut drops = 0;
+                match self.table.scaled_target(sap, |host| routes.lookup(host)) {
+                    Some((host, iface)) => outs.push((iface, host, self.outer_header(host))),
+                    None if replicas.is_empty() => {}
+                    None => drops = 1,
+                }
+                CachedAction::Tunnel {
+                    ft: false,
+                    drops,
+                    outs: outs.into(),
+                }
+            }
+            Some(ServiceEntry::FaultTolerant { .. }) => {
+                // Memoized routed fan-out: the per-chain-member routing
+                // lookups run once per (table, routes) generation.
+                // `unroutable` keeps the per-packet drop accounting exact.
+                let targets = self
+                    .table
+                    .ft_targets(sap, |host| routes.lookup(host))
+                    .expect("entry is fault-tolerant");
+                let outs: Vec<_> = targets
+                    .routed
+                    .iter()
+                    .map(|&(iface, host)| (iface, host, self.outer_header(host)))
+                    .collect();
+                CachedAction::Tunnel {
+                    ft: true,
+                    drops: targets.unroutable,
+                    outs: outs.into(),
+                }
+            }
+            None => match routes.lookup(sap.addr) {
+                Some(iface) => CachedAction::Forward(iface),
+                None => CachedAction::NoRoute,
+            },
+        }
+    }
+
+    /// The outer header of a tunnelled copy to `host`: everything
+    /// [`encapsulate_buf`](crate::tunnel::encapsulate_buf) computes except
+    /// the per-packet id, prebuilt at flow-resolution time.
+    fn outer_header(&self, host: IpAddr) -> IpHeader {
+        IpHeader {
+            src: self.addr,
+            dst: host,
+            protocol: Protocol::IP_IN_IP,
+            ttl: DEFAULT_TTL,
+            id: 0,
+            frag: FragInfo::UNFRAGMENTED,
+        }
+    }
+
+    /// Commits a resolved action for one packet: stats, then (for tunnel
+    /// actions) encode the inner packet ONCE — each tunnelled copy is an
+    /// O(1) handle onto the same bytes, the last routable chain member
+    /// takes the buffer by move, and each copy's outer header is the
+    /// flow's precomputed template with the id patched in.
+    fn commit(
+        &mut self,
+        sap: SockAddr,
+        act: CachedAction,
+        whole: IpPacket,
+        now: SimTime,
+        out: &mut Vec<(IfaceId, IpPacket)>,
+    ) -> Disposition {
+        match act {
+            CachedAction::Tunnel { ft, drops, outs } => {
+                self.stats.redirected += 1;
+                self.c_redirected.inc();
+                self.stats.dropped_no_route += u64::from(drops);
+                if let Some(((last_iface, _, last_tpl), rest)) = outs.split_last() {
+                    let inner_id = whole.header.id;
+                    let encoded = whole.encode();
+                    if ft {
+                        self.span_fanout(sap, &outs, encoded.lineage(), now);
+                    }
+                    for (iface, _, tpl) in rest {
+                        self.stats.copies += 1;
+                        self.c_copies.inc();
+                        let mut header = tpl.clone();
+                        header.id = inner_id;
+                        out.push((
+                            *iface,
+                            IpPacket {
+                                header,
+                                payload: encoded.clone(),
+                            },
+                        ));
+                    }
+                    self.stats.copies += 1;
+                    self.c_copies.inc();
+                    let mut header = last_tpl.clone();
+                    header.id = inner_id;
+                    out.push((
+                        *last_iface,
+                        IpPacket {
+                            header,
+                            payload: encoded,
+                        },
+                    ));
+                }
+                Disposition::Handled
+            }
+            CachedAction::Forward(iface) => {
+                self.stats.forwarded += 1;
+                self.c_forwarded.inc();
+                out.push((iface, whole));
+                Disposition::Handled
+            }
+            CachedAction::NoRoute => {
+                self.stats.dropped_no_route += 1;
+                Disposition::Handled
+            }
+        }
+    }
+
+    /// Plain routed forward for packets redirection has no opinion about.
+    fn forward_plain(&mut self, packet: IpPacket, out: &mut Vec<(IfaceId, IpPacket)>) {
         match self.routes.lookup(packet.dst()) {
             Some(iface) => {
                 self.stats.forwarded += 1;
@@ -301,7 +495,6 @@ impl RedirectorEngine {
             }
             None => self.stats.dropped_no_route += 1,
         }
-        Disposition::Handled
     }
 
     /// Emits the instantaneous multicast fan-out span for one redirected
@@ -312,7 +505,7 @@ impl RedirectorEngine {
     fn span_fanout(
         &mut self,
         sap: SockAddr,
-        routed: &[(IfaceId, IpAddr)],
+        routed: &[(IfaceId, IpAddr, IpHeader)],
         lineage: u64,
         now: SimTime,
     ) {
@@ -324,13 +517,26 @@ impl RedirectorEngine {
         let at = now.as_nanos();
         self.obs
             .span_open(&key, "redirect", &format!("fanout {sap}"), None, at);
-        for (_, host) in routed {
+        for (_, host, _) in routed {
             self.obs.span_note(&key, at, "member", host.to_string());
         }
         self.obs
             .span_note(&key, at, "lineage", format!("{lineage:#x}"));
         self.obs.span_close(&key, at);
     }
+}
+
+/// Packs a whole TCP packet's connection quad into one `u128` flow-cache
+/// key: `src_addr (32) | src_port (16) | dst_addr (32) | dst_port (16)` —
+/// the same flat packed-quad scheme as the TCP stack's demux. The caller
+/// has already peeked `dst_port`, which guarantees the payload holds the
+/// source port too.
+fn pack_quad(whole: &IpPacket, dst_port: u16) -> u128 {
+    let src_port = u16::from_be_bytes([whole.payload[0], whole.payload[1]]);
+    (whole.src().to_bits() as u128) << 64
+        | (src_port as u128) << 48
+        | (whole.dst().to_bits() as u128) << 16
+        | dst_port as u128
 }
 
 /// Reads the TCP destination port from an (unfragmented) TCP payload.
@@ -384,6 +590,22 @@ impl Node for RedirectorNode {
     fn on_packet(&mut self, ctx: &mut Context<'_>, _iface: IfaceId, packet: IpPacket) {
         let mut out = std::mem::take(&mut self.out_scratch);
         let _ = self.engine.process(packet, ctx.now(), &mut out);
+        for (iface, p) in out.drain(..) {
+            ctx.send(iface, p);
+        }
+        self.out_scratch = out;
+    }
+
+    fn on_packet_batch(
+        &mut self,
+        ctx: &mut Context<'_>,
+        _iface: IfaceId,
+        packets: &mut Vec<IpPacket>,
+    ) {
+        let mut out = std::mem::take(&mut self.out_scratch);
+        // Local packets are management traffic the standalone node drops.
+        self.engine
+            .process_batch(packets, ctx.now(), &mut out, |_p| ());
         for (iface, p) in out.drain(..) {
             ctx.send(iface, p);
         }

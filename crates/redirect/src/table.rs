@@ -120,6 +120,13 @@ pub struct RedirectorTable {
     /// `term` bumps on redirector promotion; an update from an older term
     /// is a partitioned ex-active talking and must be rejected.
     epoch: (u32, u64),
+    /// Monotonic counter bumped by anything that could change how a packet
+    /// resolves: installs, removes, chain edits, and target invalidation
+    /// (which route changes are required to signal). The engine's per-flow
+    /// action cache stamps entries with this and treats a mismatch as a
+    /// miss — the flow-granular face of the same staleness discipline the
+    /// epoch guard enforces for replicated updates.
+    generation: u64,
     c_installs: Counter,
     c_removes: Counter,
     c_cache_hits: Counter,
@@ -149,6 +156,18 @@ impl RedirectorTable {
     /// The `(term, seq)` epoch of the last accepted replicated update.
     pub fn epoch(&self) -> (u32, u64) {
         self.epoch
+    }
+
+    /// The table's resolution generation: changes whenever cached
+    /// resolutions (memoized targets, per-flow actions) may be stale.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Mirrors the memoized-target cache-hit count for a hit served one
+    /// level up, from the engine's per-flow action cache.
+    pub(crate) fn note_target_cache_hit(&self) {
+        self.c_cache_hits.inc();
     }
 
     /// Applies a replicated table update stamped with epoch `(term, seq)`:
@@ -188,6 +207,7 @@ impl RedirectorTable {
         self.entries.insert(sap, entry);
         self.target_cache.get_mut().remove(&sap);
         self.ft_cache.get_mut().remove(&sap);
+        self.generation += 1;
         self.c_installs.inc();
         self.g_entries.set(self.entries.len() as f64);
     }
@@ -198,6 +218,7 @@ impl RedirectorTable {
         if removed.is_some() {
             self.target_cache.get_mut().remove(&sap);
             self.ft_cache.get_mut().remove(&sap);
+            self.generation += 1;
             self.c_removes.inc();
             self.g_entries.set(self.entries.len() as f64);
         }
@@ -278,6 +299,7 @@ impl RedirectorTable {
     pub fn invalidate_targets(&mut self) {
         self.target_cache.get_mut().clear();
         self.ft_cache.get_mut().clear();
+        self.generation += 1;
     }
 
     /// Looks up the entry for `sap`. Packets with no entry "are simply
@@ -300,6 +322,7 @@ impl RedirectorTable {
         // for: drop both caches' memo before the caller can edit the chain.
         self.target_cache.get_mut().remove(&sap);
         self.ft_cache.get_mut().remove(&sap);
+        self.generation += 1;
         match self.entries.get_mut(&sap) {
             Some(ServiceEntry::FaultTolerant { chain }) => Some(chain),
             _ => None,

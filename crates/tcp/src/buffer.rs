@@ -12,6 +12,26 @@ use std::collections::{BTreeMap, VecDeque};
 
 use crate::seq::SeqNum;
 
+/// Backing allocations at or below this many bytes are kept when a buffer
+/// drains; larger ones are returned to the allocator. The floor keeps
+/// small-write request/response flows from re-allocating on every
+/// drain/refill cycle, while letting a bulk flow's multi-KiB ring go as
+/// soon as it empties — which is what bounds idle per-flow memory at scale.
+const SHRINK_RETAIN: usize = 512;
+
+/// Reserves backing storage for `need` total bytes, growing geometrically
+/// but never past `cap` (the configured socket-buffer size): the allocator
+/// charge is bounded by the buffer's limit instead of the doubling
+/// overshoot, which for an 8 KiB buffer is the difference between 8 KiB
+/// and 16 KiB per flow.
+fn reserve_bounded(q: &mut VecDeque<u8>, extra: usize, cap: usize) {
+    let need = q.len() + extra;
+    if q.capacity() < need {
+        let target = need.next_power_of_two().min(cap.max(need));
+        q.reserve_exact(target - q.len());
+    }
+}
+
 /// Bytes accepted from the application, awaiting transmission and
 /// acknowledgement. The buffer's base tracks the lowest unacknowledged
 /// sequence number.
@@ -36,6 +56,7 @@ impl SendBuffer {
     pub fn write(&mut self, data: &[u8]) -> usize {
         let room = self.capacity.saturating_sub(self.data.len());
         let take = room.min(data.len());
+        reserve_bounded(&mut self.data, take, self.capacity);
         self.data.extend(&data[..take]);
         take
     }
@@ -76,6 +97,9 @@ impl SendBuffer {
         let n = (upto - self.base).min(self.data.len() as u32) as usize;
         self.data.drain(..n);
         self.base += n as u32;
+        if self.data.is_empty() && self.data.capacity() > SHRINK_RETAIN {
+            self.data = VecDeque::new();
+        }
     }
 
     /// Heap bytes held by this buffer's backing storage (capacity, not
@@ -188,6 +212,26 @@ impl RecvBuffer {
     /// window is clipped; duplicates are ignored. Returns `true` if
     /// `RCV.NXT` advanced (i.e. new bytes were deposited).
     pub fn offer(&mut self, seq: SeqNum, data: &[u8]) -> bool {
+        // In-order fast path: exactly at RCV.NXT, nothing staged, no gate.
+        // stage() would insert a single run at nxt_off (clipped to the
+        // window) and deposit() would immediately drain all of it, so the
+        // straight-line append below is byte-for-byte equivalent — without
+        // a BTreeMap insert/remove and run copy per segment.
+        if seq == self.nxt_seq
+            && !data.is_empty()
+            && self.staged.is_empty()
+            && self.deposit_limit.is_none()
+        {
+            let take = data.len().min(self.capacity);
+            if take == 0 {
+                return false;
+            }
+            reserve_bounded(&mut self.readable, take, self.capacity);
+            self.readable.extend(&data[..take]);
+            self.nxt_off += take as u64;
+            self.nxt_seq += take as u32;
+            return true;
+        }
         if !data.is_empty() {
             self.stage(seq, data);
         }
@@ -197,7 +241,11 @@ impl RecvBuffer {
     /// Reads up to `max` deposited bytes.
     pub fn read(&mut self, max: usize) -> Vec<u8> {
         let n = max.min(self.readable.len());
-        self.readable.drain(..n).collect()
+        let out: Vec<u8> = self.readable.drain(..n).collect();
+        if self.readable.is_empty() && self.readable.capacity() > SHRINK_RETAIN {
+            self.readable = VecDeque::new();
+        }
+        out
     }
 
     /// Attempts to move staged bytes into the readable queue, honouring the
@@ -221,6 +269,7 @@ impl RecvBuffer {
             let skip = (self.nxt_off - off) as usize;
             let take = (take_end - self.nxt_off) as usize;
             let run = self.staged.pop_first().expect("first exists").1;
+            reserve_bounded(&mut self.readable, take, self.capacity);
             self.readable.extend(&run[skip..skip + take]);
             self.nxt_off += take as u64;
             self.nxt_seq += take as u32;
@@ -547,6 +596,37 @@ mod tests {
             assert_eq!(rb.rcv_nxt(), base + total as u32);
             assert_eq!(rb.read(total + 1), stream);
         }
+    }
+
+    #[test]
+    fn send_buffer_releases_backing_when_drained() {
+        let mut sb = SendBuffer::new(SeqNum::new(0), 8192);
+        assert_eq!(sb.heap_bytes(), 0, "buffers grow on demand from zero");
+        sb.write(&[7u8; 8192]);
+        // Growth is bounded by the configured capacity, not the allocator's
+        // doubling overshoot.
+        assert!(sb.heap_bytes() >= 8192);
+        assert!(sb.heap_bytes() < 16384, "got {}", sb.heap_bytes());
+        sb.ack_to(SeqNum::new(8192));
+        assert_eq!(sb.heap_bytes(), 0, "drained bulk ring is released");
+        // A small buffer keeps its allocation across drain/refill cycles, so
+        // 16 B request/response flows do not churn the allocator.
+        let mut small = SendBuffer::new(SeqNum::new(0), 64);
+        small.write(&[1u8; 16]);
+        small.ack_to(SeqNum::new(16));
+        assert!(small.heap_bytes() > 0);
+        assert_eq!(small.write(b"again"), 5);
+    }
+
+    #[test]
+    fn recv_buffer_releases_backing_when_read_dry() {
+        let mut rb = RecvBuffer::new(SeqNum::new(0), 8192);
+        assert_eq!(rb.heap_bytes(), 0, "buffers grow on demand from zero");
+        rb.offer(SeqNum::new(0), &[3u8; 8192]);
+        assert!(rb.heap_bytes() >= 8192);
+        assert!(rb.heap_bytes() < 16384, "got {}", rb.heap_bytes());
+        rb.read(8192);
+        assert_eq!(rb.heap_bytes(), 0, "drained readable queue is released");
     }
 
     /// The gate: no byte at offset >= limit ever becomes readable.

@@ -11,6 +11,8 @@
 //! are inert (`None`/cleared) for ordinary connections; the `ft` module and
 //! the stack manage them for connections on replicated ports.
 
+use std::rc::Rc;
+
 use hydranet_netsim::buf::PacketBuf;
 use hydranet_netsim::time::{SimDuration, SimTime};
 use hydranet_obs::metrics::{Counter, Histogram};
@@ -65,6 +67,12 @@ pub struct TcpConfig {
     /// off switch exists so tests can re-break that failure path and
     /// verify the flight recorder captures the resulting wedge.
     pub gate_watchdog: bool,
+    /// Header-prediction fast lane for in-order pure ACKs and in-order
+    /// data on established, ungated connections. Behaviour is identical
+    /// either way (any prediction miss falls back to full processing);
+    /// the switch exists so the equivalence property test can force both
+    /// lanes over the same schedule and compare traces bit for bit.
+    pub fastpath: bool,
 }
 
 /// Keepalive tuning: after `idle` with no segments received, send up to
@@ -115,6 +123,7 @@ impl Default for TcpConfig {
             time_wait: SimDuration::from_secs(30),
             keepalive: None,
             gate_watchdog: true,
+            fastpath: true,
         }
     }
 }
@@ -201,11 +210,28 @@ struct SendState {
     iss: SeqNum,
 }
 
+/// Per-connection telemetry handles. Cold state: every field is a no-op
+/// unless the owning stack wired an enabled [`Obs`] registry, so the whole
+/// block lives behind an `Option<Box<_>>` and costs unobserved connections
+/// (the many-flow scale case) one pointer instead of ~200 bytes each.
+#[derive(Debug)]
+struct ConnTelemetry {
+    obs: Obs,
+    h_srtt_us: Histogram,
+    h_rto_us: Histogram,
+    h_cwnd: Histogram,
+    h_gate_stall_us: Histogram,
+    c_duplicates: Counter,
+    /// When data first became staged behind the deposit gate with nothing
+    /// depositable — the start of an ack-channel gating stall.
+    gate_stall_since: Option<SimTime>,
+}
+
 /// A sans-I/O TCP connection.
 #[derive(Debug)]
 pub struct Connection {
     state: TcpState,
-    cfg: TcpConfig,
+    cfg: Rc<TcpConfig>,
     quad: Quad,
     snd: SendState,
     sendbuf: SendBuffer,
@@ -267,21 +293,13 @@ pub struct Connection {
     retransmit_count: u64,
     duplicate_data_count: u64,
 
-    // Telemetry (no-op handles unless wired via `set_obs`).
-    obs: Obs,
-    h_srtt_us: Histogram,
-    h_rto_us: Histogram,
-    h_cwnd: Histogram,
-    h_gate_stall_us: Histogram,
-    c_duplicates: Counter,
-    /// When data first became staged behind the deposit gate with nothing
-    /// depositable — the start of an ack-channel gating stall.
-    gate_stall_since: Option<SimTime>,
+    // Telemetry (absent until wired via `set_obs` with an enabled registry).
+    telemetry: Option<Box<ConnTelemetry>>,
 }
 
 impl Connection {
     /// Opens a connection actively (client side): queues a SYN.
-    pub fn connect(quad: Quad, cfg: TcpConfig, iss: SeqNum, now: SimTime) -> Self {
+    pub fn connect(quad: Quad, cfg: impl Into<Rc<TcpConfig>>, iss: SeqNum, now: SimTime) -> Self {
         let mut conn = Self::new(quad, cfg, iss, SeqNum::new(0), TcpState::SynSent);
         conn.emit(
             TcpSegment {
@@ -307,7 +325,13 @@ impl Connection {
     /// # Panics
     ///
     /// Panics if `syn` does not have the SYN flag set.
-    pub fn accept(quad: Quad, cfg: TcpConfig, iss: SeqNum, syn: &TcpSegment, now: SimTime) -> Self {
+    pub fn accept(
+        quad: Quad,
+        cfg: impl Into<Rc<TcpConfig>>,
+        iss: SeqNum,
+        syn: &TcpSegment,
+        now: SimTime,
+    ) -> Self {
         Self::accept_replicated(quad, cfg, iss, syn, now, false, false)
     }
 
@@ -321,7 +345,7 @@ impl Connection {
     /// Panics if `syn` does not have the SYN flag set.
     pub fn accept_replicated(
         quad: Quad,
-        cfg: TcpConfig,
+        cfg: impl Into<Rc<TcpConfig>>,
         iss: SeqNum,
         syn: &TcpSegment,
         now: SimTime,
@@ -372,7 +396,14 @@ impl Connection {
         }
     }
 
-    fn new(quad: Quad, cfg: TcpConfig, iss: SeqNum, rcv_nxt: SeqNum, state: TcpState) -> Self {
+    fn new(
+        quad: Quad,
+        cfg: impl Into<Rc<TcpConfig>>,
+        iss: SeqNum,
+        rcv_nxt: SeqNum,
+        state: TcpState,
+    ) -> Self {
+        let cfg = cfg.into();
         let sendbuf = SendBuffer::new(iss + 1, cfg.send_buf);
         let recvbuf = RecvBuffer::new(rcv_nxt, cfg.recv_buf);
         let cc = CongestionControl::new(cfg.mss as u32);
@@ -422,13 +453,7 @@ impl Connection {
             bytes_acked_total: 0,
             retransmit_count: 0,
             duplicate_data_count: 0,
-            obs: Obs::disabled(),
-            h_srtt_us: Histogram::default(),
-            h_rto_us: Histogram::default(),
-            h_cwnd: Histogram::default(),
-            h_gate_stall_us: Histogram::default(),
-            c_duplicates: Counter::default(),
-            gate_stall_since: None,
+            telemetry: None,
             cfg,
         }
     }
@@ -438,13 +463,22 @@ impl Connection {
     /// deposit-gate stall time (how long received data sat staged waiting
     /// for the chain successor's ack-channel report).
     pub fn set_obs(&mut self, obs: &Obs) {
+        if !obs.is_enabled() {
+            // Every handle below would be a no-op; skip the per-connection
+            // allocation entirely (the common case at scale).
+            self.telemetry = None;
+            return;
+        }
         let scope = format!("tcp.conn.{}", self.quad);
-        self.h_srtt_us = obs.histogram(&format!("{scope}.srtt_us"));
-        self.h_rto_us = obs.histogram(&format!("{scope}.rto_us"));
-        self.h_cwnd = obs.histogram(&format!("{scope}.cwnd"));
-        self.h_gate_stall_us = obs.histogram(&format!("{scope}.gate_stall_us"));
-        self.c_duplicates = obs.counter(&format!("{scope}.duplicate_segments"));
-        self.obs = obs.clone();
+        self.telemetry = Some(Box::new(ConnTelemetry {
+            h_srtt_us: obs.histogram(&format!("{scope}.srtt_us")),
+            h_rto_us: obs.histogram(&format!("{scope}.rto_us")),
+            h_cwnd: obs.histogram(&format!("{scope}.cwnd")),
+            h_gate_stall_us: obs.histogram(&format!("{scope}.gate_stall_us")),
+            c_duplicates: obs.counter(&format!("{scope}.duplicate_segments")),
+            obs: obs.clone(),
+            gate_stall_since: None,
+        }));
     }
 
     // ------------------------------------------------------------------
@@ -632,21 +666,24 @@ impl Connection {
         let fin_done = self.try_process_peer_fin(now);
         if advanced {
             self.events.push(ConnEvent::DataReadable);
-            if let Some(since) = self.gate_stall_since.take() {
-                let stalled = now.duration_since(since);
-                self.h_gate_stall_us.record(stalled.as_nanos() / 1_000);
-                // Only stalls long enough to matter become timeline events;
-                // sub-millisecond gate round trips are steady-state chain
-                // operation and would swamp the timeline.
-                if self.obs.is_enabled() && stalled >= SimDuration::from_millis(1) {
-                    self.obs.event(
-                        now.as_nanos(),
-                        kinds::GATE_STALL,
-                        &[
-                            ("quad", self.quad.to_string()),
-                            ("stalled_us", (stalled.as_nanos() / 1_000).to_string()),
-                        ],
-                    );
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                if let Some(since) = t.gate_stall_since.take() {
+                    let stalled = now.duration_since(since);
+                    t.h_gate_stall_us.record(stalled.as_nanos() / 1_000);
+                    // Only stalls long enough to matter become timeline
+                    // events; sub-millisecond gate round trips are
+                    // steady-state chain operation and would swamp the
+                    // timeline.
+                    if stalled >= SimDuration::from_millis(1) {
+                        t.obs.event(
+                            now.as_nanos(),
+                            kinds::GATE_STALL,
+                            &[
+                                ("quad", self.quad.to_string()),
+                                ("stalled_us", (stalled.as_nanos() / 1_000).to_string()),
+                            ],
+                        );
+                    }
                 }
             }
         }
@@ -744,6 +781,22 @@ impl Connection {
         std::mem::take(&mut self.events)
     }
 
+    /// Drains queued outgoing segments into `out` by swapping backing
+    /// stores: the connection inherits `out`'s (cleared) allocation, so a
+    /// caller-owned scratch vector is recycled across every segment the
+    /// stack processes instead of each connection re-growing its outbox.
+    pub fn take_segments_into(&mut self, out: &mut Vec<TcpSegment>) {
+        out.clear();
+        std::mem::swap(&mut self.outbox, out);
+    }
+
+    /// Drains queued application events into `out`; see
+    /// [`take_segments_into`](Self::take_segments_into).
+    pub fn take_events_into(&mut self, out: &mut Vec<ConnEvent>) {
+        out.clear();
+        std::mem::swap(&mut self.events, out);
+    }
+
     /// The earliest pending timer deadline, if any.
     pub fn next_deadline(&self) -> Option<SimTime> {
         [
@@ -769,21 +822,31 @@ impl Connection {
             + self.recvbuf.heap_bytes()
             + self.outbox.capacity() * std::mem::size_of::<TcpSegment>()
             + self.events.capacity() * std::mem::size_of::<ConnEvent>()
+            + self
+                .telemetry
+                .as_ref()
+                .map_or(0, |_| std::mem::size_of::<ConnTelemetry>())
     }
 
     // ------------------------------------------------------------------
     // Segment processing
     // ------------------------------------------------------------------
 
-    /// Feeds one incoming segment.
-    pub fn on_segment(&mut self, seg: TcpSegment, now: SimTime) {
+    /// Feeds one incoming segment. Returns `true` when the header-prediction
+    /// fast lane handled it (telemetry only — behaviour is identical).
+    pub fn on_segment(&mut self, seg: TcpSegment, now: SimTime) -> bool {
         self.segments_received += 1;
         // Any inbound segment is proof of life: reset keepalive state.
         self.keepalive_probes_sent = 0;
         self.rearm_keepalive(now);
+        if self.cfg.fastpath && self.fast_lane_qualifies(&seg) {
+            self.on_segment_fast(seg, now);
+            self.sample_telemetry();
+            return true;
+        }
         if seg.flags.rst {
             self.on_rst(&seg);
-            return;
+            return false;
         }
         match self.state {
             TcpState::Closed => {}
@@ -791,18 +854,140 @@ impl Connection {
             _ => self.on_segment_synchronized(seg, now),
         }
         self.sample_telemetry();
+        false
+    }
+
+    /// Header prediction (§5e): whether `seg` is an in-order pure ACK or
+    /// in-order data on an established, ungated connection with no close,
+    /// recovery, or duplicate-ACK machinery in play — the cases where
+    /// [`on_segment_fast`](Self::on_segment_fast) is provably equivalent to
+    /// full processing. Read-only: a miss leaves nothing to undo.
+    fn fast_lane_qualifies(&self, seg: &TcpSegment) -> bool {
+        // Steady-state established connection, plain ACK segment.
+        if self.state != TcpState::Established {
+            return false;
+        }
+        let f = seg.flags;
+        if !f.ack || f.syn || f.fin || f.rst {
+            return false;
+        }
+        // No FT gates, no close handshake, no go-back-N recovery pending.
+        if self.send_gated
+            || self.recvbuf.is_gated()
+            || self.recover.is_some()
+            || self.fin_queued
+            || self.fin_seq.is_some()
+            || self.peer_fin.is_some()
+        {
+            return false;
+        }
+        // Exactly in order (also excludes keepalive probes below RCV.NXT),
+        // and past the handshake slot so every acked byte is data.
+        if seg.seq != self.rcv_nxt() || self.snd.una == self.snd.iss {
+            return false;
+        }
+        let ack = seg.ack;
+        // The ACK must cover only transmitted, non-rolled-back sequence
+        // space (ack > SND.NXT after a rollback means a pre-rollback
+        // transmission surfaced: slow path), and a non-advancing ACK must
+        // not be one the duplicate-ACK counter would inspect.
+        if ack.after(self.snd.nxt) || ack.before(self.snd.una) {
+            return false;
+        }
+        if ack == self.snd.una
+            && seg.payload.is_empty()
+            && self.snd.una != self.snd.nxt
+            && u32::from(seg.window) == self.snd.wnd
+        {
+            return false;
+        }
+        // In-order data must be a single straight-line deposit: nothing
+        // staged out of order that a deposit pass could merge behind it.
+        if !seg.payload.is_empty() && self.recvbuf.staged_bytes() != 0 {
+            return false;
+        }
+        true
+    }
+
+    /// The fast lane: the exact subset of
+    /// [`on_segment_synchronized`](Self::on_segment_synchronized) that can
+    /// execute for a qualifying segment, with every skipped branch provably
+    /// dead under [`fast_lane_qualifies`](Self::fast_lane_qualifies) — same
+    /// mutations, same event order, same outgoing segments.
+    fn on_segment_fast(&mut self, seg: TcpSegment, now: SimTime) {
+        let ack = seg.ack;
+        if ack.after(self.snd.una) {
+            // Established past the handshake with no FIN in flight: the
+            // full path's handshake_aware_acked is the identity here.
+            let acked = ack - self.snd.una;
+            self.snd.una = ack;
+            self.sendbuf.ack_to(ack);
+            self.bytes_acked_total += u64::from(acked);
+            self.cc.on_new_ack(acked);
+            self.retries = 0;
+            self.events.push(ConnEvent::AckProgress);
+            if let Some((cover, sent_at)) = self.rtt_probe {
+                if ack.after_eq(cover) {
+                    self.rtt.sample(now.duration_since(sent_at));
+                    self.rtt_probe = None;
+                }
+            }
+            if self.snd.una == self.snd.nxt {
+                self.clear_rto();
+            } else {
+                self.arm_rto(now);
+            }
+            if self.send_was_full && self.sendbuf.room() > 0 {
+                self.send_was_full = false;
+                self.events.push(ConnEvent::SendSpace);
+            }
+        }
+
+        // Window update (RFC 793 WL1/WL2 check), verbatim from the full
+        // path — header prediction does not exempt window bookkeeping.
+        if self.snd.wl1.before(seg.seq) || (self.snd.wl1 == seg.seq && self.snd.wl2.before_eq(ack))
+        {
+            let was_zero = self.snd.wnd == 0;
+            self.snd.wnd = u32::from(seg.window);
+            self.snd.wl1 = seg.seq;
+            self.snd.wl2 = ack;
+            if was_zero && self.snd.wnd > 0 {
+                self.persist_deadline = None;
+            }
+        }
+
+        if !seg.payload.is_empty() {
+            // In order with nothing staged and no gate: offer() is one
+            // append, and it fails to advance only when the whole payload
+            // was clipped — a full duplicate by the coverage test.
+            let advanced = self.recvbuf.offer(seg.seq, &seg.payload);
+            if advanced {
+                self.events.push(ConnEvent::DataReadable);
+                self.schedule_ack(now);
+            } else {
+                self.duplicate_data_count += 1;
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.c_duplicates.inc();
+                }
+                self.events.push(ConnEvent::DuplicateData);
+                self.send_pure_ack(now);
+            }
+        }
+
+        // Send whatever the new window/ack state allows.
+        self.pump(now);
     }
 
     /// Samples the srtt/rto/cwnd trajectory once per processed segment.
     fn sample_telemetry(&mut self) {
-        if !self.obs.is_enabled() {
+        let Some(t) = self.telemetry.as_deref_mut() else {
             return;
-        }
+        };
         if let Some(srtt) = self.rtt.srtt() {
-            self.h_srtt_us.record(srtt.as_nanos() / 1_000);
+            t.h_srtt_us.record(srtt.as_nanos() / 1_000);
         }
-        self.h_rto_us.record(self.rtt.rto().as_nanos() / 1_000);
-        self.h_cwnd.record(u64::from(self.cc.cwnd()));
+        t.h_rto_us.record(self.rtt.rto().as_nanos() / 1_000);
+        t.h_cwnd.record(u64::from(self.cc.cwnd()));
     }
 
     fn on_rst(&mut self, seg: &TcpSegment) {
@@ -950,7 +1135,9 @@ impl Connection {
             let is_duplicate = self.coverage() == coverage_before;
             if is_duplicate {
                 self.duplicate_data_count += 1;
-                self.c_duplicates.inc();
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.c_duplicates.inc();
+                }
                 self.events.push(ConnEvent::DuplicateData);
                 // Duplicates get an immediate ACK to resynchronise.
                 self.send_pure_ack(now);
@@ -962,11 +1149,12 @@ impl Connection {
                 // sender's fast-retransmit machinery sees it.
                 self.send_pure_ack(now);
             }
-            if self.gate_stall_since.is_none()
-                && self.recvbuf.is_gated()
-                && self.recvbuf.staged_bytes() > 0
-            {
-                self.gate_stall_since = Some(now);
+            if self.recvbuf.is_gated() && self.recvbuf.staged_bytes() > 0 {
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    if t.gate_stall_since.is_none() {
+                        t.gate_stall_since = Some(now);
+                    }
+                }
             }
         }
 
@@ -1114,8 +1302,8 @@ impl Connection {
                 if self.gate_blocked_work() {
                     self.gate_starved_count += 1;
                     self.events.push(ConnEvent::GateStarved);
-                    if self.obs.is_enabled() {
-                        self.obs.event(
+                    if let Some(t) = self.telemetry.as_deref() {
+                        t.obs.event(
                             now.as_nanos(),
                             kinds::GATE_STALL,
                             &[

@@ -33,6 +33,7 @@
 //! schedule-invisible: pinned fingerprints do not move.
 
 use std::collections::{BTreeMap, BinaryHeap};
+use std::rc::Rc;
 
 use hydranet_netsim::buf::PacketBuf;
 use hydranet_netsim::frag::Reassembler;
@@ -215,6 +216,12 @@ pub struct StackStats {
     /// scratch buffer — each one a heap allocation the former
     /// take-and-drop pattern would have re-paid on the next enqueue.
     pub bufs_recycled: u64,
+    /// Segments handled by the header-prediction fast lane (in-order pure
+    /// ACKs and in-order data on established, ungated connections).
+    pub fastpath_hits: u64,
+    /// Segments that reached a connection but missed the fast-lane
+    /// predicate and took full processing.
+    pub fastpath_misses: u64,
 }
 
 struct ConnEntry {
@@ -269,8 +276,10 @@ struct Occupant {
     /// Entries in the wheel whose time differs from this are stale and
     /// are discarded when popped.
     armed: Option<SimTime>,
-    /// `None` while the entry is checked out for processing.
-    entry: Option<ConnEntry>,
+    /// `None` while the entry is checked out for processing. Boxed so the
+    /// check-out/check-in dance per segment moves one pointer, not the
+    /// whole multi-hundred-byte connection, and so slab slots stay small.
+    entry: Option<Box<ConnEntry>>,
 }
 
 /// Payload of a per-stack timer-wheel entry.
@@ -295,7 +304,14 @@ struct EphState {
 /// The per-host TCP/UDP protocol engine.
 pub struct TcpStack {
     addrs: Vec<IpAddr>,
-    cfg: TcpConfig,
+    /// Default connection configuration, shared by reference with every
+    /// connection (a refcount bump per accept instead of a struct copy
+    /// held inline in each connection).
+    cfg: Rc<TcpConfig>,
+    /// `cfg` with `delayed_ack` off — the variant every replica-port
+    /// connection uses — pre-built so accepts on replicated ports share
+    /// one allocation too.
+    replica_cfg: Rc<TcpConfig>,
     // Listener and replicated-port tables stay BTree: they are small,
     // iterated rarely, and their order is schedule-visible.
     listeners: BTreeMap<u16, AppFactory>,
@@ -350,10 +366,17 @@ pub struct TcpStack {
     /// Deadline of the armed ack-channel flush timer, if any.
     ackchan_flush_at: Option<SimTime>,
     stats: StackStats,
+    /// Scratch stores recycled through the per-connection drain loop in
+    /// `finish_entry`: the connection inherits the cleared allocation on
+    /// every swap, so steady-state segment processing allocates nothing.
+    scratch_events: Vec<ConnEvent>,
+    scratch_segments: Vec<TcpSegment>,
     obs: Obs,
     c_ackchan_tx: Counter,
     c_ackchan_rx: Counter,
     c_rx_corrupt: Counter,
+    c_fastpath_hits: Counter,
+    c_fastpath_misses: Counter,
     h_ackchan_pairs: Histogram,
 }
 
@@ -372,9 +395,16 @@ impl TcpStack {
     /// Creates a stack owning `addr`, with `cfg` as the default connection
     /// configuration.
     pub fn new(addr: IpAddr, cfg: TcpConfig) -> Self {
+        // Replica connections forward their flow-control fields along the
+        // ack channel the moment they would ack; delaying those reports
+        // would stack a delayed-ack timer per chain stage onto the
+        // client's ACK path and race its RTO.
+        let mut replica_cfg = cfg.clone();
+        replica_cfg.delayed_ack = false;
         TcpStack {
             addrs: vec![addr],
-            cfg,
+            cfg: Rc::new(cfg),
+            replica_cfg: Rc::new(replica_cfg),
             listeners: BTreeMap::new(),
             replicated: BTreeMap::new(),
             slots: Vec::new(),
@@ -395,10 +425,14 @@ impl TcpStack {
             ackchan_pending: BTreeMap::new(),
             ackchan_flush_at: None,
             stats: StackStats::default(),
+            scratch_events: Vec::new(),
+            scratch_segments: Vec::new(),
             obs: Obs::disabled(),
             c_ackchan_tx: Counter::default(),
             c_ackchan_rx: Counter::default(),
             c_rx_corrupt: Counter::default(),
+            c_fastpath_hits: Counter::default(),
+            c_fastpath_misses: Counter::default(),
             h_ackchan_pairs: Histogram::default(),
         }
     }
@@ -414,6 +448,10 @@ impl TcpStack {
         self.c_ackchan_rx = obs.counter(&format!("{scope}.ackchan_rx"));
         self.c_rx_corrupt = obs.counter(&format!("{scope}.rx_corrupt"));
         self.h_ackchan_pairs = obs.histogram(&format!("{scope}.ackchan.pairs_per_datagram"));
+        // Registry-wide names (not per-stack): hit rate is meaningful as an
+        // aggregate across every stack sharing the registry.
+        self.c_fastpath_hits = obs.counter("tcp.fastpath.hits");
+        self.c_fastpath_misses = obs.counter("tcp.fastpath.misses");
         self.timers.set_obs_prefixed(&obs, "tcp.timerwheel");
         // Re-wire parked connections in ascending quad order so metric
         // registration order (visible in telemetry dumps) is stable.
@@ -549,14 +587,14 @@ impl TcpStack {
         let local = SockAddr::new(self.addrs[0], self.alloc_ephemeral(remote)?);
         let quad = Quad::new(local, remote);
         let iss = deterministic_iss(quad);
-        let mut conn = Connection::connect(quad, self.cfg.clone(), iss, now);
+        let mut conn = Connection::connect(quad, Rc::clone(&self.cfg), iss, now);
         conn.set_obs(&self.obs);
         self.span_conn_open(quad, "connect", now);
-        let entry = ConnEntry {
+        let entry = Box::new(ConnEntry {
             conn,
             app,
             detector: None,
-        };
+        });
         self.finish_entry(quad, entry, now);
         Ok(quad)
     }
@@ -864,12 +902,12 @@ impl TcpStack {
     /// Checks out a parked connection. The slot stays occupied (its quad
     /// remains visible to demux) until `finish_entry` parks it again or
     /// reaps it.
-    fn take_conn(&mut self, quad: Quad) -> Option<ConnEntry> {
+    fn take_conn(&mut self, quad: Quad) -> Option<Box<ConnEntry>> {
         let slot = self.lookup_slot(quad)?;
         self.slots[slot as usize].occ.as_mut()?.entry.take()
     }
 
-    fn insert_conn(&mut self, quad: Quad, entry: ConnEntry) -> u32 {
+    fn insert_conn(&mut self, quad: Quad, entry: Box<ConnEntry>) -> u32 {
         let slot = match self.free_slots.pop() {
             Some(s) => s,
             None => {
@@ -1096,7 +1134,13 @@ impl TcpStack {
             );
         }
         if let Some(mut entry) = self.take_conn(quad) {
-            entry.conn.on_segment(seg, now);
+            if entry.conn.on_segment(seg, now) {
+                self.stats.fastpath_hits += 1;
+                self.c_fastpath_hits.inc();
+            } else {
+                self.stats.fastpath_misses += 1;
+                self.c_fastpath_misses.inc();
+            }
             self.finish_entry(quad, entry, now);
             return;
         }
@@ -1107,14 +1151,11 @@ impl TcpStack {
             let gated = replication
                 .as_ref()
                 .is_some_and(ReplicatedPortConfig::gated);
-            let mut conn_cfg = self.cfg.clone();
-            if replication.is_some() {
-                // Replica connections forward their flow-control fields
-                // along the ack channel the moment they would ack; delaying
-                // those reports would stack a delayed-ack timer per chain
-                // stage onto the client's ACK path and race its RTO.
-                conn_cfg.delayed_ack = false;
-            }
+            let conn_cfg = if replication.is_some() {
+                Rc::clone(&self.replica_cfg)
+            } else {
+                Rc::clone(&self.cfg)
+            };
             let mut conn =
                 Connection::accept_replicated(quad, conn_cfg, iss, &seg, now, gated, gated);
             conn.set_obs(&self.obs);
@@ -1128,11 +1169,11 @@ impl TcpStack {
                 d.set_obs(self.obs.clone(), quad.to_string());
                 d
             });
-            let entry = ConnEntry {
+            let entry = Box::new(ConnEntry {
                 conn,
                 app,
                 detector,
-            };
+            });
             self.finish_entry(quad, entry, now);
             return;
         }
@@ -1205,11 +1246,14 @@ impl TcpStack {
     /// Common post-processing after any interaction with a connection:
     /// dispatch events to the application, drain and route outgoing
     /// segments, reap closed connections, re-arm the timer wheel.
-    fn finish_entry(&mut self, quad: Quad, mut entry: ConnEntry, now: SimTime) {
+    fn finish_entry(&mut self, quad: Quad, mut entry: Box<ConnEntry>, now: SimTime) {
         // Event/application loop: app actions may produce more events. The
         // iteration cap is a runaway-app backstop; hitting it is counted
         // rather than silently swallowed.
         let mut rounds = 0;
+        // The scratch store is swapped into the connection each round, so
+        // steady-state event dispatch recycles one allocation forever.
+        let mut events = std::mem::take(&mut self.scratch_events);
         loop {
             rounds += 1;
             if rounds > 64 {
@@ -1217,11 +1261,11 @@ impl TcpStack {
                 debug_assert!(false, "application event loop did not settle for {quad}");
                 break;
             }
-            let events = entry.conn.take_events();
+            entry.conn.take_events_into(&mut events);
             if events.is_empty() {
                 break;
             }
-            for ev in events {
+            for &ev in events.iter() {
                 match ev {
                     ConnEvent::Established => {
                         self.events.push(StackEvent::ConnEstablished(quad));
@@ -1314,15 +1358,17 @@ impl TcpStack {
                 }
             }
         }
-        // Route outgoing segments.
-        let segments = entry.conn.take_segments();
+        self.scratch_events = events;
+        // Route outgoing segments (same scratch-recycling discipline).
+        let mut segments = std::mem::take(&mut self.scratch_segments);
+        entry.conn.take_segments_into(&mut segments);
         if !segments.is_empty() {
             let divert = self
                 .replicated
                 .get(&quad.local.port)
                 .filter(|r| r.diverts_output())
                 .map(|r| r.predecessor);
-            for seg in segments {
+            for seg in segments.drain(..) {
                 match divert {
                     Some(Some(pred)) => {
                         // Backup: strip to (SEQ, ACK) and forward along the
@@ -1354,6 +1400,7 @@ impl TcpStack {
                 }
             }
         }
+        self.scratch_segments = segments;
         if entry.conn.state() == TcpState::Closed {
             // Reaped; events already delivered.
             if let Some(slot) = self.lookup_slot(quad) {
